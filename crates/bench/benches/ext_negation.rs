@@ -1,0 +1,57 @@
+//! Extension bench — negation overhead: the same positive chain workload
+//! mined with and without a negated literal, across both engines.
+//!
+//! The antijoin filter is one extra hash pass over the body join per
+//! negated-pattern assignment; the series documents that negation costs a
+//! small constant factor, not an asymptotic change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_core::engine::{find_rules::find_rules, naive};
+use mq_core::prelude::*;
+use mq_datagen::RandomDbSpec;
+use mq_relation::Frac;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_negation_overhead");
+    let positive = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let negated = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)").unwrap();
+    let th = Thresholds::all(Frac::new(1, 10), Frac::ZERO, Frac::ZERO);
+    for rows in [100usize, 300] {
+        let db = RandomDbSpec {
+            n_relations: 3,
+            arity: 2,
+            rows,
+            domain: rows as i64 / 4,
+            seed: mq_bench::BASE_SEED ^ 0x6e69 ^ rows as u64,
+        }
+        .generate();
+        g.bench_with_input(BenchmarkId::new("positive_findrules", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(find_rules(&db, &positive, InstType::Zero, th).unwrap().len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("negated_findrules", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(find_rules(&db, &negated, InstType::Zero, th).unwrap().len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("negated_naive", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    naive::find_all(&db, &negated, InstType::Zero, th)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

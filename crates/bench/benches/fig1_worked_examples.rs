@@ -1,0 +1,50 @@
+//! E1 — Figures 1 and 2: answering metaquery (4) on the paper's telecom
+//! database under all three instantiation types.
+//!
+//! There is nothing to race here (the database has 12 tuples); the bench
+//! documents the absolute cost of the worked examples and catches
+//! regressions in the instantiation machinery. Regenerate the paper's
+//! numbers with `cargo run -p mq-bench --bin fig1_table`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mq_core::prelude::*;
+use mq_datagen::telecom;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let db1 = telecom::db1();
+    let db2 = telecom::db2();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+
+    let mut g = c.benchmark_group("fig1_worked_examples");
+    for ty in [InstType::Zero, InstType::One, InstType::Two] {
+        g.bench_function(format!("db1_{ty}"), |b| {
+            b.iter(|| {
+                let answers =
+                    find_rules(black_box(&db1), black_box(&mq), ty, Thresholds::none())
+                        .unwrap();
+                black_box(answers.len())
+            })
+        });
+    }
+    g.bench_function("db2_type2_widened_head", |b| {
+        b.iter(|| {
+            let answers = find_rules(
+                black_box(&db2),
+                black_box(&mq),
+                InstType::Two,
+                Thresholds::single(IndexKind::Cnf, mq_relation::Frac::new(1, 2)),
+            )
+            .unwrap();
+            black_box(answers.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E2 — Figure 3 / Examples 4.3-4.5: the join-tree + full-reducer
+//! pipeline against materializing the join directly.
+//!
+//! The full reducer answers acyclic BCQ satisfiability after `2(n-1)`
+//! semijoins, never building the (possibly much larger) join — the
+//! enabling trick inside `findRules`. The series scales the database
+//! size `d`; the reducer should stay near-linear while the materialized
+//! join grows with the join's output size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_bench::BASE_SEED;
+use mq_cq::{acyclic_satisfiable, Atom, Cq};
+use mq_datagen::RandomDbSpec;
+use mq_relation::VarId;
+use std::hint::black_box;
+
+fn chain_cq(db: &mq_relation::Database, m: usize) -> Cq {
+    let atoms = (0..m)
+        .map(|i| {
+            Atom::vars_atom(
+                db.rel_id(&format!("r{i}")).unwrap(),
+                &[VarId(i as u32), VarId(i as u32 + 1)],
+            )
+        })
+        .collect();
+    Cq::new(atoms)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_jointree_reducer");
+    for rows in [100usize, 400, 1600] {
+        let db = RandomDbSpec {
+            n_relations: 3,
+            arity: 2,
+            rows,
+            domain: (rows as i64) / 4,
+            seed: BASE_SEED ^ 3,
+        }
+        .generate();
+        let cq = chain_cq(&db, 3);
+        g.bench_with_input(
+            BenchmarkId::new("full_reducer_satisfiable", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| black_box(acyclic_satisfiable(black_box(&db), black_box(&cq))))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("materialized_join", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let join = mq_cq::join_atoms(black_box(&db), black_box(&cq.atoms));
+                    black_box(!join.is_empty())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("yannakakis_count", rows),
+            &rows,
+            |b, _| b.iter(|| black_box(mq_cq::acyclic_count(black_box(&db), black_box(&cq)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

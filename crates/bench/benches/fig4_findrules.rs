@@ -1,0 +1,114 @@
+//! E3 — Figure 4: `findRules` against the naive enumerate-and-measure
+//! engine, and the support-pruning ablation.
+//!
+//! Three series:
+//! * data scaling (`d` grows, chain metaquery, width 1);
+//! * width contrast (chain width 1 vs cycle width 2 at fixed `d`);
+//! * pruning ablation (`k_sup = 0.5` lets `enoughSupport` cut branches vs
+//!   thresholds that keep everything).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_bench::{chain_workload, cycle_workload, mid_thresholds};
+use mq_core::engine::{find_rules::find_rules, naive};
+use mq_core::prelude::*;
+use mq_relation::Frac;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_findrules_vs_naive");
+    for rows in [50usize, 150, 450] {
+        let w = chain_workload(3, rows, (rows as i64) / 3, 2);
+        g.bench_with_input(BenchmarkId::new("findRules_chain", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    find_rules(
+                        black_box(&w.db),
+                        black_box(&w.mq),
+                        InstType::Zero,
+                        mid_thresholds(),
+                    )
+                    .unwrap()
+                    .len(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive_chain", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    naive::find_all(
+                        black_box(&w.db),
+                        black_box(&w.mq),
+                        InstType::Zero,
+                        mid_thresholds(),
+                    )
+                    .unwrap()
+                    .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig4_width_contrast");
+    let rows = 120usize;
+    let chain = chain_workload(2, rows, 18, 2);
+    let cycle = cycle_workload(2, rows, 18, 4);
+    g.bench_function("width1_chain2", |b| {
+        b.iter(|| {
+            black_box(
+                find_rules(&chain.db, &chain.mq, InstType::Zero, mid_thresholds())
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("width2_cycle4", |b| {
+        b.iter(|| {
+            black_box(
+                find_rules(&cycle.db, &cycle.mq, InstType::Zero, mid_thresholds())
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig4_pruning_ablation");
+    let w = chain_workload(3, 250, 20, 2);
+    g.bench_function("with_support_pruning", |b| {
+        b.iter(|| {
+            black_box(
+                find_rules(
+                    &w.db,
+                    &w.mq,
+                    InstType::Zero,
+                    Thresholds::all(Frac::new(1, 2), Frac::ZERO, Frac::ZERO),
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+    g.bench_function("without_support_pruning", |b| {
+        b.iter(|| {
+            black_box(
+                find_rules(
+                    &w.db,
+                    &w.mq,
+                    InstType::Zero,
+                    Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+                )
+                .unwrap()
+                .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! E4-E9 — Figure 5's combined-complexity rows, measured.
+//!
+//! For each hardness row, the corresponding reduction family is solved
+//! through the engine with growing instance size: the NP/NP^PP rows blow
+//! up exponentially in the *query* size, while the LOGCFL row (acyclic,
+//! type-0, k=0) scales polynomially through the derived-instance route.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_core::acyclic::decide_acyclic_zero;
+use mq_core::engine::find_rules;
+use mq_core::prelude::*;
+use mq_datagen::RandomDbSpec;
+use mq_reductions::{reduce_3col, reduce_ecsat, reduce_hampath, reduce_semiacyclic};
+use mq_reductions::{Cnf, EcsatInstance, Graph, Lit};
+use mq_relation::Frac;
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn decide(db: &mq_relation::Database, mq: &Metaquery, kind: IndexKind, k: Frac, ty: InstType) -> bool {
+    find_rules::decide(
+        db,
+        mq,
+        MqProblem {
+            index: kind,
+            threshold: k,
+            ty,
+        },
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    // Row 1 (Thm 3.21): NP-complete, any index, k=0: 3COL instances.
+    let mut g = c.benchmark_group("fig5_row1_np_3col");
+    for n in [4usize, 5, 6] {
+        let graph = Graph::random(n, 0.5, &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ n as u64));
+        if graph.edges.is_empty() {
+            continue;
+        }
+        let inst = reduce_3col::reduce(&graph);
+        g.bench_with_input(BenchmarkId::new("metaquery_route", n), &n, |b, _| {
+            b.iter(|| black_box(decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)))
+        });
+        g.bench_with_input(BenchmarkId::new("direct_solver", n), &n, |b, _| {
+            b.iter(|| black_box(graph.is_3_colorable()))
+        });
+    }
+    g.finish();
+
+    // Row 3 (Thms 3.28/3.29): NP^PP-complete cnf thresholds: ∃C-3SAT.
+    let mut g = c.benchmark_group("fig5_row3_nppp_ecsat");
+    for h in [2usize, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0xec ^ h as u64);
+        let n_vars = 1 + h;
+        let clauses = (0..3)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.gen_range(0..n_vars),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        let inst = EcsatInstance {
+            formula: Cnf::new(n_vars, clauses),
+            pi: vec![0],
+            chi: (1..n_vars).collect(),
+            k: 1 << (h - 1),
+        };
+        let red = reduce_ecsat::reduce_type0(&inst);
+        g.bench_with_input(BenchmarkId::new("metaquery_route", h), &h, |b, _| {
+            b.iter(|| black_box(decide(&red.db, &red.mq, IndexKind::Cnf, red.threshold, red.ty)))
+        });
+        g.bench_with_input(BenchmarkId::new("direct_solver", h), &h, |b, _| {
+            b.iter(|| black_box(inst.solve_direct()))
+        });
+    }
+    g.finish();
+
+    // Row 4 (Thm 3.32): LOGCFL — acyclic, type-0, k=0: polynomial via the
+    // derived instance, on growing DATA (this row is about tractability).
+    let mut g = c.benchmark_group("fig5_row4_logcfl_acyclic");
+    let mq = parse_metaquery("P(X,Y) <- P(Y,Z), Q(Z,W)").unwrap();
+    for rows in [200usize, 800, 3200] {
+        let db = RandomDbSpec {
+            n_relations: 2,
+            arity: 2,
+            rows,
+            domain: rows as i64 / 4,
+            seed: mq_bench::BASE_SEED ^ 4,
+        }
+        .generate();
+        g.bench_with_input(BenchmarkId::new("derived_acyclic_route", rows), &rows, |b, _| {
+            b.iter(|| black_box(decide_acyclic_zero(&db, &mq, IndexKind::Sup).unwrap()))
+        });
+    }
+    g.finish();
+
+    // Row 5 (Thm 3.33): acyclic but type-1: HAMPATH instances.
+    let mut g = c.benchmark_group("fig5_row5_acyclic_type1_hampath");
+    for n in [4usize, 5, 6] {
+        let graph = Graph::random(n, 0.5, &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0x4a ^ n as u64));
+        let inst = reduce_hampath::reduce(&graph);
+        g.bench_with_input(BenchmarkId::new("metaquery_route", n), &n, |b, _| {
+            b.iter(|| black_box(decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::One)))
+        });
+        g.bench_with_input(BenchmarkId::new("direct_solver", n), &n, |b, _| {
+            b.iter(|| black_box(graph.has_hamiltonian_path()))
+        });
+    }
+    g.finish();
+
+    // Row 6 (Thm 3.35): semi-acyclic type-0 is still NP-hard: 3COL again,
+    // through the always-semi-acyclic construction.
+    let mut g = c.benchmark_group("fig5_row6_semiacyclic_3col");
+    for n in [4usize, 5] {
+        let graph = Graph::random(n, 0.6, &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0x6a ^ n as u64));
+        if graph.edges.is_empty() {
+            continue;
+        }
+        let inst = reduce_semiacyclic::reduce(&graph);
+        g.bench_with_input(BenchmarkId::new("metaquery_route", n), &n, |b, _| {
+            b.iter(|| black_box(decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E10/E11 — Figure 5's data-complexity rows (Theorems 3.37, 3.38).
+//!
+//! Compiles the AC0 (k=0) and TC0 (k>0) circuit families for the fixed
+//! metaquery (4) at growing domain sizes and measures (a) compilation,
+//! (b) evaluation, and — in the companion `fig5_table` binary — the
+//! size/depth series that certify "constant depth, polynomial size".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_circuits::{compile_mq_threshold, compile_mq_zero, SchemaLayout};
+use mq_core::prelude::*;
+use mq_relation::{ints, Database, Frac};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn schema_db() -> Database {
+    let mut db = Database::new();
+    db.add_relation("p", 2);
+    db.add_relation("q", 2);
+    db
+}
+
+fn random_db(dom: i64, rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    for _ in 0..rows {
+        db.insert(p, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+        db.insert(q, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = schema_db();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+
+    let mut g = c.benchmark_group("fig5_row7_ac0");
+    for dom in [3usize, 4, 5] {
+        let layout = SchemaLayout::of_database(&schema, dom);
+        g.bench_with_input(BenchmarkId::new("compile", dom), &dom, |b, _| {
+            b.iter(|| {
+                black_box(
+                    compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, InstType::Zero)
+                        .unwrap()
+                        .size(),
+                )
+            })
+        });
+        let circuit =
+            compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, InstType::Zero).unwrap();
+        let db = random_db(dom as i64, dom * 2, mq_bench::BASE_SEED ^ dom as u64);
+        let bits = layout.encode(&db);
+        g.bench_with_input(BenchmarkId::new("eval", dom), &dom, |b, _| {
+            b.iter(|| black_box(circuit.eval(black_box(&bits))))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig5_row8_tc0");
+    let k = Frac::new(1, 2);
+    for dom in [3usize, 4] {
+        let layout = SchemaLayout::of_database(&schema, dom);
+        g.bench_with_input(BenchmarkId::new("compile", dom), &dom, |b, _| {
+            b.iter(|| {
+                black_box(
+                    compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero)
+                        .unwrap()
+                        .size(),
+                )
+            })
+        });
+        let circuit =
+            compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero)
+                .unwrap();
+        let db = random_db(dom as i64, dom * 2, mq_bench::BASE_SEED ^ 0x7c ^ dom as u64);
+        let bits = layout.encode(&db);
+        g.bench_with_input(BenchmarkId::new("eval", dom), &dom, |b, _| {
+            b.iter(|| black_box(circuit.eval(black_box(&bits))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E14 — Theorem 4.12: `sup(r)` is computable in `d^c · log d` time,
+//! `c` = the hypertree width of the rule body.
+//!
+//! The series fixes the body shape (width 1 chain, width 2 cycle, width 3
+//! clique-on-6) and scales `d`; the companion `thm412_table` binary fits
+//! the log-log slope, which should track `c`. Here criterion records the
+//! raw points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mq_bench::{chain_workload, clique_workload, cycle_workload, Workload};
+use mq_core::engine::find_rules::{body_decomposition, find_rules};
+use mq_core::prelude::*;
+use mq_relation::Frac;
+use std::hint::black_box;
+
+fn run(w: &Workload) -> usize {
+    // Support-only problem: k_sup = 0.9 (heavy pruning, the Theorem 4.12
+    // regime of computing sup per body instantiation).
+    find_rules(
+        &w.db,
+        &w.mq,
+        InstType::Zero,
+        Thresholds::single(IndexKind::Sup, Frac::new(9, 10)),
+    )
+    .unwrap()
+    .len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm412_width_scaling");
+    // Width 1: chain of 2.
+    for rows in [100usize, 200, 400] {
+        let w = chain_workload(2, rows, rows as i64 / 4, 2);
+        assert_eq!(body_decomposition(&w.mq).width, 1);
+        g.bench_with_input(BenchmarkId::new("width1_chain", rows), &rows, |b, _| {
+            b.iter(|| black_box(run(&w)))
+        });
+    }
+    // Width 2: 4-cycle.
+    for rows in [60usize, 120, 240] {
+        let w = cycle_workload(2, rows, rows as i64 / 4, 4);
+        assert_eq!(body_decomposition(&w.mq).width, 2);
+        g.bench_with_input(BenchmarkId::new("width2_cycle", rows), &rows, |b, _| {
+            b.iter(|| black_box(run(&w)))
+        });
+    }
+    // Width 3: clique on 6 variables (15 patterns — single relation to
+    // keep the instantiation space flat).
+    for rows in [20usize, 40, 80] {
+        let w = clique_workload(1, rows, rows as i64 / 3, 6);
+        assert_eq!(body_decomposition(&w.mq).width, 3);
+        g.bench_with_input(BenchmarkId::new("width3_clique6", rows), &rows, |b, _| {
+            b.iter(|| black_box(run(&w)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

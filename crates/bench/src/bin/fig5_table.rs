@@ -1,0 +1,264 @@
+//! E13 — regenerate Figure 5 (the summary complexity table) with an
+//! empirical witness per row: each hardness row runs its reduction family
+//! against the engine and the independent solver; each membership row
+//! runs the tractable algorithm or circuit family and reports its scaling.
+//!
+//! Run: `cargo run -p mq-bench --release --bin fig5_table`
+
+use mq_bench::{loglog_slope, time, BASE_SEED};
+use mq_circuits::{compile_mq_threshold, compile_mq_zero, SchemaLayout};
+use mq_core::acyclic::decide_acyclic_zero;
+use mq_core::engine::find_rules;
+use mq_core::prelude::*;
+use mq_datagen::RandomDbSpec;
+use mq_reductions::{
+    reduce_3col, reduce_ecsat, reduce_hampath, reduce_semiacyclic, Cnf, EcsatInstance, Graph, Lit,
+};
+use mq_relation::{Database, Frac};
+use rand::prelude::*;
+
+fn decide(db: &Database, mq: &Metaquery, kind: IndexKind, k: Frac, ty: InstType) -> bool {
+    find_rules::decide(
+        db,
+        mq,
+        MqProblem {
+            index: kind,
+            threshold: k,
+            ty,
+        },
+    )
+    .unwrap()
+}
+
+fn row(label: &str, claim: &str, witness: String) {
+    println!("{label}");
+    println!("    claim   : {claim}");
+    println!("    witness : {witness}\n");
+}
+
+fn main() {
+    println!("=== Figure 5, regenerated: one empirical witness per row ===\n");
+
+    // Row 1: general, any type, I, k=0 — NP-complete (Thm 3.21).
+    let mut rng = StdRng::seed_from_u64(BASE_SEED ^ 1);
+    let mut agree = 0;
+    let mut total = 0;
+    for _ in 0..12 {
+        let g = Graph::random(rng.gen_range(3..7), 0.55, &mut rng);
+        if g.edges.is_empty() {
+            continue;
+        }
+        let inst = reduce_3col::reduce(&g);
+        total += 1;
+        if decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)
+            == g.is_3_colorable()
+        {
+            agree += 1;
+        }
+    }
+    row(
+        "Row 1 | combined | general | T=0,1,2 | I | k=0",
+        "NP-complete (Thm 3.21, 3-COLORING reduction)",
+        format!("{agree}/{total} random graphs: metaquery route == exact 3-coloring solver"),
+    );
+
+    // Row 2: cvr/sup with threshold — NP-complete (Thm 3.24): certificates.
+    let mut verified = 0;
+    let mut total2 = 0;
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    for seed in 0..8u64 {
+        let db = RandomDbSpec {
+            n_relations: 2,
+            arity: 2,
+            rows: 12,
+            domain: 4,
+            seed: BASE_SEED ^ 2 ^ seed,
+        }
+        .generate();
+        for kind in [IndexKind::Cvr, IndexKind::Sup] {
+            let k = Frac::new(1, 3);
+            if let Some(cert) = mq_core::certificate::extract_threshold(
+                &db,
+                &mq,
+                InstType::Zero,
+                kind,
+                k,
+            )
+            .unwrap()
+            {
+                total2 += 1;
+                if mq_core::certificate::verify_threshold(&db, &mq, k, &cert).unwrap() {
+                    verified += 1;
+                }
+            }
+        }
+    }
+    row(
+        "Row 2 | combined | general | T=0,1,2 | cvr,sup | 0<=k<1",
+        "NP-complete (Thm 3.24, succinct certificates with floor(k*den)+1 witnesses)",
+        format!("{verified}/{total2} extracted certificates verified in polynomial time"),
+    );
+
+    // Row 3: cnf with threshold — NP^PP-complete (Thms 3.28/3.29).
+    let mut rng = StdRng::seed_from_u64(BASE_SEED ^ 3);
+    let mut agree3 = 0;
+    let mut total3 = 0;
+    for _ in 0..8 {
+        let s = rng.gen_range(1..=2);
+        let h = rng.gen_range(1..=3);
+        let n_vars = s + h;
+        let clauses = (0..rng.gen_range(1..=4))
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.gen_range(0..n_vars),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        let inst = EcsatInstance {
+            formula: Cnf::new(n_vars, clauses),
+            pi: (0..s).collect(),
+            chi: (s..n_vars).collect(),
+            k: rng.gen_range(1..=(1u128 << h)),
+        };
+        let red = reduce_ecsat::reduce_type0(&inst);
+        total3 += 1;
+        if decide(&red.db, &red.mq, IndexKind::Cnf, red.threshold, red.ty) == inst.solve_direct()
+        {
+            agree3 += 1;
+        }
+    }
+    row(
+        "Row 3 | combined | general | T=0,1,2 | cnf | 0<=k<1",
+        "NP^PP-complete (Thms 3.28/3.29, ∃C-3SAT reduction; threshold (k'-1)/2^h)",
+        format!("{agree3}/{total3} random ∃C-3SAT instances: cnf-threshold route == direct solver"),
+    );
+
+    // Row 4: acyclic, type-0, k=0 — LOGCFL-complete (Thm 3.32).
+    let mq_acyclic = parse_metaquery("P(X,Y) <- P(Y,Z), Q(Z,W)").unwrap();
+    let mut points = Vec::new();
+    for rows in [200usize, 800, 3200] {
+        let db = RandomDbSpec {
+            n_relations: 2,
+            arity: 2,
+            rows,
+            domain: rows as i64 / 4,
+            seed: BASE_SEED ^ 4,
+        }
+        .generate();
+        let (_, t) = time(|| decide_acyclic_zero(&db, &mq_acyclic, IndexKind::Sup).unwrap());
+        points.push((rows as f64, t));
+    }
+    row(
+        "Row 4 | combined | acyclic | T=0 | I | k=0",
+        "LOGCFL-complete (Thm 3.32) — polynomial via the derived acyclic BCQ",
+        format!(
+            "runtime at d=200/800/3200: {:.4}/{:.4}/{:.4} s; log-log slope {:.2} (polynomial, near-linear)",
+            points[0].1,
+            points[1].1,
+            points[2].1,
+            loglog_slope(&points)
+        ),
+    );
+
+    // Row 5: acyclic, types 1/2 — NP-complete (Thm 3.33).
+    let mut rng = StdRng::seed_from_u64(BASE_SEED ^ 5);
+    let mut agree5 = 0;
+    let mut total5 = 0;
+    for _ in 0..8 {
+        let g = Graph::random(rng.gen_range(3..6), 0.5, &mut rng);
+        let inst = reduce_hampath::reduce(&g);
+        total5 += 1;
+        if decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::One)
+            == g.has_hamiltonian_path()
+        {
+            agree5 += 1;
+        }
+    }
+    row(
+        "Row 5 | combined | acyclic | T=1,2 | I | k=0",
+        "NP-complete (Thm 3.33, HAMILTONIAN PATH via argument permutations)",
+        format!("{agree5}/{total5} random graphs: type-1 metaquery route == Held-Karp DP"),
+    );
+
+    // Row 6: semi-acyclic, type-0 — NP-complete (Thm 3.35).
+    let mut rng = StdRng::seed_from_u64(BASE_SEED ^ 6);
+    let mut agree6 = 0;
+    let mut total6 = 0;
+    for _ in 0..8 {
+        let g = Graph::random(rng.gen_range(3..6), 0.6, &mut rng);
+        if g.edges.is_empty() {
+            continue;
+        }
+        let inst = reduce_semiacyclic::reduce(&g);
+        assert_eq!(
+            mq_core::acyclic::classify(&inst.mq),
+            mq_core::acyclic::MqClass::SemiAcyclic
+        );
+        total6 += 1;
+        if decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)
+            == g.is_3_colorable()
+        {
+            agree6 += 1;
+        }
+    }
+    row(
+        "Row 6 | combined | semi-acyclic | T=0 | I | k=0",
+        "NP-complete (Thm 3.35; predicate variables matter for tractability)",
+        format!("{agree6}/{total6} random graphs via always-semi-acyclic construction"),
+    );
+
+    // Row 7: data complexity, k=0 — AC0 (Thm 3.37).
+    let mut schema = Database::new();
+    schema.add_relation("p", 2);
+    schema.add_relation("q", 2);
+    let mut depths = Vec::new();
+    let mut sizes = Vec::new();
+    for dom in [2usize, 3, 4, 5] {
+        let layout = SchemaLayout::of_database(&schema, dom);
+        let c = compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, InstType::Zero).unwrap();
+        depths.push(c.depth());
+        sizes.push((dom as f64, c.size() as f64));
+    }
+    row(
+        "Row 7 | data | general | T=0,1,2 | I | k=0",
+        "AC0 (Thm 3.37) — constant-depth, polynomial-size AND/OR/NOT circuits",
+        format!(
+            "depth at D=2..5: {:?} (constant); size slope vs D: {:.2} (polynomial)",
+            depths,
+            loglog_slope(&sizes)
+        ),
+    );
+
+    // Row 8: data complexity, k>0 — TC0 (Thm 3.38).
+    let mut depths8 = Vec::new();
+    let mut sizes8 = Vec::new();
+    for dom in [2usize, 3, 4] {
+        let layout = SchemaLayout::of_database(&schema, dom);
+        let c = compile_mq_threshold(
+            &layout,
+            &schema,
+            &mq,
+            IndexKind::Cnf,
+            Frac::new(1, 2),
+            InstType::Zero,
+        )
+        .unwrap()
+        .lower_thresholds();
+        depths8.push(c.depth());
+        sizes8.push((dom as f64, c.size() as f64));
+    }
+    row(
+        "Row 8 | data | general | T=0,1,2 | I | 0<=k<1",
+        "TC0 (Thm 3.38 / Lemma 3.39) — MAJORITY circuits via b|Qn| - a|Qd| > 0",
+        format!(
+            "depth at D=2..4 (after MAJORITY lowering): {:?} (constant); size slope {:.2}",
+            depths8,
+            loglog_slope(&sizes8)
+        ),
+    );
+
+    println!("(Rows marked Open in the paper — acyclic type-0 with cvr/sup thresholds, and acyclic cnf thresholds — remain open; no experiment claims them.)");
+}

@@ -1,0 +1,115 @@
+//! Shared workloads and measurement helpers for the benchmark harness.
+//!
+//! Every experiment in EXPERIMENTS.md builds its inputs through this
+//! module so the criterion benches and the table-printer binaries measure
+//! exactly the same workloads (same seeds, same sizes).
+
+use mq_core::prelude::*;
+use mq_datagen::{metaqueries, RandomDbSpec};
+use mq_relation::{Database, Frac};
+use std::time::Instant;
+
+/// The seed namespace for all experiments (recorded in EXPERIMENTS.md).
+pub const BASE_SEED: u64 = 0x4d51_2000; // "MQ 2000"
+
+/// A benchmark workload: a database plus a metaquery.
+pub struct Workload {
+    /// The database.
+    pub db: Database,
+    /// The metaquery.
+    pub mq: Metaquery,
+}
+
+/// Build the standard chain workload (body hypertree width 1).
+pub fn chain_workload(n_relations: usize, rows: usize, domain: i64, m: usize) -> Workload {
+    let db = RandomDbSpec {
+        n_relations,
+        arity: 2,
+        rows,
+        domain,
+        seed: BASE_SEED ^ (rows as u64),
+    }
+    .generate();
+    Workload {
+        db,
+        mq: metaqueries::chain(m),
+    }
+}
+
+/// Build the cycle workload (body hypertree width 2).
+pub fn cycle_workload(n_relations: usize, rows: usize, domain: i64, m: usize) -> Workload {
+    let db = RandomDbSpec {
+        n_relations,
+        arity: 2,
+        rows,
+        domain,
+        seed: BASE_SEED ^ 0xc1c1 ^ (rows as u64),
+    }
+    .generate();
+    Workload {
+        db,
+        mq: metaqueries::cycle(m),
+    }
+}
+
+/// Build the clique workload (body hypertree width `n/2`).
+pub fn clique_workload(n_relations: usize, rows: usize, domain: i64, n: usize) -> Workload {
+    let db = RandomDbSpec {
+        n_relations,
+        arity: 2,
+        rows,
+        domain,
+        seed: BASE_SEED ^ 0xc11e ^ (rows as u64),
+    }
+    .generate();
+    Workload {
+        db,
+        mq: metaqueries::clique(n),
+    }
+}
+
+/// Standard mid thresholds used by the engine-comparison experiments.
+pub fn mid_thresholds() -> Thresholds {
+    Thresholds::all(Frac::new(1, 10), Frac::new(1, 10), Frac::new(1, 10))
+}
+
+/// Wall-clock one closure, returning (result, seconds).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// polynomial degree of a scaling series.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1e-12).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_quadratic_is_two() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, (x * x) as f64)).collect();
+        let s = loglog_slope(&pts);
+        assert!((s - 2.0).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let a = chain_workload(3, 20, 8, 2);
+        let b = chain_workload(3, 20, 8, 2);
+        assert_eq!(a.db.total_tuples(), b.db.total_tuples());
+    }
+}

@@ -1,0 +1,254 @@
+//! `#AC0` arithmetic circuits and `GapAC0` differences
+//! (Definitions 3.5-3.7).
+//!
+//! A `#AC0` circuit is a constant-depth, polynomial-size circuit of
+//! unbounded fan-in `+` and `×` gates over **N**, whose leaves are
+//! constants or input literals `x_i` / `1 − x_i`. `GapAC0` functions are
+//! differences of two `#AC0` functions; `PAC0` accepts when the gap is
+//! positive — and `PAC0 = TC0` (Proposition 3.8), which Lemma 3.39
+//! exploits to compare index ratios against thresholds.
+
+/// Node of an arithmetic circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ANode {
+    /// Input literal: the bit `x_index`, or `1 − x_index` when `negated`.
+    InputLit {
+        /// The input bit.
+        index: usize,
+        /// Whether the leaf is `1 − x` rather than `x`.
+        negated: bool,
+    },
+    /// A constant natural number (Definition 3.5 allows the constants 0
+    /// and 1 as leaves; larger constants are built from them with `+`,
+    /// which we shortcut — see `number(N)` of reference \[4\] in Lemma 3.39).
+    Const(u128),
+    /// Unbounded fan-in sum (empty = 0).
+    Add(Vec<AId>),
+    /// Unbounded fan-in product (empty = 1).
+    Mul(Vec<AId>),
+}
+
+/// Index of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AId(pub u32);
+
+/// A `#AC0` arithmetic circuit.
+#[derive(Clone, Debug)]
+pub struct ArithCircuit {
+    nodes: Vec<ANode>,
+    output: AId,
+    n_inputs: usize,
+}
+
+/// Builder for [`ArithCircuit`].
+#[derive(Clone, Debug)]
+pub struct ArithBuilder {
+    nodes: Vec<ANode>,
+    n_inputs: usize,
+}
+
+impl ArithBuilder {
+    /// Start a builder over `n_inputs` bits.
+    pub fn new(n_inputs: usize) -> Self {
+        ArithBuilder {
+            nodes: Vec::new(),
+            n_inputs,
+        }
+    }
+
+    fn push(&mut self, n: ANode) -> AId {
+        let id = AId(self.nodes.len() as u32);
+        self.nodes.push(n);
+        id
+    }
+
+    /// The literal `x_index`.
+    pub fn lit(&mut self, index: usize) -> AId {
+        assert!(index < self.n_inputs);
+        self.push(ANode::InputLit {
+            index,
+            negated: false,
+        })
+    }
+
+    /// The literal `1 − x_index`.
+    pub fn neg_lit(&mut self, index: usize) -> AId {
+        assert!(index < self.n_inputs);
+        self.push(ANode::InputLit {
+            index,
+            negated: true,
+        })
+    }
+
+    /// A constant.
+    pub fn constant(&mut self, v: u128) -> AId {
+        self.push(ANode::Const(v))
+    }
+
+    /// Sum gate.
+    pub fn add(&mut self, xs: Vec<AId>) -> AId {
+        self.push(ANode::Add(xs))
+    }
+
+    /// Product gate.
+    pub fn mul(&mut self, xs: Vec<AId>) -> AId {
+        self.push(ANode::Mul(xs))
+    }
+
+    /// Finish with the given output node.
+    pub fn finish(self, output: AId) -> ArithCircuit {
+        assert!((output.0 as usize) < self.nodes.len());
+        ArithCircuit {
+            nodes: self.nodes,
+            output,
+            n_inputs: self.n_inputs,
+        }
+    }
+}
+
+impl ArithCircuit {
+    /// Number of input bits.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Node count.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth (leaves at 0).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let children: &[AId] = match n {
+                ANode::InputLit { .. } | ANode::Const(_) => &[],
+                ANode::Add(xs) | ANode::Mul(xs) => xs,
+            };
+            depth[i] = children
+                .iter()
+                .map(|c| depth[c.0 as usize] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        depth[self.output.0 as usize]
+    }
+
+    /// Evaluate over **N** (panics on overflow past `u128`).
+    pub fn eval(&self, inputs: &[bool]) -> u128 {
+        assert_eq!(inputs.len(), self.n_inputs);
+        let mut val = vec![0u128; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            val[i] = match n {
+                ANode::InputLit { index, negated } => {
+                    let b = inputs[*index];
+                    u128::from(b != *negated)
+                }
+                ANode::Const(v) => *v,
+                ANode::Add(xs) => xs
+                    .iter()
+                    .map(|x| val[x.0 as usize])
+                    .fold(0u128, |a, b| a.checked_add(b).expect("overflow")),
+                ANode::Mul(xs) => xs
+                    .iter()
+                    .map(|x| val[x.0 as usize])
+                    .fold(1u128, |a, b| a.checked_mul(b).expect("overflow")),
+            };
+        }
+        val[self.output.0 as usize]
+    }
+}
+
+/// A `GapAC0` function: the difference `plus − minus` of two `#AC0`
+/// circuits over the same inputs (Definition 3.6).
+#[derive(Clone, Debug)]
+pub struct GapCircuit {
+    /// The positive part.
+    pub plus: ArithCircuit,
+    /// The negative part.
+    pub minus: ArithCircuit,
+}
+
+impl GapCircuit {
+    /// The gap value `plus(x) − minus(x)`.
+    pub fn eval(&self, inputs: &[bool]) -> i128 {
+        let p = self.plus.eval(inputs);
+        let m = self.minus.eval(inputs);
+        i128::try_from(p).expect("fits") - i128::try_from(m).expect("fits")
+    }
+
+    /// `PAC0` acceptance: is the gap strictly positive? (Definition 3.7;
+    /// by Proposition 3.8 this is exactly TC0 power.)
+    pub fn accepts(&self, inputs: &[bool]) -> bool {
+        self.eval(inputs) > 0
+    }
+
+    /// Combined size.
+    pub fn size(&self) -> usize {
+        self.plus.size() + self.minus.size()
+    }
+
+    /// Max depth of the two parts.
+    pub fn depth(&self) -> usize {
+        self.plus.depth().max(self.minus.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_of_products_counts() {
+        // f(x) = x0·x1 + x2 over 3 bits
+        let mut b = ArithBuilder::new(3);
+        let x0 = b.lit(0);
+        let x1 = b.lit(1);
+        let x2 = b.lit(2);
+        let m = b.mul(vec![x0, x1]);
+        let s = b.add(vec![m, x2]);
+        let c = b.finish(s);
+        assert_eq!(c.eval(&[true, true, true]), 2);
+        assert_eq!(c.eval(&[true, false, true]), 1);
+        assert_eq!(c.eval(&[false, false, false]), 0);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn negated_literals() {
+        let mut b = ArithBuilder::new(1);
+        let nx = b.neg_lit(0);
+        let c = b.finish(nx);
+        assert_eq!(c.eval(&[false]), 1);
+        assert_eq!(c.eval(&[true]), 0);
+    }
+
+    #[test]
+    fn empty_gates() {
+        let mut b = ArithBuilder::new(0);
+        let zero = b.add(vec![]);
+        let c = b.finish(zero);
+        assert_eq!(c.eval(&[]), 0);
+        let mut b = ArithBuilder::new(0);
+        let one = b.mul(vec![]);
+        let c = b.finish(one);
+        assert_eq!(c.eval(&[]), 1);
+    }
+
+    #[test]
+    fn gap_sign_test() {
+        // gap = 2·x0 − 1: positive iff x0
+        let mut bp = ArithBuilder::new(1);
+        let x = bp.lit(0);
+        let two = bp.constant(2);
+        let m = bp.mul(vec![two, x]);
+        let plus = bp.finish(m);
+        let mut bm = ArithBuilder::new(1);
+        let one = bm.constant(1);
+        let minus = bm.finish(one);
+        let g = GapCircuit { plus, minus };
+        assert!(g.accepts(&[true]));
+        assert!(!g.accepts(&[false]));
+        assert_eq!(g.eval(&[false]), -1);
+    }
+}

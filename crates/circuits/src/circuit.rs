@@ -1,0 +1,364 @@
+//! Boolean circuits with unbounded fan-in AND/OR/NOT and
+//! MAJORITY/THRESHOLD gates (Definitions 3.3-3.4).
+//!
+//! `AC0` circuits use `And`/`Or`/`Not`; `TC0` circuits additionally use
+//! `Majority` (or the equivalent `Threshold`, which lowers to MAJORITY
+//! with constant padding — see [`Circuit::lower_thresholds`]). Circuits
+//! are DAGs in an arena; sharing is free and size/depth are measured on
+//! the arena.
+
+/// Index of a gate within a circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GateId(pub u32);
+
+/// One gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// An input bit.
+    Input(usize),
+    /// A constant.
+    Const(bool),
+    /// Unbounded fan-in AND (empty = true).
+    And(Vec<GateId>),
+    /// Unbounded fan-in OR (empty = false).
+    Or(Vec<GateId>),
+    /// Negation.
+    Not(GateId),
+    /// 1 iff more than half of the inputs are 1 (Definition 3.3).
+    Majority(Vec<GateId>),
+    /// 1 iff at least `t` inputs are 1. Syntactic sugar over MAJORITY;
+    /// eliminated by [`Circuit::lower_thresholds`].
+    Threshold {
+        /// The wires counted (repetitions allowed — a wire may be counted
+        /// several times, which is how integer weights are realized).
+        inputs: Vec<GateId>,
+        /// The threshold `t`.
+        t: usize,
+    },
+}
+
+/// A boolean circuit: an arena of gates plus a designated output.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    output: GateId,
+    n_inputs: usize,
+}
+
+/// Incremental circuit builder.
+#[derive(Clone, Debug, Default)]
+pub struct CircuitBuilder {
+    gates: Vec<Gate>,
+    n_inputs: usize,
+}
+
+impl CircuitBuilder {
+    /// Start an empty builder declaring `n_inputs` input bits.
+    pub fn new(n_inputs: usize) -> Self {
+        CircuitBuilder {
+            gates: Vec::new(),
+            n_inputs,
+        }
+    }
+
+    fn push(&mut self, g: Gate) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(g);
+        id
+    }
+
+    /// An input wire.
+    pub fn input(&mut self, index: usize) -> GateId {
+        assert!(index < self.n_inputs, "input index out of range");
+        self.push(Gate::Input(index))
+    }
+
+    /// A constant wire.
+    pub fn constant(&mut self, value: bool) -> GateId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Unbounded fan-in AND.
+    pub fn and(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.push(Gate::And(inputs))
+    }
+
+    /// Unbounded fan-in OR.
+    pub fn or(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.push(Gate::Or(inputs))
+    }
+
+    /// NOT.
+    pub fn not(&mut self, x: GateId) -> GateId {
+        self.push(Gate::Not(x))
+    }
+
+    /// MAJORITY (strictly more than half).
+    pub fn majority(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.push(Gate::Majority(inputs))
+    }
+
+    /// Threshold-`t` over possibly repeated wires.
+    pub fn threshold(&mut self, inputs: Vec<GateId>, t: usize) -> GateId {
+        self.push(Gate::Threshold { inputs, t })
+    }
+
+    /// Finish, designating the output gate.
+    pub fn finish(self, output: GateId) -> Circuit {
+        assert!((output.0 as usize) < self.gates.len(), "bad output gate");
+        Circuit {
+            gates: self.gates,
+            output,
+            n_inputs: self.n_inputs,
+        }
+    }
+}
+
+impl Circuit {
+    /// Number of declared input bits.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Total number of gates (circuit size).
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Gate count by coarse kind: `(and/or/not, majority/threshold)`.
+    pub fn gate_counts(&self) -> (usize, usize) {
+        let mut basic = 0;
+        let mut counting = 0;
+        for g in &self.gates {
+            match g {
+                Gate::And(_) | Gate::Or(_) | Gate::Not(_) => basic += 1,
+                Gate::Majority(_) | Gate::Threshold { .. } => counting += 1,
+                Gate::Input(_) | Gate::Const(_) => {}
+            }
+        }
+        (basic, counting)
+    }
+
+    /// Circuit depth: inputs/constants at depth 0, each gate one more
+    /// than its deepest child. Constant depth across input sizes is the
+    /// defining property of AC0/TC0 families.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let children: &[GateId] = match g {
+                Gate::Input(_) | Gate::Const(_) => &[],
+                Gate::Not(x) => std::slice::from_ref(x),
+                Gate::And(xs) | Gate::Or(xs) | Gate::Majority(xs) => xs,
+                Gate::Threshold { inputs, .. } => inputs,
+            };
+            let d = children
+                .iter()
+                .map(|c| {
+                    assert!((c.0 as usize) < i, "gates must be topologically ordered");
+                    depth[c.0 as usize] + 1
+                })
+                .max()
+                .unwrap_or(0);
+            depth[i] = d;
+        }
+        depth[self.output.0 as usize]
+    }
+
+    /// Evaluate on an input assignment.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != n_inputs`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.n_inputs, "wrong input length");
+        let mut val = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            val[i] = match g {
+                Gate::Input(k) => inputs[*k],
+                Gate::Const(b) => *b,
+                Gate::Not(x) => !val[x.0 as usize],
+                Gate::And(xs) => xs.iter().all(|x| val[x.0 as usize]),
+                Gate::Or(xs) => xs.iter().any(|x| val[x.0 as usize]),
+                Gate::Majority(xs) => {
+                    let ones = xs.iter().filter(|x| val[x.0 as usize]).count();
+                    2 * ones > xs.len()
+                }
+                Gate::Threshold { inputs: xs, t } => {
+                    let ones = xs.iter().filter(|x| val[x.0 as usize]).count();
+                    ones >= *t
+                }
+            };
+        }
+        val[self.output.0 as usize]
+    }
+
+    /// Rewrite every `Threshold` gate into a `Majority` gate with constant
+    /// padding (the classic equivalence), yielding a circuit over the
+    /// literal gate basis of Definition 3.4.
+    pub fn lower_thresholds(&self) -> Circuit {
+        let mut b = CircuitBuilder::new(self.n_inputs);
+        let mut map: Vec<GateId> = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let id = match g {
+                Gate::Input(k) => b.input(*k),
+                Gate::Const(v) => b.constant(*v),
+                Gate::Not(x) => {
+                    let x = map[x.0 as usize];
+                    b.not(x)
+                }
+                Gate::And(xs) => {
+                    let xs = xs.iter().map(|x| map[x.0 as usize]).collect();
+                    b.and(xs)
+                }
+                Gate::Or(xs) => {
+                    let xs = xs.iter().map(|x| map[x.0 as usize]).collect();
+                    b.or(xs)
+                }
+                Gate::Majority(xs) => {
+                    let xs = xs.iter().map(|x| map[x.0 as usize]).collect();
+                    b.majority(xs)
+                }
+                Gate::Threshold { inputs, t } => {
+                    let m = inputs.len();
+                    if *t == 0 {
+                        b.constant(true)
+                    } else if *t > m {
+                        b.constant(false)
+                    } else {
+                        // MAJ(inputs, p ones, z zeros) ⟺ #ones + p > (m+p+z)/2.
+                        // Want ⟺ #ones ≥ t, i.e. #ones > t-1: need
+                        // (m+p+z)/2 - p = t-1 with the division exact:
+                        // z = 2t - 2 + p - m, choosing p = max(0, m-2t+2).
+                        let t = *t;
+                        let p = m.saturating_sub(2 * t - 2);
+                        let z = 2 * t - 2 + p - m;
+                        let one = b.constant(true);
+                        let zero = b.constant(false);
+                        let mut xs: Vec<GateId> =
+                            inputs.iter().map(|x| map[x.0 as usize]).collect();
+                        xs.extend(std::iter::repeat_n(one, p));
+                        xs.extend(std::iter::repeat_n(zero, z));
+                        b.majority(xs)
+                    }
+                }
+            };
+            map.push(id);
+        }
+        let output = map[self.output.0 as usize];
+        b.finish(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(n: usize, x: u32) -> Vec<bool> {
+        (0..n).map(|i| x >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn and_or_not_eval() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let ny = b.not(y);
+        let g = b.and(vec![x, ny]);
+        let c = b.finish(g);
+        assert!(c.eval(&[true, false]));
+        assert!(!c.eval(&[true, true]));
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn empty_and_or() {
+        let mut b = CircuitBuilder::new(0);
+        let t = b.and(vec![]);
+        let c = b.finish(t);
+        assert!(c.eval(&[]));
+        let mut b = CircuitBuilder::new(0);
+        let f = b.or(vec![]);
+        let c = b.finish(f);
+        assert!(!c.eval(&[]));
+    }
+
+    #[test]
+    fn majority_strictly_more_than_half() {
+        let mut b = CircuitBuilder::new(4);
+        let ins: Vec<GateId> = (0..4).map(|i| b.input(i)).collect();
+        let m = b.majority(ins);
+        let c = b.finish(m);
+        assert!(!c.eval(&bits(4, 0b0011))); // 2 of 4 is not a majority
+        assert!(c.eval(&bits(4, 0b0111)));
+    }
+
+    #[test]
+    fn threshold_matches_counting() {
+        for t in 0..=5 {
+            let mut b = CircuitBuilder::new(4);
+            let ins: Vec<GateId> = (0..4).map(|i| b.input(i)).collect();
+            let g = b.threshold(ins, t);
+            let c = b.finish(g);
+            for x in 0..16u32 {
+                let expected = (x.count_ones() as usize) >= t;
+                assert_eq!(c.eval(&bits(4, x)), expected, "t={t} x={x:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_with_repeated_wires_acts_as_weights() {
+        // weight 2 on input 0, weight 1 on input 1; threshold 2
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let g = b.threshold(vec![x, x, y], 2);
+        let c = b.finish(g);
+        assert!(c.eval(&[true, false])); // 2·1 ≥ 2
+        assert!(!c.eval(&[false, true])); // 1 < 2
+    }
+
+    #[test]
+    fn lowering_preserves_semantics() {
+        for t in 0..=6 {
+            let mut b = CircuitBuilder::new(5);
+            let ins: Vec<GateId> = (0..5).map(|i| b.input(i)).collect();
+            let g = b.threshold(ins, t);
+            let c = b.finish(g);
+            let lowered = c.lower_thresholds();
+            assert!(!format!("{:?}", lowered).contains("Threshold"));
+            for x in 0..32u32 {
+                assert_eq!(
+                    c.eval(&bits(5, x)),
+                    lowered.eval(&bits(5, x)),
+                    "t={t} x={x:05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts_split_basic_and_counting() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let a = b.and(vec![x, y]);
+        let n = b.not(a);
+        let m = b.majority(vec![x, y, n]);
+        let t = b.threshold(vec![m, x], 1);
+        let c = b.finish(t);
+        assert_eq!(c.gate_counts(), (2, 2));
+        assert_eq!(c.n_inputs(), 2);
+    }
+
+    #[test]
+    fn depth_is_path_length() {
+        let mut b = CircuitBuilder::new(1);
+        let x = b.input(0);
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        let c = b.finish(n3);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.size(), 4);
+    }
+}

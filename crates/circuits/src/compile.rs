@@ -1,0 +1,583 @@
+//! Circuit compilers for the data-complexity upper bounds.
+//!
+//! * [`compile_mq_zero`] — Theorem 3.37: for a fixed metaquery and
+//!   threshold 0, an `AC0` circuit (OR over the constantly-many
+//!   instantiations of per-instantiation BCQ circuits, each an OR over
+//!   candidate assignments of an AND over tuple bits).
+//! * [`compile_rule_threshold`] / [`compile_mq_threshold`] — Theorem 3.38
+//!   and Lemma 3.39: `TC0` circuits comparing `|Qn|/|Qd| > a/b` with one
+//!   threshold gate computing the sign of `b·|Qn| − a·|Qd|` (wire
+//!   repetition realizes the integer weights; thresholds lower to
+//!   MAJORITY gates).
+//! * [`compile_count_body`] / [`compile_cnf_gap`] — the `#AC0`/`GapAC0`
+//!   route of Lemma 3.39 for the projection-free case (counting `|J(b)|`
+//!   is a pure sum of monomials because every body variable is counted).
+//!
+//! All families are *constant-depth*: the depth of the emitted circuit
+//! does not depend on the domain size, only the gate fan-ins and counts
+//! grow polynomially — tests and the `fig5_row7/row8` benches measure
+//! exactly that.
+
+use crate::arith::{ArithBuilder, ArithCircuit, GapCircuit};
+use crate::circuit::{Circuit, CircuitBuilder, GateId};
+use crate::layout::SchemaLayout;
+use mq_core::ast::Metaquery;
+use mq_core::index::IndexKind;
+use mq_core::instantiate::{apply_instantiation, enumerate_instantiations, InstError, InstType};
+use mq_core::rule::Rule;
+use mq_cq::Atom;
+use mq_relation::{Frac, Term, Value, VarId};
+use std::collections::HashMap;
+
+/// Distinct variables across atoms, in first occurrence order.
+fn atoms_vars(atoms: &[&Atom]) -> Vec<VarId> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for a in atoms {
+        for t in &a.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate assignments of `vars` over `0..d`, invoking `f` with an
+/// environment lookup table.
+fn for_each_assignment(
+    d: usize,
+    vars: &[VarId],
+    base: &HashMap<VarId, usize>,
+    f: &mut impl FnMut(&HashMap<VarId, usize>),
+) {
+    fn rec(
+        d: usize,
+        vars: &[VarId],
+        i: usize,
+        env: &mut HashMap<VarId, usize>,
+        f: &mut impl FnMut(&HashMap<VarId, usize>),
+    ) {
+        if i == vars.len() {
+            f(env);
+            return;
+        }
+        for v in 0..d {
+            env.insert(vars[i], v);
+            rec(d, vars, i + 1, env, f);
+        }
+        env.remove(&vars[i]);
+    }
+    let mut env = base.clone();
+    rec(d, vars, 0, &mut env, f);
+}
+
+/// The input bit of a ground atom under an environment.
+fn atom_bit(layout: &SchemaLayout, atom: &Atom, env: &HashMap<VarId, usize>) -> usize {
+    let tuple: Vec<usize> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => *env.get(v).expect("assignment covers atom variables"),
+            Term::Const(Value::Int(x)) if *x >= 0 && (*x as usize) < layout.domain => *x as usize,
+            Term::Const(c) => panic!("constant {c:?} outside circuit domain"),
+        })
+        .collect();
+    layout.bit(atom.rel.0 as usize, &tuple)
+}
+
+/// AND over the atoms' tuple bits under `env`.
+fn conj_gate(
+    b: &mut CircuitBuilder,
+    layout: &SchemaLayout,
+    atoms: &[&Atom],
+    env: &HashMap<VarId, usize>,
+    input_cache: &mut HashMap<usize, GateId>,
+) -> GateId {
+    let mut wires = Vec::with_capacity(atoms.len());
+    for a in atoms {
+        let bit = atom_bit(layout, a, env);
+        let wire = *input_cache.entry(bit).or_insert_with(|| b.input(bit));
+        wires.push(wire);
+    }
+    b.and(wires)
+}
+
+/// Satisfiability circuit for a set of atoms: OR over all assignments of
+/// their variables of the conjunction of tuple bits (the per-query
+/// constant-depth circuit from [6] used in the proof of Theorem 3.37).
+fn satisfy_gate(
+    b: &mut CircuitBuilder,
+    layout: &SchemaLayout,
+    atoms: &[&Atom],
+    input_cache: &mut HashMap<usize, GateId>,
+) -> GateId {
+    let vars = atoms_vars(atoms);
+    let mut disjuncts = Vec::new();
+    let base = HashMap::new();
+    let mut push = |env: &HashMap<VarId, usize>, b: &mut CircuitBuilder,
+                    cache: &mut HashMap<usize, GateId>| {
+        disjuncts.push(conj_gate(b, layout, atoms, env, cache));
+    };
+    for_each_assignment(layout.domain, &vars, &base, &mut |env| {
+        push(env, b, input_cache)
+    });
+    b.or(disjuncts)
+}
+
+/// Theorem 3.37: the `AC0` circuit deciding `⟨DB, MQ, I, 0, T⟩` for a
+/// fixed metaquery over databases of the layout's schema and domain.
+///
+/// `schema_db` provides the schema for instantiation enumeration (its
+/// contents are ignored); the layout must describe the same relations in
+/// the same order.
+pub fn compile_mq_zero(
+    layout: &SchemaLayout,
+    schema_db: &mq_relation::Database,
+    mq: &Metaquery,
+    kind: IndexKind,
+    ty: InstType,
+) -> Result<Circuit, InstError> {
+    let insts = enumerate_instantiations(schema_db, mq, ty)?;
+    let mut b = CircuitBuilder::new(layout.n_inputs());
+    let mut cache = HashMap::new();
+    let mut per_inst = Vec::with_capacity(insts.len());
+    for inst in &insts {
+        let rule = apply_instantiation(schema_db, mq, inst)?;
+        // Certifying set (Proposition 3.20): body for sup, head+body else.
+        let atoms: Vec<&Atom> = match kind {
+            IndexKind::Sup => rule.body.iter().collect(),
+            IndexKind::Cnf | IndexKind::Cvr => rule.atoms().collect(),
+        };
+        per_inst.push(satisfy_gate(&mut b, layout, &atoms, &mut cache));
+    }
+    let out = b.or(per_inst);
+    Ok(b.finish(out))
+}
+
+/// Lemma 3.39 applied to one rule: a `TC0` circuit deciding
+/// `I(rule) > k` over databases of the layout's schema.
+pub fn compile_rule_threshold(
+    layout: &SchemaLayout,
+    rule: &Rule,
+    kind: IndexKind,
+    k: Frac,
+) -> Circuit {
+    let mut b = CircuitBuilder::new(layout.n_inputs());
+    let mut cache = HashMap::new();
+    let gate = rule_threshold_gate(&mut b, layout, rule, kind, k, &mut cache);
+    b.finish(gate)
+}
+
+fn rule_threshold_gate(
+    b: &mut CircuitBuilder,
+    layout: &SchemaLayout,
+    rule: &Rule,
+    kind: IndexKind,
+    k: Frac,
+    cache: &mut HashMap<usize, GateId>,
+) -> GateId {
+    match kind {
+        IndexKind::Cnf => {
+            let body: Vec<&Atom> = rule.body.iter().collect();
+            let counted = atoms_vars(&body);
+            let head_only: Vec<VarId> = atoms_vars(&[&rule.head])
+                .into_iter()
+                .filter(|v| !counted.contains(v))
+                .collect();
+            ratio_gate(
+                b,
+                layout,
+                &counted,
+                &body,
+                Some((&[&rule.head], &head_only)),
+                k,
+                cache,
+            )
+        }
+        IndexKind::Cvr => {
+            let head = [&rule.head];
+            let counted = atoms_vars(&head);
+            let body: Vec<&Atom> = rule.body.iter().collect();
+            let body_only: Vec<VarId> = atoms_vars(&body)
+                .into_iter()
+                .filter(|v| !counted.contains(v))
+                .collect();
+            ratio_gate(
+                b,
+                layout,
+                &counted,
+                &head,
+                Some((&body, &body_only)),
+                k,
+                cache,
+            )
+        }
+        IndexKind::Sup => {
+            let body: Vec<&Atom> = rule.body.iter().collect();
+            let body_vars = atoms_vars(&body);
+            let mut per_atom = Vec::with_capacity(rule.body.len());
+            for aj in &rule.body {
+                let counted = atoms_vars(&[aj]);
+                let rest: Vec<VarId> = body_vars
+                    .iter()
+                    .copied()
+                    .filter(|v| !counted.contains(v))
+                    .collect();
+                let denominator = [aj];
+                per_atom.push(ratio_gate(
+                    b,
+                    layout,
+                    &counted,
+                    &denominator,
+                    Some((&body, &rest)),
+                    k,
+                    cache,
+                ));
+            }
+            b.or(per_atom)
+        }
+    }
+}
+
+/// The core comparator of Lemma 3.39. Over assignments `ρ` of `counted`:
+///
+/// * denominator indicator: all `den_atoms` hold under `ρ`;
+/// * numerator indicator: denominator holds AND, if `extension` is given
+///   as `(atoms, extra_vars)`, some assignment of `extra_vars` makes all
+///   extension atoms hold (the projection step);
+///
+/// then one threshold gate tests `b·|num| − a·|den| > 0` for `k = a/b`.
+#[allow(clippy::too_many_arguments)]
+fn ratio_gate(
+    b: &mut CircuitBuilder,
+    layout: &SchemaLayout,
+    counted: &[VarId],
+    den_atoms: &[&Atom],
+    extension: Option<(&[&Atom], &[VarId])>,
+    k: Frac,
+    cache: &mut HashMap<usize, GateId>,
+) -> GateId {
+    let d = layout.domain;
+    let mut num_gates = Vec::new();
+    let mut den_gates = Vec::new();
+    let base = HashMap::new();
+    let mut handle = |env: &HashMap<VarId, usize>,
+                      b: &mut CircuitBuilder,
+                      cache: &mut HashMap<usize, GateId>| {
+        let den = conj_gate(b, layout, den_atoms, env, cache);
+        den_gates.push(den);
+        let num = match extension {
+            None => den,
+            Some((ext_atoms, extra)) => {
+                let mut options = Vec::new();
+                for_each_assignment(d, extra, env, &mut |full_env| {
+                    options.push(conj_gate(b, layout, ext_atoms, full_env, cache));
+                });
+                let ext = b.or(options);
+                b.and(vec![den, ext])
+            }
+        };
+        num_gates.push(num);
+    };
+    for_each_assignment(d, counted, &base, &mut |env| handle(env, b, cache));
+
+    // b·num + a·(M − den) > a·M  ⟺  b·num − a·den > 0  ⟺ num/den > a/b.
+    let (a, bb) = (k.num() as usize, k.den() as usize);
+    let m = num_gates.len();
+    let mut wires = Vec::with_capacity(bb * m + a * m);
+    for &g in &num_gates {
+        for _ in 0..bb {
+            wires.push(g);
+        }
+    }
+    for &g in &den_gates {
+        if a > 0 {
+            let ng = b.not(g);
+            for _ in 0..a {
+                wires.push(ng);
+            }
+        }
+    }
+    b.threshold(wires, a * m + 1)
+}
+
+/// Theorem 3.38: the `TC0` circuit deciding `⟨DB, MQ, I, k, T⟩` for a
+/// fixed metaquery and threshold over databases of the layout's schema.
+pub fn compile_mq_threshold(
+    layout: &SchemaLayout,
+    schema_db: &mq_relation::Database,
+    mq: &Metaquery,
+    kind: IndexKind,
+    k: Frac,
+    ty: InstType,
+) -> Result<Circuit, InstError> {
+    let insts = enumerate_instantiations(schema_db, mq, ty)?;
+    let mut b = CircuitBuilder::new(layout.n_inputs());
+    let mut cache = HashMap::new();
+    let mut per_inst = Vec::with_capacity(insts.len());
+    for inst in &insts {
+        let rule = apply_instantiation(schema_db, mq, inst)?;
+        per_inst.push(rule_threshold_gate(
+            &mut b, layout, &rule, kind, k, &mut cache,
+        ));
+    }
+    let out = b.or(per_inst);
+    Ok(b.finish(out))
+}
+
+/// `#AC0` circuit computing `|J(body)|` (the count of assignments of all
+/// body variables satisfying every atom) — the projection-free counting
+/// circuit of Lemma 3.39's `count(Q)` construction.
+pub fn compile_count_body(layout: &SchemaLayout, rule: &Rule) -> ArithCircuit {
+    let body: Vec<&Atom> = rule.body.iter().collect();
+    let vars = atoms_vars(&body);
+    let mut b = ArithBuilder::new(layout.n_inputs());
+    let mut monomials = Vec::new();
+    let base = HashMap::new();
+    for_each_assignment(layout.domain, &vars, &base, &mut |env| {
+        let lits: Vec<_> = body
+            .iter()
+            .map(|a| {
+                let bit = atom_bit(layout, a, env);
+                b.lit(bit)
+            })
+            .collect();
+        monomials.push(b.mul(lits));
+    });
+    let sum = b.add(monomials);
+    b.finish(sum)
+}
+
+/// `GapAC0` circuit deciding `cnf(rule) > k` for rules whose head
+/// variables all occur in the body (no projection needed):
+/// `gap = b·Σ(body∧head monomials) − a·Σ(body monomials)`, accepted when
+/// positive — the `PAC0 = TC0` route of Lemma 3.39. Returns `None` when
+/// the head has variables outside the body (projection would require the
+/// characteristic-function simulation of \[2\], out of scope; the
+/// threshold-gate compiler handles those cases).
+pub fn compile_cnf_gap(layout: &SchemaLayout, rule: &Rule, k: Frac) -> Option<GapCircuit> {
+    let body: Vec<&Atom> = rule.body.iter().collect();
+    let body_vars = atoms_vars(&body);
+    let head_vars = atoms_vars(&[&rule.head]);
+    if head_vars.iter().any(|v| !body_vars.contains(v)) {
+        return None;
+    }
+
+    let mut bp = ArithBuilder::new(layout.n_inputs());
+    let mut bm = ArithBuilder::new(layout.n_inputs());
+    let mut num_monomials = Vec::new();
+    let mut den_monomials = Vec::new();
+    let base = HashMap::new();
+    for_each_assignment(layout.domain, &body_vars, &base, &mut |env| {
+        let mut num_lits = Vec::with_capacity(body.len() + 1);
+        let mut den_lits = Vec::with_capacity(body.len());
+        for a in &body {
+            let bit = atom_bit(layout, a, env);
+            num_lits.push(bp.lit(bit));
+            den_lits.push(bm.lit(bit));
+        }
+        num_lits.push(bp.lit(atom_bit(layout, &rule.head, env)));
+        num_monomials.push(bp.mul(num_lits));
+        den_monomials.push(bm.mul(den_lits));
+    });
+    let num_sum = bp.add(num_monomials);
+    let bconst = bp.constant(k.den() as u128);
+    let plus_out = bp.mul(vec![bconst, num_sum]);
+    let den_sum = bm.add(den_monomials);
+    let aconst = bm.constant(k.num() as u128);
+    let minus_out = bm.mul(vec![aconst, den_sum]);
+    Some(GapCircuit {
+        plus: bp.finish(plus_out),
+        minus: bm.finish(minus_out),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_core::engine::{naive, MqProblem};
+    use mq_core::parse::parse_metaquery;
+    use mq_relation::{ints, Database};
+    use rand::prelude::*;
+
+    fn schema_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("p", 2);
+        db.add_relation("q", 2);
+        db
+    }
+
+    fn random_db(rng: &mut StdRng, dom: i64, rows: usize) -> Database {
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        let q = db.add_relation("q", 2);
+        for _ in 0..rows {
+            db.insert(p, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+            db.insert(q, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+        }
+        db
+    }
+
+    #[test]
+    fn ac0_circuit_matches_engine_zero_threshold() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let schema = schema_db();
+        let dom = 3usize;
+        let layout = SchemaLayout::of_database(&schema, dom);
+        for kind in IndexKind::ALL {
+            let circuit =
+                compile_mq_zero(&layout, &schema, &mq, kind, InstType::Zero).unwrap();
+            for _ in 0..6 {
+                let db = random_db(&mut rng, dom as i64, 4);
+                let bits = layout.encode(&db);
+                let expected = naive::decide(
+                    &db,
+                    &mq,
+                    MqProblem {
+                        index: kind,
+                        threshold: Frac::ZERO,
+                        ty: InstType::Zero,
+                    },
+                )
+                .unwrap();
+                assert_eq!(circuit.eval(&bits), expected, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn ac0_depth_constant_across_domains() {
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let schema = schema_db();
+        let mut depths = Vec::new();
+        let mut sizes = Vec::new();
+        for dom in [2usize, 3, 4] {
+            let layout = SchemaLayout::of_database(&schema, dom);
+            let c = compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, InstType::Zero)
+                .unwrap();
+            depths.push(c.depth());
+            sizes.push(c.size());
+        }
+        assert!(
+            depths.windows(2).all(|w| w[0] == w[1]),
+            "AC0 depth must not grow with the domain: {depths:?}"
+        );
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+    }
+
+    #[test]
+    fn tc0_circuit_matches_engine_thresholds() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let schema = schema_db();
+        let dom = 3usize;
+        let layout = SchemaLayout::of_database(&schema, dom);
+        for kind in IndexKind::ALL {
+            for k in [Frac::ZERO, Frac::new(1, 3), Frac::new(1, 2)] {
+                let circuit =
+                    compile_mq_threshold(&layout, &schema, &mq, kind, k, InstType::Zero)
+                        .unwrap();
+                for _ in 0..4 {
+                    let db = random_db(&mut rng, dom as i64, 5);
+                    let bits = layout.encode(&db);
+                    let expected = naive::decide(
+                        &db,
+                        &mq,
+                        MqProblem {
+                            index: kind,
+                            threshold: k,
+                            ty: InstType::Zero,
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(circuit.eval(&bits), expected, "{kind} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tc0_lowered_to_majority_still_agrees() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let schema = schema_db();
+        let dom = 2usize;
+        let layout = SchemaLayout::of_database(&schema, dom);
+        let k = Frac::new(1, 2);
+        let circuit =
+            compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero)
+                .unwrap();
+        let lowered = circuit.lower_thresholds();
+        for _ in 0..6 {
+            let db = random_db(&mut rng, dom as i64, 3);
+            let bits = layout.encode(&db);
+            assert_eq!(circuit.eval(&bits), lowered.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn rule_threshold_direct_compile() {
+        use mq_core::instantiate::enumerate_instantiations;
+        let mut rng = StdRng::seed_from_u64(76);
+        let schema = schema_db();
+        let dom = 3usize;
+        let layout = SchemaLayout::of_database(&schema, dom);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let insts = enumerate_instantiations(&schema, &mq, InstType::Zero).unwrap();
+        let rule = apply_instantiation(&schema, &mq, &insts[0]).unwrap();
+        for kind in IndexKind::ALL {
+            let k = Frac::new(1, 2);
+            let circuit = compile_rule_threshold(&layout, &rule, kind, k);
+            for _ in 0..4 {
+                let db = random_db(&mut rng, dom as i64, 5);
+                let bits = layout.encode(&db);
+                let expected = mq_core::index::index_value(&db, &rule, kind) > k;
+                assert_eq!(circuit.eval(&bits), expected, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_circuit_matches_join_size() {
+        use mq_core::instantiate::enumerate_instantiations;
+        let mut rng = StdRng::seed_from_u64(74);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let schema = schema_db();
+        let dom = 3usize;
+        let layout = SchemaLayout::of_database(&schema, dom);
+        let insts = enumerate_instantiations(&schema, &mq, InstType::Zero).unwrap();
+        let rule = apply_instantiation(&schema, &mq, &insts[0]).unwrap();
+        let counter = compile_count_body(&layout, &rule);
+        for _ in 0..8 {
+            let db = random_db(&mut rng, dom as i64, 5);
+            let bits = layout.encode(&db);
+            let body: Vec<&Atom> = rule.body.iter().collect();
+            let expected = mq_core::index::join_of(&db, &body).len() as u128;
+            assert_eq!(counter.eval(&bits), expected);
+        }
+    }
+
+    #[test]
+    fn gap_circuit_decides_cnf() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let schema = schema_db();
+        let dom = 3usize;
+        let layout = SchemaLayout::of_database(&schema, dom);
+        // Head variables ⊆ body variables: R(X,Z) head over p works.
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let insts = enumerate_instantiations(&schema, &mq, InstType::Zero).unwrap();
+        let rule = apply_instantiation(&schema, &mq, &insts[0]).unwrap();
+        let k = Frac::new(1, 3);
+        let gap = compile_cnf_gap(&layout, &rule, k).expect("no head projection needed");
+        for _ in 0..8 {
+            let db = random_db(&mut rng, dom as i64, 5);
+            let bits = layout.encode(&db);
+            let expected = mq_core::index::confidence(&db, &rule) > k;
+            assert_eq!(gap.accepts(&bits), expected);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # mq-circuits — constant-depth circuit substrate
+//!
+//! Makes the paper's data-complexity upper bounds (§3.5) *constructive*:
+//!
+//! * [`circuit`] — boolean circuits with AND/OR/NOT and
+//!   MAJORITY/THRESHOLD gates (Definitions 3.3-3.4), with size/depth
+//!   metrics and threshold→MAJORITY lowering;
+//! * [`arith`] — `#AC0` arithmetic circuits and `GapAC0` differences
+//!   (Definitions 3.5-3.7, Proposition 3.8);
+//! * [`layout`] — the tuple-bit input encoding circuit families read;
+//! * [`compile`] — compilers emitting the `AC0` family of Theorem 3.37
+//!   and the `TC0` family of Theorem 3.38 / Lemma 3.39 for a fixed
+//!   metaquery, plus `#AC0` counting and `GapAC0` confidence circuits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod circuit;
+pub mod compile;
+pub mod layout;
+
+pub use arith::{ArithBuilder, ArithCircuit, GapCircuit};
+pub use circuit::{Circuit, CircuitBuilder, Gate, GateId};
+pub use compile::{
+    compile_cnf_gap, compile_count_body, compile_mq_threshold, compile_mq_zero,
+    compile_rule_threshold,
+};
+pub use layout::SchemaLayout;

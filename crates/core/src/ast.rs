@@ -1,0 +1,444 @@
+//! Metaquery abstract syntax (§2.1).
+//!
+//! A metaquery is a second-order Horn template `T <- L1, ..., Lm` whose
+//! literal schemes `Q(Y1, ..., Yn)` have either a relation symbol or a
+//! *predicate variable* in predicate position. Literal schemes with a
+//! predicate variable are called *relation patterns*.
+
+use mq_relation::VarId;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A predicate (second-order) variable, interned per metaquery.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredVarId(pub u32);
+
+impl fmt::Debug for PredVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The predicate position of a literal scheme.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Pred {
+    /// An ordinary relation symbol (the scheme is an *atom*).
+    Rel(String),
+    /// A predicate variable (the scheme is a *relation pattern*).
+    Var(PredVarId),
+}
+
+/// A literal scheme `Q(Y1, ..., Yn)`; arguments are ordinary variables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LiteralScheme {
+    /// Predicate position.
+    pub pred: Pred,
+    /// Ordinary-variable argument list (may repeat variables).
+    pub args: Vec<VarId>,
+}
+
+impl LiteralScheme {
+    /// Whether this scheme is a relation pattern (predicate variable).
+    pub fn is_pattern(&self) -> bool {
+        matches!(self.pred, Pred::Var(_))
+    }
+
+    /// The scheme's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Distinct ordinary variables, in first-occurrence order.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for &v in &self.args {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Distinct ordinary variables as a set (`varo` of Definition 3.31).
+    pub fn var_set(&self) -> BTreeSet<VarId> {
+        self.args.iter().copied().collect()
+    }
+}
+
+/// Interner for ordinary-variable names; mute variables (`_`) get unique
+/// ids and display as `_k`.
+#[derive(Clone, Debug, Default)]
+pub struct VarPool {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a named variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        v
+    }
+
+    /// Allocate a fresh (mute) variable, guaranteed distinct from all
+    /// existing variables of this pool.
+    pub fn fresh(&mut self) -> VarId {
+        let v = VarId(self.names.len() as u32);
+        self.names.push(format!("_{}", v.0));
+        v
+    }
+
+    /// The display name of `v`.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Look up a named variable without interning.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A metaquery `T <- L1, ..., Lm [, not N1, ..., not Nk]`.
+///
+/// The positive part is equation (3) of the paper; `neg_body` is the
+/// negation extension the paper's conclusion (§5) proposes as future
+/// work: negated literal schemes, evaluated with safe
+/// negation-as-failure semantics (every variable of a negated scheme
+/// must occur in a positive body scheme; the body join is the positive
+/// join antijoined by each instantiated negated atom).
+#[derive(Clone, Debug)]
+pub struct Metaquery {
+    /// The head literal scheme `T`.
+    pub head: LiteralScheme,
+    /// The positive body literal schemes `L1, ..., Lm`.
+    pub body: Vec<LiteralScheme>,
+    /// The negated body literal schemes (empty for pure paper-metaqueries).
+    pub neg_body: Vec<LiteralScheme>,
+    /// Ordinary-variable interner (owns mute variables too).
+    pub vars: VarPool,
+    /// Names of predicate variables, indexed by [`PredVarId`].
+    pub pred_var_names: Vec<String>,
+}
+
+impl Metaquery {
+    /// All literal schemes (`ls(MQ)`), head first, negated schemes last.
+    pub fn literal_schemes(&self) -> impl Iterator<Item = &LiteralScheme> {
+        std::iter::once(&self.head)
+            .chain(self.body.iter())
+            .chain(self.neg_body.iter())
+    }
+
+    /// Whether the metaquery uses the negation extension.
+    pub fn has_negation(&self) -> bool {
+        !self.neg_body.is_empty()
+    }
+
+    /// Safety of the negation extension: every ordinary variable of a
+    /// negated scheme occurs in some positive body scheme. (Trivially
+    /// true without negation.)
+    pub fn is_safe(&self) -> bool {
+        use std::collections::BTreeSet as Set;
+        let positive: Set<VarId> = self.body.iter().flat_map(|l| l.args.iter().copied()).collect();
+        self.neg_body
+            .iter()
+            .all(|l| l.args.iter().all(|v| positive.contains(v)))
+    }
+
+    /// The relation patterns (`rep(MQ)`), head first, then positive body
+    /// patterns, then negated body patterns, with their position:
+    /// `None` for the head, `Some(i)` for (positive or negated) body
+    /// literal `i` in its respective list.
+    pub fn relation_patterns(&self) -> Vec<(Option<usize>, &LiteralScheme)> {
+        let mut out = Vec::new();
+        if self.head.is_pattern() {
+            out.push((None, &self.head));
+        }
+        for (i, l) in self.body.iter().enumerate() {
+            if l.is_pattern() {
+                out.push((Some(i), l));
+            }
+        }
+        for (i, l) in self.neg_body.iter().enumerate() {
+            if l.is_pattern() {
+                out.push((Some(self.body.len() + i), l));
+            }
+        }
+        out
+    }
+
+    /// The set of predicate variables (`pv(MQ)`).
+    pub fn pred_vars(&self) -> BTreeSet<PredVarId> {
+        self.literal_schemes()
+            .filter_map(|l| match l.pred {
+                Pred::Var(p) => Some(p),
+                Pred::Rel(_) => None,
+            })
+            .collect()
+    }
+
+    /// All ordinary variables (`varo(MQ)`), in first-occurrence order.
+    pub fn ordinary_vars(&self) -> Vec<VarId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for l in self.literal_schemes() {
+            for &v in &l.args {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// A metaquery is *pure* if any two relation patterns sharing a
+    /// predicate variable have the same arity (§2.1). Type-0 and type-1
+    /// instantiations are only defined for pure metaqueries.
+    pub fn is_pure(&self) -> bool {
+        let mut arity: HashMap<PredVarId, usize> = HashMap::new();
+        for l in self.literal_schemes() {
+            if let Pred::Var(p) = l.pred {
+                match arity.get(&p) {
+                    Some(&a) if a != l.arity() => return false,
+                    Some(_) => {}
+                    None => {
+                        arity.insert(p, l.arity());
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of body literals `m`.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Render back to the paper's surface syntax.
+    pub fn render(&self) -> String {
+        let lit = |l: &LiteralScheme| {
+            let pred = match &l.pred {
+                Pred::Rel(name) => name.clone(),
+                Pred::Var(p) => self.pred_var_names[p.0 as usize].clone(),
+            };
+            let args: Vec<&str> = l.args.iter().map(|&v| self.vars.name(v)).collect();
+            format!("{}({})", pred, args.join(","))
+        };
+        let mut body: Vec<String> = self.body.iter().map(&lit).collect();
+        body.extend(self.neg_body.iter().map(|l| format!("not {}", lit(l))));
+        format!("{} <- {}", lit(&self.head), body.join(", "))
+    }
+}
+
+impl fmt::Display for Metaquery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Builder for constructing metaqueries programmatically (reductions build
+/// their metaqueries this way rather than via the parser).
+#[derive(Clone, Debug, Default)]
+pub struct MetaqueryBuilder {
+    vars: VarPool,
+    pred_var_names: Vec<String>,
+    pred_by_name: HashMap<String, PredVarId>,
+    head: Option<LiteralScheme>,
+    body: Vec<LiteralScheme>,
+    neg_body: Vec<LiteralScheme>,
+}
+
+impl MetaqueryBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an ordinary variable by name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.vars.var(name)
+    }
+
+    /// Allocate a mute variable.
+    pub fn fresh(&mut self) -> VarId {
+        self.vars.fresh()
+    }
+
+    /// Intern a predicate variable by name.
+    pub fn pred_var(&mut self, name: &str) -> PredVarId {
+        if let Some(&p) = self.pred_by_name.get(name) {
+            return p;
+        }
+        let p = PredVarId(self.pred_var_names.len() as u32);
+        self.pred_var_names.push(name.to_string());
+        self.pred_by_name.insert(name.to_string(), p);
+        p
+    }
+
+    /// Set the head to a relation pattern.
+    pub fn head_pattern(&mut self, p: PredVarId, args: Vec<VarId>) -> &mut Self {
+        self.head = Some(LiteralScheme {
+            pred: Pred::Var(p),
+            args,
+        });
+        self
+    }
+
+    /// Set the head to an ordinary atom.
+    pub fn head_atom(&mut self, rel: &str, args: Vec<VarId>) -> &mut Self {
+        self.head = Some(LiteralScheme {
+            pred: Pred::Rel(rel.to_string()),
+            args,
+        });
+        self
+    }
+
+    /// Append a relation pattern to the body.
+    pub fn body_pattern(&mut self, p: PredVarId, args: Vec<VarId>) -> &mut Self {
+        self.body.push(LiteralScheme {
+            pred: Pred::Var(p),
+            args,
+        });
+        self
+    }
+
+    /// Append an ordinary atom to the body.
+    pub fn body_atom(&mut self, rel: &str, args: Vec<VarId>) -> &mut Self {
+        self.body.push(LiteralScheme {
+            pred: Pred::Rel(rel.to_string()),
+            args,
+        });
+        self
+    }
+
+    /// Append a **negated** relation pattern to the body (extension).
+    pub fn body_neg_pattern(&mut self, p: PredVarId, args: Vec<VarId>) -> &mut Self {
+        self.neg_body.push(LiteralScheme {
+            pred: Pred::Var(p),
+            args,
+        });
+        self
+    }
+
+    /// Append a **negated** ordinary atom to the body (extension).
+    pub fn body_neg_atom(&mut self, rel: &str, args: Vec<VarId>) -> &mut Self {
+        self.neg_body.push(LiteralScheme {
+            pred: Pred::Rel(rel.to_string()),
+            args,
+        });
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if no head was set.
+    pub fn build(self) -> Metaquery {
+        Metaquery {
+            head: self.head.expect("metaquery needs a head"),
+            body: self.body,
+            neg_body: self.neg_body,
+            vars: self.vars,
+            pred_var_names: self.pred_var_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_mq4() -> Metaquery {
+        // R(X,Z) <- P(X,Y), Q(Y,Z)
+        let mut b = MetaqueryBuilder::new();
+        let (x, y, z) = (b.var("X"), b.var("Y"), b.var("Z"));
+        let (r, p, q) = (b.pred_var("R"), b.pred_var("P"), b.pred_var("Q"));
+        b.head_pattern(r, vec![x, z]);
+        b.body_pattern(p, vec![x, y]);
+        b.body_pattern(q, vec![y, z]);
+        b.build()
+    }
+
+    #[test]
+    fn accessors() {
+        let mq = paper_mq4();
+        assert_eq!(mq.body_len(), 2);
+        assert_eq!(mq.relation_patterns().len(), 3);
+        assert_eq!(mq.pred_vars().len(), 3);
+        assert_eq!(mq.ordinary_vars().len(), 3);
+        assert!(mq.is_pure());
+        assert_eq!(mq.render(), "R(X,Z) <- P(X,Y), Q(Y,Z)");
+    }
+
+    #[test]
+    fn impure_detected() {
+        let mut b = MetaqueryBuilder::new();
+        let (x, y) = (b.var("X"), b.var("Y"));
+        let p = b.pred_var("P");
+        b.head_pattern(p, vec![x, y]);
+        b.body_pattern(p, vec![x]); // same pred var, different arity
+        let mq = b.build();
+        assert!(!mq.is_pure());
+    }
+
+    #[test]
+    fn mixed_atoms_and_patterns() {
+        let mut b = MetaqueryBuilder::new();
+        let (x, y) = (b.var("X"), b.var("Y"));
+        let n = b.pred_var("N");
+        b.head_pattern(n, vec![x]);
+        b.body_pattern(n, vec![y]);
+        b.body_atom("e", vec![x, y]);
+        let mq = b.build();
+        assert_eq!(mq.relation_patterns().len(), 2);
+        assert_eq!(mq.render(), "N(X) <- N(Y), e(X,Y)");
+        assert!(mq.is_pure());
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut pool = VarPool::new();
+        let a = pool.var("X");
+        let f1 = pool.fresh();
+        let f2 = pool.fresh();
+        assert_ne!(f1, f2);
+        assert_ne!(a, f1);
+        assert!(pool.name(f1).starts_with('_'));
+    }
+
+    #[test]
+    fn literal_scheme_vars_dedup() {
+        let mut pool = VarPool::new();
+        let x = pool.var("X");
+        let y = pool.var("Y");
+        let l = LiteralScheme {
+            pred: Pred::Rel("p".into()),
+            args: vec![x, y, x],
+        };
+        assert_eq!(l.vars(), vec![x, y]);
+        assert_eq!(l.var_set().len(), 2);
+        assert_eq!(l.arity(), 3);
+    }
+}

@@ -1,0 +1,787 @@
+//! The `findRules` algorithm (Figure 4).
+//!
+//! Answering proceeds in the paper's three phases:
+//!
+//! 1. **findBodies** — a bottom-up visit of a complete hypertree
+//!    decomposition `⟨T, χ, λ⟩` of `body(MQ)`. Visiting vertex `p_ν(i)`
+//!    extends the current partial instantiation `σb` with instantiations
+//!    `σi` of the not-yet-mapped patterns in `λ(p_ν(i))`, computes
+//!    `r[i] := π_χ(J(σi(λ(p_ν(i)))))`, semijoins it with the children's
+//!    `r[·]` (the *first half* of a full reducer, interleaved with the
+//!    search), and prunes the branch when `r[i]` is empty.
+//! 2. At the root, the *second half* of the full reducer produces globally
+//!    consistent reduced relations `s[·]`, from which `enoughSupport`
+//!    evaluates `sup(σb(body)) > k_sup` exactly and cheaply.
+//! 3. **findHeads** — the body join `b = J(σb(body(MQ)))` is assembled
+//!    from the reduced relations; every head instantiation `σh` that
+//!    agrees with `σb` is checked with two semijoins:
+//!    `cvr = |h ⋉ b| / |h|` and `cnf = |b ⋉ h| / |b|`.
+//!
+//! The decomposition is computed once: by Proposition 4.9, applying any
+//! instantiation `σ` to the `λ` labels preserves a width-`c`
+//! decomposition, so one decomposition serves every instantiation.
+
+use crate::ast::{Metaquery, Pred, PredVarId};
+use crate::engine::{MqAnswer, MqProblem, Thresholds};
+use crate::index::IndexValues;
+use crate::instantiate::{
+    check_fixed_schemes, pattern_candidates, InstError, InstType, Instantiation, PatternMap,
+};
+use mq_cq::hypertree::{hypertree_width_of_sets, Hypertree};
+use mq_relation::{Bindings, Database, Frac, RelId, Term, VarId};
+use std::collections::{BTreeSet, HashMap};
+use std::ops::ControlFlow;
+
+/// Find all type-`ty` instantiations whose indices clear `thresholds`,
+/// using the Figure 4 algorithm. Answers match [`crate::engine::naive`]
+/// exactly (including the degenerate no-thresholds case).
+pub fn find_rules(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+) -> Result<Vec<MqAnswer>, InstError> {
+    let mut out = Vec::new();
+    find_rules_with(db, mq, ty, thresholds, |ans| {
+        out.push(ans.clone());
+        ControlFlow::Continue(())
+    })?;
+    crate::engine::sort_answers(&mut out);
+    Ok(out)
+}
+
+/// Decide `⟨DB, MQ, I, k, T⟩` with `findRules`, stopping at the first
+/// witness.
+pub fn decide(db: &Database, mq: &Metaquery, problem: MqProblem) -> Result<bool, InstError> {
+    let mut found = false;
+    find_rules_with(
+        db,
+        mq,
+        problem.ty,
+        Thresholds::single(problem.index, problem.threshold),
+        |_| {
+            found = true;
+            ControlFlow::Break(())
+        },
+    )?;
+    Ok(found)
+}
+
+/// Streaming variant: invoke `f` on each answer; `Break` stops the search.
+/// Returns `true` if stopped early.
+pub fn find_rules_with(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+    f: impl FnMut(&MqAnswer) -> ControlFlow<()>,
+) -> Result<bool, InstError> {
+    if ty != InstType::Two && !mq.is_pure() {
+        return Err(InstError::NotPure);
+    }
+    if !mq.is_safe() {
+        return Err(InstError::UnsafeNegation);
+    }
+    check_fixed_schemes(db, mq)?;
+    assert!(!mq.body.is_empty(), "metaquery body must be non-empty");
+
+    let mut engine = Engine::new(db, mq, ty, thresholds, f);
+    let stopped = engine.find_bodies(0).is_break();
+    Ok(stopped)
+}
+
+/// The diagnostic facts `findRules` precomputes; exposed so benchmarks can
+/// report the decomposition width `c` of Theorem 4.12.
+#[derive(Clone, Debug)]
+pub struct BodyDecomposition {
+    /// The hypertree width of `body(MQ)`.
+    pub width: usize,
+    /// Number of decomposition vertices.
+    pub vertices: usize,
+}
+
+/// Compute `body(MQ)`'s hypertree width and decomposition size.
+pub fn body_decomposition(mq: &Metaquery) -> BodyDecomposition {
+    let edges: Vec<BTreeSet<VarId>> = mq.body.iter().map(|l| l.var_set()).collect();
+    let (width, ht) = hypertree_width_of_sets(&edges).expect("non-empty body");
+    BodyDecomposition {
+        width,
+        vertices: ht.len(),
+    }
+}
+
+struct Engine<'a, F> {
+    db: &'a Database,
+    mq: &'a Metaquery,
+    thresholds: Thresholds,
+    f: F,
+    /// `true` when a rule with all-zero indices would be accepted; in that
+    /// case empty-join pruning must be disabled to match the naive engine.
+    zero_ok: bool,
+
+    ht: Hypertree,
+    /// Bottom-up visit: postorder node list (the paper's ν).
+    post: Vec<usize>,
+    /// node -> its postorder position.
+    pos_of: Vec<usize>,
+
+    /// Global pattern count and scheme info. Pattern index 0 is the head
+    /// pattern when the head is a pattern; body patterns follow in order.
+    head_is_pattern: bool,
+    /// body scheme index -> global pattern index (None if fixed atom).
+    body_pattern: Vec<Option<usize>>,
+    /// negated body scheme index -> global pattern index (None if fixed).
+    neg_pattern: Vec<Option<usize>>,
+    /// Per global pattern: candidate relation -> slot maps.
+    candidates: Vec<HashMap<RelId, Vec<Vec<Option<usize>>>>>,
+    /// Per global pattern: pre-allocated fresh padding variables, one per
+    /// relation position (type-2); index j pads position j.
+    fresh_slots: Vec<Vec<VarId>>,
+    /// Per global pattern: its predicate variable.
+    pattern_pv: Vec<PredVarId>,
+
+    /// Search state: per-pattern assignment.
+    assign: Vec<Option<PatternMap>>,
+    /// Predicate variable -> (relation, how many patterns pinned it).
+    pv_rel: HashMap<PredVarId, (RelId, usize)>,
+    /// Per postorder position: the reduced node relation `r[i]`.
+    r: Vec<Option<Bindings>>,
+}
+
+impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
+    fn new(
+        db: &'a Database,
+        mq: &'a Metaquery,
+        ty: InstType,
+        thresholds: Thresholds,
+        f: F,
+    ) -> Self {
+        // Decomposition of the body literal schemes' ordinary variables.
+        let edges: Vec<BTreeSet<VarId>> = mq.body.iter().map(|l| l.var_set()).collect();
+        let (_, mut ht) = hypertree_width_of_sets(&edges).expect("non-empty body");
+        ht.complete_edges(edges.len());
+        let post = ht.postorder();
+        let mut pos_of = vec![0usize; ht.len()];
+        for (i, &n) in post.iter().enumerate() {
+            pos_of[n] = i;
+        }
+
+        // Global pattern bookkeeping (head first, as in rep(MQ)).
+        let head_is_pattern = mq.head.is_pattern();
+        let mut schemes = Vec::new();
+        if head_is_pattern {
+            schemes.push(&mq.head);
+        }
+        let mut body_pattern = Vec::with_capacity(mq.body.len());
+        for l in &mq.body {
+            if l.is_pattern() {
+                body_pattern.push(Some(schemes.len()));
+                schemes.push(l);
+            } else {
+                body_pattern.push(None);
+            }
+        }
+        let mut neg_pattern = Vec::with_capacity(mq.neg_body.len());
+        for l in &mq.neg_body {
+            if l.is_pattern() {
+                neg_pattern.push(Some(schemes.len()));
+                schemes.push(l);
+            } else {
+                neg_pattern.push(None);
+            }
+        }
+        let candidates: Vec<_> = schemes
+            .iter()
+            .map(|s| pattern_candidates(db, s, ty))
+            .collect();
+        let pattern_pv: Vec<PredVarId> = schemes
+            .iter()
+            .map(|s| match s.pred {
+                Pred::Var(p) => p,
+                Pred::Rel(_) => unreachable!("patterns have predicate variables"),
+            })
+            .collect();
+        // Fresh padding variables: one per pattern per possible position.
+        let mut pool = mq.vars.clone();
+        let max_arity = db.max_arity();
+        let fresh_slots: Vec<Vec<VarId>> = schemes
+            .iter()
+            .map(|_| (0..max_arity).map(|_| pool.fresh()).collect())
+            .collect();
+
+        let zero = IndexValues {
+            sup: Frac::ZERO,
+            cnf: Frac::ZERO,
+            cvr: Frac::ZERO,
+        };
+        let n_patterns = schemes.len();
+        let n_pos = post.len();
+        Engine {
+            db,
+            mq,
+            thresholds,
+            f,
+            zero_ok: thresholds.accepts(&zero),
+            ht,
+            post,
+            pos_of,
+            head_is_pattern,
+            body_pattern,
+            neg_pattern,
+            candidates,
+            fresh_slots,
+            pattern_pv,
+            assign: vec![None; n_patterns],
+            pv_rel: HashMap::new(),
+            r: vec![None; n_pos],
+        }
+    }
+
+    /// Instantiated terms for body scheme `bi` under the current (partial)
+    /// assignment. Only called when the scheme is fixed or assigned.
+    fn body_atom_terms(&self, bi: usize) -> (RelId, Vec<Term>) {
+        let scheme = &self.mq.body[bi];
+        match self.body_pattern[bi] {
+            None => {
+                let name = match &scheme.pred {
+                    Pred::Rel(n) => n,
+                    Pred::Var(_) => unreachable!(),
+                };
+                let rel = self.db.rel_id(name).expect("checked in setup");
+                (rel, scheme.args.iter().map(|&v| Term::Var(v)).collect())
+            }
+            Some(pidx) => {
+                let map = self.assign[pidx].as_ref().expect("assigned");
+                let terms = map
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .map(|(j, slot)| match slot {
+                        Some(i) => Term::Var(scheme.args[*i]),
+                        None => Term::Var(self.fresh_slots[pidx][j]),
+                    })
+                    .collect();
+                (map.rel, terms)
+            }
+        }
+    }
+
+    fn eval_body_atom(&self, bi: usize) -> Bindings {
+        let (rel, terms) = self.body_atom_terms(bi);
+        Bindings::from_atom(self.db.relation(rel), &terms)
+    }
+
+    /// Instantiated terms for negated body scheme `ni` (must be fixed or
+    /// assigned).
+    fn neg_atom_terms(&self, ni: usize) -> (RelId, Vec<Term>) {
+        let scheme = &self.mq.neg_body[ni];
+        match self.neg_pattern[ni] {
+            None => {
+                let name = match &scheme.pred {
+                    Pred::Rel(n) => n,
+                    Pred::Var(_) => unreachable!(),
+                };
+                let rel = self.db.rel_id(name).expect("checked in setup");
+                (rel, scheme.args.iter().map(|&v| Term::Var(v)).collect())
+            }
+            Some(pidx) => {
+                let map = self.assign[pidx].as_ref().expect("assigned");
+                let terms = map
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .map(|(j, slot)| match slot {
+                        Some(i) => Term::Var(scheme.args[*i]),
+                        None => Term::Var(self.fresh_slots[pidx][j]),
+                    })
+                    .collect();
+                (map.rel, terms)
+            }
+        }
+    }
+
+    /// The paper's `findBodies(i, σb)`.
+    fn find_bodies(&mut self, i: usize) -> ControlFlow<()> {
+        if i == self.post.len() {
+            return self.second_half_and_heads();
+        }
+        let node = self.post[i];
+        // Patterns of λ(p_ν(i)) not yet instantiated.
+        let lambda = self.ht.nodes[node].lambda.clone();
+        let to_assign: Vec<usize> = lambda
+            .iter()
+            .filter_map(|&bi| self.body_pattern[bi])
+            .filter(|&pidx| self.assign[pidx].is_none())
+            .collect();
+        self.enum_node(i, node, &lambda, &to_assign, 0)
+    }
+
+    /// Enumerate assignments for the node's unassigned patterns, then
+    /// compute `r[i]` and recurse.
+    fn enum_node(
+        &mut self,
+        i: usize,
+        node: usize,
+        lambda: &[usize],
+        to_assign: &[usize],
+        depth: usize,
+    ) -> ControlFlow<()> {
+        if depth == to_assign.len() {
+            // All λ patterns mapped: r[i] := π_χ(J(σi(λ(p_ν(i))))).
+            let mut join = Bindings::unit();
+            for &bi in lambda {
+                let b = self.eval_body_atom(bi);
+                join = join.join(&b);
+                if join.is_empty() {
+                    break;
+                }
+            }
+            let chi: Vec<VarId> = self.ht.nodes[node].chi.iter().copied().collect();
+            let mut r_i = join.project(&chi);
+            for &child in &self.ht.children[node].clone() {
+                let cpos = self.pos_of[child];
+                let child_r = self.r[cpos].as_ref().expect("children visited first");
+                r_i = r_i.semijoin(child_r);
+            }
+            if r_i.is_empty() && !self.zero_ok {
+                return ControlFlow::Continue(()); // prune this branch
+            }
+            self.r[i] = Some(r_i);
+            let flow = self.find_bodies(i + 1);
+            self.r[i] = None;
+            return flow;
+        }
+
+        let pidx = to_assign[depth];
+        let pv = self.pattern_pv[pidx];
+        let locked = self.pv_rel.get(&pv).map(|&(r, _)| r);
+        let rels: Vec<RelId> = match locked {
+            Some(r) if self.candidates[pidx].contains_key(&r) => vec![r],
+            Some(_) => Vec::new(),
+            None => {
+                let mut rels: Vec<RelId> = self.candidates[pidx].keys().copied().collect();
+                rels.sort();
+                rels
+            }
+        };
+        for rel in rels {
+            self.pv_rel
+                .entry(pv)
+                .and_modify(|e| e.1 += 1)
+                .or_insert((rel, 1));
+            let slot_sets = self.candidates[pidx][&rel].clone();
+            for slots in slot_sets {
+                self.assign[pidx] = Some(PatternMap { rel, slots });
+                let flow = self.enum_node(i, node, lambda, to_assign, depth + 1);
+                self.assign[pidx] = None;
+                if flow.is_break() {
+                    self.unpin(pv);
+                    return ControlFlow::Break(());
+                }
+            }
+            self.unpin(pv);
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn unpin(&mut self, pv: PredVarId) {
+        if let Some(e) = self.pv_rel.get_mut(&pv) {
+            if e.1 == 1 {
+                self.pv_rel.remove(&pv);
+            } else {
+                e.1 -= 1;
+            }
+        }
+    }
+
+    /// Second half of the full reducer, `enoughSupport`, and `findHeads`.
+    fn second_half_and_heads(&mut self) -> ControlFlow<()> {
+        let n = self.post.len();
+        // s[j] for postorder positions; root is position n-1.
+        let mut s: Vec<Bindings> = Vec::with_capacity(n);
+        for j in 0..n {
+            s.push(self.r[j].as_ref().expect("all nodes computed").clone());
+        }
+        for j in (0..n.saturating_sub(1)).rev() {
+            let node = self.post[j];
+            let parent = self.ht.parent[node].expect("non-root has parent");
+            let ppos = self.pos_of[parent];
+            s[j] = s[j].semijoin(&s[ppos]);
+        }
+
+        // enoughSupport (exact: sup > k iff some atom's fraction > k).
+        let mut body_atoms: Vec<Bindings> = Vec::with_capacity(self.mq.body.len());
+        for bi in 0..self.mq.body.len() {
+            body_atoms.push(self.eval_body_atom(bi));
+        }
+        if let Some(ksup) = self.thresholds.sup {
+            let mut enough = false;
+            for (bi, ra) in body_atoms.iter().enumerate() {
+                if ra.is_empty() {
+                    continue;
+                }
+                let home = self.ht.atom_home[bi];
+                let reduced = ra.semijoin(&s[self.pos_of[home]]);
+                if Frac::ratio_or_zero(reduced.len() as u64, ra.len() as u64) > ksup {
+                    enough = true;
+                    break;
+                }
+            }
+            if !enough {
+                return ControlFlow::Continue(());
+            }
+        }
+
+        // b := J(σb(body(MQ))), assembled from the reduced atoms (joining
+        // reduced relations is exact: reduction only removes dangling
+        // tuples). Join in postorder of homes for join-tree locality.
+        let mut order: Vec<usize> = (0..self.mq.body.len()).collect();
+        order.sort_by_key(|&bi| self.pos_of[self.ht.atom_home[bi]]);
+        let mut b = Bindings::unit();
+        for &bi in &order {
+            let reduced = body_atoms[bi].semijoin(&s[self.pos_of[self.ht.atom_home[bi]]]);
+            b = b.join(&reduced);
+            if b.is_empty() && !self.zero_ok {
+                return ControlFlow::Continue(());
+            }
+        }
+
+        self.enum_neg(0, b, &body_atoms)
+    }
+
+    /// Assign negated patterns (agreeing with σb) and apply their
+    /// antijoins to the body join, then compute the exact support and
+    /// proceed to `findHeads`. Negated atoms only ever shrink the body
+    /// join, so the earlier `enoughSupport` prune (an upper bound) stays
+    /// sound.
+    fn enum_neg(&mut self, ni: usize, b: Bindings, body_atoms: &[Bindings]) -> ControlFlow<()> {
+        if ni == self.mq.neg_body.len() {
+            // Exact support values for reporting, on the filtered join.
+            let mut sup = Frac::ZERO;
+            for (bi, ra) in body_atoms.iter().enumerate() {
+                if ra.is_empty() {
+                    continue;
+                }
+                let vars = self.mq_body_atom_vars(bi);
+                let num = b.count_distinct(&vars) as u64;
+                let f = Frac::ratio_or_zero(num, ra.len() as u64);
+                if f > sup {
+                    sup = f;
+                }
+            }
+            if let Some(ksup) = self.thresholds.sup {
+                if sup <= ksup {
+                    return ControlFlow::Continue(());
+                }
+            }
+            return self.find_heads(&b, sup);
+        }
+        match self.neg_pattern[ni].filter(|&pidx| self.assign[pidx].is_none()) {
+            None => {
+                // Fixed atom or already-assigned pattern: filter and go on.
+                let (rel, terms) = self.neg_atom_terms(ni);
+                let jn = Bindings::from_atom(self.db.relation(rel), &terms);
+                let filtered = b.antijoin(&jn);
+                if filtered.is_empty() && !self.zero_ok {
+                    return ControlFlow::Continue(());
+                }
+                self.enum_neg(ni + 1, filtered, body_atoms)
+            }
+            Some(pidx) => {
+                let pv = self.pattern_pv[pidx];
+                let locked = self.pv_rel.get(&pv).map(|&(r, _)| r);
+                let rels: Vec<RelId> = match locked {
+                    Some(r) if self.candidates[pidx].contains_key(&r) => vec![r],
+                    Some(_) => Vec::new(),
+                    None => {
+                        let mut rels: Vec<RelId> =
+                            self.candidates[pidx].keys().copied().collect();
+                        rels.sort();
+                        rels
+                    }
+                };
+                for rel in rels {
+                    self.pv_rel
+                        .entry(pv)
+                        .and_modify(|e| e.1 += 1)
+                        .or_insert((rel, 1));
+                    let slot_sets = self.candidates[pidx][&rel].clone();
+                    for slots in slot_sets {
+                        self.assign[pidx] = Some(PatternMap { rel, slots });
+                        let (nrel, terms) = self.neg_atom_terms(ni);
+                        let jn = Bindings::from_atom(self.db.relation(nrel), &terms);
+                        let filtered = b.antijoin(&jn);
+                        let flow = if filtered.is_empty() && !self.zero_ok {
+                            ControlFlow::Continue(())
+                        } else {
+                            self.enum_neg(ni + 1, filtered, body_atoms)
+                        };
+                        self.assign[pidx] = None;
+                        if flow.is_break() {
+                            self.unpin(pv);
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    self.unpin(pv);
+                }
+                ControlFlow::Continue(())
+            }
+        }
+    }
+
+    /// Distinct variables of instantiated body atom `bi` (including
+    /// padding).
+    fn mq_body_atom_vars(&self, bi: usize) -> Vec<VarId> {
+        let (_, terms) = self.body_atom_terms(bi);
+        mq_relation::distinct_vars(&terms)
+    }
+
+    /// The paper's `findHeads(σb)`: enumerate head instantiations agreeing
+    /// with the body instantiation and test cover/confidence by semijoin.
+    fn find_heads(&mut self, b: &Bindings, sup: Frac) -> ControlFlow<()> {
+        if !self.head_is_pattern {
+            let name = match &self.mq.head.pred {
+                Pred::Rel(n) => n,
+                Pred::Var(_) => unreachable!(),
+            };
+            let rel = self.db.rel_id(name).expect("checked in setup");
+            let terms: Vec<Term> = self.mq.head.args.iter().map(|&v| Term::Var(v)).collect();
+            return self.check_head(b, sup, None, rel, &terms);
+        }
+        // Head pattern has global index 0.
+        let pv = self.pattern_pv[0];
+        let locked = self.pv_rel.get(&pv).map(|&(r, _)| r);
+        let rels: Vec<RelId> = match locked {
+            Some(r) if self.candidates[0].contains_key(&r) => vec![r],
+            Some(_) => Vec::new(),
+            None => {
+                let mut rels: Vec<RelId> = self.candidates[0].keys().copied().collect();
+                rels.sort();
+                rels
+            }
+        };
+        for rel in rels {
+            let slot_sets = self.candidates[0][&rel].clone();
+            for slots in slot_sets {
+                let terms: Vec<Term> = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(j, slot)| match slot {
+                        Some(i) => Term::Var(self.mq.head.args[*i]),
+                        None => Term::Var(self.fresh_slots[0][j]),
+                    })
+                    .collect();
+                let map = PatternMap {
+                    rel,
+                    slots: slots.clone(),
+                };
+                if self.check_head(b, sup, Some(map), rel, &terms).is_break() {
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn check_head(
+        &mut self,
+        b: &Bindings,
+        sup: Frac,
+        head_map: Option<PatternMap>,
+        head_rel: RelId,
+        head_terms: &[Term],
+    ) -> ControlFlow<()> {
+        let h = Bindings::from_atom(self.db.relation(head_rel), head_terms);
+        // h' := h ⋉ b; cvr = |h'| / |h|.
+        let h_reduced = h.semijoin(b);
+        let cvr = Frac::ratio_or_zero(h_reduced.len() as u64, h.len() as u64);
+        if let Some(k) = self.thresholds.cvr {
+            if cvr <= k {
+                return ControlFlow::Continue(());
+            }
+        }
+        // cnf = |b ⋉ h'| / |b| (equivalently b ⋉ h).
+        let b_matching = b.semijoin(&h_reduced);
+        let cnf = Frac::ratio_or_zero(b_matching.len() as u64, b.len() as u64);
+        if let Some(k) = self.thresholds.cnf {
+            if cnf <= k {
+                return ControlFlow::Continue(());
+            }
+        }
+        let iv = IndexValues { sup, cnf, cvr };
+        if !self.thresholds.accepts(&iv) {
+            return ControlFlow::Continue(());
+        }
+        // Assemble the full instantiation in rep(MQ) order.
+        let mut maps = Vec::new();
+        if let Some(hm) = head_map {
+            maps.push(hm);
+        }
+        for bi in 0..self.mq.body.len() {
+            if let Some(pidx) = self.body_pattern[bi] {
+                maps.push(self.assign[pidx].clone().expect("assigned"));
+            }
+        }
+        for ni in 0..self.mq.neg_body.len() {
+            if let Some(pidx) = self.neg_pattern[ni] {
+                maps.push(self.assign[pidx].clone().expect("assigned"));
+            }
+        }
+        (self.f)(&MqAnswer {
+            inst: Instantiation { maps },
+            indices: iv,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::naive;
+    use crate::index::IndexKind;
+    use crate::parse::parse_metaquery;
+    
+    use rand::prelude::*;
+
+    fn random_db(rng: &mut StdRng, rels: &[(&str, usize)], rows: usize, dom: i64) -> Database {
+        let mut db = Database::new();
+        for &(name, ar) in rels {
+            let id = db.add_relation(name, ar);
+            for _ in 0..rows {
+                let row: Vec<_> = (0..ar)
+                    .map(|_| mq_relation::Value::Int(rng.gen_range(0..dom)))
+                    .collect();
+                db.insert(id, row.into_boxed_slice());
+            }
+        }
+        db
+    }
+
+    fn agree(db: &Database, mq_text: &str, ty: InstType, th: Thresholds) {
+        let mq = parse_metaquery(mq_text).unwrap();
+        let a = naive::find_all(db, &mq, ty, th).unwrap();
+        let b = find_rules(db, &mq, ty, th).unwrap();
+        assert_eq!(
+            a, b,
+            "engines disagree on {mq_text} ({ty}, {th:?}):\nnaive={a:#?}\nfindRules={b:#?}"
+        );
+    }
+
+    #[test]
+    fn engines_agree_type0_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let db = random_db(&mut rng, &[("p", 2), ("q", 2), ("r", 2)], 12, 5);
+            for th in [
+                Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+                Thresholds::all(Frac::new(1, 2), Frac::new(1, 4), Frac::new(1, 4)),
+                Thresholds::single(IndexKind::Cnf, Frac::new(1, 3)),
+                Thresholds::none(),
+            ] {
+                agree(&db, "R(X,Z) <- P(X,Y), Q(Y,Z)", InstType::Zero, th);
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_type1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..6 {
+            let db = random_db(&mut rng, &[("p", 2), ("q", 2)], 10, 4);
+            agree(
+                &db,
+                "R(X,Z) <- P(X,Y), Q(Y,Z)",
+                InstType::One,
+                Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_type2_mixed_arities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let db = random_db(&mut rng, &[("p", 2), ("t", 3)], 8, 4);
+            agree(
+                &db,
+                "R(X,Z) <- P(X,Y), Q(Y,Z)",
+                InstType::Two,
+                Thresholds::all(Frac::new(1, 10), Frac::ZERO, Frac::ZERO),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_cyclic_body() {
+        // body is a triangle: hypertree width 2 path of the engine.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..6 {
+            let db = random_db(&mut rng, &[("e", 2), ("f", 2)], 12, 4);
+            agree(
+                &db,
+                "H(X,Y) <- P(X,Y), Q(Y,Z), R(Z,X)",
+                InstType::Zero,
+                Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_shared_predvars() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..6 {
+            let db = random_db(&mut rng, &[("p", 2), ("q", 2)], 10, 4);
+            agree(
+                &db,
+                "P(X,Y) <- P(Y,Z), Q(Z,W)",
+                InstType::Zero,
+                Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_fixed_body_atom() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..6 {
+            let db = random_db(&mut rng, &[("e", 2), ("p", 1), ("q", 1)], 10, 4);
+            agree(
+                &db,
+                "N(X) <- N(Y), e(X,Y)",
+                InstType::Zero,
+                Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+            );
+        }
+    }
+
+    #[test]
+    fn decide_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let db = random_db(&mut rng, &[("p", 2), ("q", 2)], 10, 4);
+            let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+            for kind in IndexKind::ALL {
+                for k in [Frac::ZERO, Frac::new(1, 2), Frac::new(9, 10)] {
+                    let p = MqProblem {
+                        index: kind,
+                        threshold: k,
+                        ty: InstType::Zero,
+                    };
+                    assert_eq!(
+                        naive::decide(&db, &mq, p).unwrap(),
+                        decide(&db, &mq, p).unwrap(),
+                        "decide disagrees for {kind} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn body_decomposition_widths() {
+        let chain = parse_metaquery("R(X,W) <- P(X,Y), Q(Y,Z), S(Z,W)").unwrap();
+        assert_eq!(body_decomposition(&chain).width, 1);
+        let triangle = parse_metaquery("R(X,Y) <- P(X,Y), Q(Y,Z), S(Z,X)").unwrap();
+        assert_eq!(body_decomposition(&triangle).width, 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Metaquery answering engines.
+//!
+//! Two implementations of the same contract:
+//!
+//! * [`naive`] — enumerate every instantiation, materialize the joins, and
+//!   measure the indices directly; the correctness baseline;
+//! * [`find_rules`] — the `findRules` algorithm of Figure 4: a hypertree
+//!   decomposition of the metaquery body drives partial-instantiation
+//!   enumeration with semijoin reduction and support-based pruning.
+//!
+//! Both return, for a database `DB`, metaquery `MQ`, instantiation type
+//! `T` and thresholds, all type-`T` instantiations `σ` with
+//! `sup(σ(MQ)) > k_sup`, `cvr(σ(MQ)) > k_cvr` and `cnf(σ(MQ)) > k_cnf`.
+
+pub mod find_rules;
+pub mod naive;
+
+use crate::index::{IndexKind, IndexValues};
+use crate::instantiate::{InstType, Instantiation};
+use mq_relation::Frac;
+use std::fmt;
+
+/// Strict lower-bound thresholds for the three indices; `None` disables a
+/// constraint (the decision problems of §3 constrain one index at a time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Keep rules with `sup > ksup`.
+    pub sup: Option<Frac>,
+    /// Keep rules with `cvr > kcvr`.
+    pub cvr: Option<Frac>,
+    /// Keep rules with `cnf > kcnf`.
+    pub cnf: Option<Frac>,
+}
+
+impl Thresholds {
+    /// No constraints: every instantiation qualifies.
+    pub fn none() -> Self {
+        Thresholds::default()
+    }
+
+    /// Constrain a single index, as in the decision problems
+    /// `⟨DB, MQ, I, k, T⟩`.
+    pub fn single(kind: IndexKind, k: Frac) -> Self {
+        let mut t = Thresholds::default();
+        match kind {
+            IndexKind::Sup => t.sup = Some(k),
+            IndexKind::Cvr => t.cvr = Some(k),
+            IndexKind::Cnf => t.cnf = Some(k),
+        }
+        t
+    }
+
+    /// Constrain all three indices.
+    pub fn all(sup: Frac, cvr: Frac, cnf: Frac) -> Self {
+        Thresholds {
+            sup: Some(sup),
+            cvr: Some(cvr),
+            cnf: Some(cnf),
+        }
+    }
+
+    /// Does a rule with these index values qualify?
+    pub fn accepts(&self, iv: &IndexValues) -> bool {
+        self.sup.is_none_or(|k| iv.sup > k)
+            && self.cvr.is_none_or(|k| iv.cvr > k)
+            && self.cnf.is_none_or(|k| iv.cnf > k)
+    }
+}
+
+/// One answer: an instantiation and its (exact) index values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MqAnswer {
+    /// The qualifying instantiation.
+    pub inst: Instantiation,
+    /// Its exact plausibility indices.
+    pub indices: IndexValues,
+}
+
+/// A metaquerying decision-problem instance `⟨DB, MQ, I, k, T⟩` (§3.2).
+#[derive(Clone, Copy, Debug)]
+pub struct MqProblem {
+    /// The plausibility index `I`.
+    pub index: IndexKind,
+    /// The threshold `k ∈ [0, 1)`.
+    pub threshold: Frac,
+    /// The instantiation type `T`.
+    pub ty: InstType,
+}
+
+impl fmt::Display for MqProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨DB, MQ, {}, {}, {}⟩",
+            self.index,
+            self.threshold,
+            self.ty.tag()
+        )
+    }
+}
+
+/// Sort answers canonically (by instantiation) so engines can be compared.
+pub fn sort_answers(answers: &mut [MqAnswer]) {
+    answers.sort_by(|a, b| a.inst.cmp(&b.inst));
+}

@@ -1,0 +1,341 @@
+//! Plausibility indices (Definitions 2.5-2.7).
+//!
+//! For sets of atoms `R`, `S`, the *fraction of `R` in `S`* is
+//!
+//! ```text
+//! R ↑ S = |π_att(R)( J(R) ⋈ J(S) )| / |J(R)|        (0 when numerator is 0)
+//! ```
+//!
+//! and for a rule `r` with head atoms `h(r)` and body atoms `b(r)`:
+//!
+//! * confidence `cnf(r) = b(r) ↑ h(r)` — how valid the rule is;
+//! * cover      `cvr(r) = h(r) ↑ b(r)` — how much of the head is implied;
+//! * support    `sup(r) = max_{a ∈ b(r)} {a} ↑ b(r)` — how much some body
+//!   relation participates in the body join.
+//!
+//! All values are exact rationals in `[0, 1]`.
+
+use crate::rule::Rule;
+use mq_cq::Atom;
+use mq_relation::{Bindings, Database, Frac, Term, VarId};
+use std::fmt;
+
+/// Which plausibility index a problem instance uses (the set `I`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IndexKind {
+    /// Support.
+    Sup,
+    /// Confidence.
+    Cnf,
+    /// Cover.
+    Cvr,
+}
+
+impl IndexKind {
+    /// All three indices, for sweeps.
+    pub const ALL: [IndexKind; 3] = [IndexKind::Sup, IndexKind::Cnf, IndexKind::Cvr];
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexKind::Sup => write!(f, "sup"),
+            IndexKind::Cnf => write!(f, "cnf"),
+            IndexKind::Cvr => write!(f, "cvr"),
+        }
+    }
+}
+
+/// All three index values of a rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IndexValues {
+    /// Support.
+    pub sup: Frac,
+    /// Confidence.
+    pub cnf: Frac,
+    /// Cover.
+    pub cvr: Frac,
+}
+
+impl IndexValues {
+    /// Select one index by kind.
+    pub fn get(&self, kind: IndexKind) -> Frac {
+        match kind {
+            IndexKind::Sup => self.sup,
+            IndexKind::Cnf => self.cnf,
+            IndexKind::Cvr => self.cvr,
+        }
+    }
+}
+
+/// Distinct variables across a set of atoms (`att(R)`).
+fn att(atoms: &[&Atom]) -> Vec<VarId> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for a in atoms {
+        for t in &a.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Natural join of a set of atoms over `db` (`J(R)` of Definition 2.6).
+pub fn join_of(db: &Database, atoms: &[&Atom]) -> Bindings {
+    let pairs: Vec<(&mq_relation::Relation, &[Term])> = atoms
+        .iter()
+        .map(|a| (db.relation(a.rel), a.terms.as_slice()))
+        .collect();
+    Bindings::join_all(&pairs)
+}
+
+/// The fraction `R ↑ S` of Definition 2.6.
+pub fn fraction(db: &Database, r: &[&Atom], s: &[&Atom]) -> Frac {
+    let jr = join_of(db, r);
+    if jr.is_empty() {
+        // |J(R)| = 0: the ratio is 0/0; the numerator is also 0, and the
+        // definition sets the fraction to 0.
+        return Frac::ZERO;
+    }
+    let js = join_of(db, s);
+    let joint = jr.join(&js);
+    let num = joint.count_distinct(&att(r)) as u64;
+    Frac::ratio_or_zero(num, jr.len() as u64)
+}
+
+/// The body join of a rule, negation-aware: `J(b(r))` for the positive
+/// atoms, antijoined by each negated atom (safe negation-as-failure; the
+/// negation extension of §5's future work).
+pub fn body_join(db: &Database, rule: &Rule) -> Bindings {
+    let body: Vec<&Atom> = rule.body.iter().collect();
+    let mut jb = join_of(db, &body);
+    for n in &rule.neg_body {
+        if jb.is_empty() {
+            break;
+        }
+        let jn = Bindings::from_atom(db.relation(n.rel), &n.terms);
+        jb = jb.antijoin(&jn);
+    }
+    jb
+}
+
+/// Confidence `cnf(r) = b(r) ↑ h(r)`.
+pub fn confidence(db: &Database, rule: &Rule) -> Frac {
+    if !rule.has_negation() {
+        let body: Vec<&Atom> = rule.body.iter().collect();
+        return fraction(db, &body, &[&rule.head]);
+    }
+    all_indices(db, rule).cnf
+}
+
+/// Cover `cvr(r) = h(r) ↑ b(r)`.
+pub fn cover(db: &Database, rule: &Rule) -> Frac {
+    if !rule.has_negation() {
+        let body: Vec<&Atom> = rule.body.iter().collect();
+        return fraction(db, &[&rule.head], &body);
+    }
+    all_indices(db, rule).cvr
+}
+
+/// Support `sup(r) = max_{a ∈ b(r)} {a} ↑ b(r)` (max over the positive
+/// body atoms; the body join is negation-aware).
+pub fn support(db: &Database, rule: &Rule) -> Frac {
+    let jb = body_join(db, rule);
+    let mut best = Frac::ZERO;
+    for a in &rule.body {
+        // J({a}) ⋈ J(b) = J(b) because a ∈ b, so the numerator is
+        // |π_att(a)(J(b))|; the denominator is |J({a})|.
+        let ja = Bindings::from_atom(db.relation(a.rel), &a.terms);
+        if ja.is_empty() {
+            continue;
+        }
+        let num = jb.count_distinct(&att(&[a])) as u64;
+        let f = Frac::ratio_or_zero(num, ja.len() as u64);
+        if f > best {
+            best = f;
+        }
+    }
+    best
+}
+
+/// Compute all three indices, sharing the (negation-aware) body join.
+pub fn all_indices(db: &Database, rule: &Rule) -> IndexValues {
+    let body: Vec<&Atom> = rule.body.iter().collect();
+    let jb = body_join(db, rule);
+    let jh = Bindings::from_atom(db.relation(rule.head.rel), &rule.head.terms);
+    let joint = jb.join(&jh);
+
+    let cnf = if jb.is_empty() {
+        Frac::ZERO
+    } else {
+        Frac::ratio_or_zero(joint.count_distinct(&att(&body)) as u64, jb.len() as u64)
+    };
+    let cvr = if jh.is_empty() {
+        Frac::ZERO
+    } else {
+        Frac::ratio_or_zero(
+            joint.count_distinct(&att(&[&rule.head])) as u64,
+            jh.len() as u64,
+        )
+    };
+    let mut sup = Frac::ZERO;
+    for a in &rule.body {
+        let ja = Bindings::from_atom(db.relation(a.rel), &a.terms);
+        if ja.is_empty() {
+            continue;
+        }
+        let f = Frac::ratio_or_zero(jb.count_distinct(&att(&[a])) as u64, ja.len() as u64);
+        if f > sup {
+            sup = f;
+        }
+    }
+    IndexValues { sup, cnf, cvr }
+}
+
+/// Compute one index by kind.
+pub fn index_value(db: &Database, rule: &Rule, kind: IndexKind) -> Frac {
+    match kind {
+        IndexKind::Sup => support(db, rule),
+        IndexKind::Cnf => confidence(db, rule),
+        IndexKind::Cvr => cover(db, rule),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::VarPool;
+    use mq_relation::ints;
+
+    /// Build the rule `head_rel(head_args) <- body...` over fresh vars.
+    fn rule(head: (mq_relation::RelId, &[u32]), body: &[(mq_relation::RelId, &[u32])]) -> Rule {
+        let mut pool = VarPool::new();
+        let var = |pool: &mut VarPool, i: u32| pool.var(&format!("V{i}"));
+        let mk = |pool: &mut VarPool, (rel, args): (mq_relation::RelId, &[u32])| {
+            let vars: Vec<VarId> = args.iter().map(|&i| var(pool, i)).collect();
+            Atom::vars_atom(rel, &vars)
+        };
+        let h = mk(&mut pool, head);
+        let b = body.iter().map(|&a| mk(&mut pool, a)).collect();
+        Rule {
+            head: h,
+            body: b,
+            neg_body: vec![],
+            var_names: pool,
+        }
+    }
+
+    /// The paper's §2.2 narrative for metaquery (2): out of all pairs (X,Z)
+    /// satisfying the body, cnf measures the fraction also in the head.
+    #[test]
+    fn confidence_hand_example() {
+        let mut db = Database::new();
+        let citizen = db.add_relation("citizen", 2);
+        let language = db.add_relation("language", 2);
+        let speaks = db.add_relation("speaks", 2);
+        // body join: (X,Y,Z) with citizen(X,Y), language(Y,Z)
+        for (x, y) in [(1, 10), (2, 10), (3, 20)] {
+            db.insert(citizen, ints(&[x, y]));
+        }
+        for (y, z) in [(10, 100), (20, 200)] {
+            db.insert(language, ints(&[y, z]));
+        }
+        // body has 3 satisfying assignments; heads hold for 2 of them.
+        db.insert(speaks, ints(&[1, 100]));
+        db.insert(speaks, ints(&[3, 200]));
+        let r = rule((speaks, &[0, 2]), &[(citizen, &[0, 1]), (language, &[1, 2])]);
+        assert_eq!(confidence(&db, &r), Frac::new(2, 3));
+    }
+
+    /// The paper's cover example: UsCa(X,Z) <- UsPt(X,H) scores cover 1
+    /// when every first-attribute value of UsCa appears in UsPt.
+    #[test]
+    fn cover_paper_example_shape() {
+        let mut db = Database::new();
+        let usca = db.add_relation("UsCa", 2);
+        let uspt = db.add_relation("UsPt", 2);
+        for (u, c) in [(1, 7), (1, 8), (2, 7)] {
+            db.insert(usca, ints(&[u, c]));
+        }
+        for (u, t) in [(1, 100), (1, 200), (2, 100)] {
+            db.insert(uspt, ints(&[u, t]));
+        }
+        let r = rule((usca, &[0, 1]), &[(uspt, &[0, 2])]);
+        assert_eq!(cover(&db, &r), Frac::ONE);
+    }
+
+    #[test]
+    fn support_is_max_over_body_atoms() {
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        let q = db.add_relation("q", 2);
+        let h = db.add_relation("h", 2);
+        // p has 4 tuples, 2 participate; q has 2 tuples, both participate.
+        for t in [(1, 2), (3, 4), (5, 6), (7, 8)] {
+            db.insert(p, ints(&[t.0, t.1]));
+        }
+        for t in [(2, 9), (4, 9)] {
+            db.insert(q, ints(&[t.0, t.1]));
+        }
+        db.insert(h, ints(&[1, 9]));
+        let r = rule((h, &[0, 2]), &[(p, &[0, 1]), (q, &[1, 2])]);
+        // {p} ↑ b = 2/4, {q} ↑ b = 2/2 → sup = 1
+        assert_eq!(support(&db, &r), Frac::ONE);
+    }
+
+    #[test]
+    fn empty_body_join_gives_zero_everything() {
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        let q = db.add_relation("q", 2);
+        let h = db.add_relation("h", 2);
+        db.insert(p, ints(&[1, 2]));
+        db.insert(q, ints(&[9, 9])); // no join partner
+        db.insert(h, ints(&[1, 9]));
+        let r = rule((h, &[0, 2]), &[(p, &[0, 1]), (q, &[1, 2])]);
+        let iv = all_indices(&db, &r);
+        assert_eq!(iv.cnf, Frac::ZERO);
+        assert_eq!(iv.cvr, Frac::ZERO);
+        assert_eq!(iv.sup, Frac::ZERO);
+    }
+
+    #[test]
+    fn all_indices_matches_individual_functions() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let mut db = Database::new();
+            let p = db.add_relation("p", 2);
+            let q = db.add_relation("q", 2);
+            let h = db.add_relation("h", 2);
+            for _ in 0..10 {
+                db.insert(p, ints(&[rng.gen_range(0..4), rng.gen_range(0..4)]));
+                db.insert(q, ints(&[rng.gen_range(0..4), rng.gen_range(0..4)]));
+                db.insert(h, ints(&[rng.gen_range(0..4), rng.gen_range(0..4)]));
+            }
+            let r = rule((h, &[0, 2]), &[(p, &[0, 1]), (q, &[1, 2])]);
+            let iv = all_indices(&db, &r);
+            assert_eq!(iv.cnf, confidence(&db, &r));
+            assert_eq!(iv.cvr, cover(&db, &r));
+            assert_eq!(iv.sup, support(&db, &r));
+            assert!(iv.cnf.is_probability());
+            assert!(iv.cvr.is_probability());
+            assert!(iv.sup.is_probability());
+        }
+    }
+
+    #[test]
+    fn index_value_dispatch() {
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        db.insert(p, ints(&[1, 2]));
+        let r = rule((p, &[0, 1]), &[(p, &[0, 1])]);
+        assert_eq!(index_value(&db, &r, IndexKind::Cnf), Frac::ONE);
+        assert_eq!(index_value(&db, &r, IndexKind::Cvr), Frac::ONE);
+        assert_eq!(index_value(&db, &r, IndexKind::Sup), Frac::ONE);
+    }
+}

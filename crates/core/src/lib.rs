@@ -1,0 +1,72 @@
+//! # mq-core — the metaquery engine
+//!
+//! The primary contribution of *Computational Properties of Metaquerying
+//! Problems* (Angiulli, Ben-Eliyahu-Zohary, Ianni, Palopoli; PODS 2000),
+//! as a library:
+//!
+//! * [`ast`] / [`parse`] — metaquery syntax (§2.1);
+//! * [`instantiate`] — type-0/1/2 instantiation semantics
+//!   (Definitions 2.1-2.4);
+//! * [`index`] — support, confidence, cover (Definitions 2.5-2.7);
+//! * [`rule`] — instantiated Horn rules `σ(MQ)`;
+//! * [`engine`] — the naive engine and `findRules` (Figure 4);
+//! * [`acyclic`] — (semi-)acyclicity analysis (Definition 3.31) and the
+//!   tractable evaluation of Theorem 3.32;
+//! * [`certificate`] — the NP certificates of Theorems 3.21/3.24, as
+//!   executable checkers;
+//! * [`cost`] — the §4 cost model (`n`, `d`, `b`, `a`, `m`, `c`) with the
+//!   paper's step bounds, validated against actual enumeration counts.
+//!
+//! Beyond the paper, the crate implements the §5 future-work *negation
+//! extension*: metaquery bodies may contain `not L(...)` literal schemes
+//! with safe negation-as-failure semantics (see [`ast::Metaquery`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mq_core::prelude::*;
+//! use mq_relation::{ints, Database, Frac};
+//!
+//! let mut db = Database::new();
+//! let p = db.add_relation("parent", 2);
+//! let g = db.add_relation("grand", 2);
+//! db.insert(p, ints(&[1, 2]));
+//! db.insert(p, ints(&[2, 3]));
+//! db.insert(g, ints(&[1, 3]));
+//!
+//! let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+//! let answers = find_rules(
+//!     &db, &mq, InstType::Zero,
+//!     Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+//! ).unwrap();
+//! assert!(!answers.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acyclic;
+pub mod ast;
+pub mod certificate;
+pub mod cost;
+pub mod engine;
+pub mod index;
+pub mod instantiate;
+pub mod parse;
+pub mod rule;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::ast::{Metaquery, MetaqueryBuilder};
+    pub use crate::engine::find_rules::{decide as find_rules_decide, find_rules};
+    pub use crate::engine::naive::{decide as naive_decide, find_all as naive_find_all};
+    pub use crate::engine::{MqAnswer, MqProblem, Thresholds};
+    pub use crate::index::{all_indices, IndexKind, IndexValues};
+    pub use crate::instantiate::{
+        apply_instantiation, enumerate_instantiations, InstType, Instantiation,
+    };
+    pub use crate::parse::parse_metaquery;
+    pub use crate::rule::Rule;
+}
+
+pub use prelude::*;

@@ -1,0 +1,314 @@
+//! Textual metaquery syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! metaquery := literal ("<-" | ":-") blit ("," blit)*
+//! blit      := ["not"] literal          (negated literals: extension)
+//! literal   := pred "(" arg ("," arg)* ")"
+//! pred      := IDENT            (uppercase-initial = predicate variable,
+//!                                lowercase-initial = relation symbol)
+//! arg       := IDENT | "_"     (identifiers are ordinary variables;
+//!                                "_" is a fresh mute variable)
+//! ```
+//!
+//! Identifiers are `[A-Za-z][A-Za-z0-9_']*`. This matches the paper's
+//! conventions: metaquery (4) is written `R(X,Z) <- P(X,Y), Q(Y,Z)`, and
+//! the semi-acyclic example is `N(X) <- N(Y), e(X,Y)`.
+
+use crate::ast::{Metaquery, MetaqueryBuilder};
+use std::fmt;
+
+/// A parse error with a byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug)]
+struct RawLiteral {
+    pred: String,
+    args: Vec<Option<String>>, // None = mute "_"
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() => {
+                self.pos += 1;
+            }
+            _ => return self.err("expected identifier"),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii slice")
+            .to_string())
+    }
+
+    fn literal(&mut self) -> Result<RawLiteral, ParseError> {
+        self.skip_ws();
+        let pred = self.ident()?;
+        self.skip_ws();
+        if !self.eat(b'(') {
+            return self.err("expected '(' after predicate");
+        }
+        let mut args = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b'_') {
+                args.push(None);
+            } else {
+                args.push(Some(self.ident()?));
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b')') {
+                break;
+            }
+            return self.err("expected ',' or ')' in argument list");
+        }
+        Ok(RawLiteral { pred, args })
+    }
+
+    fn arrow(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos + 1 < self.input.len() {
+            let two = &self.input[self.pos..self.pos + 2];
+            if two == b"<-" || two == b":-" {
+                self.pos += 2;
+                return Ok(());
+            }
+        }
+        self.err("expected '<-' or ':-' after head literal")
+    }
+
+    /// A body literal with an optional `not` prefix.
+    fn body_literal(&mut self) -> Result<(bool, RawLiteral), ParseError> {
+        self.skip_ws();
+        // Lookahead for the keyword `not` followed by another identifier.
+        let save = self.pos;
+        if let Ok(word) = self.ident() {
+            if word == "not" {
+                self.skip_ws();
+                // must be followed by a literal, not a '(' of a relation
+                // actually named `not`
+                if self.peek() != Some(b'(') {
+                    return Ok((true, self.literal()?));
+                }
+            }
+        }
+        self.pos = save;
+        Ok((false, self.literal()?))
+    }
+
+    fn metaquery(&mut self) -> Result<Metaquery, ParseError> {
+        let head = self.literal()?;
+        self.arrow()?;
+        let mut body = vec![self.body_literal()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b',') {
+                body.push(self.body_literal()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            // Allow a trailing period, as in the paper's notation.
+            if self.eat(b'.') {
+                self.skip_ws();
+            }
+            if self.pos != self.input.len() {
+                return self.err("trailing input after metaquery");
+            }
+        }
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Place {
+            Head,
+            Body,
+            NegBody,
+        }
+        let mut b = MetaqueryBuilder::new();
+        let install = |b: &mut MetaqueryBuilder, raw: &RawLiteral, place: Place| {
+            let args: Vec<_> = raw
+                .args
+                .iter()
+                .map(|a| match a {
+                    Some(name) => b.var(name),
+                    None => b.fresh(),
+                })
+                .collect();
+            let upper = raw.pred.as_bytes()[0].is_ascii_uppercase();
+            if upper {
+                let p = b.pred_var(&raw.pred);
+                match place {
+                    Place::Head => b.head_pattern(p, args),
+                    Place::Body => b.body_pattern(p, args),
+                    Place::NegBody => b.body_neg_pattern(p, args),
+                };
+            } else {
+                match place {
+                    Place::Head => b.head_atom(&raw.pred, args),
+                    Place::Body => b.body_atom(&raw.pred, args),
+                    Place::NegBody => b.body_neg_atom(&raw.pred, args),
+                };
+            }
+        };
+        install(&mut b, &head, Place::Head);
+        for (negated, lit) in &body {
+            install(
+                &mut b,
+                lit,
+                if *negated { Place::NegBody } else { Place::Body },
+            );
+        }
+        let mq = b.build();
+        if mq.body.is_empty() {
+            return self.err("body needs at least one positive literal");
+        }
+        Ok(mq)
+    }
+}
+
+/// Parse a metaquery from the paper's surface syntax.
+///
+/// ```
+/// use mq_core::parse::parse_metaquery;
+/// let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+/// assert_eq!(mq.body_len(), 2);
+/// assert!(mq.is_pure());
+/// ```
+pub fn parse_metaquery(input: &str) -> Result<Metaquery, ParseError> {
+    Parser::new(input).metaquery()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pred;
+
+    #[test]
+    fn paper_metaquery_4() {
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        assert_eq!(mq.render(), "R(X,Z) <- P(X,Y), Q(Y,Z)");
+        assert_eq!(mq.pred_vars().len(), 3);
+        assert!(mq.is_pure());
+    }
+
+    #[test]
+    fn datalog_arrow_and_period() {
+        let mq = parse_metaquery("R(X,Z) :- P(X,Y), Q(Y,Z).").unwrap();
+        assert_eq!(mq.body_len(), 2);
+    }
+
+    #[test]
+    fn relation_symbols_are_lowercase() {
+        let mq = parse_metaquery("N(X) <- N(Y), e(X,Y)").unwrap();
+        assert!(mq.head.is_pattern());
+        assert!(mq.body[0].is_pattern());
+        assert!(!mq.body[1].is_pattern());
+        match &mq.body[1].pred {
+            Pred::Rel(name) => assert_eq!(name, "e"),
+            Pred::Var(_) => panic!("e should be a relation symbol"),
+        }
+    }
+
+    #[test]
+    fn mute_variables_are_fresh_and_distinct() {
+        let mq = parse_metaquery("P(X,_) <- Q(_,X)").unwrap();
+        let vars = mq.ordinary_vars();
+        assert_eq!(vars.len(), 3); // X plus two distinct mutes
+    }
+
+    #[test]
+    fn shared_variables_are_shared() {
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        // Y in both body literals is the same variable
+        assert_eq!(mq.body[0].args[1], mq.body[1].args[0]);
+        // X in head and body literal 0 is the same
+        assert_eq!(mq.head.args[0], mq.body[0].args[0]);
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        let mq = parse_metaquery("P'(X,Y) <- c'(X,Y,Z,W)").unwrap();
+        assert!(mq.head.is_pattern());
+        assert!(!mq.body[0].is_pattern());
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse_metaquery("R(X,Z)").is_err());
+        assert!(parse_metaquery("R(X,Z) <- ").is_err());
+        assert!(parse_metaquery("R() <- P(X)").is_err());
+        assert!(parse_metaquery("R(X) <- P(X) extra").is_err());
+        assert!(parse_metaquery("1R(X) <- P(X)").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_metaquery("R(X,Z)<-P(X,Y),Q(Y,Z)").unwrap();
+        let b = parse_metaquery("  R( X , Z )  <-  P( X , Y ) , Q( Y , Z )  ").unwrap();
+        assert_eq!(a.render(), b.render());
+    }
+}

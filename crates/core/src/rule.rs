@@ -1,0 +1,74 @@
+//! Instantiated Horn rules: the result of applying an instantiation `σ` to
+//! a metaquery, `σ(MQ)` (§2.1).
+
+use crate::ast::VarPool;
+use mq_cq::Atom;
+use mq_relation::{Database, Term};
+
+/// An ordinary Horn rule `h(X) <- b1(X1), ..., bn(Xn)` over a database.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Positive body atoms.
+    pub body: Vec<Atom>,
+    /// Negated body atoms (negation extension; empty for paper rules).
+    pub neg_body: Vec<Atom>,
+    /// Names for the rule's variables (original plus padding mutes).
+    pub var_names: VarPool,
+}
+
+impl Rule {
+    /// All positive atoms, head first (the set `Ar` of Definition 3.19).
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> {
+        std::iter::once(&self.head).chain(self.body.iter())
+    }
+
+    /// Whether the rule carries negated atoms.
+    pub fn has_negation(&self) -> bool {
+        !self.neg_body.is_empty()
+    }
+
+    /// Render as Datalog-style text against a database.
+    pub fn render(&self, db: &Database) -> String {
+        let atom = |a: &Atom| {
+            let args: Vec<String> = a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => self.var_names.name(*v).to_string(),
+                    Term::Const(c) => c.display(db.symbols()).to_string(),
+                })
+                .collect();
+            format!("{}({})", db.relation(a.rel).name(), args.join(","))
+        };
+        let mut body: Vec<String> = self.body.iter().map(&atom).collect();
+        body.extend(self.neg_body.iter().map(|a| format!("not {}", atom(a))));
+        format!("{} <- {}", atom(&self.head), body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_relation::{ints, VarId};
+
+    #[test]
+    fn render_rule() {
+        let mut db = Database::new();
+        let e = db.add_relation("e", 2);
+        db.insert(e, ints(&[1, 2]));
+        let mut pool = VarPool::new();
+        let x = pool.var("X");
+        let y = pool.var("Y");
+        let rule = Rule {
+            head: Atom::vars_atom(e, &[x, y]),
+            body: vec![Atom::vars_atom(e, &[y, x])],
+            neg_body: vec![],
+            var_names: pool,
+        };
+        assert_eq!(rule.render(&db), "e(X,Y) <- e(Y,X)");
+        assert_eq!(rule.atoms().count(), 2);
+        let _ = VarId(0); // silence unused import on some cfgs
+    }
+}

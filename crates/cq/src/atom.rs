@@ -1,0 +1,170 @@
+//! Atoms and conjunctive queries (Definition 3.2).
+
+use mq_relation::{distinct_vars, Database, RelId, Term, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `r(t1, ..., tk)` over a database relation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation the atom refers to.
+    pub rel: RelId,
+    /// Argument list; length must equal the relation's arity.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(rel: RelId, terms: Vec<Term>) -> Self {
+        Atom { rel, terms }
+    }
+
+    /// Construct an atom with all-variable arguments.
+    pub fn vars_atom(rel: RelId, vars: &[VarId]) -> Self {
+        Atom {
+            rel,
+            terms: vars.iter().map(|&v| Term::Var(v)).collect(),
+        }
+    }
+
+    /// The distinct variables, in first-occurrence order.
+    pub fn vars(&self) -> Vec<VarId> {
+        distinct_vars(&self.terms)
+    }
+
+    /// The distinct variables as a set.
+    pub fn var_set(&self) -> BTreeSet<VarId> {
+        self.terms.iter().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// Arity of the argument list.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Render against a database (for diagnostics).
+    pub fn render(&self, db: &Database) -> String {
+        let args: Vec<String> = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => format!("V{}", v.0),
+                Term::Const(c) => c.display(db.symbols()).to_string(),
+            })
+            .collect();
+        format!("{}({})", db.relation(self.rel).name(), args.join(","))
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.rel.0)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match t {
+                Term::Var(v) => write!(f, "V{}", v.0)?,
+                Term::Const(c) => write!(f, "{c:?}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A conjunctive query: a set of atoms, `{r1(X1), ..., rn(Xn)}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cq {
+    /// The atoms of the query.
+    pub atoms: Vec<Atom>,
+}
+
+impl Cq {
+    /// Construct from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Cq { atoms }
+    }
+
+    /// All distinct variables, in first-occurrence order.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for v in atom.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct variables as a set.
+    pub fn var_set(&self) -> BTreeSet<VarId> {
+        self.atoms.iter().flat_map(|a| a.var_set()).collect()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the query has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Render against a database (for diagnostics).
+    pub fn render(&self, db: &Database) -> String {
+        self.atoms
+            .iter()
+            .map(|a| a.render(db))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_relation::{ints, Value};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn atom_vars_dedup_in_order() {
+        let a = Atom::new(
+            RelId(0),
+            vec![
+                Term::Var(v(3)),
+                Term::Var(v(1)),
+                Term::Var(v(3)),
+                Term::Const(Value::Int(5)),
+            ],
+        );
+        assert_eq!(a.vars(), vec![v(3), v(1)]);
+        assert_eq!(a.var_set().len(), 2);
+        assert_eq!(a.arity(), 4);
+    }
+
+    #[test]
+    fn cq_vars_across_atoms() {
+        let q = Cq::new(vec![
+            Atom::vars_atom(RelId(0), &[v(0), v(1)]),
+            Atom::vars_atom(RelId(1), &[v(1), v(2)]),
+        ]);
+        assert_eq!(q.vars(), vec![v(0), v(1), v(2)]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let mut db = Database::new();
+        let e = db.add_relation("edge", 2);
+        db.insert(e, ints(&[1, 2]));
+        let a = Atom::vars_atom(e, &[v(0), v(1)]);
+        assert_eq!(a.render(&db), "edge(V0,V1)");
+    }
+}

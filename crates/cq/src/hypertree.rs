@@ -1,0 +1,620 @@
+//! Hypertree decompositions (Definitions 4.6-4.7) and the `acy(·)`
+//! construction of §4.
+//!
+//! `findRules` (Figure 4) evaluates metaquery bodies along a *complete
+//! hypertree decomposition* of width `c`, achieving the `d^c log d` support
+//! computation bound of Theorem 4.12. This module implements a
+//! component-based exact search for decompositions of minimal width
+//! (bounded hypertree-width generalizes semi-acyclicity: `hw(Q) = 1` iff
+//! `Q` is semi-acyclic).
+//!
+//! The candidate construction here always sets
+//! `χ(p) = varo(λ(p)) ∩ (conn ∪ varo(component))`, which makes the
+//! *special condition* (Definition 4.7, item 4) hold automatically — the
+//! produced decompositions are genuine hypertree decompositions, not just
+//! generalized ones; [`Hypertree::validate`] checks all four conditions.
+
+use crate::atom::Cq;
+use crate::jointree::JoinTree;
+use mq_relation::{Bindings, Database, VarId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// One vertex of a hypertree decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HtNode {
+    /// `χ(p)`: the ordinary variables covered by this vertex.
+    pub chi: BTreeSet<VarId>,
+    /// `λ(p)`: indices of query atoms labelling this vertex.
+    pub lambda: Vec<usize>,
+}
+
+/// A rooted hypertree decomposition of a conjunctive query.
+#[derive(Clone, Debug)]
+pub struct Hypertree {
+    /// Decomposition vertices; index 0 is the root.
+    pub nodes: Vec<HtNode>,
+    /// Parent links (`None` for the root only).
+    pub parent: Vec<Option<usize>>,
+    /// Children lists.
+    pub children: Vec<Vec<usize>>,
+    /// For each query atom, a vertex `p` with `varo(atom) ⊆ χ(p)`.
+    /// After [`Hypertree::complete`], the atom is also in `λ(p)`.
+    pub atom_home: Vec<usize>,
+}
+
+impl Hypertree {
+    /// The width `max_p |λ(p)|`.
+    pub fn width(&self) -> usize {
+        self.nodes.iter().map(|n| n.lambda.len()).max().unwrap_or(0)
+    }
+
+    /// Number of decomposition vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A postorder over vertices (children before parents).
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(0usize, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                order.push(n);
+            } else {
+                stack.push((n, true));
+                for &c in &self.children[n] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Make the decomposition *complete* (Definition 4.7): ensure each
+    /// atom appears in the `λ` of a vertex whose `χ` covers its variables.
+    /// May increase the effective width; the width used for complexity
+    /// accounting is the pre-completion one.
+    pub fn complete(&mut self, cq: &Cq) {
+        self.complete_edges(cq.atoms.len());
+    }
+
+    /// [`Hypertree::complete`] for decompositions built from raw edge sets:
+    /// `n_edges` is the number of edges the decomposition was built over.
+    pub fn complete_edges(&mut self, n_edges: usize) {
+        for ai in 0..n_edges {
+            let home = self.atom_home[ai];
+            if !self.nodes[home].lambda.contains(&ai) {
+                self.nodes[home].lambda.push(ai);
+            }
+        }
+    }
+
+    /// Validate Definition 4.7 against `cq`:
+    /// 1. every atom's variables are covered by some vertex's `χ`;
+    /// 2. every variable's vertices induce a connected subtree;
+    /// 3. `χ(p) ⊆ varo(λ(p))` for every vertex;
+    /// 4. the special condition `varo(λ(p)) ∩ χ(T_p) ⊆ χ(p)`.
+    pub fn validate(&self, cq: &Cq) -> Result<(), String> {
+        let edge_vars: Vec<BTreeSet<VarId>> = cq.atoms.iter().map(|a| a.var_set()).collect();
+        self.validate_sets(&edge_vars)
+    }
+
+    /// [`Hypertree::validate`] against raw edge variable sets.
+    pub fn validate_sets(&self, edge_vars: &[BTreeSet<VarId>]) -> Result<(), String> {
+        // (1)
+        for (ai, vs) in edge_vars.iter().enumerate() {
+            if !self
+                .nodes
+                .iter()
+                .any(|n| vs.iter().all(|v| n.chi.contains(v)))
+            {
+                return Err(format!("condition 1 violated for atom {ai}"));
+            }
+        }
+        // (2) connectedness per variable
+        let all_vars: BTreeSet<VarId> = self.nodes.iter().flat_map(|n| n.chi.clone()).collect();
+        for v in all_vars {
+            let holders: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| self.nodes[i].chi.contains(&v))
+                .collect();
+            if holders.len() > 1 {
+                let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+                let mut seen = BTreeSet::new();
+                let mut stack = vec![holders[0]];
+                seen.insert(holders[0]);
+                while let Some(n) = stack.pop() {
+                    let mut nb: Vec<usize> = self.children[n].clone();
+                    if let Some(p) = self.parent[n] {
+                        nb.push(p);
+                    }
+                    for x in nb {
+                        if holder_set.contains(&x) && seen.insert(x) {
+                            stack.push(x);
+                        }
+                    }
+                }
+                if seen.len() != holders.len() {
+                    return Err(format!("condition 2 violated for variable {v:?}"));
+                }
+            }
+        }
+        // (3)
+        for (i, n) in self.nodes.iter().enumerate() {
+            let lam_vars: BTreeSet<VarId> = n
+                .lambda
+                .iter()
+                .flat_map(|&ai| edge_vars[ai].iter().copied())
+                .collect();
+            if !n.chi.iter().all(|v| lam_vars.contains(v)) {
+                return Err(format!("condition 3 violated at vertex {i}"));
+            }
+        }
+        // (4) special condition
+        let post = self.postorder();
+        let mut subtree_chi: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); self.nodes.len()];
+        for &n in &post {
+            let mut acc = self.nodes[n].chi.clone();
+            for &c in &self.children[n] {
+                acc.extend(subtree_chi[c].iter().copied());
+            }
+            subtree_chi[n] = acc;
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let lam_vars: BTreeSet<VarId> = n
+                .lambda
+                .iter()
+                .flat_map(|&ai| edge_vars[ai].iter().copied())
+                .collect();
+            for v in lam_vars {
+                if subtree_chi[i].contains(&v) && !n.chi.contains(&v) {
+                    return Err(format!("condition 4 violated at vertex {i} for {v:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The join tree over decomposition vertices (used by `acy()` and the
+    /// full reducer inside `findRules`).
+    pub fn as_join_tree(&self) -> JoinTree {
+        JoinTree {
+            parent: self.parent.clone(),
+            children: self.children.clone(),
+            roots: vec![0],
+            postorder: self.postorder(),
+        }
+    }
+
+    /// Materialize the node relation `π_χ(p)(J(λ(p)))` over `db` — the
+    /// derived relation of the `acy()` construction (§4, Example 4.11).
+    pub fn node_bindings(&self, db: &Database, cq: &Cq, node: usize) -> Bindings {
+        let pairs: Vec<(&mq_relation::Relation, &[mq_relation::Term])> = self.nodes[node]
+            .lambda
+            .iter()
+            .map(|&ai| (db.relation(cq.atoms[ai].rel), cq.atoms[ai].terms.as_slice()))
+            .collect();
+        let join = Bindings::join_all(&pairs);
+        let chi: Vec<VarId> = self.nodes[node].chi.iter().copied().collect();
+        join.project(&chi)
+    }
+}
+
+/// Raw node used during search.
+struct RawNode {
+    lambda: Vec<usize>,
+    chi: BTreeSet<VarId>,
+    children: Vec<RawNode>,
+}
+
+struct Searcher {
+    edge_vars: Vec<BTreeSet<VarId>>,
+    /// Failed (component, conn) pairs.
+    failed: HashSet<(Vec<usize>, Vec<VarId>)>,
+    /// In-progress pairs, to cut non-productive cycles.
+    visiting: HashSet<(Vec<usize>, Vec<VarId>)>,
+    /// All candidate lambda sets (indices into atoms), |λ| ≤ k.
+    candidates: Vec<Vec<usize>>,
+}
+
+impl Searcher {
+    fn new(edge_vars: Vec<BTreeSet<VarId>>, k: usize) -> Self {
+        // Enumerate all non-empty subsets of atoms of size ≤ k.
+        let n = edge_vars.len();
+        let mut candidates = Vec::new();
+        let mut current = Vec::new();
+        fn rec(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if !current.is_empty() {
+                out.push(current.clone());
+            }
+            if current.len() == k {
+                return;
+            }
+            for i in start..n {
+                current.push(i);
+                rec(i + 1, n, k, current, out);
+                current.pop();
+            }
+        }
+        rec(0, n, k, &mut current, &mut candidates);
+        Searcher {
+            edge_vars,
+            failed: HashSet::new(),
+            visiting: HashSet::new(),
+            candidates,
+        }
+    }
+
+    fn key(comp: &BTreeSet<usize>, conn: &BTreeSet<VarId>) -> (Vec<usize>, Vec<VarId>) {
+        (
+            comp.iter().copied().collect(),
+            conn.iter().copied().collect(),
+        )
+    }
+
+    /// Split `edges` into connected components linked by variables outside
+    /// `chi`.
+    fn components(
+        &self,
+        edges: &BTreeSet<usize>,
+        chi: &BTreeSet<VarId>,
+    ) -> Vec<BTreeSet<usize>> {
+        let list: Vec<usize> = edges.iter().copied().collect();
+        let mut comp_id: HashMap<usize, usize> = HashMap::new();
+        let mut comps: Vec<BTreeSet<usize>> = Vec::new();
+        for &e in &list {
+            if comp_id.contains_key(&e) {
+                continue;
+            }
+            let id = comps.len();
+            let mut comp = BTreeSet::new();
+            let mut stack = vec![e];
+            comp_id.insert(e, id);
+            comp.insert(e);
+            while let Some(x) = stack.pop() {
+                for &y in &list {
+                    if comp_id.contains_key(&y) {
+                        continue;
+                    }
+                    let connected = self.edge_vars[x]
+                        .iter()
+                        .any(|v| !chi.contains(v) && self.edge_vars[y].contains(v));
+                    if connected {
+                        comp_id.insert(y, id);
+                        comp.insert(y);
+                        stack.push(y);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
+    fn decompose(
+        &mut self,
+        comp: &BTreeSet<usize>,
+        conn: &BTreeSet<VarId>,
+    ) -> Option<RawNode> {
+        let key = Self::key(comp, conn);
+        if self.failed.contains(&key) || self.visiting.contains(&key) {
+            return None;
+        }
+        self.visiting.insert(key.clone());
+        let result = self.decompose_inner(comp, conn);
+        self.visiting.remove(&key);
+        if result.is_none() {
+            self.failed.insert(key);
+        }
+        result
+    }
+
+    fn decompose_inner(
+        &mut self,
+        comp: &BTreeSet<usize>,
+        conn: &BTreeSet<VarId>,
+    ) -> Option<RawNode> {
+        let comp_vars: BTreeSet<VarId> = comp
+            .iter()
+            .flat_map(|&e| self.edge_vars[e].iter().copied())
+            .collect();
+        let cand_count = self.candidates.len();
+        'cands: for ci in 0..cand_count {
+            let lambda = self.candidates[ci].clone();
+            // λ must cover conn.
+            let lam_vars: BTreeSet<VarId> = lambda
+                .iter()
+                .flat_map(|&e| self.edge_vars[e].iter().copied())
+                .collect();
+            if !conn.iter().all(|v| lam_vars.contains(v)) {
+                continue;
+            }
+            // Require relevance: λ intersects the component or covers conn
+            // non-trivially through component variables.
+            let chi: BTreeSet<VarId> = lam_vars
+                .iter()
+                .copied()
+                .filter(|v| conn.contains(v) || comp_vars.contains(v))
+                .collect();
+            if chi.is_empty() && !comp.is_empty() {
+                continue;
+            }
+            // Absorb edges fully covered by χ.
+            let remaining: BTreeSet<usize> = comp
+                .iter()
+                .copied()
+                .filter(|&e| !self.edge_vars[e].iter().all(|v| chi.contains(v)))
+                .collect();
+            // Progress check: something absorbed or properly split.
+            let absorbed = remaining.len() < comp.len();
+            let comps = self.components(&remaining, &chi);
+            if !absorbed && comps.len() == 1 {
+                let sub_conn: BTreeSet<VarId> = comps[0]
+                    .iter()
+                    .flat_map(|&e| self.edge_vars[e].iter().copied())
+                    .filter(|v| chi.contains(v))
+                    .collect();
+                if comps[0] == *comp && sub_conn == *conn {
+                    continue; // no progress with this candidate
+                }
+            }
+            let mut children = Vec::new();
+            for sub in &comps {
+                let sub_conn: BTreeSet<VarId> = sub
+                    .iter()
+                    .flat_map(|&e| self.edge_vars[e].iter().copied())
+                    .filter(|v| chi.contains(v))
+                    .collect();
+                match self.decompose(sub, &sub_conn) {
+                    Some(child) => children.push(child),
+                    None => continue 'cands,
+                }
+            }
+            return Some(RawNode {
+                lambda,
+                chi,
+                children,
+            });
+        }
+        None
+    }
+}
+
+/// Search for a width-`k` hypertree decomposition of a hypergraph given as
+/// per-edge variable sets (for conjunctive queries these are the atoms'
+/// ordinary-variable sets; for metaqueries, the body literal schemes').
+/// Returns `None` if no width-`k` decomposition exists.
+pub fn decompose_edge_sets(edge_vars: &[BTreeSet<VarId>], k: usize) -> Option<Hypertree> {
+    if edge_vars.is_empty() {
+        return None;
+    }
+    let mut searcher = Searcher::new(edge_vars.to_vec(), k);
+    let all: BTreeSet<usize> = (0..edge_vars.len()).collect();
+    let raw = searcher.decompose(&all, &BTreeSet::new())?;
+
+    // Flatten to arrays.
+    let mut nodes = Vec::new();
+    let mut parent = Vec::new();
+    let mut children: Vec<Vec<usize>> = Vec::new();
+    fn flatten(
+        raw: RawNode,
+        par: Option<usize>,
+        nodes: &mut Vec<HtNode>,
+        parent: &mut Vec<Option<usize>>,
+        children: &mut Vec<Vec<usize>>,
+    ) -> usize {
+        let id = nodes.len();
+        nodes.push(HtNode {
+            chi: raw.chi,
+            lambda: raw.lambda,
+        });
+        parent.push(par);
+        children.push(Vec::new());
+        if let Some(p) = par {
+            children[p].push(id);
+        }
+        for c in raw.children {
+            flatten(c, Some(id), nodes, parent, children);
+        }
+        id
+    }
+    flatten(raw, None, &mut nodes, &mut parent, &mut children);
+
+    // Atom (edge) homes.
+    let mut atom_home = Vec::with_capacity(edge_vars.len());
+    for vs in edge_vars {
+        let home = (0..nodes.len())
+            .find(|&i| vs.iter().all(|v| nodes[i].chi.contains(v)))
+            .expect("decomposition covers every atom (condition 1)");
+        atom_home.push(home);
+    }
+
+    Some(Hypertree {
+        nodes,
+        parent,
+        children,
+        atom_home,
+    })
+}
+
+/// Search for a width-`k` hypertree decomposition of `cq`'s atoms
+/// (variables = ordinary variables). Returns `None` if none exists.
+pub fn decompose_width(cq: &Cq, k: usize) -> Option<Hypertree> {
+    let edge_vars: Vec<BTreeSet<VarId>> = cq.atoms.iter().map(|a| a.var_set()).collect();
+    let ht = decompose_edge_sets(&edge_vars, k)?;
+    debug_assert!(ht.validate(cq).is_ok(), "search produced invalid decomposition");
+    Some(ht)
+}
+
+/// The least `k` admitting a decomposition of the given edge sets, with a
+/// witness decomposition.
+pub fn hypertree_width_of_sets(edge_vars: &[BTreeSet<VarId>]) -> Option<(usize, Hypertree)> {
+    for k in 1..=edge_vars.len().max(1) {
+        if let Some(ht) = decompose_edge_sets(edge_vars, k) {
+            return Some((k, ht));
+        }
+    }
+    None
+}
+
+/// The hypertree width of `cq`: the least `k` admitting a decomposition,
+/// together with a witness decomposition. Searches `k = 1..=atoms`.
+pub fn hypertree_width(cq: &Cq) -> Option<(usize, Hypertree)> {
+    for k in 1..=cq.atoms.len().max(1) {
+        if let Some(ht) = decompose_width(cq, k) {
+            return Some((k, ht));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use mq_relation::Database;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn db_with(arities: &[(&str, usize)]) -> Database {
+        let mut db = Database::new();
+        for &(name, ar) in arities {
+            db.add_relation(name, ar);
+        }
+        db
+    }
+
+    /// Example 4.8/4.10: Qex = {P(A,B), Q(B,C), R(C,D), S(B,D)} has
+    /// hypertree-width 2 (it is not semi-acyclic).
+    #[test]
+    fn example_4_8_width_two() {
+        let db = db_with(&[("P", 2), ("Q", 2), ("R", 2), ("S", 2)]);
+        let cq = Cq::new(vec![
+            Atom::vars_atom(db.rel_id("P").unwrap(), &[v(0), v(1)]), // P(A,B)
+            Atom::vars_atom(db.rel_id("Q").unwrap(), &[v(1), v(2)]), // Q(B,C)
+            Atom::vars_atom(db.rel_id("R").unwrap(), &[v(2), v(3)]), // R(C,D)
+            Atom::vars_atom(db.rel_id("S").unwrap(), &[v(1), v(3)]), // S(B,D)
+        ]);
+        assert!(decompose_width(&cq, 1).is_none(), "Qex is not semi-acyclic");
+        let (w, ht) = hypertree_width(&cq).unwrap();
+        assert_eq!(w, 2);
+        ht.validate(&cq).unwrap();
+    }
+
+    /// Chains are width 1 (semi-acyclic).
+    #[test]
+    fn chain_width_one() {
+        let db = db_with(&[("P", 2), ("Q", 2), ("R", 2)]);
+        let cq = Cq::new(vec![
+            Atom::vars_atom(db.rel_id("P").unwrap(), &[v(0), v(1)]),
+            Atom::vars_atom(db.rel_id("Q").unwrap(), &[v(1), v(2)]),
+            Atom::vars_atom(db.rel_id("R").unwrap(), &[v(2), v(3)]),
+        ]);
+        let (w, ht) = hypertree_width(&cq).unwrap();
+        assert_eq!(w, 1);
+        ht.validate(&cq).unwrap();
+    }
+
+    /// Width-1 decompositions exist exactly for semi-acyclic queries.
+    #[test]
+    fn width_one_iff_join_tree() {
+        use crate::jointree::JoinTree;
+        let db = db_with(&[("e", 2)]);
+        let e = db.rel_id("e").unwrap();
+        // triangle: cyclic
+        let tri = Cq::new(vec![
+            Atom::vars_atom(e, &[v(0), v(1)]),
+            Atom::vars_atom(e, &[v(1), v(2)]),
+            Atom::vars_atom(e, &[v(2), v(0)]),
+        ]);
+        assert!(JoinTree::for_cq(&tri).is_none());
+        assert!(decompose_width(&tri, 1).is_none());
+        let (w, _) = hypertree_width(&tri).unwrap();
+        assert_eq!(w, 2);
+        // star: acyclic
+        let star = Cq::new(vec![
+            Atom::vars_atom(e, &[v(0), v(1)]),
+            Atom::vars_atom(e, &[v(0), v(2)]),
+            Atom::vars_atom(e, &[v(0), v(3)]),
+        ]);
+        assert!(JoinTree::for_cq(&star).is_some());
+        assert!(decompose_width(&star, 1).is_some());
+    }
+
+    /// 2x2 grid (cycle of length 4) has width 2.
+    #[test]
+    fn four_cycle_width_two() {
+        let db = db_with(&[("e", 2)]);
+        let e = db.rel_id("e").unwrap();
+        let cq = Cq::new(vec![
+            Atom::vars_atom(e, &[v(0), v(1)]),
+            Atom::vars_atom(e, &[v(1), v(2)]),
+            Atom::vars_atom(e, &[v(2), v(3)]),
+            Atom::vars_atom(e, &[v(3), v(0)]),
+        ]);
+        let (w, ht) = hypertree_width(&cq).unwrap();
+        assert_eq!(w, 2);
+        ht.validate(&cq).unwrap();
+    }
+
+    #[test]
+    fn complete_assigns_every_atom() {
+        let db = db_with(&[("P", 2), ("Q", 2), ("R", 2), ("S", 2)]);
+        let cq = Cq::new(vec![
+            Atom::vars_atom(db.rel_id("P").unwrap(), &[v(0), v(1)]),
+            Atom::vars_atom(db.rel_id("Q").unwrap(), &[v(1), v(2)]),
+            Atom::vars_atom(db.rel_id("R").unwrap(), &[v(2), v(3)]),
+            Atom::vars_atom(db.rel_id("S").unwrap(), &[v(1), v(3)]),
+        ]);
+        let (_, mut ht) = hypertree_width(&cq).unwrap();
+        ht.complete(&cq);
+        for (ai, _) in cq.atoms.iter().enumerate() {
+            let home = ht.atom_home[ai];
+            assert!(ht.nodes[home].lambda.contains(&ai));
+            let vs = cq.atoms[ai].var_set();
+            assert!(vs.iter().all(|v| ht.nodes[home].chi.contains(v)));
+        }
+        ht.validate(&cq).unwrap();
+    }
+
+    /// node_bindings materializes π_χ(J(λ)) — check against direct join on
+    /// a concrete database (Example 4.11's construction).
+    #[test]
+    fn node_bindings_matches_direct_join() {
+        use mq_relation::ints;
+        let mut db = Database::new();
+        let p = db.add_relation("P", 2);
+        let q = db.add_relation("Q", 2);
+        let r = db.add_relation("R", 2);
+        let s = db.add_relation("S", 2);
+        for (x, y) in [(1, 2), (2, 3), (3, 1)] {
+            db.insert(p, ints(&[x, y]));
+            db.insert(q, ints(&[x, y]));
+            db.insert(r, ints(&[x, y]));
+            db.insert(s, ints(&[x, y]));
+        }
+        let cq = Cq::new(vec![
+            Atom::vars_atom(p, &[v(0), v(1)]),
+            Atom::vars_atom(q, &[v(1), v(2)]),
+            Atom::vars_atom(r, &[v(2), v(3)]),
+            Atom::vars_atom(s, &[v(1), v(3)]),
+        ]);
+        let (_, ht) = hypertree_width(&cq).unwrap();
+        for node in 0..ht.len() {
+            let b = ht.node_bindings(&db, &cq, node);
+            // Every row must satisfy each lambda atom's relation.
+            assert!(b.vars().iter().all(|vv| ht.nodes[node].chi.contains(vv)));
+        }
+    }
+
+    #[test]
+    fn empty_query_has_no_decomposition() {
+        assert!(hypertree_width(&Cq::new(vec![])).is_none());
+    }
+}

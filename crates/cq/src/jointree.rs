@@ -1,0 +1,209 @@
+//! Join trees (Definition 4.2) built from a successful GYO reduction.
+//!
+//! A join tree for a set of literal schemes has the schemes as vertices and
+//! satisfies the *connectedness* condition: whenever a variable occurs in
+//! two schemes, it occurs in every scheme on the unique path between them.
+//! A metaquery (or CQ) is semi-acyclic iff its literal set has a join tree.
+
+use crate::atom::Cq;
+use crate::hypergraph::{Hypergraph, JoinForest};
+use mq_relation::VarId;
+use std::collections::BTreeSet;
+
+/// A rooted join forest over atom indices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTree {
+    /// Parent atom index, `None` for roots.
+    pub parent: Vec<Option<usize>>,
+    /// Children lists.
+    pub children: Vec<Vec<usize>>,
+    /// Roots (one per connected component).
+    pub roots: Vec<usize>,
+    /// A postorder over all nodes (children strictly before parents).
+    pub postorder: Vec<usize>,
+}
+
+impl JoinTree {
+    /// Build from a GYO join forest.
+    pub fn from_forest(forest: &JoinForest) -> Self {
+        let n = forest.parent.len();
+        let children = forest.children();
+        let roots = forest.roots();
+        // GYO removal order already lists children before witnesses, but
+        // witnesses of isolated removals need care; recompute a postorder.
+        let mut postorder = Vec::with_capacity(n);
+        for &r in &roots {
+            // iterative DFS post-order
+            let mut stack = vec![(r, false)];
+            while let Some((node, expanded)) = stack.pop() {
+                if expanded {
+                    postorder.push(node);
+                } else {
+                    stack.push((node, true));
+                    for &c in &children[node] {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+        JoinTree {
+            parent: forest.parent.clone(),
+            children,
+            roots,
+            postorder,
+        }
+    }
+
+    /// Build a join tree for a conjunctive query's atoms, treating each
+    /// atom's **ordinary variables** as a hyperedge. Returns `None` when
+    /// the query is cyclic (no join tree exists).
+    pub fn for_cq(cq: &Cq) -> Option<Self> {
+        let edges: Vec<BTreeSet<u32>> = cq
+            .atoms
+            .iter()
+            .map(|a| a.var_set().iter().map(|v| v.0).collect())
+            .collect();
+        Hypergraph::new(edges).gyo().map(|f| Self::from_forest(&f))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Verify the join-tree connectedness property against variable sets:
+    /// for every variable, the nodes containing it induce a connected
+    /// subtree. Used by tests and debug assertions.
+    pub fn is_valid_for(&self, var_sets: &[BTreeSet<VarId>]) -> bool {
+        assert_eq!(var_sets.len(), self.len());
+        let mut all_vars: BTreeSet<VarId> = BTreeSet::new();
+        for s in var_sets {
+            all_vars.extend(s.iter().copied());
+        }
+        for v in all_vars {
+            let holders: Vec<usize> = (0..self.len())
+                .filter(|&i| var_sets[i].contains(&v))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // The holders must induce a connected subgraph of the forest.
+            // BFS from holders[0] through tree edges restricted to holders.
+            let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![holders[0]];
+            seen.insert(holders[0]);
+            while let Some(n) = stack.pop() {
+                let mut neighbors: Vec<usize> = self.children[n].clone();
+                if let Some(p) = self.parent[n] {
+                    neighbors.push(p);
+                }
+                for nb in neighbors {
+                    if holder_set.contains(&nb) && seen.insert(nb) {
+                        stack.push(nb);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use mq_relation::{Database, VarId};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// Example 4.3: Q = {P(A,B), Q(B,C), R(C,D)} has the join tree of
+    /// Figure 3 (Q(B,C) adjacent to both others).
+    #[test]
+    fn example_4_3_join_tree() {
+        let mut db = Database::new();
+        let p = db.add_relation("P", 2);
+        let q = db.add_relation("Q", 2);
+        let r = db.add_relation("R", 2);
+        let cq = Cq::new(vec![
+            Atom::vars_atom(p, &[v(0), v(1)]), // P(A,B)
+            Atom::vars_atom(q, &[v(1), v(2)]), // Q(B,C)
+            Atom::vars_atom(r, &[v(2), v(3)]), // R(C,D)
+        ]);
+        let tree = JoinTree::for_cq(&cq).expect("Example 4.3 is acyclic");
+        assert_eq!(tree.roots.len(), 1);
+        // Connectedness: B occurs in atoms 0,1; C in 1,2. In any valid join
+        // tree for this query, atom 1 (Q) must sit between atoms 0 and 2.
+        let var_sets: Vec<_> = cq.atoms.iter().map(|a| a.var_set()).collect();
+        assert!(tree.is_valid_for(&var_sets));
+        // atom 1 must be adjacent to both 0 and 2
+        let adj = |a: usize, b: usize| tree.parent[a] == Some(b) || tree.parent[b] == Some(a);
+        assert!(adj(0, 1));
+        assert!(adj(1, 2));
+    }
+
+    #[test]
+    fn cyclic_query_has_no_join_tree() {
+        let mut db = Database::new();
+        let e = db.add_relation("e", 2);
+        let cq = Cq::new(vec![
+            Atom::vars_atom(e, &[v(0), v(1)]),
+            Atom::vars_atom(e, &[v(1), v(2)]),
+            Atom::vars_atom(e, &[v(2), v(0)]),
+        ]);
+        assert!(JoinTree::for_cq(&cq).is_none());
+    }
+
+    #[test]
+    fn postorder_lists_children_first() {
+        let mut db = Database::new();
+        let p = db.add_relation("P", 2);
+        let cq = Cq::new(vec![
+            Atom::vars_atom(p, &[v(0), v(1)]),
+            Atom::vars_atom(p, &[v(1), v(2)]),
+            Atom::vars_atom(p, &[v(2), v(3)]),
+            Atom::vars_atom(p, &[v(3), v(4)]),
+        ]);
+        let tree = JoinTree::for_cq(&cq).unwrap();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; tree.len()];
+            for (i, &n) in tree.postorder.iter().enumerate() {
+                pos[n] = i;
+            }
+            pos
+        };
+        for (i, p) in tree.parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(pos[i] < pos[*p], "child {i} must precede parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn validity_checker_rejects_bad_tree() {
+        // P(A,B) - R(C,D) - Q(B,C) as a path: variable B occurs in nodes
+        // 0 and 2 but not the middle node 1 — invalid.
+        let var_sets = vec![
+            [v(0), v(1)].into_iter().collect(),
+            [v(2), v(3)].into_iter().collect(),
+            [v(1), v(2)].into_iter().collect(),
+        ];
+        let bad = JoinTree {
+            parent: vec![Some(1), None, Some(1)],
+            children: vec![vec![], vec![0, 2], vec![]],
+            roots: vec![1],
+            postorder: vec![0, 2, 1],
+        };
+        assert!(!bad.is_valid_for(&var_sets));
+    }
+}

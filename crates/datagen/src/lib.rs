@@ -1,0 +1,22 @@
+//! # mq-datagen — seeded workload generators
+//!
+//! Benchmark and example inputs for the reproduction:
+//!
+//! * [`telecom`] — the paper's Figures 1-2 database, verbatim;
+//! * [`random_db`] — uniform, skewed, and planted-rule databases over the
+//!   parameters the paper's cost model uses (`n` relations, `d` rows,
+//!   arity `b`);
+//! * [`metaqueries`] — metaquery shapes with known body hypertree widths
+//!   (chain/star = 1, cycle = 2, clique(2c) = c).
+//!
+//! Everything is seeded: the same spec generates the same workload, and
+//! EXPERIMENTS.md records the seeds used by every table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metaqueries;
+pub mod random_db;
+pub mod telecom;
+
+pub use random_db::{PlantedChainSpec, RandomDbSpec, SkewedDbSpec};

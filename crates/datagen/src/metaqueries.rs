@@ -1,0 +1,135 @@
+//! Metaquery shape generators: chains, stars, cycles and cliques with
+//! known hypertree widths, plus schema-driven enumeration (the paper
+//! notes metaqueries "can be automatically generated from the database
+//! schema").
+
+use mq_core::ast::{Metaquery, MetaqueryBuilder};
+use mq_relation::Database;
+
+/// Chain metaquery `R(X0,Xm) <- P1(X0,X1), ..., Pm(X{m-1},Xm)`.
+/// Body hypertree width 1 (semi-acyclic body).
+pub fn chain(m: usize) -> Metaquery {
+    assert!(m >= 1);
+    let mut b = MetaqueryBuilder::new();
+    let xs: Vec<_> = (0..=m).map(|i| b.var(&format!("X{i}"))).collect();
+    let head = b.pred_var("R");
+    b.head_pattern(head, vec![xs[0], xs[m]]);
+    for i in 0..m {
+        let p = b.pred_var(&format!("P{i}"));
+        b.body_pattern(p, vec![xs[i], xs[i + 1]]);
+    }
+    b.build()
+}
+
+/// Star metaquery `R(X0) <- P1(X0,X1), ..., Pm(X0,Xm)`: width-1 body.
+pub fn star(m: usize) -> Metaquery {
+    assert!(m >= 1);
+    let mut b = MetaqueryBuilder::new();
+    let center = b.var("X0");
+    let head = b.pred_var("R");
+    b.head_pattern(head, vec![center]);
+    for i in 1..=m {
+        let leaf = b.var(&format!("X{i}"));
+        let p = b.pred_var(&format!("P{i}"));
+        b.body_pattern(p, vec![center, leaf]);
+    }
+    b.build()
+}
+
+/// Cycle metaquery `R(X0,X1) <- P1(X0,X1), ..., Pm(X{m-1},X0)`: body
+/// hypertree width 2 for `m >= 4` (width 1 would require semi-acyclicity).
+pub fn cycle(m: usize) -> Metaquery {
+    assert!(m >= 3);
+    let mut b = MetaqueryBuilder::new();
+    let xs: Vec<_> = (0..m).map(|i| b.var(&format!("X{i}"))).collect();
+    let head = b.pred_var("R");
+    b.head_pattern(head, vec![xs[0], xs[1]]);
+    for i in 0..m {
+        let p = b.pred_var(&format!("P{i}"));
+        b.body_pattern(p, vec![xs[i], xs[(i + 1) % m]]);
+    }
+    b.build()
+}
+
+/// Clique metaquery: body has one binary pattern per unordered pair of
+/// `n` variables. The body hypergraph is the complete graph `K_n`, whose
+/// hypertree width is `⌈n/2⌉` — the knob the Theorem 4.12 width-scaling
+/// experiment turns.
+pub fn clique(n: usize) -> Metaquery {
+    assert!(n >= 2);
+    let mut b = MetaqueryBuilder::new();
+    let xs: Vec<_> = (0..n).map(|i| b.var(&format!("X{i}"))).collect();
+    let head = b.pred_var("R");
+    b.head_pattern(head, vec![xs[0], xs[1]]);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = b.pred_var(&format!("P{i}_{j}"));
+            b.body_pattern(p, vec![xs[i], xs[j]]);
+        }
+    }
+    b.build()
+}
+
+/// Schema-driven metaquery generation (§1: metaqueries "can be
+/// automatically generated from the database schema"): all chain
+/// metaqueries of the given length whose patterns can match the schema's
+/// binary relations — returned as the single generic chain, since the
+/// engine's instantiation enumeration explores the relation choices.
+/// Returns `None` if the schema has no binary relations.
+pub fn from_schema_chains(db: &Database, len: usize) -> Option<Metaquery> {
+    let has_binary = db.relations().any(|r| r.arity() == 2);
+    if !has_binary {
+        return None;
+    }
+    Some(chain(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_core::engine::find_rules::body_decomposition;
+
+    #[test]
+    fn chain_width_one() {
+        for m in 1..=5 {
+            assert_eq!(body_decomposition(&chain(m)).width, 1, "chain({m})");
+        }
+    }
+
+    #[test]
+    fn star_width_one() {
+        for m in 1..=5 {
+            assert_eq!(body_decomposition(&star(m)).width, 1, "star({m})");
+        }
+    }
+
+    #[test]
+    fn cycle_width_two() {
+        for m in 4..=6 {
+            assert_eq!(body_decomposition(&cycle(m)).width, 2, "cycle({m})");
+        }
+    }
+
+    #[test]
+    fn clique_width_half_n() {
+        assert_eq!(body_decomposition(&clique(4)).width, 2);
+        assert_eq!(body_decomposition(&clique(6)).width, 3);
+    }
+
+    #[test]
+    fn shapes_are_pure() {
+        assert!(chain(3).is_pure());
+        assert!(star(3).is_pure());
+        assert!(cycle(4).is_pure());
+        assert!(clique(4).is_pure());
+    }
+
+    #[test]
+    fn schema_chains() {
+        let mut db = Database::new();
+        db.add_relation("unary", 1);
+        assert!(from_schema_chains(&db, 2).is_none());
+        db.add_relation("pair", 2);
+        assert!(from_schema_chains(&db, 2).is_some());
+    }
+}

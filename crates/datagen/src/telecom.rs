@@ -1,0 +1,164 @@
+//! The paper's running example: the telecom database of Figures 1 and 2.
+
+use mq_relation::Database;
+
+/// Build `DB1` (Figure 1): relations `UsCa(User, Carrier)`,
+/// `CaTe(Carrier, Technology)` and `UsPT(User, PhoneType)`.
+pub fn db1() -> Database {
+    let mut db = Database::new();
+    let john = db.sym("John K.");
+    let anastasia = db.sym("Anastasia A.");
+    let omnitel = db.sym("Omnitel");
+    let tim = db.sym("Tim");
+    let wind = db.sym("Wind");
+    let etacs = db.sym("ETACS");
+    let gsm900 = db.sym("GSM 900");
+    let gsm1800 = db.sym("GSM 1800");
+
+    let usca = db.add_relation("UsCa", 2);
+    for (u, c) in [(john, omnitel), (john, tim), (anastasia, omnitel)] {
+        db.insert(usca, vec![u, c].into_boxed_slice());
+    }
+    let cate = db.add_relation("CaTe", 2);
+    for (c, t) in [
+        (tim, etacs),
+        (tim, gsm900),
+        (tim, gsm1800),
+        (omnitel, gsm900),
+        (omnitel, gsm1800),
+        (wind, gsm1800),
+    ] {
+        db.insert(cate, vec![c, t].into_boxed_slice());
+    }
+    let uspt = db.add_relation("UsPT", 2);
+    for (u, t) in [(john, gsm900), (john, gsm1800), (anastasia, gsm900)] {
+        db.insert(uspt, vec![u, t].into_boxed_slice());
+    }
+    db
+}
+
+/// Build `DB2` (Figure 2): like `DB1` but `UsPT` gains a `Model`
+/// attribute, motivating type-2 instantiations.
+pub fn db2() -> Database {
+    let mut db = Database::new();
+    let john = db.sym("John K.");
+    let anastasia = db.sym("Anastasia A.");
+    let omnitel = db.sym("Omnitel");
+    let tim = db.sym("Tim");
+    let wind = db.sym("Wind");
+    let etacs = db.sym("ETACS");
+    let gsm900 = db.sym("GSM 900");
+    let gsm1800 = db.sym("GSM 1800");
+    let nokia = db.sym("Nokia 6150");
+    let bosch = db.sym("Bosch 607");
+
+    let usca = db.add_relation("UsCa", 2);
+    for (u, c) in [(john, omnitel), (john, tim), (anastasia, omnitel)] {
+        db.insert(usca, vec![u, c].into_boxed_slice());
+    }
+    let cate = db.add_relation("CaTe", 2);
+    for (c, t) in [
+        (tim, etacs),
+        (tim, gsm900),
+        (tim, gsm1800),
+        (omnitel, gsm900),
+        (omnitel, gsm1800),
+        (wind, gsm1800),
+    ] {
+        db.insert(cate, vec![c, t].into_boxed_slice());
+    }
+    let uspt = db.add_relation("UsPT", 3);
+    for (u, t, m) in [
+        (john, gsm900, nokia),
+        (john, gsm1800, nokia),
+        (anastasia, gsm900, bosch),
+    ] {
+        db.insert(uspt, vec![u, t, m].into_boxed_slice());
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_core::engine::{naive, Thresholds};
+    use mq_core::instantiate::InstType;
+    use mq_core::parse::parse_metaquery;
+    use mq_relation::Frac;
+
+    #[test]
+    fn db1_shapes() {
+        let db = db1();
+        assert_eq!(db.rel("UsCa").len(), 3);
+        assert_eq!(db.rel("CaTe").len(), 6);
+        assert_eq!(db.rel("UsPT").len(), 3);
+    }
+
+    /// The §2.1 example instantiation
+    /// `UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)`
+    /// scores sup = 1, cvr = 1, cnf = 5/7 on DB1 (hand computation: the
+    /// body join has 7 tuples, 5 of which have (X,Z) in UsPT; all 3 head
+    /// tuples are implied; all 3 UsCa tuples participate).
+    #[test]
+    fn paper_instantiation_indices() {
+        let db = db1();
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let answers =
+            naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+        let target = answers
+            .iter()
+            .find(|a| {
+                let rule =
+                    mq_core::instantiate::apply_instantiation(&db, &mq, &a.inst).unwrap();
+                rule.render(&db) == "UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)"
+            })
+            .expect("the paper's instantiation must be enumerated");
+        assert_eq!(target.indices.sup, Frac::ONE);
+        assert_eq!(target.indices.cvr, Frac::ONE);
+        assert_eq!(target.indices.cnf, Frac::new(5, 7));
+    }
+
+    /// §2.2's cover example: the type-2 instantiation
+    /// `UsCa(X,Z) <- UsPt(X,H)` of `I(X) <- O(X)` scores cover 1.
+    #[test]
+    fn cover_one_example() {
+        let db = db1();
+        let mq = parse_metaquery("I(X) <- O(X)").unwrap();
+        let answers =
+            naive::find_all(&db, &mq, InstType::Two, Thresholds::none()).unwrap();
+        let hit = answers.iter().any(|a| {
+            let rule = mq_core::instantiate::apply_instantiation(&db, &mq, &a.inst).unwrap();
+            let head_is_usca = db.relation(rule.head.rel).name() == "UsCa";
+            let body_is_uspt = db.relation(rule.body[0].rel).name() == "UsPT";
+            // X must be the first attribute on both sides.
+            head_is_usca
+                && body_is_uspt
+                && rule.head.terms[0] == rule.body[0].terms[0]
+                && a.indices.cvr == Frac::ONE
+        });
+        assert!(hit, "the paper's cover-1 instantiation must appear");
+    }
+
+    #[test]
+    fn db2_uspt_is_ternary() {
+        let db = db2();
+        assert_eq!(db.rel("UsPT").arity(), 3);
+        // Type-2 instantiation of R(X,Z) <- P(X,Y), Q(Y,Z) can map R to
+        // the ternary UsPT (Figure 2's motivation).
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let answers = naive::find_all(
+            &db,
+            &mq,
+            InstType::Two,
+            Thresholds::single(mq_core::index::IndexKind::Cnf, Frac::new(1, 2)),
+        )
+        .unwrap();
+        let hit = answers.iter().any(|a| {
+            let rule = mq_core::instantiate::apply_instantiation(&db, &mq, &a.inst).unwrap();
+            db.relation(rule.head.rel).name() == "UsPT"
+                && db.relation(rule.body[0].rel).name() == "UsCa"
+                && db.relation(rule.body[1].rel).name() == "CaTe"
+        });
+        assert!(hit, "UsPT(X,Z,_) <- UsCa(X,Y), CaTe(Y,Z) should qualify");
+    }
+}

@@ -1,0 +1,153 @@
+//! CNF formulas, the common currency of the paper's hardness proofs.
+
+use std::fmt;
+
+/// A literal: a variable index and a sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Lit {
+    /// Variable index, `0..n_vars`.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal.
+    pub fn pos(var: usize) -> Self {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: usize) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula over variables `0..n_vars`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Build a formula.
+    pub fn new(n_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c {
+                assert!(l.var < n_vars, "literal variable out of range");
+            }
+        }
+        Cnf { n_vars, clauses }
+    }
+
+    /// Evaluate under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Whether every clause has at most three literals.
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() <= 3)
+    }
+
+    /// Pad clauses to exactly three literals by repeating a literal
+    /// (semantically neutral), as the paper's reductions assume
+    /// three-literal clauses.
+    pub fn pad_to_3(&self) -> Cnf {
+        let clauses = self
+            .clauses
+            .iter()
+            .map(|c| {
+                assert!(!c.is_empty() && c.len() <= 3, "clause size must be 1..=3");
+                let mut c = c.clone();
+                while c.len() < 3 {
+                    c.push(c[0]);
+                }
+                c
+            })
+            .collect();
+        Cnf {
+            n_vars: self.n_vars,
+            clauses,
+        }
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        // (x0 ∨ ¬x1) ∧ (x1)
+        let f = Cnf::new(2, vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(1)]]);
+        assert!(f.eval(&[true, true]));
+        assert!(!f.eval(&[false, true]));
+        assert!(!f.eval(&[false, false])); // second clause fails
+    }
+
+    #[test]
+    fn pad_to_3_preserves_semantics() {
+        let f = Cnf::new(2, vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]]);
+        let g = f.pad_to_3();
+        assert!(g.is_3cnf());
+        for a in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(f.eval(&a), g.eval(&a));
+        }
+        assert!(g.clauses.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        let _ = Cnf::new(1, vec![vec![Lit::pos(3)]]);
+    }
+}

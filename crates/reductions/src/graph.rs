@@ -1,0 +1,264 @@
+//! Undirected graphs with exact solvers for the two NP-complete problems
+//! the paper reduces from: 3-COLORING (Theorems 3.21, 3.35) and
+//! HAMILTONIAN PATH (Theorem 3.33).
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edges as unordered pairs `(u, v)` with `u < v`, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Build from an edge list (normalizes and deduplicates; self-loops
+    /// are rejected).
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut norm: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u < n && v < n, "vertex out of range");
+                assert!(u != v, "self-loops not allowed");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        Graph { n, edges: norm }
+    }
+
+    /// Adjacency matrix as bitmasks (usable for `n <= 64`).
+    pub fn adjacency_masks(&self) -> Vec<u64> {
+        assert!(self.n <= 64, "bitmask solvers support n <= 64");
+        let mut adj = vec![0u64; self.n];
+        for &(u, v) in &self.edges {
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+        adj
+    }
+
+    /// Exact 3-coloring by backtracking: returns a proper coloring with
+    /// colors `0..3`, or `None`.
+    pub fn three_coloring(&self) -> Option<Vec<u8>> {
+        let mut colors: Vec<Option<u8>> = vec![None; self.n];
+        let adj: Vec<Vec<usize>> = {
+            let mut a = vec![Vec::new(); self.n];
+            for &(u, v) in &self.edges {
+                a[u].push(v);
+                a[v].push(u);
+            }
+            a
+        };
+        fn rec(v: usize, n: usize, adj: &[Vec<usize>], colors: &mut Vec<Option<u8>>) -> bool {
+            if v == n {
+                return true;
+            }
+            for c in 0..3u8 {
+                if adj[v]
+                    .iter()
+                    .all(|&u| colors[u] != Some(c))
+                {
+                    colors[v] = Some(c);
+                    if rec(v + 1, n, adj, colors) {
+                        return true;
+                    }
+                    colors[v] = None;
+                }
+            }
+            false
+        }
+        if rec(0, self.n, &adj, &mut colors) {
+            Some(colors.into_iter().map(|c| c.expect("complete")).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Whether the graph is 3-colorable.
+    pub fn is_3_colorable(&self) -> bool {
+        self.three_coloring().is_some()
+    }
+
+    /// Exact Hamiltonian path detection by Held-Karp bitmask DP
+    /// (`O(2^n · n^2)`, for `n <= 24` or so).
+    pub fn has_hamiltonian_path(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        if self.n == 1 {
+            return true;
+        }
+        let adj = self.adjacency_masks();
+        let full: u64 = if self.n == 64 {
+            u64::MAX
+        } else {
+            (1 << self.n) - 1
+        };
+        // dp[mask] = set of possible endpoints of a path covering mask
+        let mut dp = vec![0u64; (full as usize) + 1];
+        for v in 0..self.n {
+            dp[1 << v] |= 1 << v;
+        }
+        for mask in 1..=full {
+            let ends = dp[mask as usize];
+            if ends == 0 {
+                continue;
+            }
+            if mask == full {
+                return true;
+            }
+            let mut e = ends;
+            while e != 0 {
+                let v = e.trailing_zeros() as usize;
+                e &= e - 1;
+                let nexts = adj[v] & !mask;
+                let mut nx = nexts;
+                while nx != 0 {
+                    let u = nx.trailing_zeros() as usize;
+                    nx &= nx - 1;
+                    dp[(mask | 1 << u) as usize] |= 1 << u;
+                }
+            }
+        }
+        dp[full as usize] != 0
+    }
+
+    /// A Hamiltonian path as a vertex sequence, if one exists
+    /// (backtracking; intended for small `n`).
+    pub fn hamiltonian_path(&self) -> Option<Vec<usize>> {
+        let adj = self.adjacency_masks();
+        fn rec(
+            path: &mut Vec<usize>,
+            used: u64,
+            n: usize,
+            adj: &[u64],
+        ) -> bool {
+            if path.len() == n {
+                return true;
+            }
+            let last = *path.last().expect("non-empty");
+            for v in 0..n {
+                if used & (1 << v) == 0 && adj[last] & (1 << v) != 0 {
+                    path.push(v);
+                    if rec(path, used | 1 << v, n, adj) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+        for start in 0..self.n {
+            let mut path = vec![start];
+            if rec(&mut path, 1 << start, self.n, &adj) {
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    /// Erdős–Rényi random graph with edge probability `p`.
+    pub fn random(n: usize, p: f64, rng: &mut impl rand::Rng) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::new(n, &edges)
+    }
+
+    /// Complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        Graph::new(n, &edges)
+    }
+
+    /// Cycle graph `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::new(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_is_not_3_colorable_k3_is() {
+        assert!(!Graph::complete(4).is_3_colorable());
+        assert!(Graph::complete(3).is_3_colorable());
+    }
+
+    #[test]
+    fn odd_cycles() {
+        // C5 is 3-chromatic, C6 is 2-chromatic — both 3-colorable.
+        assert!(Graph::cycle(5).is_3_colorable());
+        assert!(Graph::cycle(6).is_3_colorable());
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        let g = Graph::cycle(7);
+        let c = g.three_coloring().unwrap();
+        for &(u, v) in &g.edges {
+            assert_ne!(c[u], c[v]);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_paths() {
+        assert!(Graph::complete(5).has_hamiltonian_path());
+        assert!(Graph::cycle(6).has_hamiltonian_path());
+        // A star K_{1,3} has no Hamiltonian path.
+        let star = Graph::new(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!star.has_hamiltonian_path());
+    }
+
+    #[test]
+    fn hamiltonian_path_witness_is_valid() {
+        let g = Graph::cycle(6);
+        let p = g.hamiltonian_path().unwrap();
+        assert_eq!(p.len(), 6);
+        let mut seen = [false; 6];
+        for &v in &p {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        let adj = g.adjacency_masks();
+        for w in p.windows(2) {
+            assert!(adj[w[0]] & (1 << w[1]) != 0);
+        }
+    }
+
+    #[test]
+    fn dp_and_backtracking_agree() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..8);
+            let g = Graph::random(n, 0.4, &mut rng);
+            assert_eq!(
+                g.has_hamiltonian_path(),
+                g.hamiltonian_path().is_some(),
+                "graph {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_dedupes() {
+        let g = Graph::new(3, &[(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.edges, vec![(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mq-reductions — the paper's complexity lab
+//!
+//! Executable versions of every reduction in §3 of *Computational
+//! Properties of Metaquerying Problems*, together with the independent
+//! solvers they are validated against:
+//!
+//! * [`cnf`] / [`sat`] — CNF formulas, DPLL satisfiability, exact `#SAT`
+//!   model counting, and a direct `∃C-3SAT` solver (Definition 3.12);
+//! * [`graph`] — graphs with exact 3-coloring and Hamiltonian-path
+//!   solvers;
+//! * [`reduce_3col`] — Theorem 3.21 (NP-hardness, any index, `k = 0`);
+//! * [`reduce_semiacyclic`] — Theorem 3.35 (NP-hardness survives
+//!   semi-acyclicity under type-0);
+//! * [`reduce_hampath`] — Theorem 3.33 (NP-hardness survives acyclicity
+//!   under types 1 and 2);
+//! * [`reduce_ecsat`] — Theorems 3.28/3.29 (`NP^PP`-hardness of
+//!   confidence with a threshold);
+//! * [`reduce_sharp`] — Proposition 3.26 (parsimonious `#3SAT → #BCQ`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod graph;
+pub mod reduce_3col;
+pub mod reduce_ecsat;
+pub mod reduce_hampath;
+pub mod reduce_semiacyclic;
+pub mod reduce_sharp;
+pub mod sat;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use graph::Graph;
+pub use sat::{count_models, count_models_given, satisfiable, EcsatInstance};

@@ -1,0 +1,125 @@
+//! Theorem 3.21: 3-COLORING ≤p `⟨DB, MQ, I, 0, T⟩`.
+//!
+//! `DB3col` has one binary relation `e` holding the six properly-colored
+//! ordered pairs over `{1,2,3}`. `MQ3col` encodes the input graph as a set
+//! of relation patterns `E(Xu, Xv)` (one per edge, all with the single
+//! predicate variable `E`), with the first body literal repeated as the
+//! head. For every `I ∈ {sup, cnf, cvr}` and every type `T`, the problem
+//! is a YES instance iff the graph is 3-colorable.
+
+use crate::graph::Graph;
+use mq_core::ast::{Metaquery, MetaqueryBuilder};
+use mq_relation::{ints, Database};
+
+/// The reduction output: a database and metaquery; any index with
+/// threshold 0 and any instantiation type decides 3-colorability.
+#[derive(Debug)]
+pub struct ThreeColInstance {
+    /// `DB3col`.
+    pub db: Database,
+    /// `MQ3col`.
+    pub mq: Metaquery,
+}
+
+/// Build the Theorem 3.21 instance for `g`.
+///
+/// # Panics
+/// Panics if the graph has no edges (the metaquery body would be empty —
+/// an edgeless graph is trivially 3-colorable; handle it before reducing).
+pub fn reduce(g: &Graph) -> ThreeColInstance {
+    assert!(
+        !g.edges.is_empty(),
+        "edgeless graphs are trivially colorable; reduction needs >= 1 edge"
+    );
+    let mut db = Database::new();
+    let e = db.add_relation("e", 2);
+    for (a, b) in [(1, 2), (1, 3), (2, 3), (2, 1), (3, 1), (3, 2)] {
+        db.insert(e, ints(&[a, b]));
+    }
+
+    let mut b = MetaqueryBuilder::new();
+    let pred = b.pred_var("E");
+    let node_var: Vec<_> = (0..g.n).map(|u| b.var(&format!("X{u}"))).collect();
+    let (u0, v0) = g.edges[0];
+    b.head_pattern(pred, vec![node_var[u0], node_var[v0]]);
+    for &(u, v) in &g.edges {
+        b.body_pattern(pred, vec![node_var[u], node_var[v]]);
+    }
+    ThreeColInstance { db, mq: b.build() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_core::acyclic::{classify, MqClass};
+    use mq_core::engine::{naive, MqProblem};
+    use mq_core::index::IndexKind;
+    use mq_core::instantiate::InstType;
+    use mq_relation::Frac;
+    use rand::prelude::*;
+
+    fn decide(inst: &ThreeColInstance, kind: IndexKind, ty: InstType) -> bool {
+        naive::decide(
+            &inst.db,
+            &inst.mq,
+            MqProblem {
+                index: kind,
+                threshold: Frac::ZERO,
+                ty,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn k3_yes_k4_no() {
+        let yes = reduce(&Graph::complete(3));
+        let no = reduce(&Graph::complete(4));
+        for kind in IndexKind::ALL {
+            assert!(decide(&yes, kind, InstType::Zero), "K3 via {kind}");
+            assert!(!decide(&no, kind, InstType::Zero), "K4 via {kind}");
+        }
+    }
+
+    #[test]
+    fn all_types_agree_with_solver() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..12 {
+            let n = rng.gen_range(3..7);
+            let g = Graph::random(n, 0.6, &mut rng);
+            if g.edges.is_empty() {
+                continue;
+            }
+            let inst = reduce(&g);
+            let expected = g.is_3_colorable();
+            for ty in InstType::ALL {
+                assert_eq!(
+                    decide(&inst, IndexKind::Sup, ty),
+                    expected,
+                    "graph {g:?} type {ty}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_cycle_plus_apex() {
+        // C5 plus a vertex adjacent to all: chromatic number 4 -> NO.
+        let mut edges = Graph::cycle(5).edges.clone();
+        for v in 0..5 {
+            edges.push((v, 5));
+        }
+        let g = Graph::new(6, &edges);
+        assert!(!g.is_3_colorable());
+        let inst = reduce(&g);
+        assert!(!decide(&inst, IndexKind::Cnf, InstType::Zero));
+    }
+
+    /// The reduction's metaquery is cyclic in general (it embeds the
+    /// input graph), which is consistent with NP-hardness.
+    #[test]
+    fn reduction_metaquery_is_cyclic_for_cyclic_graphs() {
+        let inst = reduce(&Graph::cycle(3));
+        assert_ne!(classify(&inst.mq), MqClass::Acyclic);
+    }
+}

@@ -1,0 +1,354 @@
+//! Theorems 3.28 and 3.29: `∃C-3SAT ≤p ⟨DB, MQ, cnf, k, T⟩` — the
+//! `NP^PP`-hardness of confidence with a threshold.
+//!
+//! Given `F = ⋀ ci` over `Π = {p1..ps}` and `χ = {q1..qh}` and a count
+//! threshold `k'`, the reductions build a database and metaquery whose
+//! confidence exceeds `k = (k'-1)/2^h` for some instantiation iff some
+//! `Π`-assignment admits at least `k'` satisfying `χ`-assignments.
+//!
+//! * **Type-0** (Theorem 3.28): one predicate variable `P'_j` per `Π`
+//!   variable; mapping it to `pa = {(1,0,l)}` reads "pj := true", to
+//!   `pb = {(0,1,l)}` "pj := false".
+//! * **Type-1/2** (Theorem 3.29): a single predicate variable `P'` over
+//!   `p = {(1,0,l)}`; the *argument permutation* chooses the truth value,
+//!   and the extra `ch(Y) = {(l)}` atom rules out stray matches.
+//!
+//! ### Deviation from the paper (documented in DESIGN.md)
+//! For type-0, when the number of clauses `n` equals 3 the clause-vector
+//! relation `c` has arity 3 = arity of `pa`/`pb`, so an instantiation
+//! mapping **every** `P'_j` to `c` can create spurious confidence (all
+//! literals forced to 1 simultaneously satisfies every `c'` row with
+//! C = 1). We pad the formula with a duplicated clause in that case —
+//! semantically neutral, and it restores the intended behaviour.
+
+use crate::cnf::Lit;
+use crate::sat::EcsatInstance;
+use mq_core::ast::{Metaquery, MetaqueryBuilder};
+use mq_core::instantiate::InstType;
+use mq_relation::{Database, Frac, Value, VarId};
+
+/// The reduction output: decide `cnf(σ(MQ)) > threshold` under `ty`.
+#[derive(Debug)]
+pub struct EcsatReduction {
+    /// `DBcsat`.
+    pub db: Database,
+    /// `MQcsat`.
+    pub mq: Metaquery,
+    /// `k = (k'-1)/2^h`.
+    pub threshold: Frac,
+    /// The instantiation type the construction targets.
+    pub ty: InstType,
+}
+
+fn literal_var(
+    b: &mut MetaqueryBuilder,
+    inst: &EcsatInstance,
+    lit: Lit,
+) -> VarId {
+    // Position of the variable within Π or χ determines its name.
+    if let Some(j) = inst.pi.iter().position(|&v| v == lit.var) {
+        if lit.positive {
+            b.var(&format!("P{j}"))
+        } else {
+            b.var(&format!("PB{j}"))
+        }
+    } else {
+        let i = inst
+            .chi
+            .iter()
+            .position(|&v| v == lit.var)
+            .expect("variable in Π ∪ χ");
+        if lit.positive {
+            b.var(&format!("Q{i}"))
+        } else {
+            b.var(&format!("QB{i}"))
+        }
+    }
+}
+
+/// Insert the shared relations `q`, `c'`, `c` and return the `l` constant.
+fn shared_relations(db: &mut Database, n_clauses: usize) -> Value {
+    let l = db.sym("l");
+    let q = db.add_relation("q", 2);
+    db.insert(q, vec![Value::Int(1), Value::Int(0)].into_boxed_slice());
+    db.insert(q, vec![Value::Int(0), Value::Int(1)].into_boxed_slice());
+    let cp = db.add_relation("c'", 4);
+    for bits in 0..8u8 {
+        let l1 = i64::from(bits & 1);
+        let l2 = i64::from(bits >> 1 & 1);
+        let l3 = i64::from(bits >> 2 & 1);
+        let c = i64::from(l1 + l2 + l3 > 0);
+        db.insert(
+            cp,
+            vec![
+                Value::Int(l1),
+                Value::Int(l2),
+                Value::Int(l3),
+                Value::Int(c),
+            ]
+            .into_boxed_slice(),
+        );
+    }
+    let c = db.add_relation("c", n_clauses);
+    db.insert(
+        c,
+        (0..n_clauses)
+            .map(|_| Value::Int(1))
+            .collect::<Vec<_>>()
+            .into_boxed_slice(),
+    );
+    l
+}
+
+/// Append the `q`, `c'` atoms and the `c` head to the builder.
+fn shared_metaquery_parts(
+    b: &mut MetaqueryBuilder,
+    inst: &EcsatInstance,
+    clauses: &[Vec<Lit>],
+) {
+    // Head: c(C1, ..., Cn).
+    let c_vars: Vec<VarId> = (0..clauses.len())
+        .map(|i| b.var(&format!("C{i}")))
+        .collect();
+    b.head_atom("c", c_vars.clone());
+    // q(Qi, QBi) per χ variable.
+    for i in 0..inst.chi.len() {
+        let qi = b.var(&format!("Q{i}"));
+        let qbi = b.var(&format!("QB{i}"));
+        b.body_atom("q", vec![qi, qbi]);
+    }
+    // c'(L1, L2, L3, Ci) per clause.
+    for (i, clause) in clauses.iter().enumerate() {
+        assert_eq!(clause.len(), 3, "pad the formula to 3-CNF first");
+        let args: Vec<VarId> = clause
+            .iter()
+            .map(|&lit| literal_var(b, inst, lit))
+            .chain(std::iter::once(c_vars[i]))
+            .collect();
+        b.body_atom("c'", args);
+    }
+}
+
+/// Clause list with the type-0 arity-collision fix applied.
+fn padded_clauses(inst: &EcsatInstance, avoid_arity3: bool) -> Vec<Vec<Lit>> {
+    let mut clauses = inst.formula.pad_to_3().clauses;
+    if avoid_arity3 && clauses.len() == 3 {
+        let last = clauses[2].clone();
+        clauses.push(last);
+    }
+    clauses
+}
+
+/// Theorem 3.28: the type-0 construction.
+pub fn reduce_type0(inst: &EcsatInstance) -> EcsatReduction {
+    inst.check();
+    assert!(inst.k >= 1, "k' must be at least 1");
+    let h = inst.chi.len();
+    assert!(h < 63, "χ too large for a u64 threshold denominator");
+    let clauses = padded_clauses(inst, true);
+
+    let mut db = Database::new();
+    let l = shared_relations(&mut db, clauses.len());
+    let pa = db.add_relation("pa", 3);
+    db.insert(pa, vec![Value::Int(1), Value::Int(0), l].into_boxed_slice());
+    let pb = db.add_relation("pb", 3);
+    db.insert(pb, vec![Value::Int(0), Value::Int(1), l].into_boxed_slice());
+
+    let mut b = MetaqueryBuilder::new();
+    shared_metaquery_parts(&mut b, inst, &clauses);
+    // P'_j(Pj, PBj, Y) relation patterns.
+    let y = b.var("Y");
+    for j in 0..inst.pi.len() {
+        let pj = b.var(&format!("P{j}"));
+        let pbj = b.var(&format!("PB{j}"));
+        let pv = b.pred_var(&format!("PP{j}"));
+        b.body_pattern(pv, vec![pj, pbj, y]);
+    }
+    EcsatReduction {
+        db,
+        mq: b.build(),
+        threshold: Frac::new((inst.k - 1) as u64, 1u64 << h),
+        ty: InstType::Zero,
+    }
+}
+
+/// Theorem 3.29: the type-1/type-2 construction (pass the intended `ty`).
+pub fn reduce_type12(inst: &EcsatInstance, ty: InstType) -> EcsatReduction {
+    assert!(matches!(ty, InstType::One | InstType::Two));
+    inst.check();
+    assert!(inst.k >= 1, "k' must be at least 1");
+    let h = inst.chi.len();
+    assert!(h < 63, "χ too large for a u64 threshold denominator");
+    let clauses = padded_clauses(inst, false);
+
+    let mut db = Database::new();
+    let l = shared_relations(&mut db, clauses.len());
+    let p = db.add_relation("p", 3);
+    db.insert(p, vec![Value::Int(1), Value::Int(0), l].into_boxed_slice());
+    let ch = db.add_relation("ch", 1);
+    db.insert(ch, vec![l].into_boxed_slice());
+
+    let mut b = MetaqueryBuilder::new();
+    shared_metaquery_parts(&mut b, inst, &clauses);
+    let y = b.var("Y");
+    let pv = b.pred_var("PP");
+    for j in 0..inst.pi.len() {
+        let pj = b.var(&format!("P{j}"));
+        let pbj = b.var(&format!("PB{j}"));
+        b.body_pattern(pv, vec![pj, pbj, y]);
+    }
+    b.body_atom("ch", vec![y]);
+    EcsatReduction {
+        db,
+        mq: b.build(),
+        threshold: Frac::new((inst.k - 1) as u64, 1u64 << h),
+        ty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use mq_core::engine::{naive, MqProblem};
+    use mq_core::index::IndexKind;
+    use rand::prelude::*;
+
+    fn decide(red: &EcsatReduction) -> bool {
+        naive::decide(
+            &red.db,
+            &red.mq,
+            MqProblem {
+                index: IndexKind::Cnf,
+                threshold: red.threshold,
+                ty: red.ty,
+            },
+        )
+        .unwrap()
+    }
+
+    fn random_instance(rng: &mut StdRng) -> EcsatInstance {
+        let s = rng.gen_range(1..=2);
+        let h = rng.gen_range(1..=3);
+        let n_vars = s + h;
+        let n_clauses = rng.gen_range(1..=4);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.gen_range(0..n_vars),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        let k = rng.gen_range(1..=(1u128 << h));
+        EcsatInstance {
+            formula: Cnf::new(n_vars, clauses),
+            pi: (0..s).collect(),
+            chi: (s..n_vars).collect(),
+            k,
+        }
+    }
+
+    #[test]
+    fn type0_matches_direct_solver() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for round in 0..15 {
+            let inst = random_instance(&mut rng);
+            let red = reduce_type0(&inst);
+            assert_eq!(
+                decide(&red),
+                inst.solve_direct(),
+                "round {round}: F = {}, k' = {}, best = {}",
+                inst.formula,
+                inst.k,
+                inst.best_count()
+            );
+        }
+    }
+
+    #[test]
+    fn type1_matches_direct_solver() {
+        let mut rng = StdRng::seed_from_u64(52);
+        for round in 0..10 {
+            let inst = random_instance(&mut rng);
+            let red = reduce_type12(&inst, InstType::One);
+            assert_eq!(
+                decide(&red),
+                inst.solve_direct(),
+                "round {round}: F = {}, k' = {}",
+                inst.formula,
+                inst.k
+            );
+        }
+    }
+
+    #[test]
+    fn type2_matches_direct_solver() {
+        let mut rng = StdRng::seed_from_u64(53);
+        for round in 0..5 {
+            let inst = random_instance(&mut rng);
+            let red = reduce_type12(&inst, InstType::Two);
+            assert_eq!(
+                decide(&red),
+                inst.solve_direct(),
+                "round {round}: F = {}, k' = {}",
+                inst.formula,
+                inst.k
+            );
+        }
+    }
+
+    /// The paper's worked example: F = (a ∨ b ∨ e) ∧ (¬a ∨ e ∨ d),
+    /// Π = {a, b}, χ = {d, e}. Setting a = false, b = true satisfies
+    /// clause 1 via b and clause 2 via ¬a, so all 4 (d, e) assignments
+    /// work; no Π assignment can do better.
+    #[test]
+    fn paper_example_formula() {
+        // vars: a=0, b=1, d=2, e=3
+        let f = Cnf::new(
+            4,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(3)],
+                vec![Lit::neg(0), Lit::pos(3), Lit::pos(2)],
+            ],
+        );
+        let base = EcsatInstance {
+            formula: f,
+            pi: vec![0, 1],
+            chi: vec![2, 3],
+            k: 4,
+        };
+        assert_eq!(base.best_count(), 4);
+        assert!(base.solve_direct());
+        let red = reduce_type0(&base);
+        assert!(decide(&red));
+        let too_many = EcsatInstance { k: 5, ..base };
+        assert!(!too_many.solve_direct());
+        // k' = 5 exceeds 2^h = 4, so the threshold (k'-1)/2^h = 1 can
+        // never be strictly exceeded.
+        let red = reduce_type0(&too_many);
+        assert!(!decide(&red));
+    }
+
+    /// Regression for the documented type-0 deviation: with exactly three
+    /// clauses, an unsatisfiable formula must still reduce to NO.
+    #[test]
+    fn three_clause_arity_collision_fixed() {
+        // F = p ∧ ¬p ∧ q over Π = {p}, χ = {q}: unsatisfiable.
+        let f = Cnf::new(
+            2,
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0)], vec![Lit::pos(1)]],
+        );
+        let inst = EcsatInstance {
+            formula: f,
+            pi: vec![0],
+            chi: vec![1],
+            k: 1,
+        };
+        assert!(!inst.solve_direct());
+        let red = reduce_type0(&inst);
+        assert!(!decide(&red), "arity-3 collision must not create a YES");
+    }
+}

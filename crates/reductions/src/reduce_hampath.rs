@@ -1,0 +1,131 @@
+//! Theorem 3.33: HAMILTONIAN PATH ≤p acyclic metaquerying under types 1
+//! and 2 — acyclicity buys tractability only for type-0 instantiations.
+//!
+//! `DBham` holds a relation `g` with the single tuple `(v1, ..., vn)` of
+//! node names and the binary edge relation `e`. The metaquery
+//!
+//! ```text
+//! N(X1,...,Xn) <- N(X1,...,Xn), e(X1,X2), ..., e(X_{n-1},X_n)
+//! ```
+//!
+//! is acyclic (the `N` literal is a witness ear for every `e` literal), and
+//! under type-1/2 instantiations the predicate variable `N` matches `g`
+//! with a *permutation* of its arguments — which is precisely a candidate
+//! Hamiltonian ordering, validated by the `e` chain.
+
+use crate::graph::Graph;
+use mq_core::ast::{Metaquery, MetaqueryBuilder};
+use mq_relation::{Database, Value};
+
+/// The reduction output.
+#[derive(Debug)]
+pub struct HamPathInstance {
+    /// `DBham`.
+    pub db: Database,
+    /// `MQham`.
+    pub mq: Metaquery,
+}
+
+/// Build the Theorem 3.33 instance for `g`.
+///
+/// # Panics
+/// Panics if `g.n < 3` (the theorem assumes `|V| > 2`; with `n = 2` the
+/// pattern `N` could match the binary edge relation and break the
+/// encoding).
+pub fn reduce(g: &Graph) -> HamPathInstance {
+    assert!(g.n >= 3, "Theorem 3.33 assumes |V| > 2");
+    let mut db = Database::new();
+    let grel = db.add_relation("g", g.n);
+    let nodes: Vec<Value> = (0..g.n).map(|v| Value::Int(v as i64)).collect();
+    db.insert(grel, nodes.into_boxed_slice());
+    let e = db.add_relation("e", 2);
+    for &(u, v) in &g.edges {
+        db.insert(e, vec![Value::Int(u as i64), Value::Int(v as i64)].into_boxed_slice());
+        db.insert(e, vec![Value::Int(v as i64), Value::Int(u as i64)].into_boxed_slice());
+    }
+
+    let mut b = MetaqueryBuilder::new();
+    let n_pred = b.pred_var("N");
+    let xs: Vec<_> = (0..g.n).map(|i| b.var(&format!("X{i}"))).collect();
+    b.head_pattern(n_pred, xs.clone());
+    b.body_pattern(n_pred, xs.clone());
+    for w in xs.windows(2) {
+        b.body_atom("e", vec![w[0], w[1]]);
+    }
+    HamPathInstance { db, mq: b.build() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_core::acyclic::{classify, MqClass};
+    use mq_core::engine::{naive, MqProblem};
+    use mq_core::index::IndexKind;
+    use mq_core::instantiate::InstType;
+    use mq_relation::Frac;
+    use rand::prelude::*;
+
+    fn decide(inst: &HamPathInstance, kind: IndexKind, ty: InstType) -> bool {
+        naive::decide(
+            &inst.db,
+            &inst.mq,
+            MqProblem {
+                index: kind,
+                threshold: Frac::ZERO,
+                ty,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metaquery_is_acyclic() {
+        let inst = reduce(&Graph::cycle(4));
+        assert_eq!(classify(&inst.mq), MqClass::Acyclic);
+    }
+
+    #[test]
+    fn cycle_yes_star_no() {
+        let yes = reduce(&Graph::cycle(5));
+        let star = Graph::new(4, &[(0, 1), (0, 2), (0, 3)]);
+        let no = reduce(&star);
+        for ty in [InstType::One, InstType::Two] {
+            for kind in IndexKind::ALL {
+                assert!(decide(&yes, kind, ty), "C5 {kind} {ty}");
+                assert!(!decide(&no, kind, ty), "star {kind} {ty}");
+            }
+        }
+    }
+
+    #[test]
+    fn type0_always_no_on_nontrivial_graphs() {
+        // Under type-0 the identity argument order must itself be a
+        // Hamiltonian path 0-1-2-...; build a graph whose only Hamiltonian
+        // path is NOT the identity order.
+        let g = Graph::new(3, &[(0, 2), (1, 0)]); // path 1-0-2
+        let inst = reduce(&g);
+        assert!(g.has_hamiltonian_path());
+        assert!(!decide(&inst, IndexKind::Sup, InstType::Zero));
+        assert!(decide(&inst, IndexKind::Sup, InstType::One));
+    }
+
+    #[test]
+    fn matches_exact_solver_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..8 {
+            let n = rng.gen_range(3..6);
+            let g = Graph::random(n, 0.5, &mut rng);
+            let inst = reduce(&g);
+            assert_eq!(
+                decide(&inst, IndexKind::Sup, InstType::One),
+                g.has_hamiltonian_path(),
+                "graph {g:?}"
+            );
+            assert_eq!(
+                decide(&inst, IndexKind::Cnf, InstType::Two),
+                g.has_hamiltonian_path(),
+                "graph {g:?} (type 2)"
+            );
+        }
+    }
+}

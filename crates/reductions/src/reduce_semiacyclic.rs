@@ -1,0 +1,159 @@
+//! Theorem 3.35: 3-COLORING ≤p semi-acyclic type-0 metaquerying.
+//!
+//! Unlike Theorem 3.21's metaquery (which embeds the input graph and is
+//! as cyclic as the graph), this construction is always **semi-acyclic**,
+//! showing that dropping predicate variables from the hypergraph is not
+//! enough for tractability.
+//!
+//! `DB3col` has three binary relations encoding "other color → this
+//! color": `r'(X,Y) = {(g,r),(b,r)}`, `g' = {(r,g),(b,g)}`,
+//! `b' = {(g,b),(r,b)}`. The metaquery uses one predicate variable `X'_u`
+//! per node `u` whose instantiation *is* the node's color; body literals
+//! `X'_u(X_v, _)` per edge `(u,v)` force adjacent colors to differ, and
+//! `X'_z(_, X_z)` literals tie each node variable to its own color.
+
+use crate::graph::Graph;
+use mq_core::ast::{Metaquery, MetaqueryBuilder};
+use mq_relation::Database;
+
+/// The reduction output.
+#[derive(Debug)]
+pub struct SemiAcyclicInstance {
+    /// The fixed 3-relation database.
+    pub db: Database,
+    /// The semi-acyclic metaquery `MQ3col`.
+    pub mq: Metaquery,
+}
+
+/// Build the Theorem 3.35 instance for `g`.
+///
+/// # Panics
+/// Panics if the graph has no edges.
+pub fn reduce(g: &Graph) -> SemiAcyclicInstance {
+    assert!(!g.edges.is_empty(), "reduction needs >= 1 edge");
+    let mut db = Database::new();
+    let (r, gr, bl) = ("r", "g", "b");
+    let sym = |db: &mut Database, s: &str| db.sym(s);
+    let rv = sym(&mut db, r);
+    let gv = sym(&mut db, gr);
+    let bv = sym(&mut db, bl);
+    let rp = db.add_relation("r'", 2);
+    db.insert(rp, vec![gv, rv].into_boxed_slice());
+    db.insert(rp, vec![bv, rv].into_boxed_slice());
+    let gp = db.add_relation("g'", 2);
+    db.insert(gp, vec![rv, gv].into_boxed_slice());
+    db.insert(gp, vec![bv, gv].into_boxed_slice());
+    let bp = db.add_relation("b'", 2);
+    db.insert(bp, vec![gv, bv].into_boxed_slice());
+    db.insert(bp, vec![rv, bv].into_boxed_slice());
+
+    let mut b = MetaqueryBuilder::new();
+    // Predicate variable per node; ordinary variable per node.
+    let pred: Vec<_> = (0..g.n)
+        .map(|u| b.pred_var(&format!("C{u}")))
+        .collect();
+    let node_var: Vec<_> = (0..g.n).map(|u| b.var(&format!("X{u}"))).collect();
+
+    // Head repeats the first S' literal (with its own mute variable).
+    let (u0, v0) = g.edges[0];
+    let head_mute = b.fresh();
+    b.head_pattern(pred[u0], vec![node_var[v0], head_mute]);
+    // S': one literal per edge (both directions — the graph is undirected
+    // and the paper's S' uses the stored edge orientation; adding both
+    // directions keeps the constraint symmetric and stays semi-acyclic).
+    for &(u, v) in &g.edges {
+        let m1 = b.fresh();
+        b.body_pattern(pred[u], vec![node_var[v], m1]);
+        let m2 = b.fresh();
+        b.body_pattern(pred[v], vec![node_var[u], m2]);
+    }
+    // S'': tie each node's predicate variable to its ordinary variable.
+    for z in 0..g.n {
+        let m = b.fresh();
+        b.body_pattern(pred[z], vec![m, node_var[z]]);
+    }
+    SemiAcyclicInstance { db, mq: b.build() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_core::acyclic::{classify, MqClass};
+    use mq_core::engine::{naive, MqProblem};
+    use mq_core::index::IndexKind;
+    use mq_core::instantiate::InstType;
+    use mq_relation::Frac;
+    use rand::prelude::*;
+
+    fn decide(inst: &SemiAcyclicInstance, kind: IndexKind) -> bool {
+        naive::decide(
+            &inst.db,
+            &inst.mq,
+            MqProblem {
+                index: kind,
+                threshold: Frac::ZERO,
+                ty: InstType::Zero,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reduction_is_semi_acyclic_not_acyclic() {
+        let g = Graph::cycle(4);
+        let inst = reduce(&g);
+        assert_eq!(classify(&inst.mq), MqClass::SemiAcyclic);
+    }
+
+    #[test]
+    fn k3_yes_k4_no() {
+        for kind in IndexKind::ALL {
+            assert!(decide(&reduce(&Graph::complete(3)), kind), "{kind}");
+            assert!(!decide(&reduce(&Graph::complete(4)), kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_solver_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..6);
+            let g = Graph::random(n, 0.7, &mut rng);
+            if g.edges.is_empty() {
+                continue;
+            }
+            let inst = reduce(&g);
+            assert_eq!(
+                decide(&inst, IndexKind::Sup),
+                g.is_3_colorable(),
+                "graph {g:?}"
+            );
+        }
+    }
+
+    /// Decoding: a YES answer's instantiation is a coloring.
+    #[test]
+    fn answer_decodes_to_proper_coloring() {
+        use mq_core::engine::Thresholds;
+        let g = Graph::cycle(5);
+        let inst = reduce(&g);
+        let answers = naive::find_all(
+            &inst.db,
+            &inst.mq,
+            InstType::Zero,
+            Thresholds::single(IndexKind::Sup, Frac::ZERO),
+        )
+        .unwrap();
+        assert!(!answers.is_empty());
+        // Patterns: head (node u0) then body patterns; the last g.n body
+        // patterns are the S'' literals for nodes 0..n in order.
+        let ans = &answers[0];
+        let n_maps = ans.inst.maps.len();
+        let colors: Vec<u32> = (0..g.n)
+            .map(|z| ans.inst.maps[n_maps - g.n + z].rel.0)
+            .collect();
+        for &(u, v) in &g.edges {
+            assert_ne!(colors[u], colors[v], "edge ({u},{v}) monochrome");
+        }
+    }
+}

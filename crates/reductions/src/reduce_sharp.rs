@@ -1,0 +1,148 @@
+//! Proposition 3.26: `#3SAT` ≤ `#BCQ` by a **parsimonious** reduction —
+//! the number of satisfying assignments of the formula equals the number
+//! of satisfying substitutions of the conjunctive query.
+//!
+//! Per clause `ci = x1 ∨ x2 ∨ x3`, the database holds a ternary relation
+//! `ci = {0,1}³ − {(d1,d2,d3)}` where `dj = 0` if `xj` is positive and `1`
+//! otherwise (the unique falsifying row), and the query has the atom
+//! `ci(X1, X2, X3)` over the *variables* of the literals.
+
+use crate::cnf::Cnf;
+use mq_cq::{Atom, Cq};
+use mq_relation::{Database, Term, Value, VarId};
+
+/// The reduction output.
+#[derive(Debug)]
+pub struct SharpBcqInstance {
+    /// One ternary relation per clause.
+    pub db: Database,
+    /// The conjunctive query with one atom per clause.
+    pub query: Cq,
+    /// Variables of the formula that occur in no clause (each doubles the
+    /// model count relative to the query's substitution count).
+    pub free_vars: usize,
+}
+
+impl SharpBcqInstance {
+    /// `#SAT(F)` recovered from `#BCQ`: substitution count times
+    /// `2^free_vars`.
+    pub fn model_count(&self) -> u128 {
+        mq_cq::count_homomorphisms(&self.db, &self.query) << self.free_vars
+    }
+}
+
+/// Build the Proposition 3.26 instance for a 3-CNF formula.
+pub fn reduce(f: &Cnf) -> SharpBcqInstance {
+    let f = f.pad_to_3();
+    let mut db = Database::new();
+    let mut atoms = Vec::with_capacity(f.clauses.len());
+    let mut used = vec![false; f.n_vars];
+    for (i, clause) in f.clauses.iter().enumerate() {
+        let rel = db.add_relation(format!("c{i}"), 3);
+        // All of {0,1}^3 except the falsifying row.
+        let falsifying: Vec<i64> = clause
+            .iter()
+            .map(|l| if l.positive { 0 } else { 1 })
+            .collect();
+        for bits in 0..8i64 {
+            let row = [bits & 1, bits >> 1 & 1, bits >> 2 & 1];
+            if row.to_vec() != falsifying {
+                db.insert(
+                    rel,
+                    row.iter().map(|&v| Value::Int(v)).collect(),
+                );
+            }
+        }
+        let terms: Vec<Term> = clause
+            .iter()
+            .map(|l| {
+                used[l.var] = true;
+                Term::Var(VarId(l.var as u32))
+            })
+            .collect();
+        atoms.push(Atom::new(rel, terms));
+    }
+    let free_vars = used.iter().filter(|&&u| !u).count();
+    SharpBcqInstance {
+        db,
+        query: Cq::new(atoms),
+        free_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+    use crate::sat::count_models;
+    use rand::prelude::*;
+
+    #[test]
+    fn single_clause_has_seven_models() {
+        let f = Cnf::new(3, vec![vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)]]);
+        let inst = reduce(&f);
+        assert_eq!(inst.model_count(), 7);
+        assert_eq!(count_models(&f), 7);
+    }
+
+    #[test]
+    fn parsimonious_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for round in 0..30 {
+            let n = rng.gen_range(1..=7);
+            let m = rng.gen_range(1..=6);
+            let clauses = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Lit {
+                            var: rng.gen_range(0..n),
+                            positive: rng.gen_bool(0.5),
+                        })
+                        .collect()
+                })
+                .collect();
+            let f = Cnf::new(n, clauses);
+            let inst = reduce(&f);
+            assert_eq!(
+                inst.model_count(),
+                count_models(&f),
+                "round {round}: {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula_counts_zero() {
+        // (x) ∧ (¬x) padded to 3-CNF
+        let f = Cnf::new(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        let inst = reduce(&f);
+        assert_eq!(inst.model_count(), 0);
+    }
+
+    #[test]
+    fn free_variables_double_the_count() {
+        // Formula over 3 vars but only var 0 occurs.
+        let f = Cnf::new(3, vec![vec![Lit::pos(0)]]);
+        let inst = reduce(&f);
+        assert_eq!(inst.free_vars, 2);
+        assert_eq!(inst.model_count(), 4);
+        assert_eq!(count_models(&f), 4);
+    }
+
+    /// The constant-size property the proof relies on: each clause
+    /// relation has exactly 7 rows.
+    #[test]
+    fn clause_relations_have_seven_rows() {
+        let f = Cnf::new(
+            4,
+            vec![
+                vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(3), Lit::neg(2)],
+            ],
+        );
+        let inst = reduce(&f);
+        for rel in inst.db.relations() {
+            assert_eq!(rel.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! SAT solving, exact model counting (`#SAT`), and the direct
+//! `∃C-3SAT` solver (Definition 3.12) used to validate the paper's
+//! `NP^PP` reductions.
+
+use crate::cnf::Cnf;
+
+/// Clause state under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    Falsified,
+    /// Some literals unassigned.
+    Open,
+}
+
+fn clause_state(clause: &[crate::cnf::Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut open = false;
+    for l in clause {
+        match assignment[l.var] {
+            Some(v) if v == l.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => open = true,
+        }
+    }
+    if open {
+        ClauseState::Open
+    } else {
+        ClauseState::Falsified
+    }
+}
+
+/// DPLL-style satisfiability with unit propagation.
+pub fn satisfiable(f: &Cnf) -> bool {
+    let mut assignment = vec![None; f.n_vars];
+    sat_rec(f, &mut assignment)
+}
+
+fn sat_rec(f: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation.
+    let mut units: Vec<(usize, bool)> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in &f.clauses {
+            let mut unassigned = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for l in clause {
+                match assignment[l.var] {
+                    Some(v) if v == l.positive => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned = Some(*l);
+                        n_unassigned += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // Falsified clause: undo propagations and fail.
+                    for (v, _) in units {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    let l = unassigned.expect("one unassigned");
+                    assignment[l.var] = Some(l.positive);
+                    units.push((l.var, l.positive));
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Pick a branching variable.
+    let branch = (0..f.n_vars).find(|&v| assignment[v].is_none());
+    let result = match branch {
+        None => true, // all assigned, no clause falsified
+        Some(v) => {
+            let mut ok = false;
+            for val in [true, false] {
+                assignment[v] = Some(val);
+                if sat_rec(f, assignment) {
+                    ok = true;
+                    break;
+                }
+                assignment[v] = None;
+            }
+            if !ok {
+                assignment[v] = None;
+            }
+            ok
+        }
+    };
+    if !result {
+        for (v, _) in units {
+            assignment[v] = None;
+        }
+    }
+    result
+}
+
+/// Exact `#SAT`: the number of satisfying assignments over all
+/// `f.n_vars` variables (Theorem 3.25's problem).
+pub fn count_models(f: &Cnf) -> u128 {
+    let mut assignment = vec![None; f.n_vars];
+    count_rec(f, &mut assignment, 0)
+}
+
+fn count_rec(f: &Cnf, assignment: &mut Vec<Option<bool>>, from: usize) -> u128 {
+    // Check clause states; multiply free variables when all satisfied.
+    let mut all_satisfied = true;
+    for clause in &f.clauses {
+        match clause_state(clause, assignment) {
+            ClauseState::Falsified => return 0,
+            ClauseState::Open => all_satisfied = false,
+            ClauseState::Satisfied => {}
+        }
+    }
+    let unassigned = (from..f.n_vars).filter(|&v| assignment[v].is_none()).count()
+        + (0..from).filter(|&v| assignment[v].is_none()).count();
+    if all_satisfied {
+        return 1u128 << unassigned;
+    }
+    let v = (from..f.n_vars)
+        .chain(0..from)
+        .find(|&v| assignment[v].is_none())
+        .expect("open clause implies an unassigned variable");
+    let mut total = 0;
+    for val in [true, false] {
+        assignment[v] = Some(val);
+        total += count_rec(f, assignment, v + 1);
+        assignment[v] = None;
+    }
+    total
+}
+
+/// Count satisfying assignments of the `chi` variables given fixed values
+/// for the `pi` variables (all other variables must be in `chi`).
+pub fn count_models_given(f: &Cnf, pi: &[(usize, bool)]) -> u128 {
+    let mut assignment = vec![None; f.n_vars];
+    for &(v, val) in pi {
+        assignment[v] = Some(val);
+    }
+    count_rec(f, &mut assignment, 0)
+}
+
+/// An `∃C-3SAT` instance (Definition 3.12): is there an assignment of the
+/// `pi` variables such that at least `k` assignments of the `chi`
+/// variables satisfy `f`? Variables of `f` must be partitioned into
+/// `pi ∪ chi`.
+#[derive(Clone, Debug)]
+pub struct EcsatInstance {
+    /// The 3-CNF formula.
+    pub formula: Cnf,
+    /// The existentially quantified variables Π.
+    pub pi: Vec<usize>,
+    /// The counted variables χ.
+    pub chi: Vec<usize>,
+    /// The count threshold `k'`.
+    pub k: u128,
+}
+
+impl EcsatInstance {
+    /// Validate the variable partition.
+    pub fn check(&self) {
+        let mut seen = vec![false; self.formula.n_vars];
+        for &v in self.pi.iter().chain(self.chi.iter()) {
+            assert!(!seen[v], "variable {v} in both Π and χ");
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "Π ∪ χ must cover all formula variables"
+        );
+    }
+
+    /// Direct exponential solver: max over Π assignments of the χ model
+    /// count, compared with `k`.
+    pub fn solve_direct(&self) -> bool {
+        self.check();
+        let s = self.pi.len();
+        for bits in 0..(1u64 << s) {
+            let pi_assignment: Vec<(usize, bool)> = self
+                .pi
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits >> i & 1 == 1))
+                .collect();
+            if count_models_given(&self.formula, &pi_assignment) >= self.k {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The maximum χ model count over Π assignments (for diagnostics).
+    pub fn best_count(&self) -> u128 {
+        self.check();
+        let s = self.pi.len();
+        let mut best = 0;
+        for bits in 0..(1u64 << s) {
+            let pi_assignment: Vec<(usize, bool)> = self
+                .pi
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits >> i & 1 == 1))
+                .collect();
+            best = best.max(count_models_given(&self.formula, &pi_assignment));
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+
+    fn brute_count(f: &Cnf) -> u128 {
+        let mut n = 0;
+        for bits in 0..(1u64 << f.n_vars) {
+            let a: Vec<bool> = (0..f.n_vars).map(|i| bits >> i & 1 == 1).collect();
+            if f.eval(&a) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn sat_simple() {
+        let f = Cnf::new(2, vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]]);
+        assert!(satisfiable(&f));
+        let g = Cnf::new(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        assert!(!satisfiable(&g));
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..=8);
+            let m = rng.gen_range(0..=10);
+            let clauses: Vec<Vec<Lit>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| Lit {
+                            var: rng.gen_range(0..n),
+                            positive: rng.gen_bool(0.5),
+                        })
+                        .collect()
+                })
+                .collect();
+            let f = Cnf::new(n, clauses);
+            assert_eq!(count_models(&f), brute_count(&f), "formula {f}");
+            assert_eq!(satisfiable(&f), brute_count(&f) > 0);
+        }
+    }
+
+    #[test]
+    fn empty_formula_counts_all_assignments() {
+        let f = Cnf::new(3, vec![]);
+        assert_eq!(count_models(&f), 8);
+    }
+
+    #[test]
+    fn conditioned_count() {
+        // f = (x0 ∨ x1): given x0 = false, one satisfying x1 value.
+        let f = Cnf::new(2, vec![vec![Lit::pos(0), Lit::pos(1)]]);
+        assert_eq!(count_models_given(&f, &[(0, false)]), 1);
+        assert_eq!(count_models_given(&f, &[(0, true)]), 2);
+    }
+
+    #[test]
+    fn ecsat_direct() {
+        // F = (p ∨ q1) ∧ (¬p ∨ q2); Π = {p}, χ = {q1, q2}.
+        // p=true: F = q2 → 2 models (q1 free). p=false: F = q1 → 2 models.
+        let f = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(2)],
+            ],
+        );
+        let inst = EcsatInstance {
+            formula: f,
+            pi: vec![0],
+            chi: vec![1, 2],
+            k: 2,
+        };
+        assert!(inst.solve_direct());
+        assert_eq!(inst.best_count(), 2);
+        let harder = EcsatInstance {
+            k: 3,
+            ..inst.clone()
+        };
+        assert!(!harder.solve_direct());
+    }
+
+    #[test]
+    #[should_panic(expected = "both")]
+    fn overlapping_partition_rejected() {
+        let f = Cnf::new(2, vec![]);
+        let inst = EcsatInstance {
+            formula: f,
+            pi: vec![0, 1],
+            chi: vec![1],
+            k: 1,
+        };
+        inst.check();
+    }
+}

@@ -1,0 +1,606 @@
+//! Variable-driven relational algebra.
+//!
+//! The paper's plausibility indices (Definition 2.6) are phrased over
+//! *atoms*: `J(R)` is the natural join of the relations named in a set of
+//! atoms `R`, joining on shared **variables**, and `att(R)` is the variable
+//! set. This module implements exactly that view: a [`Bindings`] value is a
+//! relation whose columns are variables, produced by evaluating atoms and
+//! combined by natural join, semijoin and projection.
+
+use crate::relation::Relation;
+use crate::value::{Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// An ordinary (first-order) variable, interned by the caller.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// An argument of an atom: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A first-order variable.
+    Var(VarId),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    #[inline]
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+/// The distinct variables of an argument list, in first-occurrence order.
+pub fn distinct_vars(terms: &[Term]) -> Vec<VarId> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for t in terms {
+        if let Term::Var(v) = t {
+            if seen.insert(*v) {
+                out.push(*v);
+            }
+        }
+    }
+    out
+}
+
+/// A relation over variables: the result of evaluating and joining atoms.
+///
+/// Invariant: rows are pairwise distinct (natural join of sets is a set;
+/// [`Bindings::project`] re-deduplicates).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bindings {
+    vars: Vec<VarId>,
+    rows: Vec<Tuple>,
+}
+
+impl Bindings {
+    /// The unit bindings: no variables, one (empty) row.
+    ///
+    /// This is the identity of natural join: `unit ⋈ B = B`.
+    pub fn unit() -> Self {
+        Bindings {
+            vars: Vec::new(),
+            rows: vec![Vec::new().into_boxed_slice()],
+        }
+    }
+
+    /// Empty bindings (no rows) over the given variables.
+    pub fn empty(vars: Vec<VarId>) -> Self {
+        Bindings {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build from parts. Rows must be distinct and match `vars.len()`.
+    pub fn from_parts(vars: Vec<VarId>, rows: Vec<Tuple>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == vars.len()));
+        debug_assert_eq!(
+            rows.iter().collect::<HashSet<_>>().len(),
+            rows.len(),
+            "Bindings rows must be distinct"
+        );
+        Bindings { vars, rows }
+    }
+
+    /// Column variables, in order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Rows, each aligned with [`Bindings::vars`].
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of tuples (`|J(R)|` when this is the join of atom set `R`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of `v` among the columns.
+    pub fn position(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&u| u == v)
+    }
+
+    /// Evaluate a single atom `r(t1, ..., tk)` against `rel`.
+    ///
+    /// A relation row matches when constants agree and repeated variables
+    /// receive equal values; the result's columns are the distinct
+    /// variables of `terms` in first-occurrence order.
+    ///
+    /// # Panics
+    /// Panics if `terms.len() != rel.arity()`.
+    pub fn from_atom(rel: &Relation, terms: &[Term]) -> Self {
+        assert_eq!(
+            terms.len(),
+            rel.arity(),
+            "atom arity {} does not match relation `{}` arity {}",
+            terms.len(),
+            rel.name(),
+            rel.arity()
+        );
+        let vars = distinct_vars(terms);
+        // var -> first column position holding it
+        let first_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| {
+                terms
+                    .iter()
+                    .position(|t| t.as_var() == Some(*v))
+                    .expect("var came from terms")
+            })
+            .collect();
+        let mut rows = Vec::new();
+        'rows: for row in rel.rows() {
+            // Check constants and repeated-variable consistency.
+            let mut assignment: HashMap<VarId, Value> = HashMap::with_capacity(vars.len());
+            for (t, &val) in terms.iter().zip(row.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if *c != val {
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(&prev) if prev != val => continue 'rows,
+                        Some(_) => {}
+                        None => {
+                            assignment.insert(*v, val);
+                        }
+                    },
+                }
+            }
+            rows.push(first_pos.iter().map(|&p| row[p]).collect());
+        }
+        Bindings { vars, rows }
+    }
+
+    /// Natural join on shared variables. With no shared variables this is a
+    /// cross product; with identical variable sets it is an intersection.
+    pub fn join(&self, other: &Bindings) -> Bindings {
+        // Join the smaller side as the build side.
+        if self.rows.len() > other.rows.len() {
+            return other.join_ordered(self);
+        }
+        self.join_ordered(other)
+    }
+
+    /// Natural join keeping `self`'s columns first (build side = `self`).
+    fn join_ordered(&self, probe: &Bindings) -> Bindings {
+        let shared: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| probe.position(*v).is_some())
+            .collect();
+        let build_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
+        let probe_pos: Vec<usize> = shared
+            .iter()
+            .map(|&v| probe.position(v).unwrap())
+            .collect();
+        let extra: Vec<usize> = (0..probe.vars.len())
+            .filter(|&i| !shared.contains(&probe.vars[i]))
+            .collect();
+
+        let mut out_vars = self.vars.clone();
+        out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
+
+        let mut build: HashMap<Box<[Value]>, Vec<usize>> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Box<[Value]> = build_pos.iter().map(|&p| row[p]).collect();
+            build.entry(key).or_default().push(i);
+        }
+
+        let mut out_rows = Vec::new();
+        for prow in &probe.rows {
+            let key: Box<[Value]> = probe_pos.iter().map(|&p| prow[p]).collect();
+            if let Some(matches) = build.get(&key) {
+                for &bi in matches {
+                    let brow = &self.rows[bi];
+                    let mut row = Vec::with_capacity(out_vars.len());
+                    row.extend_from_slice(brow);
+                    row.extend(extra.iter().map(|&p| prow[p]));
+                    out_rows.push(row.into_boxed_slice());
+                }
+            }
+        }
+        Bindings {
+            vars: out_vars,
+            rows: out_rows,
+        }
+    }
+
+    /// Join with an atom: `self ⋈ eval(rel, terms)`.
+    pub fn join_atom(&self, rel: &Relation, terms: &[Term]) -> Bindings {
+        self.join(&Bindings::from_atom(rel, terms))
+    }
+
+    /// Projection `π_vars(self)` with duplicate elimination.
+    ///
+    /// Variables in `vars` not present in `self` are ignored (projecting a
+    /// join onto `att(R)` may mention variables the join lost to emptiness).
+    pub fn project(&self, vars: &[VarId]) -> Bindings {
+        let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
+        let out_vars: Vec<VarId> = cols.iter().map(|&c| self.vars[c]).collect();
+        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(self.rows.len());
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+            if seen.insert(proj.clone()) {
+                rows.push(proj);
+            }
+        }
+        Bindings {
+            vars: out_vars,
+            rows,
+        }
+    }
+
+    /// Count of distinct tuples over `vars` (`|π_vars(self)|`) without
+    /// materializing the projection rows.
+    pub fn count_distinct(&self, vars: &[VarId]) -> usize {
+        let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
+        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+            seen.insert(proj);
+        }
+        seen.len()
+    }
+
+    /// Semijoin `self ⋉ other`: rows of `self` whose shared-variable
+    /// projection appears in `other`. With no shared variables this keeps
+    /// all rows iff `other` is non-empty.
+    pub fn semijoin(&self, other: &Bindings) -> Bindings {
+        let shared: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Bindings::empty(self.vars.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let self_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
+        let other_pos: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.position(v).unwrap())
+            .collect();
+        let keys: HashSet<Box<[Value]>> = other
+            .rows
+            .iter()
+            .map(|r| other_pos.iter().map(|&p| r[p]).collect())
+            .collect();
+        let rows: Vec<Tuple> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
+                keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Bindings {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+
+    /// Antijoin `self ▷ other`: rows of `self` whose shared-variable
+    /// projection does **not** appear in `other` — the complement of
+    /// [`Bindings::semijoin`]. With no shared variables this keeps all
+    /// rows iff `other` is empty (negation-as-failure on a closed
+    /// condition). Used by the negated-literal extension of metaqueries.
+    pub fn antijoin(&self, other: &Bindings) -> Bindings {
+        let shared: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                self.clone()
+            } else {
+                Bindings::empty(self.vars.clone())
+            };
+        }
+        let self_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
+        let other_pos: Vec<usize> = shared
+            .iter()
+            .map(|&v| other.position(v).unwrap())
+            .collect();
+        let keys: HashSet<Box<[Value]>> = other
+            .rows
+            .iter()
+            .map(|r| other_pos.iter().map(|&p| r[p]).collect())
+            .collect();
+        let rows: Vec<Tuple> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
+                !keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Bindings {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+
+    /// Natural join of a list of atoms over their relations: `J(R)`.
+    ///
+    /// Joins left to right; callers wanting a good order should sort atoms.
+    pub fn join_all(atoms: &[(&Relation, &[Term])]) -> Bindings {
+        let mut acc = Bindings::unit();
+        for (rel, terms) in atoms {
+            acc = acc.join_atom(rel, terms);
+            if acc.is_empty() {
+                // Short-circuit: vars of remaining atoms are irrelevant for
+                // emptiness, and callers project with missing-var tolerance.
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Sort rows lexicographically (for deterministic display/tests).
+    pub fn sorted(mut self) -> Bindings {
+        self.rows.sort();
+        self
+    }
+}
+
+impl fmt::Debug for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Bindings over {:?}:", self.vars)?;
+        for row in &self.rows {
+            writeln!(f, "  {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Reduce `rel` with respect to a guard: keep rows matching `terms` whose
+/// variable projection appears in `guard` — the semijoin step
+/// `r := r ⋉ guard` of Definition 4.4, returning the reduced relation.
+pub fn reduce_relation(rel: &Relation, terms: &[Term], guard: &Bindings) -> Relation {
+    let atom = Bindings::from_atom(rel, terms);
+    let kept = atom.semijoin(guard);
+    // Rebuild relation rows from the kept bindings by re-scanning: a row of
+    // `rel` survives iff its variable projection is in `kept`.
+    let vars = atom.vars().to_vec();
+    let keys: HashSet<&Tuple> = kept.rows().iter().collect();
+    let mut out = Relation::new(rel.name(), rel.arity());
+    'rows: for row in rel.rows() {
+        let mut assignment: HashMap<VarId, Value> = HashMap::new();
+        for (t, &val) in terms.iter().zip(row.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if *c != val {
+                        continue 'rows;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(&prev) if prev != val => continue 'rows,
+                    Some(_) => {}
+                    None => {
+                        assignment.insert(*v, val);
+                    }
+                },
+            }
+        }
+        let key: Tuple = vars.iter().map(|v| assignment[v]).collect();
+        if keys.contains(&key) {
+            out.insert(row.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ints;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn rel_e() -> Relation {
+        // e = {(1,2),(2,3),(3,4)}
+        Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[2, 3]), ints(&[3, 4])])
+    }
+
+    #[test]
+    fn from_atom_basic() {
+        let e = rel_e();
+        let b = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        assert_eq!(b.vars(), &[v(0), v(1)]);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn from_atom_repeated_var_filters() {
+        let r = Relation::from_rows("p", 2, vec![ints(&[1, 1]), ints(&[1, 2]), ints(&[2, 2])]);
+        let b = Bindings::from_atom(&r, &[Term::Var(v(0)), Term::Var(v(0))]);
+        assert_eq!(b.vars(), &[v(0)]);
+        assert_eq!(b.len(), 2); // X=1 and X=2
+    }
+
+    #[test]
+    fn from_atom_constant_filters() {
+        let e = rel_e();
+        let b = Bindings::from_atom(&e, &[Term::Const(Value::Int(2)), Term::Var(v(1))]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn join_path() {
+        // e(X,Y) ⋈ e(Y,Z): paths of length 2 -> (1,2,3), (2,3,4)
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let j = xy.join(&yz).sorted();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.count_distinct(&[v(0), v(2)]), 2);
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_columns() {
+        let e = rel_e();
+        let a = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let b = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        assert_eq!(ab.len(), ba.len());
+        let all = [v(0), v(1), v(2)];
+        assert_eq!(
+            ab.project(&all).sorted().rows(),
+            ba.project(&all).sorted().rows()
+        );
+    }
+
+    #[test]
+    fn join_no_shared_is_cross_product() {
+        let e = rel_e();
+        let a = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let b = Bindings::from_atom(&e, &[Term::Var(v(2)), Term::Var(v(3))]);
+        assert_eq!(a.join(&b).len(), 9);
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let e = rel_e();
+        let a = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let j = Bindings::unit().join(&a);
+        assert_eq!(j.len(), a.len());
+        assert_eq!(
+            j.project(&[v(0), v(1)]).sorted().rows(),
+            a.clone().sorted().rows()
+        );
+    }
+
+    #[test]
+    fn project_dedups() {
+        let e = rel_e();
+        let b = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        // project on nothing: single empty row (non-empty input)
+        let p = b.project(&[]);
+        assert_eq!(p.len(), 1);
+        // missing variables are ignored
+        let q = b.project(&[v(0), v(9)]);
+        assert_eq!(q.vars(), &[v(0)]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let s = xy.semijoin(&yz);
+        // rows of e(X,Y) with an outgoing edge from Y: (1,2),(2,3)
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn semijoin_disjoint_vars() {
+        let e = rel_e();
+        let a = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let empty = Bindings::empty(vec![v(7)]);
+        assert!(a.semijoin(&empty).is_empty());
+        let nonempty = Bindings::from_atom(&e, &[Term::Var(v(7)), Term::Var(v(8))]);
+        assert_eq!(a.semijoin(&nonempty).len(), a.len());
+    }
+
+    #[test]
+    fn antijoin_is_complement_of_semijoin() {
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let semi = xy.semijoin(&yz);
+        let anti = xy.antijoin(&yz);
+        assert_eq!(semi.len() + anti.len(), xy.len());
+        // disjoint
+        for row in anti.rows() {
+            assert!(!semi.rows().contains(row));
+        }
+    }
+
+    #[test]
+    fn antijoin_disjoint_vars() {
+        let e = rel_e();
+        let a = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let empty = Bindings::empty(vec![v(7)]);
+        assert_eq!(a.antijoin(&empty).len(), a.len());
+        let nonempty = Bindings::from_atom(&e, &[Term::Var(v(7)), Term::Var(v(8))]);
+        assert!(a.antijoin(&nonempty).is_empty());
+    }
+
+    #[test]
+    fn join_all_short_circuits() {
+        let e = rel_e();
+        let empty = Relation::new("z", 1);
+        let t0 = [Term::Var(v(0)), Term::Var(v(1))];
+        let tz = [Term::Var(v(5))];
+        let j = Bindings::join_all(&[(&empty, &tz), (&e, &t0)]);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn reduce_relation_matches_semijoin() {
+        let e = rel_e();
+        let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let reduced = reduce_relation(&e, &[Term::Var(v(0)), Term::Var(v(1))], &yz);
+        assert_eq!(reduced.len(), 2);
+        assert!(reduced.contains(&ints(&[1, 2])));
+        assert!(reduced.contains(&ints(&[2, 3])));
+        assert!(!reduced.contains(&ints(&[3, 4])));
+    }
+
+    #[test]
+    fn count_distinct_counts_projection() {
+        let r = Relation::from_rows(
+            "p",
+            2,
+            vec![ints(&[1, 1]), ints(&[1, 2]), ints(&[2, 1])],
+        );
+        let b = Bindings::from_atom(&r, &[Term::Var(v(0)), Term::Var(v(1))]);
+        assert_eq!(b.count_distinct(&[v(0)]), 2);
+        assert_eq!(b.count_distinct(&[v(1)]), 2);
+        assert_eq!(b.count_distinct(&[v(0), v(1)]), 3);
+    }
+}

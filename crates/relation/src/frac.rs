@@ -1,0 +1,243 @@
+//! Exact rational arithmetic for plausibility indices and thresholds.
+//!
+//! Indices are ratios of tuple counts and must be compared *exactly*
+//! against user thresholds: the NP^PP reduction of Theorem 3.28 sets the
+//! threshold to `(k'-1)/2^h`, where an off-by-one-ULP float comparison
+//! would flip the answer. The paper requires thresholds to be "finitely
+//! represented rationals" — [`Frac`] is that representation.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative rational `num/den` with `den > 0`, kept in lowest terms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frac {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Frac {
+    /// Zero.
+    pub const ZERO: Frac = Frac { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Frac = Frac { num: 1, den: 1 };
+
+    /// Build `num/den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den);
+        Frac {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// `0/1` if `den == 0`, else `num/den` — matching Definition 2.6's
+    /// convention that an empty numerator yields fraction 0 and the indices'
+    /// treatment of empty joins.
+    pub fn ratio_or_zero(num: u64, den: u64) -> Self {
+        if den == 0 {
+            Frac::ZERO
+        } else {
+            Frac::new(num, den)
+        }
+    }
+
+    /// Numerator (lowest terms).
+    pub fn num(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (lowest terms).
+    pub fn den(self) -> u64 {
+        self.den
+    }
+
+    /// Value as `f64` (display / plotting only — never for comparisons).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `⌊self · n⌋` — used by the certificate of Theorem 3.24, which guesses
+    /// `⌊k·|B|⌋ + 1` witnesses.
+    pub fn floor_mul(self, n: u64) -> u64 {
+        ((self.num as u128 * n as u128) / self.den as u128) as u64
+    }
+
+    /// Whether the fraction lies in `[0, 1]`.
+    pub fn is_probability(self) -> bool {
+        self.num <= self.den
+    }
+}
+
+impl PartialOrd for Frac {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Frac {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Cross-multiply in u128: no overflow for u64 operands.
+        let lhs = self.num as u128 * other.den as u128;
+        let rhs = other.num as u128 * self.den as u128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error parsing a [`Frac`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFracError(String);
+
+impl fmt::Display for ParseFracError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fraction: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFracError {}
+
+impl std::str::FromStr for Frac {
+    type Err = ParseFracError;
+
+    /// Accepts `a/b`, integers (`0`, `1`), and decimals (`0.93` becomes
+    /// `93/100` exactly).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let err = || ParseFracError(s.to_string());
+        if let Some((a, b)) = s.split_once('/') {
+            let num: u64 = a.trim().parse().map_err(|_| err())?;
+            let den: u64 = b.trim().parse().map_err(|_| err())?;
+            if den == 0 {
+                return Err(err());
+            }
+            return Ok(Frac::new(num, den));
+        }
+        if let Some((whole, frac)) = s.split_once('.') {
+            let whole: u64 = if whole.is_empty() {
+                0
+            } else {
+                whole.parse().map_err(|_| err())?
+            };
+            if frac.is_empty() || frac.len() > 18 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(err());
+            }
+            let digits: u64 = frac.parse().map_err(|_| err())?;
+            let scale = 10u64.pow(frac.len() as u32);
+            let num = whole
+                .checked_mul(scale)
+                .and_then(|w| w.checked_add(digits))
+                .ok_or_else(err)?;
+            return Ok(Frac::new(num, scale));
+        }
+        let num: u64 = s.parse().map_err(|_| err())?;
+        Ok(Frac::new(num, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let f = Frac::new(6, 8);
+        assert_eq!((f.num(), f.den()), (3, 4));
+        assert_eq!(Frac::new(0, 5), Frac::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        // 1/3 < 0.333333334 as rationals
+        let third = Frac::new(1, 3);
+        let approx = Frac::new(333_333_334, 1_000_000_000);
+        assert!(third < approx);
+        assert!(Frac::new(2, 4) == Frac::new(1, 2));
+        // large cross-multiplication exercising u128 path
+        let a = Frac::new(u64::MAX - 1, u64::MAX);
+        let b = Frac::ONE;
+        assert!(a < b);
+    }
+
+    #[test]
+    fn floor_mul() {
+        let k = Frac::new(93, 100);
+        assert_eq!(k.floor_mul(100), 93);
+        assert_eq!(k.floor_mul(10), 9);
+        assert_eq!(Frac::ZERO.floor_mul(1000), 0);
+    }
+
+    #[test]
+    fn ratio_or_zero_handles_empty_join() {
+        assert_eq!(Frac::ratio_or_zero(3, 0), Frac::ZERO);
+        assert_eq!(Frac::ratio_or_zero(3, 4), Frac::new(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn new_rejects_zero_den() {
+        let _ = Frac::new(1, 0);
+    }
+
+    #[test]
+    fn probability_check() {
+        assert!(Frac::new(1, 1).is_probability());
+        assert!(Frac::new(0, 7).is_probability());
+        assert!(!Frac::new(7, 3).is_probability());
+    }
+
+    #[test]
+    fn parse_fraction_forms() {
+        let parse = |s: &str| s.parse::<Frac>();
+        assert_eq!(parse("1/2").unwrap(), Frac::new(1, 2));
+        assert_eq!(parse(" 3 / 4 ").unwrap(), Frac::new(3, 4));
+        assert_eq!(parse("0.93").unwrap(), Frac::new(93, 100));
+        assert_eq!(parse(".5").unwrap(), Frac::new(1, 2));
+        assert_eq!(parse("0").unwrap(), Frac::ZERO);
+        assert_eq!(parse("1").unwrap(), Frac::ONE);
+        assert!(parse("1/0").is_err());
+        assert!(parse("-1/2").is_err());
+        assert!(parse("abc").is_err());
+        assert!(parse("1.").is_err());
+    }
+
+    #[test]
+    fn nppp_threshold_is_exact() {
+        // (k'-1)/2^h with h = 40: far beyond f64-safe integer comparisons
+        // when embedded in larger arithmetic.
+        let h = 40u32;
+        let kp = 1_099_511_627_776u64 / 3; // some k'
+        let k = Frac::new(kp - 1, 1u64 << h);
+        let just_above = Frac::new(kp, 1u64 << h);
+        assert!(k < just_above);
+        assert!(Frac::new(kp - 1, 1u64 << h) == k);
+    }
+}

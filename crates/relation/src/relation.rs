@@ -1,0 +1,224 @@
+//! Relations: named, fixed-arity sets of tuples.
+//!
+//! Per §2.1 a database is `(D, R1, ..., Rn)` where each `Ri ⊆ D^a(Ri)` is a
+//! *set* — duplicate tuples are meaningless, and every cardinality in the
+//! plausibility indices (Definition 2.6) counts distinct tuples. `Relation`
+//! therefore deduplicates on insertion and keeps rows in insertion order for
+//! deterministic iteration.
+
+use crate::value::{Tuple, Value};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A hash index from key values (at some column subset) to row indices.
+pub type KeyIndex = HashMap<Box<[Value]>, Vec<usize>>;
+
+/// A named relation: a set of tuples of a fixed arity.
+#[derive(Clone)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    rows: Vec<Tuple>,
+    /// Tuple -> row index, for O(1) membership; values index into `rows`.
+    index: HashMap<Tuple, usize>,
+    /// Hash indexes on column subsets, built lazily by the algebra layer.
+    key_indexes: HashMap<Vec<usize>, KeyIndex>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given name and arity.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            rows: Vec::new(),
+            index: HashMap::new(),
+            key_indexes: HashMap::new(),
+        }
+    }
+
+    /// Create a relation and bulk-insert `rows` (duplicates are dropped).
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `arity`.
+    pub fn from_rows(name: impl Into<String>, arity: usize, rows: Vec<Tuple>) -> Self {
+        let mut rel = Relation::new(name, arity);
+        for row in rows {
+            rel.insert(row);
+        }
+        rel
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's arity `a(R)`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples, `|R|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != arity`.
+    pub fn insert(&mut self, row: Tuple) -> bool {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "tuple arity {} does not match relation `{}` arity {}",
+            row.len(),
+            self.name,
+            self.arity
+        );
+        match self.index.entry(row) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                let row = e.key().clone();
+                e.insert(self.rows.len());
+                self.rows.push(row);
+                // Any previously built key indexes are now stale.
+                self.key_indexes.clear();
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.index.contains_key(row)
+    }
+
+    /// Iterate over tuples in insertion order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Access the i-th row.
+    pub fn row(&self, i: usize) -> &Tuple {
+        &self.rows[i]
+    }
+
+    /// Get or build a hash index keyed on the given column positions.
+    ///
+    /// The returned map sends a key (values at `cols`, in order) to the row
+    /// indices carrying that key.
+    pub fn key_index(&mut self, cols: &[usize]) -> &KeyIndex {
+        if !self.key_indexes.contains_key(cols) {
+            let mut map: KeyIndex = HashMap::new();
+            for (i, row) in self.rows.iter().enumerate() {
+                let key: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+                map.entry(key).or_default().push(i);
+            }
+            self.key_indexes.insert(cols.to_vec(), map);
+        }
+        &self.key_indexes[cols]
+    }
+
+    /// Build (without caching) a hash index keyed on the given columns.
+    ///
+    /// Useful when the relation is behind a shared reference.
+    pub fn build_key_index(&self, cols: &[usize]) -> KeyIndex {
+        let mut map: KeyIndex = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+            map.entry(key).or_default().push(i);
+        }
+        map
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({} rows)",
+            self.name,
+            self.arity,
+            self.rows.len()
+        )
+    }
+}
+
+impl PartialEq for Relation {
+    /// Set equality of contents (name and arity must also match).
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.arity == other.arity
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|r| other.contains(r))
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ints;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new("e", 2);
+        assert!(r.insert(ints(&[1, 2])));
+        assert!(!r.insert(ints(&[1, 2])));
+        assert!(r.insert(ints(&[2, 1])));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new("e", 2);
+        r.insert(ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn contains_and_rows() {
+        let r = Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[3, 4])]);
+        assert!(r.contains(&ints(&[1, 2])));
+        assert!(!r.contains(&ints(&[2, 1])));
+        assert_eq!(r.rows().count(), 2);
+    }
+
+    #[test]
+    fn key_index_groups_rows() {
+        let mut r = Relation::from_rows(
+            "e",
+            2,
+            vec![ints(&[1, 2]), ints(&[1, 3]), ints(&[2, 3])],
+        );
+        let idx = r.key_index(&[0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[&ints(&[1])].len(), 2);
+        assert_eq!(idx[&ints(&[2])].len(), 1);
+    }
+
+    #[test]
+    fn key_index_invalidated_by_insert() {
+        let mut r = Relation::from_rows("e", 2, vec![ints(&[1, 2])]);
+        let _ = r.key_index(&[0]);
+        r.insert(ints(&[5, 6]));
+        let idx = r.key_index(&[0]);
+        assert!(idx.contains_key(&ints(&[5])));
+    }
+
+    #[test]
+    fn set_equality() {
+        let a = Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[3, 4])]);
+        let b = Relation::from_rows("e", 2, vec![ints(&[3, 4]), ints(&[1, 2])]);
+        assert_eq!(a, b);
+    }
+}

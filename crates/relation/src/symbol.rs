@@ -1,0 +1,152 @@
+//! String interning.
+//!
+//! Every constant that appears in a database is interned once into a
+//! [`SymbolTable`]; relations then store compact [`Symbol`] handles. This
+//! keeps tuples small (4 bytes per attribute), makes equality and hashing a
+//! single integer comparison, and keeps the join kernels cache-friendly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned string.
+///
+/// Symbols are only meaningful relative to the [`SymbolTable`] that produced
+/// them. Two symbols from the same table are equal iff the underlying
+/// strings are equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw index of this symbol inside its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a symbol from a raw index, e.g. after serialization.
+    ///
+    /// The caller must guarantee that `index` was produced by
+    /// [`Symbol::index`] on a symbol of the same table.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(index as u32)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only intern table mapping strings to [`Symbol`]s.
+#[derive(Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    by_name: HashMap<Box<str>, Symbol>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(
+            u32::try_from(self.names.len()).expect("symbol table exceeded u32::MAX entries"),
+        );
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_ref()))
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("GSM 900");
+        let b = t.intern("GSM 900");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("Tim");
+        let b = t.intern("Omnitel");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "Tim");
+        assert_eq!(t.resolve(b), "Omnitel");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("x").is_none());
+        t.intern("x");
+        assert!(t.get("x").is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        let collected: Vec<(Symbol, &str)> = t.iter().collect();
+        assert_eq!(collected.len(), 3);
+        for (i, (sym, name)) in collected.iter().enumerate() {
+            assert_eq!(*sym, syms[i]);
+            assert_eq!(*name, ["a", "b", "c"][i]);
+        }
+    }
+}

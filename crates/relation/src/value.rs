@@ -1,0 +1,122 @@
+//! Database constants.
+//!
+//! The paper's databases range over a countable domain `U` of constants
+//! (§2.1). We represent a constant as either a small integer or an interned
+//! symbol; both fit in 8 bytes, so a tuple is a flat `[Value]` slice.
+
+use crate::symbol::{Symbol, SymbolTable};
+use std::fmt;
+
+/// A single database constant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer constant (used heavily by generators and reductions).
+    Int(i64),
+    /// An interned string constant (used by named data such as Figure 1).
+    Sym(Symbol),
+}
+
+impl Value {
+    /// Convenience constructor for integer values.
+    #[inline]
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// Returns the symbol payload if this is a [`Value::Sym`].
+    #[inline]
+    pub fn as_sym(self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Render the value using `symbols` to resolve interned strings.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Value, &'a SymbolTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Value::Int(v) => write!(f, "{v}"),
+                    Value::Sym(s) => write!(f, "{}", self.1.resolve(*s)),
+                }
+            }
+        }
+        D(self, symbols)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+/// A tuple of constants, stored as a boxed slice to keep rows at two words.
+pub type Tuple = Box<[Value]>;
+
+/// Build a tuple from integer literals; handy in tests and generators.
+pub fn ints(vals: &[i64]) -> Tuple {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_small() {
+        // Two-word tuples rely on `Value` staying pointer-sized-ish.
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("a");
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_sym(), None);
+        assert_eq!(Value::Sym(s).as_sym(), Some(s));
+        assert_eq!(Value::Sym(s).as_int(), None);
+    }
+
+    #[test]
+    fn display_resolves_symbols() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("Omnitel");
+        assert_eq!(Value::Sym(s).display(&t).to_string(), "Omnitel");
+        assert_eq!(Value::Int(42).display(&t).to_string(), "42");
+    }
+
+    #[test]
+    fn ints_builder() {
+        let tup = ints(&[1, 2, 3]);
+        assert_eq!(tup.len(), 3);
+        assert_eq!(tup[1], Value::Int(2));
+    }
+}

@@ -1,0 +1,178 @@
+//! The paper's hardness proofs, run as programs.
+//!
+//! Demonstrates each reduction of §3 end to end: build the instance,
+//! decide it through the metaquery engine, and cross-check against an
+//! independent solver. Also shows the tractable side: Theorem 3.32's
+//! polynomial evaluation for acyclic metaqueries.
+//!
+//! Run with: `cargo run --example complexity_lab`
+
+use metaquery::prelude::*;
+use metaquery::reductions::{
+    reduce_3col, reduce_ecsat, reduce_hampath, reduce_semiacyclic, reduce_sharp, Cnf,
+    EcsatInstance, Graph, Lit,
+};
+
+fn check(label: &str, via_mq: bool, direct: bool) {
+    let verdict = if via_mq == direct { "agree" } else { "DISAGREE" };
+    println!(
+        "  {label:<46} metaquery: {:<3}  direct: {:<3}  [{verdict}]",
+        if via_mq { "YES" } else { "no" },
+        if direct { "YES" } else { "no" }
+    );
+    assert_eq!(via_mq, direct, "{label}");
+}
+
+fn main() {
+    println!("=== Theorem 3.21: 3-COLORING -> metaquerying (k = 0) ===");
+    for (name, g) in [
+        ("K3 (colorable)", Graph::complete(3)),
+        ("K4 (not colorable)", Graph::complete(4)),
+        ("Petersen-ish C5 + chords", {
+            let mut e = Graph::cycle(5).edges.clone();
+            e.push((0, 2));
+            e.push((1, 3));
+            Graph::new(5, &e)
+        }),
+    ] {
+        let inst = reduce_3col::reduce(&g);
+        let yes = naive_decide(
+            &inst.db,
+            &inst.mq,
+            MqProblem {
+                index: IndexKind::Sup,
+                threshold: Frac::ZERO,
+                ty: InstType::Zero,
+            },
+        )
+        .unwrap();
+        check(name, yes, g.is_3_colorable());
+    }
+
+    println!("\n=== Theorem 3.35: 3-COLORING -> SEMI-ACYCLIC metaquerying ===");
+    for (name, g) in [
+        ("C5 (colorable)", Graph::cycle(5)),
+        ("K4 (not colorable)", Graph::complete(4)),
+    ] {
+        let inst = reduce_semiacyclic::reduce(&g);
+        println!(
+            "  metaquery class: {:?} ({} literals)",
+            metaquery::core::acyclic::classify(&inst.mq),
+            inst.mq.body_len() + 1
+        );
+        let yes = naive_decide(
+            &inst.db,
+            &inst.mq,
+            MqProblem {
+                index: IndexKind::Cvr,
+                threshold: Frac::ZERO,
+                ty: InstType::Zero,
+            },
+        )
+        .unwrap();
+        check(name, yes, g.is_3_colorable());
+    }
+
+    println!("\n=== Theorem 3.33: HAMILTONIAN PATH -> ACYCLIC metaquerying (types 1/2) ===");
+    for (name, g) in [
+        ("C5 (has ham. path)", Graph::cycle(5)),
+        ("K_{1,3} star (no ham. path)", Graph::new(4, &[(0, 1), (0, 2), (0, 3)])),
+    ] {
+        let inst = reduce_hampath::reduce(&g);
+        let yes = naive_decide(
+            &inst.db,
+            &inst.mq,
+            MqProblem {
+                index: IndexKind::Sup,
+                threshold: Frac::ZERO,
+                ty: InstType::One,
+            },
+        )
+        .unwrap();
+        check(name, yes, g.has_hamiltonian_path());
+    }
+
+    println!("\n=== Theorems 3.28/3.29: ∃C-3SAT -> confidence thresholds (NP^PP) ===");
+    // F = (p ∨ q1 ∨ q2) ∧ (¬p ∨ q1 ∨ ¬q2), Π = {p}, χ = {q1, q2}.
+    let f = Cnf::new(
+        3,
+        vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+        ],
+    );
+    for k in 1..=4u128 {
+        let inst = EcsatInstance {
+            formula: f.clone(),
+            pi: vec![0],
+            chi: vec![1, 2],
+            k,
+        };
+        let red = reduce_ecsat::reduce_type0(&inst);
+        let yes = naive_decide(
+            &red.db,
+            &red.mq,
+            MqProblem {
+                index: IndexKind::Cnf,
+                threshold: red.threshold,
+                ty: red.ty,
+            },
+        )
+        .unwrap();
+        check(
+            &format!("k' = {k} (threshold {} over 2^2 assignments)", red.threshold),
+            yes,
+            inst.solve_direct(),
+        );
+    }
+
+    println!("\n=== Proposition 3.26: parsimonious #3SAT -> #BCQ ===");
+    let g = Cnf::new(
+        4,
+        vec![
+            vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(3), Lit::pos(1)],
+            vec![Lit::pos(1), Lit::pos(2), Lit::neg(3)],
+        ],
+    );
+    let inst = reduce_sharp::reduce(&g);
+    let via_bcq = inst.model_count();
+    let direct = metaquery::reductions::count_models(&g);
+    println!("  #BCQ count: {via_bcq}   DPLL #SAT: {direct}");
+    assert_eq!(via_bcq, direct);
+
+    println!("\n=== Theorem 3.32: the tractable acyclic type-0 case ===");
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+        db.insert(p, mq_ints(&[a, b]));
+        db.insert(q, mq_ints(&[b, a]));
+    }
+    let mq = parse_metaquery("R(X,Y) <- P(X,Y), Q(Y,Z)").unwrap();
+    println!(
+        "  {} is {:?}",
+        mq,
+        metaquery::core::acyclic::classify(&mq)
+    );
+    for kind in IndexKind::ALL {
+        let fast = metaquery::core::acyclic::decide_acyclic_zero(&db, &mq, kind)
+            .expect("acyclic metaquery");
+        let slow = naive_decide(
+            &db,
+            &mq,
+            MqProblem {
+                index: kind,
+                threshold: Frac::ZERO,
+                ty: InstType::Zero,
+            },
+        )
+        .unwrap();
+        check(&format!("LOGCFL route, index {kind}"), fast, slow);
+    }
+    println!("\nAll reductions agree with their direct solvers.");
+}
+
+fn mq_ints(vals: &[i64]) -> Box<[Value]> {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}

@@ -1,0 +1,235 @@
+//! `mq` — command-line metaquery miner.
+//!
+//! ```text
+//! mq mine     --db FILE --metaquery 'R(X,Z) <- P(X,Y), Q(Y,Z)'
+//!             [--type 0|1|2] [--sup K] [--cvr K] [--cnf K]
+//!             [--engine findrules|naive] [--limit N]
+//! mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type T]
+//! mq classify --metaquery MQ
+//! mq stats    --db FILE
+//! ```
+//!
+//! Thresholds accept `1/2`, `0.5` or `0`; they are strict lower bounds,
+//! exactly as in the paper. Database files use the text format of
+//! `mq_relation::textio` (one `relation(v1, v2, ...)` fact per line).
+
+use metaquery::core::acyclic::classify;
+use metaquery::core::engine::{find_rules::find_rules, naive};
+use metaquery::core::engine::find_rules::body_decomposition;
+use metaquery::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mq mine     --db FILE --metaquery MQ [--type 0|1|2] [--sup K] [--cvr K] [--cnf K] [--engine findrules|naive] [--limit N]\n  mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type 0|1|2]\n  mq classify --metaquery MQ\n  mq stats    --db FILE"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{name}");
+                usage();
+            }
+            flags.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            eprintln!("unexpected argument `{a}`");
+            usage();
+        }
+    }
+    flags
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> &'a str {
+    match flags.get(name) {
+        Some(v) => v,
+        None => {
+            eprintln!("missing required flag --{name}");
+            usage();
+        }
+    }
+}
+
+fn load_db(path: &str) -> Database {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    match mq_relation::parse_database(&text) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot parse `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn load_mq(text: &str) -> Metaquery {
+    match parse_metaquery(text) {
+        Ok(mq) => mq,
+        Err(e) => {
+            eprintln!("invalid metaquery: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_type(flags: &HashMap<String, String>) -> InstType {
+    match flags.get("type").map(String::as_str).unwrap_or("0") {
+        "0" => InstType::Zero,
+        "1" => InstType::One,
+        "2" => InstType::Two,
+        other => {
+            eprintln!("invalid --type `{other}` (expected 0, 1 or 2)");
+            usage();
+        }
+    }
+}
+
+fn parse_frac(s: &str) -> Frac {
+    match s.parse::<Frac>() {
+        Ok(f) if f.is_probability() => f,
+        Ok(_) => {
+            eprintln!("threshold `{s}` must be in [0, 1]");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_mine(flags: HashMap<String, String>) -> ExitCode {
+    let db = load_db(required(&flags, "db"));
+    let mq = load_mq(required(&flags, "metaquery"));
+    let ty = parse_type(&flags);
+    let thresholds = Thresholds {
+        sup: flags.get("sup").map(|s| parse_frac(s)),
+        cvr: flags.get("cvr").map(|s| parse_frac(s)),
+        cnf: flags.get("cnf").map(|s| parse_frac(s)),
+    };
+    let limit: usize = flags
+        .get("limit")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(usize::MAX);
+    let engine = flags.get("engine").map(String::as_str).unwrap_or("findrules");
+    let result = match engine {
+        "findrules" => find_rules(&db, &mq, ty, thresholds),
+        "naive" => naive::find_all(&db, &mq, ty, thresholds),
+        other => {
+            eprintln!("unknown engine `{other}`");
+            usage();
+        }
+    };
+    match result {
+        Ok(mut answers) => {
+            answers.sort_by(|a, b| b.indices.cnf.cmp(&a.indices.cnf).then(a.inst.cmp(&b.inst)));
+            println!("{} rule(s):", answers.len().min(limit));
+            for a in answers.iter().take(limit) {
+                let rule = apply_instantiation(&db, &mq, &a.inst).expect("valid instantiation");
+                println!(
+                    "  {:<60} sup={} cvr={} cnf={}",
+                    rule.render(&db),
+                    a.indices.sup,
+                    a.indices.cvr,
+                    a.indices.cnf
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_decide(flags: HashMap<String, String>) -> ExitCode {
+    let db = load_db(required(&flags, "db"));
+    let mq = load_mq(required(&flags, "metaquery"));
+    let ty = parse_type(&flags);
+    let kind = match required(&flags, "index") {
+        "sup" => IndexKind::Sup,
+        "cvr" => IndexKind::Cvr,
+        "cnf" => IndexKind::Cnf,
+        other => {
+            eprintln!("unknown index `{other}`");
+            usage();
+        }
+    };
+    let k = parse_frac(required(&flags, "k"));
+    let problem = MqProblem {
+        index: kind,
+        threshold: k,
+        ty,
+    };
+    match metaquery::core::engine::find_rules::decide(&db, &mq, problem) {
+        Ok(yes) => {
+            println!("{problem}: {}", if yes { "YES" } else { "NO" });
+            if yes {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_classify(flags: HashMap<String, String>) -> ExitCode {
+    let mq = load_mq(required(&flags, "metaquery"));
+    println!("metaquery : {mq}");
+    println!("pure      : {}", mq.is_pure());
+    println!("safe      : {}", mq.is_safe());
+    println!("class     : {:?}", classify(&mq));
+    let d = body_decomposition(&mq);
+    println!(
+        "body      : hypertree width {} ({} decomposition vertices)",
+        d.width, d.vertices
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(flags: HashMap<String, String>) -> ExitCode {
+    let db = load_db(required(&flags, "db"));
+    println!(
+        "{} relations, {} tuples, max relation size d = {}, max arity b = {}",
+        db.num_relations(),
+        db.total_tuples(),
+        db.max_relation_size(),
+        db.max_arity()
+    );
+    for rel in db.relations() {
+        println!("  {}/{}: {} tuples", rel.name(), rel.arity(), rel.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let flags = parse_flags(&args[1..]);
+    match args[0].as_str() {
+        "mine" => cmd_mine(flags),
+        "decide" => cmd_decide(flags),
+        "classify" => cmd_classify(flags),
+        "stats" => cmd_stats(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,116 @@
+//! Engine agreement on adversarial metaquery shapes: repeated variables,
+//! duplicate literal schemes, head repeated in the body (the Theorem 3.32
+//! `mq(Q)` shape), single-literal bodies, unary patterns, and high-arity
+//! type-2 padding.
+
+use metaquery::core::engine::{find_rules::find_rules, naive};
+use metaquery::prelude::*;
+use mq_relation::ints;
+use rand::prelude::*;
+
+fn random_db(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    let u = db.add_relation("u", 1);
+    let t = db.add_relation("t", 3);
+    for _ in 0..10 {
+        db.insert(p, ints(&[rng.gen_range(0..4), rng.gen_range(0..4)]));
+        db.insert(q, ints(&[rng.gen_range(0..4), rng.gen_range(0..4)]));
+        db.insert(
+            t,
+            ints(&[
+                rng.gen_range(0..4),
+                rng.gen_range(0..4),
+                rng.gen_range(0..4),
+            ]),
+        );
+    }
+    for i in 0..3 {
+        db.insert(u, ints(&[i]));
+    }
+    db
+}
+
+fn agree(db: &Database, text: &str, ty: InstType) {
+    let mq = parse_metaquery(text).unwrap();
+    for th in [
+        Thresholds::none(),
+        Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+        Thresholds::all(Frac::new(1, 3), Frac::new(1, 3), Frac::new(1, 3)),
+    ] {
+        let a = naive::find_all(db, &mq, ty, th).unwrap();
+        let b = find_rules(db, &mq, ty, th).unwrap();
+        assert_eq!(a, b, "{text} ({ty}, {th:?})");
+    }
+}
+
+#[test]
+fn repeated_variables_in_schemes() {
+    for seed in 0..3 {
+        let db = random_db(seed);
+        agree(&db, "R(X,X) <- P(X,Y), Q(Y,X)", InstType::Zero);
+        agree(&db, "R(X,Y) <- P(X,X), Q(X,Y)", InstType::Zero);
+        agree(&db, "R(X,X) <- P(X,X)", InstType::One);
+    }
+}
+
+#[test]
+fn duplicate_body_schemes() {
+    for seed in 10..13 {
+        let db = random_db(seed);
+        // Same pattern twice: instantiations are still per-occurrence.
+        agree(&db, "R(X,Y) <- P(X,Y), P(X,Y)", InstType::Zero);
+        agree(&db, "R(X,Y) <- P(X,Y), P(Y,X)", InstType::Zero);
+    }
+}
+
+#[test]
+fn head_repeated_in_body_mqq_shape() {
+    // The mq(Q) = Q1 <- Q1, ..., Qn shape from Theorem 3.32's hardness.
+    for seed in 20..23 {
+        let db = random_db(seed);
+        agree(&db, "P(X,Y) <- P(X,Y), Q(Y,Z)", InstType::Zero);
+        agree(&db, "P(X,Y) <- P(X,Y), Q(Y,Z)", InstType::One);
+    }
+}
+
+#[test]
+fn single_literal_bodies() {
+    for seed in 30..33 {
+        let db = random_db(seed);
+        agree(&db, "I(X) <- O(X)", InstType::Zero);
+        agree(&db, "I(X) <- O(X)", InstType::Two);
+        agree(&db, "R(X,Y) <- P(Y,X)", InstType::One);
+    }
+}
+
+#[test]
+fn high_arity_type2_padding() {
+    for seed in 40..42 {
+        let db = random_db(seed);
+        // Unary pattern against arity-3 relations: 3 placements each,
+        // two fresh variables per atom.
+        agree(&db, "I(X) <- O(X), N(X)", InstType::Two);
+    }
+}
+
+#[test]
+fn long_chain_with_all_shared_predvar() {
+    for seed in 50..52 {
+        let db = random_db(seed);
+        // One predicate variable for the whole chain: the functional
+        // restriction collapses the choice space.
+        agree(&db, "E(X,W) <- E(X,Y), E(Y,Z), E(Z,W)", InstType::Zero);
+    }
+}
+
+#[test]
+fn disconnected_body() {
+    for seed in 60..62 {
+        let db = random_db(seed);
+        // Body with two disconnected components (cross product join).
+        agree(&db, "R(X,Z) <- P(X,Y), Q(Z,W)", InstType::Zero);
+    }
+}

@@ -1,0 +1,177 @@
+//! The data-complexity circuit families (§3.5) against the engine:
+//! Theorem 3.37's AC0 circuits and Theorem 3.38's TC0 circuits must
+//! compute exactly the metaquery decision, at constant depth across
+//! domain sizes.
+
+use metaquery::circuits::{
+    compile_cnf_gap, compile_count_body, compile_mq_threshold, compile_mq_zero, SchemaLayout,
+};
+use metaquery::prelude::*;
+use mq_relation::ints;
+use rand::prelude::*;
+
+fn schema_db() -> Database {
+    let mut db = Database::new();
+    db.add_relation("p", 2);
+    db.add_relation("q", 2);
+    db
+}
+
+fn random_db(rng: &mut StdRng, dom: i64, rows: usize) -> Database {
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    for _ in 0..rows {
+        db.insert(p, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+        db.insert(q, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+    }
+    db
+}
+
+#[test]
+fn theorem_3_37_ac0_equals_engine() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    let schema = schema_db();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    for dom in [2usize, 3] {
+        let layout = SchemaLayout::of_database(&schema, dom);
+        for kind in IndexKind::ALL {
+            let circuit = compile_mq_zero(&layout, &schema, &mq, kind, InstType::Zero).unwrap();
+            for _ in 0..5 {
+                let rows = rng.gen_range(0..6);
+                let db = random_db(&mut rng, dom as i64, rows);
+                let expected = naive_decide(
+                    &db,
+                    &mq,
+                    MqProblem {
+                        index: kind,
+                        threshold: Frac::ZERO,
+                        ty: InstType::Zero,
+                    },
+                )
+                .unwrap();
+                assert_eq!(circuit.eval(&layout.encode(&db)), expected, "{kind} D={dom}");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_3_37_type1_and_type2_families() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let schema = schema_db();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let dom = 2usize;
+    let layout = SchemaLayout::of_database(&schema, dom);
+    for ty in [InstType::One, InstType::Two] {
+        let circuit = compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, ty).unwrap();
+        for _ in 0..6 {
+            let rows = rng.gen_range(0..5);
+            let db = random_db(&mut rng, dom as i64, rows);
+            let expected = naive_decide(
+                &db,
+                &mq,
+                MqProblem {
+                    index: IndexKind::Cnf,
+                    threshold: Frac::ZERO,
+                    ty,
+                },
+            )
+            .unwrap();
+            assert_eq!(circuit.eval(&layout.encode(&db)), expected, "{ty}");
+        }
+    }
+}
+
+#[test]
+fn theorem_3_38_tc0_equals_engine() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let schema = schema_db();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let dom = 3usize;
+    let layout = SchemaLayout::of_database(&schema, dom);
+    for kind in IndexKind::ALL {
+        for k in [Frac::new(1, 4), Frac::new(1, 2), Frac::new(2, 3)] {
+            let circuit =
+                compile_mq_threshold(&layout, &schema, &mq, kind, k, InstType::Zero).unwrap();
+            for _ in 0..4 {
+                let db = random_db(&mut rng, dom as i64, 6);
+                let expected = naive_decide(
+                    &db,
+                    &mq,
+                    MqProblem {
+                        index: kind,
+                        threshold: k,
+                        ty: InstType::Zero,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    circuit.eval(&layout.encode(&db)),
+                    expected,
+                    "{kind} k={k} D={dom}"
+                );
+            }
+        }
+    }
+}
+
+/// Constant depth, polynomial size: the defining property of the
+/// families. Depth must be flat in the domain size; size must grow.
+#[test]
+fn families_have_constant_depth() {
+    let schema = schema_db();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let mut ac0_depths = Vec::new();
+    let mut tc0_depths = Vec::new();
+    let mut ac0_sizes = Vec::new();
+    for dom in [2usize, 3, 4] {
+        let layout = SchemaLayout::of_database(&schema, dom);
+        let ac0 = compile_mq_zero(&layout, &schema, &mq, IndexKind::Sup, InstType::Zero).unwrap();
+        let tc0 = compile_mq_threshold(
+            &layout,
+            &schema,
+            &mq,
+            IndexKind::Cnf,
+            Frac::new(1, 2),
+            InstType::Zero,
+        )
+        .unwrap();
+        ac0_depths.push(ac0.depth());
+        tc0_depths.push(tc0.lower_thresholds().depth());
+        ac0_sizes.push(ac0.size());
+    }
+    assert!(ac0_depths.windows(2).all(|w| w[0] == w[1]), "{ac0_depths:?}");
+    assert!(tc0_depths.windows(2).all(|w| w[0] == w[1]), "{tc0_depths:?}");
+    assert!(ac0_sizes[0] < ac0_sizes[1] && ac0_sizes[1] < ac0_sizes[2]);
+}
+
+/// The #AC0 / GapAC0 route of Lemma 3.39 on the projection-free case.
+#[test]
+fn gap_ac0_route_matches_engine() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let schema = schema_db();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let dom = 3usize;
+    let layout = SchemaLayout::of_database(&schema, dom);
+    let insts = enumerate_instantiations(&schema, &mq, InstType::Zero).unwrap();
+    let k = Frac::new(2, 5);
+    for inst in insts.iter().take(6) {
+        let rule = apply_instantiation(&schema, &mq, inst).unwrap();
+        let counter = compile_count_body(&layout, &rule);
+        let gap = compile_cnf_gap(&layout, &rule, k).expect("head vars ⊆ body vars");
+        for _ in 0..4 {
+            let db = random_db(&mut rng, dom as i64, 5);
+            let bits = layout.encode(&db);
+            let body: Vec<&metaquery::cq::Atom> = rule.body.iter().collect();
+            assert_eq!(
+                counter.eval(&bits),
+                metaquery::core::index::join_of(&db, &body).len() as u128
+            );
+            assert_eq!(
+                gap.accepts(&bits),
+                metaquery::core::index::confidence(&db, &rule) > k
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The negation extension (§5's stated future work): negated literal
+//! schemes in metaquery bodies under safe negation-as-failure semantics.
+//!
+//! Semantics: the body join is the positive body's natural join,
+//! antijoined by each instantiated negated atom; indices are then the
+//! paper's formulas over that join. Safety requires every negated-scheme
+//! variable to occur in a positive body scheme.
+
+use metaquery::core::engine::{find_rules::find_rules, naive};
+use metaquery::core::instantiate::InstError;
+use metaquery::prelude::*;
+use mq_relation::ints;
+use rand::prelude::*;
+
+fn random_db(seed: u64, rows: usize, dom: i64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    let r = db.add_relation("r", 2);
+    for _ in 0..rows {
+        db.insert(p, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+        db.insert(q, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+        db.insert(r, ints(&[rng.gen_range(0..dom), rng.gen_range(0..dom)]));
+    }
+    db
+}
+
+#[test]
+fn parser_accepts_not() {
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)").unwrap();
+    assert!(mq.has_negation());
+    assert!(mq.is_safe());
+    assert_eq!(mq.neg_body.len(), 1);
+    assert_eq!(mq.render(), "R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)");
+}
+
+#[test]
+fn parser_relation_actually_named_not() {
+    // `not(X,Y)` is a literal whose relation is named "not", not negation.
+    let mq = parse_metaquery("R(X,Y) <- not(X,Y)").unwrap();
+    assert!(!mq.has_negation());
+    assert_eq!(mq.body.len(), 1);
+}
+
+#[test]
+fn unsafe_negation_rejected() {
+    // W occurs only in the negated literal.
+    let mq = parse_metaquery("R(X,Y) <- P(X,Y), not Q(X,W)").unwrap();
+    assert!(!mq.is_safe());
+    let db = random_db(1, 5, 3);
+    assert_eq!(
+        naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap_err(),
+        InstError::UnsafeNegation
+    );
+    assert_eq!(
+        find_rules(&db, &mq, InstType::Zero, Thresholds::none()).unwrap_err(),
+        InstError::UnsafeNegation
+    );
+}
+
+/// Hand-checked semantics: exceptions to a perfect rule.
+#[test]
+fn negation_hand_example() {
+    let mut db = Database::new();
+    let parent = db.add_relation("parent", 2);
+    let blocked = db.add_relation("blocked", 2);
+    let link = db.add_relation("link", 2);
+    // parent: (1,2), (2,3), (3,4)
+    for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+        db.insert(parent, ints(&[a, b]));
+    }
+    // blocked: (2,3)
+    db.insert(blocked, ints(&[2, 3]));
+    // link = parent minus blocked
+    for (a, b) in [(1, 2), (3, 4)] {
+        db.insert(link, ints(&[a, b]));
+    }
+    let mq = parse_metaquery("L(X,Y) <- P(X,Y), not B(X,Y)").unwrap();
+    let answers = naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+    // Find σ = {L -> link, P -> parent, B -> blocked}.
+    let hit = answers
+        .iter()
+        .find(|a| {
+            let rule = apply_instantiation(&db, &mq, &a.inst).unwrap();
+            rule.render(&db) == "link(X,Y) <- parent(X,Y), not blocked(X,Y)"
+        })
+        .expect("target instantiation enumerated");
+    // body join = parent minus blocked = 2 tuples, all in link: cnf = 1.
+    assert_eq!(hit.indices.cnf, Frac::ONE);
+    assert_eq!(hit.indices.cvr, Frac::ONE);
+    // sup = |π_parent(J(b))| / |parent| = 2/3.
+    assert_eq!(hit.indices.sup, Frac::new(2, 3));
+}
+
+#[test]
+fn engines_agree_with_negation() {
+    for seed in 0..6 {
+        let db = random_db(100 + seed, 12, 4);
+        for text in [
+            "R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)",
+            "R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z), not T(Y,Y)",
+            "R(X,Y) <- P(X,Y), not q(X,Y)", // fixed negated atom
+        ] {
+            let mq = parse_metaquery(text).unwrap();
+            for th in [
+                Thresholds::none(),
+                Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+                Thresholds::all(Frac::new(1, 4), Frac::new(1, 4), Frac::new(1, 4)),
+                Thresholds::single(IndexKind::Cnf, Frac::new(1, 2)),
+            ] {
+                let a = naive::find_all(&db, &mq, InstType::Zero, th).unwrap();
+                let b = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+                assert_eq!(a, b, "seed {seed} mq {text} th {th:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_negation_type1_type2() {
+    for seed in 0..3 {
+        let db = random_db(200 + seed, 8, 3);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z), not S(X,Z)").unwrap();
+        for ty in [InstType::One, InstType::Two] {
+            let th = Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO);
+            let a = naive::find_all(&db, &mq, ty, th).unwrap();
+            let b = find_rules(&db, &mq, ty, th).unwrap();
+            assert_eq!(a, b, "seed {seed} {ty}");
+        }
+    }
+}
+
+/// Negation only ever removes body tuples: confidence against the same
+/// head can move either way, but support never increases.
+#[test]
+fn negation_never_increases_support() {
+    for seed in 0..5 {
+        let db = random_db(300 + seed, 10, 4);
+        let plain = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let negated = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z), not S(Y,Y)").unwrap();
+        let base = naive::find_all(&db, &plain, InstType::Zero, Thresholds::none()).unwrap();
+        let with_neg =
+            naive::find_all(&db, &negated, InstType::Zero, Thresholds::none()).unwrap();
+        // For every negated answer, find the base answer with the same
+        // positive maps (first three pattern maps) and compare support.
+        for wn in &with_neg {
+            let positive_maps = &wn.inst.maps[..3];
+            let base_match = base
+                .iter()
+                .find(|b| b.inst.maps[..3] == *positive_maps)
+                .expect("same positive instantiation exists");
+            assert!(
+                wn.indices.sup <= base_match.indices.sup,
+                "seed {seed}: sup grew under negation"
+            );
+        }
+    }
+}
+
+/// A negated pattern sharing its predicate variable with a positive
+/// pattern must use the same relation.
+#[test]
+fn shared_predvar_across_negation_is_functional() {
+    let db = random_db(400, 10, 3);
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z), not P(Z,X)").unwrap();
+    let answers = naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+    for a in &answers {
+        // maps order: head R, body P, body Q, neg P.
+        assert_eq!(a.inst.maps[1].rel, a.inst.maps[3].rel, "P must be consistent");
+    }
+    let b = find_rules(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+    assert_eq!(answers, b);
+}

@@ -1,0 +1,258 @@
+//! End-to-end validation of every §3 reduction on randomized instances,
+//! cross-checking the metaquery engines against independent solvers —
+//! the empirical counterpart of the paper's hardness proofs.
+
+use metaquery::core::certificate;
+use metaquery::prelude::*;
+use metaquery::reductions::{
+    reduce_3col, reduce_ecsat, reduce_hampath, reduce_semiacyclic, reduce_sharp, Cnf,
+    EcsatInstance, Graph, Lit,
+};
+use rand::prelude::*;
+
+fn decide_problem(db: &Database, mq: &Metaquery, kind: IndexKind, k: Frac, ty: InstType) -> bool {
+    // Use findRules (the production engine) for reductions end-to-end.
+    metaquery::core::engine::find_rules::decide(
+        db,
+        mq,
+        MqProblem {
+            index: kind,
+            threshold: k,
+            ty,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn theorem_3_21_three_coloring() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let mut yes = 0;
+    let mut no = 0;
+    for _ in 0..15 {
+        let n = rng.gen_range(3..7);
+        let g = Graph::random(n, 0.55, &mut rng);
+        if g.edges.is_empty() {
+            continue;
+        }
+        let inst = reduce_3col::reduce(&g);
+        let expected = g.is_3_colorable();
+        if expected {
+            yes += 1;
+        } else {
+            no += 1;
+        }
+        for kind in IndexKind::ALL {
+            assert_eq!(
+                decide_problem(&inst.db, &inst.mq, kind, Frac::ZERO, InstType::Zero),
+                expected,
+                "3COL {g:?} via {kind}"
+            );
+        }
+    }
+    assert!(yes > 0 && no > 0, "sample must include both outcomes");
+}
+
+#[test]
+fn theorem_3_33_hamiltonian_path() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let mut yes = 0;
+    let mut no = 0;
+    for _ in 0..10 {
+        let n = rng.gen_range(3..6);
+        let g = Graph::random(n, 0.5, &mut rng);
+        let inst = reduce_hampath::reduce(&g);
+        let expected = g.has_hamiltonian_path();
+        if expected {
+            yes += 1;
+        } else {
+            no += 1;
+        }
+        assert_eq!(
+            decide_problem(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::One),
+            expected,
+            "HAMPATH {g:?} (type 1)"
+        );
+        assert_eq!(
+            decide_problem(&inst.db, &inst.mq, IndexKind::Cvr, Frac::ZERO, InstType::Two),
+            expected,
+            "HAMPATH {g:?} (type 2)"
+        );
+    }
+    assert!(yes > 0 && no > 0, "sample must include both outcomes");
+}
+
+/// Theorem 3.34: acyclic metaqueries with cvr/sup thresholds `k > 0`
+/// stay NP-complete under types 1/2. The HAMPATH instance witnesses it
+/// directly: the `g` relation has a single tuple, so `{g} ↑ b` is 0 or 1
+/// and the decision is threshold-invariant — any `0 ≤ k < 1` decides
+/// Hamiltonicity.
+#[test]
+fn theorem_3_34_thresholds_dont_help_acyclicity() {
+    let mut rng = StdRng::seed_from_u64(1034);
+    for _ in 0..6 {
+        let n = rng.gen_range(3..6);
+        let g = Graph::random(n, 0.5, &mut rng);
+        let inst = reduce_hampath::reduce(&g);
+        let expected = g.has_hamiltonian_path();
+        for k in [Frac::new(1, 2), Frac::new(9, 10)] {
+            assert_eq!(
+                decide_problem(&inst.db, &inst.mq, IndexKind::Sup, k, InstType::One),
+                expected,
+                "sup k={k} {g:?}"
+            );
+            assert_eq!(
+                decide_problem(&inst.db, &inst.mq, IndexKind::Cvr, k, InstType::Two),
+                expected,
+                "cvr k={k} {g:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_3_35_semi_acyclic_three_coloring() {
+    use metaquery::core::acyclic::{classify, MqClass};
+    let mut rng = StdRng::seed_from_u64(1003);
+    for _ in 0..8 {
+        let n = rng.gen_range(3..6);
+        let g = Graph::random(n, 0.6, &mut rng);
+        if g.edges.is_empty() {
+            continue;
+        }
+        let inst = reduce_semiacyclic::reduce(&g);
+        assert_eq!(classify(&inst.mq), MqClass::SemiAcyclic);
+        assert_eq!(
+            decide_problem(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero),
+            g.is_3_colorable(),
+            "semi-acyclic 3COL {g:?}"
+        );
+    }
+}
+
+#[test]
+fn theorems_3_28_3_29_ecsat() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    for round in 0..8 {
+        let s = rng.gen_range(1..=2);
+        let h = rng.gen_range(1..=3);
+        let n_vars = s + h;
+        let clauses = (0..rng.gen_range(1..=4))
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.gen_range(0..n_vars),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        let inst = EcsatInstance {
+            formula: Cnf::new(n_vars, clauses),
+            pi: (0..s).collect(),
+            chi: (s..n_vars).collect(),
+            k: rng.gen_range(1..=(1u128 << h)),
+        };
+        let expected = inst.solve_direct();
+        let r0 = reduce_ecsat::reduce_type0(&inst);
+        assert_eq!(
+            decide_problem(&r0.db, &r0.mq, IndexKind::Cnf, r0.threshold, r0.ty),
+            expected,
+            "round {round} type-0: {} k'={}",
+            inst.formula,
+            inst.k
+        );
+        let r1 = reduce_ecsat::reduce_type12(&inst, InstType::One);
+        assert_eq!(
+            decide_problem(&r1.db, &r1.mq, IndexKind::Cnf, r1.threshold, r1.ty),
+            expected,
+            "round {round} type-1"
+        );
+    }
+}
+
+#[test]
+fn proposition_3_26_parsimonious_counting() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    for _ in 0..15 {
+        let n = rng.gen_range(1..=8);
+        let clauses = (0..rng.gen_range(1..=7))
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.gen_range(0..n),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        let f = Cnf::new(n, clauses);
+        let inst = reduce_sharp::reduce(&f);
+        assert_eq!(
+            inst.model_count(),
+            metaquery::reductions::count_models(&f),
+            "{f}"
+        );
+    }
+}
+
+/// Theorem 3.24's certificates on reduction instances: a YES instance of
+/// the 3-coloring reduction has an extractable, verifiable certificate;
+/// a NO instance has none.
+#[test]
+fn certificates_on_reduction_instances() {
+    let yes_graph = Graph::cycle(5);
+    let inst = reduce_3col::reduce(&yes_graph);
+    let cert = certificate::extract_threshold(
+        &inst.db,
+        &inst.mq,
+        InstType::Zero,
+        IndexKind::Cvr,
+        Frac::ZERO,
+    )
+    .unwrap()
+    .expect("C5 is 3-colorable: a certificate exists");
+    assert!(certificate::verify_threshold(&inst.db, &inst.mq, Frac::ZERO, &cert).unwrap());
+
+    let no_graph = Graph::complete(4);
+    let inst = reduce_3col::reduce(&no_graph);
+    assert!(certificate::extract_threshold(
+        &inst.db,
+        &inst.mq,
+        InstType::Zero,
+        IndexKind::Cvr,
+        Frac::ZERO,
+    )
+    .unwrap()
+    .is_none());
+}
+
+/// The NP^PP structure of Theorem 3.27: cnf certificates verified through
+/// the #BCQ oracle on an ∃C-3SAT reduction instance.
+#[test]
+fn cnf_certificates_via_oracle_on_ecsat() {
+    let f = Cnf::new(
+        3,
+        vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+        ],
+    );
+    let inst = EcsatInstance {
+        formula: f,
+        pi: vec![0],
+        chi: vec![1, 2],
+        k: 2,
+    };
+    let red = reduce_ecsat::reduce_type0(&inst);
+    let expected = inst.solve_direct();
+    let cert =
+        certificate::extract_cnf(&red.db, &red.mq, InstType::Zero, red.threshold).unwrap();
+    assert_eq!(cert.is_some(), expected);
+    if let Some(cert) = cert {
+        assert!(
+            certificate::verify_cnf_with_oracle(&red.db, &red.mq, red.threshold, &cert)
+                .unwrap()
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Additional coverage for substrate corners: hypergraph accessors,
+//! Yannakakis on constants, the cost model through the public API,
+//! database rendering, and Frac edge cases.
+
+use metaquery::cq::{acyclic_count, acyclic_satisfiable, Atom, Cq, Hypergraph};
+use metaquery::core::cost::CostModel;
+use metaquery::prelude::*;
+use mq_relation::{ints, Term, VarId};
+
+#[test]
+fn hypergraph_accessors() {
+    let h = Hypergraph::from_slices(&[&[0, 1], &[1, 2]]);
+    assert_eq!(h.len(), 2);
+    assert!(!h.is_empty());
+    assert_eq!(h.vertices().len(), 3);
+    assert_eq!(h.edges().len(), 2);
+}
+
+#[test]
+fn yannakakis_with_constants_in_atoms() {
+    let mut db = Database::new();
+    let e = db.add_relation("e", 2);
+    for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+        db.insert(e, ints(&[a, b]));
+    }
+    // e(1, X), e(X, Y): paths starting at 1.
+    let cq = Cq::new(vec![
+        Atom::new(
+            e,
+            vec![Term::Const(mq_relation::Value::Int(1)), Term::Var(VarId(0))],
+        ),
+        Atom::vars_atom(e, &[VarId(0), VarId(1)]),
+    ]);
+    assert_eq!(acyclic_satisfiable(&db, &cq), Some(true));
+    assert_eq!(acyclic_count(&db, &cq), Some(1)); // 1 -> 2 -> 3 only
+    assert_eq!(metaquery::cq::count_homomorphisms(&db, &cq), 1);
+}
+
+#[test]
+fn cost_model_public_api() {
+    let db = metaquery::datagen::telecom::db1();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let cm = CostModel::of(&db, &mq);
+    assert_eq!(cm.n, 3);
+    assert_eq!(cm.d, 6); // CaTe has 6 tuples
+    assert_eq!(cm.m, 3);
+    // Bound dominates the actual 27 type-0 instantiations.
+    let actual = enumerate_instantiations(&db, &mq, InstType::Zero)
+        .unwrap()
+        .len() as f64;
+    assert!(cm.instantiation_bound(InstType::Zero) >= actual);
+    assert!(cm.total_steps(InstType::Zero) > 0.0);
+}
+
+#[test]
+fn database_render_and_domain() {
+    let db = metaquery::datagen::telecom::db1();
+    let text = db.render();
+    assert!(text.contains("UsCa (arity 2)"));
+    assert!(text.contains("GSM 1800"));
+    // Active domain: 2 users + 3 carriers + 3 technologies = 8 symbols.
+    assert_eq!(db.active_domain().len(), 8);
+}
+
+#[test]
+fn frac_display_and_accessors() {
+    assert_eq!(Frac::new(5, 7).to_string(), "5/7");
+    assert_eq!(Frac::ONE.to_string(), "1");
+    assert_eq!(Frac::new(6, 4), Frac::new(3, 2));
+    assert_eq!(Frac::new(6, 4).num(), 3);
+    assert_eq!(Frac::new(6, 4).den(), 2);
+    assert!((Frac::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn bindings_unit_and_empty_interplay() {
+    use mq_relation::Bindings;
+    let unit = Bindings::unit();
+    assert_eq!(unit.len(), 1);
+    let empty = Bindings::empty(vec![VarId(0)]);
+    assert!(empty.is_empty());
+    // unit ⋈ empty = empty (no shared vars, empty side).
+    assert!(unit.join(&empty).is_empty());
+    // semijoin of unit against empty over disjoint vars is empty.
+    assert!(unit.semijoin(&empty).is_empty());
+    // antijoin of unit against empty keeps the unit row.
+    assert_eq!(unit.antijoin(&empty).len(), 1);
+}
+
+#[test]
+fn instantiation_count_formula_spotcheck() {
+    // 3 binary relations, metaquery (4): type-0 = 3^3; type-1 = (3·2)^3.
+    let db = metaquery::datagen::telecom::db1();
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    use metaquery::core::instantiate::count_instantiations;
+    assert_eq!(count_instantiations(&db, &mq, InstType::Zero).unwrap(), 27);
+    assert_eq!(count_instantiations(&db, &mq, InstType::One).unwrap(), 216);
+    // All relations are binary, so type-2 coincides with type-1 here.
+    assert_eq!(count_instantiations(&db, &mq, InstType::Two).unwrap(), 216);
+}
+
+#[test]
+fn engine_rejects_unknown_relation_in_fixed_scheme() {
+    let db = metaquery::datagen::telecom::db1();
+    let mq = parse_metaquery("R(X,Y) <- nosuch(X,Y)").unwrap();
+    use metaquery::core::instantiate::InstError;
+    assert!(matches!(
+        naive_find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap_err(),
+        InstError::UnknownRelation(_)
+    ));
+}
+
+#[test]
+fn derived_instance_has_head_dropped_for_sup_only() {
+    use metaquery::core::acyclic::derived_instance;
+    let db = metaquery::datagen::telecom::db1();
+    let mq = parse_metaquery("P(X,Y) <- P(Y,Z), Q(Z,W)").unwrap();
+    let with_head = derived_instance(&db, &mq, IndexKind::Cnf);
+    let without = derived_instance(&db, &mq, IndexKind::Sup);
+    assert_eq!(with_head.query.atoms.len(), 3);
+    assert_eq!(without.query.atoms.len(), 2);
+    // Derived DB holds every tuple tagged: 12 tuples across u-relations.
+    assert_eq!(with_head.ddb.total_tuples(), db.total_tuples());
+}
