@@ -26,16 +26,26 @@ fn bench(c: &mut Criterion) {
             seed: mq_bench::BASE_SEED ^ 0x6e69 ^ rows as u64,
         }
         .generate();
-        g.bench_with_input(BenchmarkId::new("positive_findrules", rows), &rows, |b, _| {
-            b.iter(|| {
-                black_box(find_rules(&db, &positive, InstType::Zero, th).unwrap().len())
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("negated_findrules", rows), &rows, |b, _| {
-            b.iter(|| {
-                black_box(find_rules(&db, &negated, InstType::Zero, th).unwrap().len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("positive_findrules", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        find_rules(&db, &positive, InstType::Zero, th)
+                            .unwrap()
+                            .len(),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("negated_findrules", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| black_box(find_rules(&db, &negated, InstType::Zero, th).unwrap().len()))
+            },
+        );
         g.bench_with_input(BenchmarkId::new("negated_naive", rows), &rows, |b, _| {
             b.iter(|| {
                 black_box(

@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("db1_{ty}"), |b| {
             b.iter(|| {
                 let answers =
-                    find_rules(black_box(&db1), black_box(&mq), ty, Thresholds::none())
-                        .unwrap();
+                    find_rules(black_box(&db1), black_box(&mq), ty, Thresholds::none()).unwrap();
                 black_box(answers.len())
             })
         });

@@ -41,9 +41,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("full_reducer_satisfiable", rows),
             &rows,
-            |b, _| {
-                b.iter(|| black_box(acyclic_satisfiable(black_box(&db), black_box(&cq))))
-            },
+            |b, _| b.iter(|| black_box(acyclic_satisfiable(black_box(&db), black_box(&cq)))),
         );
         g.bench_with_input(
             BenchmarkId::new("materialized_join", rows),
@@ -55,11 +53,9 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        g.bench_with_input(
-            BenchmarkId::new("yannakakis_count", rows),
-            &rows,
-            |b, _| b.iter(|| black_box(mq_cq::acyclic_count(black_box(&db), black_box(&cq)))),
-        );
+        g.bench_with_input(BenchmarkId::new("yannakakis_count", rows), &rows, |b, _| {
+            b.iter(|| black_box(mq_cq::acyclic_count(black_box(&db), black_box(&cq))))
+        });
     }
     g.finish();
 }

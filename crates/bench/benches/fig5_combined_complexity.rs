@@ -16,7 +16,13 @@ use mq_relation::Frac;
 use rand::prelude::*;
 use std::hint::black_box;
 
-fn decide(db: &mq_relation::Database, mq: &Metaquery, kind: IndexKind, k: Frac, ty: InstType) -> bool {
+fn decide(
+    db: &mq_relation::Database,
+    mq: &Metaquery,
+    kind: IndexKind,
+    k: Frac,
+    ty: InstType,
+) -> bool {
     find_rules::decide(
         db,
         mq,
@@ -33,13 +39,25 @@ fn bench(c: &mut Criterion) {
     // Row 1 (Thm 3.21): NP-complete, any index, k=0: 3COL instances.
     let mut g = c.benchmark_group("fig5_row1_np_3col");
     for n in [4usize, 5, 6] {
-        let graph = Graph::random(n, 0.5, &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ n as u64));
+        let graph = Graph::random(
+            n,
+            0.5,
+            &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ n as u64),
+        );
         if graph.edges.is_empty() {
             continue;
         }
         let inst = reduce_3col::reduce(&graph);
         g.bench_with_input(BenchmarkId::new("metaquery_route", n), &n, |b, _| {
-            b.iter(|| black_box(decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)))
+            b.iter(|| {
+                black_box(decide(
+                    &inst.db,
+                    &inst.mq,
+                    IndexKind::Sup,
+                    Frac::ZERO,
+                    InstType::Zero,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("direct_solver", n), &n, |b, _| {
             b.iter(|| black_box(graph.is_3_colorable()))
@@ -70,7 +88,15 @@ fn bench(c: &mut Criterion) {
         };
         let red = reduce_ecsat::reduce_type0(&inst);
         g.bench_with_input(BenchmarkId::new("metaquery_route", h), &h, |b, _| {
-            b.iter(|| black_box(decide(&red.db, &red.mq, IndexKind::Cnf, red.threshold, red.ty)))
+            b.iter(|| {
+                black_box(decide(
+                    &red.db,
+                    &red.mq,
+                    IndexKind::Cnf,
+                    red.threshold,
+                    red.ty,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("direct_solver", h), &h, |b, _| {
             b.iter(|| black_box(inst.solve_direct()))
@@ -91,19 +117,33 @@ fn bench(c: &mut Criterion) {
             seed: mq_bench::BASE_SEED ^ 4,
         }
         .generate();
-        g.bench_with_input(BenchmarkId::new("derived_acyclic_route", rows), &rows, |b, _| {
-            b.iter(|| black_box(decide_acyclic_zero(&db, &mq, IndexKind::Sup).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("derived_acyclic_route", rows),
+            &rows,
+            |b, _| b.iter(|| black_box(decide_acyclic_zero(&db, &mq, IndexKind::Sup).unwrap())),
+        );
     }
     g.finish();
 
     // Row 5 (Thm 3.33): acyclic but type-1: HAMPATH instances.
     let mut g = c.benchmark_group("fig5_row5_acyclic_type1_hampath");
     for n in [4usize, 5, 6] {
-        let graph = Graph::random(n, 0.5, &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0x4a ^ n as u64));
+        let graph = Graph::random(
+            n,
+            0.5,
+            &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0x4a ^ n as u64),
+        );
         let inst = reduce_hampath::reduce(&graph);
         g.bench_with_input(BenchmarkId::new("metaquery_route", n), &n, |b, _| {
-            b.iter(|| black_box(decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::One)))
+            b.iter(|| {
+                black_box(decide(
+                    &inst.db,
+                    &inst.mq,
+                    IndexKind::Sup,
+                    Frac::ZERO,
+                    InstType::One,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("direct_solver", n), &n, |b, _| {
             b.iter(|| black_box(graph.has_hamiltonian_path()))
@@ -115,13 +155,25 @@ fn bench(c: &mut Criterion) {
     // through the always-semi-acyclic construction.
     let mut g = c.benchmark_group("fig5_row6_semiacyclic_3col");
     for n in [4usize, 5] {
-        let graph = Graph::random(n, 0.6, &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0x6a ^ n as u64));
+        let graph = Graph::random(
+            n,
+            0.6,
+            &mut StdRng::seed_from_u64(mq_bench::BASE_SEED ^ 0x6a ^ n as u64),
+        );
         if graph.edges.is_empty() {
             continue;
         }
         let inst = reduce_semiacyclic::reduce(&graph);
         g.bench_with_input(BenchmarkId::new("metaquery_route", n), &n, |b, _| {
-            b.iter(|| black_box(decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)))
+            b.iter(|| {
+                black_box(decide(
+                    &inst.db,
+                    &inst.mq,
+                    IndexKind::Sup,
+                    Frac::ZERO,
+                    InstType::Zero,
+                ))
+            })
         });
     }
     g.finish();

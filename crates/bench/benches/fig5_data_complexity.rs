@@ -71,8 +71,7 @@ fn bench(c: &mut Criterion) {
             })
         });
         let circuit =
-            compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero)
-                .unwrap();
+            compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero).unwrap();
         let db = random_db(dom as i64, dom * 2, mq_bench::BASE_SEED ^ 0x7c ^ dom as u64);
         let bits = layout.encode(&db);
         g.bench_with_input(BenchmarkId::new("eval", dom), &dom, |b, _| {

@@ -1,0 +1,164 @@
+//! Machine-readable `findRules` performance report.
+//!
+//! Runs the Figure 4 workload family (data scaling, width contrast,
+//! pruning ablation) and a Figure 5-style combined-complexity point
+//! through **both** join cores — the optimized allocation-free kernels
+//! and the pre-optimization baseline kept in-tree behind
+//! [`mq_relation::set_baseline_mode`] — and writes medians, rows/sec and
+//! speedups to `BENCH_findrules.json` so successive PRs have a perf
+//! trajectory.
+//!
+//! Run: `cargo run --release -p mq-bench --bin bench_report`
+//!
+//! Knobs: `MQ_BENCH_SAMPLES` (default 5) timed samples per
+//! (workload, core); `MQ_BENCH_OUT` overrides the output path.
+
+use mq_bench::{chain_workload, cycle_workload, mid_thresholds, time, Workload};
+use mq_core::engine::find_rules::find_rules;
+use mq_core::prelude::*;
+use mq_relation::{set_baseline_mode, Frac};
+
+struct Row {
+    name: String,
+    rows: usize,
+    total_tuples: usize,
+    answers: usize,
+    median_opt_s: f64,
+    median_base_s: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.median_base_s / self.median_opt_s.max(1e-12)
+    }
+
+    fn rows_per_sec(&self) -> f64 {
+        self.total_tuples as f64 / self.median_opt_s.max(1e-12)
+    }
+}
+
+fn samples() -> usize {
+    std::env::var("MQ_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(5)
+}
+
+/// Median of `n` timed runs of `f` (which returns the answer count).
+fn median_secs(n: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut secs = Vec::with_capacity(n);
+    let mut answers = 0;
+    for _ in 0..n {
+        let (a, s) = time(&mut f);
+        answers = a;
+        secs.push(s);
+    }
+    secs.sort_by(f64::total_cmp);
+    (secs[secs.len() / 2], answers)
+}
+
+fn measure(name: &str, w: &Workload, rows: usize, th: Thresholds) -> Row {
+    let n = samples();
+    let run = || find_rules(&w.db, &w.mq, InstType::Zero, th).unwrap().len();
+    let (median_opt_s, answers) = median_secs(n, run);
+    set_baseline_mode(true);
+    let (median_base_s, base_answers) = median_secs(n, run);
+    set_baseline_mode(false);
+    assert_eq!(
+        answers, base_answers,
+        "optimized and baseline cores must agree on {name}"
+    );
+    eprintln!(
+        "{name}: opt {median_opt_s:.5}s  base {median_base_s:.5}s  ({:.2}x, {answers} answers)",
+        median_base_s / median_opt_s.max(1e-12)
+    );
+    Row {
+        name: name.to_string(),
+        rows,
+        total_tuples: w.db.total_tuples(),
+        answers,
+        median_opt_s,
+        median_base_s,
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Figure 4 data scaling: chain metaquery (width 1), growing d.
+    for d in [50usize, 150, 450] {
+        let w = chain_workload(3, d, (d as i64) / 3, 2);
+        rows.push(measure(
+            &format!("fig4_findrules_chain_d{d}"),
+            &w,
+            d,
+            mid_thresholds(),
+        ));
+    }
+
+    // Figure 4 width contrast at fixed d.
+    let d = 120usize;
+    let chain = chain_workload(2, d, 18, 2);
+    rows.push(measure("fig4_width1_chain2", &chain, d, mid_thresholds()));
+    let cycle = cycle_workload(2, d, 18, 4);
+    rows.push(measure("fig4_width2_cycle4", &cycle, d, mid_thresholds()));
+
+    // Figure 4 pruning ablation: thresholds that cut vs keep everything.
+    let w = chain_workload(3, 250, 20, 2);
+    rows.push(measure(
+        "fig4_pruning_on",
+        &w,
+        250,
+        Thresholds::all(Frac::new(1, 2), Frac::ZERO, Frac::ZERO),
+    ));
+    rows.push(measure(
+        "fig4_pruning_off",
+        &w,
+        250,
+        Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
+    ));
+
+    // Figure 5-style combined complexity: longer chain at fixed d.
+    let w = chain_workload(4, 80, 12, 3);
+    rows.push(measure("fig5_combined_chain3", &w, 80, mid_thresholds()));
+
+    // Aggregate: the fig4 findRules series' median speedup.
+    let mut fig4_speedups: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.name.starts_with("fig4_findrules_chain"))
+        .map(Row::speedup)
+        .collect();
+    fig4_speedups.sort_by(f64::total_cmp);
+    let fig4_median_speedup = fig4_speedups[fig4_speedups.len() / 2];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"samples_per_case\": {},\n  \"fig4_median_speedup\": {:.3},\n  \"workloads\": [\n",
+        samples(),
+        fig4_median_speedup
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"total_tuples\": {}, \"answers\": {}, \
+             \"median_optimized_s\": {:.6}, \"median_baseline_s\": {:.6}, \
+             \"speedup\": {:.3}, \"rows_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.rows,
+            r.total_tuples,
+            r.answers,
+            r.median_opt_s,
+            r.median_base_s,
+            r.speedup(),
+            r.rows_per_sec(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("MQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_findrules.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_findrules.json");
+    println!("wrote {out}");
+    println!("fig4 findRules median speedup vs baseline core: {fig4_median_speedup:.2}x");
+}

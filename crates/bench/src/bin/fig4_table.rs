@@ -38,8 +38,10 @@ fn main() {
     println!("Width contrast at d = 150:");
     let chain = chain_workload(2, 150, 20, 2);
     let cycle = cycle_workload(2, 150, 20, 4);
-    let (_, t1) = time(|| find_rules(&chain.db, &chain.mq, InstType::Zero, mid_thresholds()).unwrap());
-    let (_, t2) = time(|| find_rules(&cycle.db, &cycle.mq, InstType::Zero, mid_thresholds()).unwrap());
+    let (_, t1) =
+        time(|| find_rules(&chain.db, &chain.mq, InstType::Zero, mid_thresholds()).unwrap());
+    let (_, t2) =
+        time(|| find_rules(&cycle.db, &cycle.mq, InstType::Zero, mid_thresholds()).unwrap());
     println!("  width-1 chain-2: {t1:.5} s");
     println!("  width-2 cycle-4: {t2:.5} s ({:.1}x)", t2 / t1);
 

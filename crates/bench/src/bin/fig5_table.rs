@@ -50,8 +50,13 @@ fn main() {
         }
         let inst = reduce_3col::reduce(&g);
         total += 1;
-        if decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)
-            == g.is_3_colorable()
+        if decide(
+            &inst.db,
+            &inst.mq,
+            IndexKind::Sup,
+            Frac::ZERO,
+            InstType::Zero,
+        ) == g.is_3_colorable()
         {
             agree += 1;
         }
@@ -77,14 +82,8 @@ fn main() {
         .generate();
         for kind in [IndexKind::Cvr, IndexKind::Sup] {
             let k = Frac::new(1, 3);
-            if let Some(cert) = mq_core::certificate::extract_threshold(
-                &db,
-                &mq,
-                InstType::Zero,
-                kind,
-                k,
-            )
-            .unwrap()
+            if let Some(cert) =
+                mq_core::certificate::extract_threshold(&db, &mq, InstType::Zero, kind, k).unwrap()
             {
                 total2 += 1;
                 if mq_core::certificate::verify_threshold(&db, &mq, k, &cert).unwrap() {
@@ -104,8 +103,8 @@ fn main() {
     let mut agree3 = 0;
     let mut total3 = 0;
     for _ in 0..8 {
-        let s = rng.gen_range(1..=2);
-        let h = rng.gen_range(1..=3);
+        let s: usize = rng.gen_range(1..=2);
+        let h: usize = rng.gen_range(1..=3);
         let n_vars = s + h;
         let clauses = (0..rng.gen_range(1..=4))
             .map(|_| {
@@ -125,8 +124,7 @@ fn main() {
         };
         let red = reduce_ecsat::reduce_type0(&inst);
         total3 += 1;
-        if decide(&red.db, &red.mq, IndexKind::Cnf, red.threshold, red.ty) == inst.solve_direct()
-        {
+        if decide(&red.db, &red.mq, IndexKind::Cnf, red.threshold, red.ty) == inst.solve_direct() {
             agree3 += 1;
         }
     }
@@ -171,8 +169,13 @@ fn main() {
         let g = Graph::random(rng.gen_range(3..6), 0.5, &mut rng);
         let inst = reduce_hampath::reduce(&g);
         total5 += 1;
-        if decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::One)
-            == g.has_hamiltonian_path()
+        if decide(
+            &inst.db,
+            &inst.mq,
+            IndexKind::Sup,
+            Frac::ZERO,
+            InstType::One,
+        ) == g.has_hamiltonian_path()
         {
             agree5 += 1;
         }
@@ -198,8 +201,13 @@ fn main() {
             mq_core::acyclic::MqClass::SemiAcyclic
         );
         total6 += 1;
-        if decide(&inst.db, &inst.mq, IndexKind::Sup, Frac::ZERO, InstType::Zero)
-            == g.is_3_colorable()
+        if decide(
+            &inst.db,
+            &inst.mq,
+            IndexKind::Sup,
+            Frac::ZERO,
+            InstType::Zero,
+        ) == g.is_3_colorable()
         {
             agree6 += 1;
         }

@@ -117,7 +117,8 @@ fn satisfy_gate(
     let vars = atoms_vars(atoms);
     let mut disjuncts = Vec::new();
     let base = HashMap::new();
-    let mut push = |env: &HashMap<VarId, usize>, b: &mut CircuitBuilder,
+    let mut push = |env: &HashMap<VarId, usize>,
+                    b: &mut CircuitBuilder,
                     cache: &mut HashMap<usize, GateId>| {
         disjuncts.push(conj_gate(b, layout, atoms, env, cache));
     };
@@ -429,8 +430,7 @@ mod tests {
         let dom = 3usize;
         let layout = SchemaLayout::of_database(&schema, dom);
         for kind in IndexKind::ALL {
-            let circuit =
-                compile_mq_zero(&layout, &schema, &mq, kind, InstType::Zero).unwrap();
+            let circuit = compile_mq_zero(&layout, &schema, &mq, kind, InstType::Zero).unwrap();
             for _ in 0..6 {
                 let db = random_db(&mut rng, dom as i64, 4);
                 let bits = layout.encode(&db);
@@ -457,8 +457,7 @@ mod tests {
         let mut sizes = Vec::new();
         for dom in [2usize, 3, 4] {
             let layout = SchemaLayout::of_database(&schema, dom);
-            let c = compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, InstType::Zero)
-                .unwrap();
+            let c = compile_mq_zero(&layout, &schema, &mq, IndexKind::Cnf, InstType::Zero).unwrap();
             depths.push(c.depth());
             sizes.push(c.size());
         }
@@ -479,8 +478,7 @@ mod tests {
         for kind in IndexKind::ALL {
             for k in [Frac::ZERO, Frac::new(1, 3), Frac::new(1, 2)] {
                 let circuit =
-                    compile_mq_threshold(&layout, &schema, &mq, kind, k, InstType::Zero)
-                        .unwrap();
+                    compile_mq_threshold(&layout, &schema, &mq, kind, k, InstType::Zero).unwrap();
                 for _ in 0..4 {
                     let db = random_db(&mut rng, dom as i64, 5);
                     let bits = layout.encode(&db);
@@ -509,8 +507,7 @@ mod tests {
         let layout = SchemaLayout::of_database(&schema, dom);
         let k = Frac::new(1, 2);
         let circuit =
-            compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero)
-                .unwrap();
+            compile_mq_threshold(&layout, &schema, &mq, IndexKind::Cnf, k, InstType::Zero).unwrap();
         let lowered = circuit.lower_thresholds();
         for _ in 0..6 {
             let db = random_db(&mut rng, dom as i64, 3);

@@ -68,11 +68,7 @@ impl SchemaLayout {
     /// `Value::Int(v)` with `0 <= v < domain`, and the database schema
     /// must match the layout.
     pub fn encode(&self, db: &Database) -> Vec<bool> {
-        assert_eq!(
-            db.num_relations(),
-            self.relations.len(),
-            "schema mismatch"
-        );
+        assert_eq!(db.num_relations(), self.relations.len(), "schema mismatch");
         let mut bits = vec![false; self.total];
         for (i, rel) in db.relations().enumerate() {
             assert_eq!(rel.arity(), self.relations[i].1, "arity mismatch");

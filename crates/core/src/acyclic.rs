@@ -244,7 +244,7 @@ mod tests {
         assert_eq!(derived.ddb.rel("u2").len(), 1);
         assert_eq!(derived.ddb.rel("u3").len(), 0);
         assert_eq!(derived.query.atoms.len(), 3); // head + 2 body
-        // For sup the head is dropped.
+                                                  // For sup the head is dropped.
         let derived_sup = derived_instance(&db, &mq, IndexKind::Sup);
         assert_eq!(derived_sup.query.atoms.len(), 2);
     }

@@ -160,7 +160,11 @@ impl Metaquery {
     /// true without negation.)
     pub fn is_safe(&self) -> bool {
         use std::collections::BTreeSet as Set;
-        let positive: Set<VarId> = self.body.iter().flat_map(|l| l.args.iter().copied()).collect();
+        let positive: Set<VarId> = self
+            .body
+            .iter()
+            .flat_map(|l| l.args.iter().copied())
+            .collect();
         self.neg_body
             .iter()
             .all(|l| l.args.iter().all(|v| positive.contains(v)))

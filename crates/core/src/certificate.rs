@@ -63,9 +63,7 @@ pub struct CnfCertificate {
 /// Check a single witness substitution against a set of atoms: every atom,
 /// after substituting, must be a tuple of its relation. Polynomial time.
 fn witness_satisfies(db: &Database, atoms: &[&Atom], vars: &[VarId], row: &[Value]) -> bool {
-    let lookup = |v: VarId| -> Option<Value> {
-        vars.iter().position(|&u| u == v).map(|i| row[i])
-    };
+    let lookup = |v: VarId| -> Option<Value> { vars.iter().position(|&u| u == v).map(|i| row[i]) };
     for atom in atoms {
         let mut ground = Vec::with_capacity(atom.terms.len());
         for t in &atom.terms {
@@ -218,10 +216,7 @@ fn try_build(
 
 /// Pick `needed` rows of `joint` pairwise distinct on `key_vars`.
 fn pick_distinct(joint: &Bindings, key_vars: &[VarId], needed: u64) -> Option<Witnesses> {
-    let positions: Vec<usize> = key_vars
-        .iter()
-        .filter_map(|&v| joint.position(v))
-        .collect();
+    let positions: Vec<usize> = key_vars.iter().filter_map(|&v| joint.position(v)).collect();
     if positions.len() != key_vars.len() {
         return None;
     }

@@ -98,9 +98,7 @@ impl CostModel {
     pub fn head_phase_steps(&self, ty: InstType) -> f64 {
         let base = match ty {
             InstType::Zero | InstType::One => self.n as f64 * self.d as f64,
-            InstType::Two => {
-                self.n as f64 * (self.b as f64).powi(self.a as i32) * self.d as f64
-            }
+            InstType::Two => self.n as f64 * (self.b as f64).powi(self.a as i32) * self.d as f64,
         };
         base.powi(self.m as i32)
     }

@@ -20,6 +20,20 @@
 //! The decomposition is computed once: by Proposition 4.9, applying any
 //! instantiation `σ` to the `λ` labels preserves a width-`c`
 //! decomposition, so one decomposition serves every instantiation.
+//!
+//! ## Execution strategy
+//!
+//! The enumeration machinery is split into an immutable [`Setup`] (the
+//! decomposition, per-pattern candidates, thresholds) and a lightweight
+//! per-search `Engine` (assignment stacks, node relations, and a memo of
+//! instantiated-atom bindings keyed by `(relation, terms)` so the same
+//! atom evaluation is shared across instantiations). [`find_rules`]
+//! partitions the search space by the first pattern assignment of the
+//! first decomposition vertex and runs the partitions on rayon workers —
+//! each with its own `Engine` — merging per-candidate result vectors in
+//! enumeration order, so answers are identical (and identically ordered
+//! after [`crate::engine::sort_answers`]) to the sequential
+//! [`find_rules_seq`].
 
 use crate::ast::{Metaquery, Pred, PredVarId};
 use crate::engine::{MqAnswer, MqProblem, Thresholds};
@@ -29,25 +43,90 @@ use crate::instantiate::{
 };
 use mq_cq::hypertree::{hypertree_width_of_sets, Hypertree};
 use mq_relation::{Bindings, Database, Frac, RelId, Term, VarId};
+use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
+use std::rc::Rc;
 
 /// Find all type-`ty` instantiations whose indices clear `thresholds`,
-/// using the Figure 4 algorithm. Answers match [`crate::engine::naive`]
-/// exactly (including the degenerate no-thresholds case).
+/// using the Figure 4 algorithm with the outer pattern enumeration run in
+/// parallel. Answers match [`crate::engine::naive`] exactly (including the
+/// degenerate no-thresholds case) and are returned in sorted order.
 pub fn find_rules(
     db: &Database,
     mq: &Metaquery,
     ty: InstType,
     thresholds: Thresholds,
 ) -> Result<Vec<MqAnswer>, InstError> {
-    let mut out = Vec::new();
-    find_rules_with(db, mq, ty, thresholds, |ans| {
-        out.push(ans.clone());
-        ControlFlow::Continue(())
-    })?;
+    validate(db, mq, ty)?;
+    let setup = Setup::new(db, mq, ty, thresholds);
+    let mut out = match setup.top_split() {
+        Some(split)
+            if split.tasks.len() >= 2 && parallel_enabled() && rayon::current_num_threads() > 1 =>
+        {
+            let results: Vec<Vec<MqAnswer>> = split
+                .tasks
+                .into_par_iter()
+                .map(|(rel, slots)| {
+                    let mut local = Vec::new();
+                    {
+                        let mut engine = Engine::new(&setup, |ans: &MqAnswer| {
+                            local.push(ans.clone());
+                            ControlFlow::Continue(())
+                        });
+                        engine.preassign(split.pidx, rel, slots);
+                        let _ = engine.find_bodies(0);
+                    }
+                    local
+                })
+                .collect();
+            results.into_iter().flatten().collect()
+        }
+        _ => collect_sequential(&setup),
+    };
     crate::engine::sort_answers(&mut out);
     Ok(out)
+}
+
+/// Single-threaded `findRules` (the parallel driver's reference). Public
+/// so benchmarks and the determinism regression test can compare against
+/// [`find_rules`].
+pub fn find_rules_seq(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+) -> Result<Vec<MqAnswer>, InstError> {
+    validate(db, mq, ty)?;
+    let setup = Setup::new(db, mq, ty, thresholds);
+    let mut out = collect_sequential(&setup);
+    crate::engine::sort_answers(&mut out);
+    Ok(out)
+}
+
+fn collect_sequential(setup: &Setup) -> Vec<MqAnswer> {
+    let mut out = Vec::new();
+    {
+        let mut engine = Engine::new(setup, |ans: &MqAnswer| {
+            out.push(ans.clone());
+            ControlFlow::Continue(())
+        });
+        let _ = engine.find_bodies(0);
+    }
+    out
+}
+
+/// Whether the parallel driver is enabled (`MQ_PARALLEL=0` disables it;
+/// baseline mode always runs sequentially so A/B timings compare the
+/// pre-optimization engine faithfully).
+fn parallel_enabled() -> bool {
+    if mq_relation::baseline_mode() {
+        return false;
+    }
+    match std::env::var_os("MQ_PARALLEL") {
+        Some(v) => !matches!(v.to_str(), Some("0") | Some("false") | Some("off")),
+        None => true,
+    }
 }
 
 /// Decide `⟨DB, MQ, I, k, T⟩` with `findRules`, stopping at the first
@@ -68,7 +147,8 @@ pub fn decide(db: &Database, mq: &Metaquery, problem: MqProblem) -> Result<bool,
 }
 
 /// Streaming variant: invoke `f` on each answer; `Break` stops the search.
-/// Returns `true` if stopped early.
+/// Returns `true` if stopped early. Always sequential (streaming order is
+/// the enumeration order).
 pub fn find_rules_with(
     db: &Database,
     mq: &Metaquery,
@@ -76,6 +156,14 @@ pub fn find_rules_with(
     thresholds: Thresholds,
     f: impl FnMut(&MqAnswer) -> ControlFlow<()>,
 ) -> Result<bool, InstError> {
+    validate(db, mq, ty)?;
+    let setup = Setup::new(db, mq, ty, thresholds);
+    let mut engine = Engine::new(&setup, f);
+    let stopped = engine.find_bodies(0).is_break();
+    Ok(stopped)
+}
+
+fn validate(db: &Database, mq: &Metaquery, ty: InstType) -> Result<(), InstError> {
     if ty != InstType::Two && !mq.is_pure() {
         return Err(InstError::NotPure);
     }
@@ -84,10 +172,7 @@ pub fn find_rules_with(
     }
     check_fixed_schemes(db, mq)?;
     assert!(!mq.body.is_empty(), "metaquery body must be non-empty");
-
-    let mut engine = Engine::new(db, mq, ty, thresholds, f);
-    let stopped = engine.find_bodies(0).is_break();
-    Ok(stopped)
+    Ok(())
 }
 
 /// The diagnostic facts `findRules` precomputes; exposed so benchmarks can
@@ -110,11 +195,13 @@ pub fn body_decomposition(mq: &Metaquery) -> BodyDecomposition {
     }
 }
 
-struct Engine<'a, F> {
+/// Everything `findRules` computes **once** per (database, metaquery,
+/// type, thresholds) — immutable and shared by every search engine,
+/// including parallel workers.
+struct Setup<'a> {
     db: &'a Database,
     mq: &'a Metaquery,
     thresholds: Thresholds,
-    f: F,
     /// `true` when a rule with all-zero indices would be accepted; in that
     /// case empty-join pruning must be disabled to match the naive engine.
     zero_ok: bool,
@@ -139,23 +226,18 @@ struct Engine<'a, F> {
     fresh_slots: Vec<Vec<VarId>>,
     /// Per global pattern: its predicate variable.
     pattern_pv: Vec<PredVarId>,
-
-    /// Search state: per-pattern assignment.
-    assign: Vec<Option<PatternMap>>,
-    /// Predicate variable -> (relation, how many patterns pinned it).
-    pv_rel: HashMap<PredVarId, (RelId, usize)>,
-    /// Per postorder position: the reduced node relation `r[i]`.
-    r: Vec<Option<Bindings>>,
 }
 
-impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
-    fn new(
-        db: &'a Database,
-        mq: &'a Metaquery,
-        ty: InstType,
-        thresholds: Thresholds,
-        f: F,
-    ) -> Self {
+/// The deterministic partition of the search space used by the parallel
+/// driver: every candidate assignment of the first pattern enumerated at
+/// the first decomposition vertex.
+struct TopSplit {
+    pidx: usize,
+    tasks: Vec<(RelId, Vec<Option<usize>>)>,
+}
+
+impl<'a> Setup<'a> {
+    fn new(db: &'a Database, mq: &'a Metaquery, ty: InstType, thresholds: Thresholds) -> Self {
         // Decomposition of the body literal schemes' ordinary variables.
         let edges: Vec<BTreeSet<VarId>> = mq.body.iter().map(|l| l.var_set()).collect();
         let (_, mut ht) = hypertree_width_of_sets(&edges).expect("non-empty body");
@@ -214,13 +296,10 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
             cnf: Frac::ZERO,
             cvr: Frac::ZERO,
         };
-        let n_patterns = schemes.len();
-        let n_pos = post.len();
-        Engine {
+        Setup {
             db,
             mq,
             thresholds,
-            f,
             zero_ok: thresholds.accepts(&zero),
             ht,
             post,
@@ -231,23 +310,107 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
             candidates,
             fresh_slots,
             pattern_pv,
+        }
+    }
+
+    /// The candidate assignments of the first pattern the search would
+    /// enumerate, in enumeration order — the parallel partition points.
+    /// `None` when the first vertex binds no pattern (all fixed atoms).
+    fn top_split(&self) -> Option<TopSplit> {
+        let node = self.post[0];
+        let pidx = self.ht.nodes[node]
+            .lambda
+            .iter()
+            .find_map(|&bi| self.body_pattern[bi])?;
+        let mut rels: Vec<RelId> = self.candidates[pidx].keys().copied().collect();
+        rels.sort();
+        let mut tasks = Vec::new();
+        for rel in rels {
+            for slots in &self.candidates[pidx][&rel] {
+                tasks.push((rel, slots.clone()));
+            }
+        }
+        Some(TopSplit { pidx, tasks })
+    }
+}
+
+/// Per-search mutable state: assignment stacks, node relations, and the
+/// atom-bindings memo. Cheap to construct — one per parallel worker.
+struct Engine<'a, 'b, F> {
+    setup: &'b Setup<'a>,
+    f: F,
+    /// Search state: per-pattern assignment.
+    assign: Vec<Option<PatternMap>>,
+    /// Predicate variable -> (relation, how many patterns pinned it).
+    pv_rel: HashMap<PredVarId, (RelId, usize)>,
+    /// Per postorder position: the reduced node relation `r[i]`.
+    r: Vec<Option<Bindings>>,
+    /// Memo of instantiated-atom bindings, keyed by `(relation, terms)`.
+    /// Instantiations overwhelmingly share atom evaluations (each pattern
+    /// ranges over few relations), so evaluating once per distinct
+    /// instantiated atom — instead of once per use per instantiation —
+    /// removes most `from_atom` work from the enumeration.
+    atom_cache: HashMap<(RelId, Vec<Term>), Rc<Bindings>>,
+    /// Memo of `π_χ(J(σi(λ(p_ν(i)))))` per decomposition vertex, keyed by
+    /// the vertex and its λ patterns' assignments: the projected node join
+    /// is independent of every *other* pattern's assignment, so sibling
+    /// instantiations share it (only the child semijoins differ).
+    node_cache: HashMap<(usize, Vec<PatternMap>), Rc<Bindings>>,
+}
+
+impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
+    fn new(setup: &'b Setup<'a>, f: F) -> Self {
+        let n_patterns = setup.candidates.len();
+        let n_pos = setup.post.len();
+        Engine {
+            setup,
+            f,
             assign: vec![None; n_patterns],
             pv_rel: HashMap::new(),
             r: vec![None; n_pos],
+            atom_cache: HashMap::new(),
+            node_cache: HashMap::new(),
         }
+    }
+
+    /// Pin pattern `pidx` to `(rel, slots)` before the search starts (the
+    /// parallel driver's partition point). Mirrors one iteration of the
+    /// `enum_node` candidate loop.
+    fn preassign(&mut self, pidx: usize, rel: RelId, slots: Vec<Option<usize>>) {
+        let pv = self.setup.pattern_pv[pidx];
+        self.pv_rel.insert(pv, (rel, 1));
+        self.assign[pidx] = Some(PatternMap { rel, slots });
+    }
+
+    /// Evaluate `rel(terms)` once, memoized. In baseline mode the memo is
+    /// bypassed so A/B timings measure the pre-optimization engine (which
+    /// re-evaluated every atom at every use) faithfully.
+    fn eval_atom(&mut self, rel: RelId, terms: Vec<Term>) -> Rc<Bindings> {
+        let db = self.setup.db;
+        if mq_relation::baseline_mode() {
+            return Rc::new(Bindings::from_atom(db.relation(rel), &terms));
+        }
+        Rc::clone(
+            self.atom_cache
+                .entry((rel, terms))
+                .or_insert_with_key(|(rel, terms)| {
+                    Rc::new(Bindings::from_atom(db.relation(*rel), terms))
+                }),
+        )
     }
 
     /// Instantiated terms for body scheme `bi` under the current (partial)
     /// assignment. Only called when the scheme is fixed or assigned.
     fn body_atom_terms(&self, bi: usize) -> (RelId, Vec<Term>) {
-        let scheme = &self.mq.body[bi];
-        match self.body_pattern[bi] {
+        let setup = self.setup;
+        let scheme = &setup.mq.body[bi];
+        match setup.body_pattern[bi] {
             None => {
                 let name = match &scheme.pred {
                     Pred::Rel(n) => n,
                     Pred::Var(_) => unreachable!(),
                 };
-                let rel = self.db.rel_id(name).expect("checked in setup");
+                let rel = setup.db.rel_id(name).expect("checked in setup");
                 (rel, scheme.args.iter().map(|&v| Term::Var(v)).collect())
             }
             Some(pidx) => {
@@ -258,7 +421,7 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
                     .enumerate()
                     .map(|(j, slot)| match slot {
                         Some(i) => Term::Var(scheme.args[*i]),
-                        None => Term::Var(self.fresh_slots[pidx][j]),
+                        None => Term::Var(setup.fresh_slots[pidx][j]),
                     })
                     .collect();
                 (map.rel, terms)
@@ -266,22 +429,55 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
         }
     }
 
-    fn eval_body_atom(&self, bi: usize) -> Bindings {
+    fn eval_body_atom(&mut self, bi: usize) -> Rc<Bindings> {
         let (rel, terms) = self.body_atom_terms(bi);
-        Bindings::from_atom(self.db.relation(rel), &terms)
+        self.eval_atom(rel, terms)
+    }
+
+    /// `π_χ(J(σi(λ(p_ν(i)))))` for vertex `node`, memoized by the λ
+    /// patterns' current assignments.
+    fn eval_node_join(&mut self, node: usize, lambda: &[usize]) -> Rc<Bindings> {
+        let compute = |this: &mut Self| {
+            let mut join = Bindings::unit();
+            for &bi in lambda {
+                let b = this.eval_body_atom(bi);
+                join = join.join(&b);
+                if join.is_empty() {
+                    break;
+                }
+            }
+            let chi: Vec<VarId> = this.setup.ht.nodes[node].chi.iter().copied().collect();
+            Rc::new(join.project(&chi))
+        };
+        if mq_relation::baseline_mode() {
+            return compute(self);
+        }
+        let key_maps: Vec<PatternMap> = lambda
+            .iter()
+            .filter_map(|&bi| self.setup.body_pattern[bi])
+            .map(|pidx| self.assign[pidx].clone().expect("λ patterns assigned"))
+            .collect();
+        let key = (node, key_maps);
+        if let Some(hit) = self.node_cache.get(&key) {
+            return Rc::clone(hit);
+        }
+        let built = compute(self);
+        self.node_cache.insert(key, Rc::clone(&built));
+        built
     }
 
     /// Instantiated terms for negated body scheme `ni` (must be fixed or
     /// assigned).
     fn neg_atom_terms(&self, ni: usize) -> (RelId, Vec<Term>) {
-        let scheme = &self.mq.neg_body[ni];
-        match self.neg_pattern[ni] {
+        let setup = self.setup;
+        let scheme = &setup.mq.neg_body[ni];
+        match setup.neg_pattern[ni] {
             None => {
                 let name = match &scheme.pred {
                     Pred::Rel(n) => n,
                     Pred::Var(_) => unreachable!(),
                 };
-                let rel = self.db.rel_id(name).expect("checked in setup");
+                let rel = setup.db.rel_id(name).expect("checked in setup");
                 (rel, scheme.args.iter().map(|&v| Term::Var(v)).collect())
             }
             Some(pidx) => {
@@ -292,7 +488,7 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
                     .enumerate()
                     .map(|(j, slot)| match slot {
                         Some(i) => Term::Var(scheme.args[*i]),
-                        None => Term::Var(self.fresh_slots[pidx][j]),
+                        None => Term::Var(setup.fresh_slots[pidx][j]),
                     })
                     .collect();
                 (map.rel, terms)
@@ -302,15 +498,15 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
 
     /// The paper's `findBodies(i, σb)`.
     fn find_bodies(&mut self, i: usize) -> ControlFlow<()> {
-        if i == self.post.len() {
+        if i == self.setup.post.len() {
             return self.second_half_and_heads();
         }
-        let node = self.post[i];
+        let node = self.setup.post[i];
         // Patterns of λ(p_ν(i)) not yet instantiated.
-        let lambda = self.ht.nodes[node].lambda.clone();
+        let lambda = self.setup.ht.nodes[node].lambda.clone();
         let to_assign: Vec<usize> = lambda
             .iter()
-            .filter_map(|&bi| self.body_pattern[bi])
+            .filter_map(|&bi| self.setup.body_pattern[bi])
             .filter(|&pidx| self.assign[pidx].is_none())
             .collect();
         self.enum_node(i, node, &lambda, &to_assign, 0)
@@ -327,23 +523,17 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
         depth: usize,
     ) -> ControlFlow<()> {
         if depth == to_assign.len() {
-            // All λ patterns mapped: r[i] := π_χ(J(σi(λ(p_ν(i))))).
-            let mut join = Bindings::unit();
-            for &bi in lambda {
-                let b = self.eval_body_atom(bi);
-                join = join.join(&b);
-                if join.is_empty() {
-                    break;
-                }
-            }
-            let chi: Vec<VarId> = self.ht.nodes[node].chi.iter().copied().collect();
-            let mut r_i = join.project(&chi);
-            for &child in &self.ht.children[node].clone() {
-                let cpos = self.pos_of[child];
+            // All λ patterns mapped: r[i] := π_χ(J(σi(λ(p_ν(i))))),
+            // memoized per (vertex, λ assignment) and shared across the
+            // sibling instantiations that only differ elsewhere.
+            let projected = self.eval_node_join(node, lambda);
+            let mut r_i = (*projected).clone();
+            for &child in &self.setup.ht.children[node] {
+                let cpos = self.setup.pos_of[child];
                 let child_r = self.r[cpos].as_ref().expect("children visited first");
                 r_i = r_i.semijoin(child_r);
             }
-            if r_i.is_empty() && !self.zero_ok {
+            if r_i.is_empty() && !self.setup.zero_ok {
                 return ControlFlow::Continue(()); // prune this branch
             }
             self.r[i] = Some(r_i);
@@ -353,13 +543,13 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
         }
 
         let pidx = to_assign[depth];
-        let pv = self.pattern_pv[pidx];
+        let pv = self.setup.pattern_pv[pidx];
         let locked = self.pv_rel.get(&pv).map(|&(r, _)| r);
         let rels: Vec<RelId> = match locked {
-            Some(r) if self.candidates[pidx].contains_key(&r) => vec![r],
+            Some(r) if self.setup.candidates[pidx].contains_key(&r) => vec![r],
             Some(_) => Vec::new(),
             None => {
-                let mut rels: Vec<RelId> = self.candidates[pidx].keys().copied().collect();
+                let mut rels: Vec<RelId> = self.setup.candidates[pidx].keys().copied().collect();
                 rels.sort();
                 rels
             }
@@ -369,7 +559,7 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
                 .entry(pv)
                 .and_modify(|e| e.1 += 1)
                 .or_insert((rel, 1));
-            let slot_sets = self.candidates[pidx][&rel].clone();
+            let slot_sets = self.setup.candidates[pidx][&rel].clone();
             for slots in slot_sets {
                 self.assign[pidx] = Some(PatternMap { rel, slots });
                 let flow = self.enum_node(i, node, lambda, to_assign, depth + 1);
@@ -396,33 +586,43 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
 
     /// Second half of the full reducer, `enoughSupport`, and `findHeads`.
     fn second_half_and_heads(&mut self) -> ControlFlow<()> {
-        let n = self.post.len();
+        let setup = self.setup;
+        let n = setup.post.len();
         // s[j] for postorder positions; root is position n-1.
         let mut s: Vec<Bindings> = Vec::with_capacity(n);
         for j in 0..n {
             s.push(self.r[j].as_ref().expect("all nodes computed").clone());
         }
         for j in (0..n.saturating_sub(1)).rev() {
-            let node = self.post[j];
-            let parent = self.ht.parent[node].expect("non-root has parent");
-            let ppos = self.pos_of[parent];
+            let node = setup.post[j];
+            let parent = setup.ht.parent[node].expect("non-root has parent");
+            let ppos = setup.pos_of[parent];
             s[j] = s[j].semijoin(&s[ppos]);
         }
 
         // enoughSupport (exact: sup > k iff some atom's fraction > k).
-        let mut body_atoms: Vec<Bindings> = Vec::with_capacity(self.mq.body.len());
-        for bi in 0..self.mq.body.len() {
+        let mut body_atoms: Vec<Rc<Bindings>> = Vec::with_capacity(setup.mq.body.len());
+        for bi in 0..setup.mq.body.len() {
             body_atoms.push(self.eval_body_atom(bi));
         }
-        if let Some(ksup) = self.thresholds.sup {
+        if let Some(ksup) = setup.thresholds.sup {
             let mut enough = false;
             for (bi, ra) in body_atoms.iter().enumerate() {
                 if ra.is_empty() {
                     continue;
                 }
-                let home = self.ht.atom_home[bi];
-                let reduced = ra.semijoin(&s[self.pos_of[home]]);
-                if Frac::ratio_or_zero(reduced.len() as u64, ra.len() as u64) > ksup {
+                let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
+                // When s[home] ranges over exactly the atom's variables it
+                // is itself the reduced atom (every s-row is an ra-row and
+                // reduction only drops rows), so |ra ⋉ s| = |s|. (Engine
+                // shortcut: disabled in baseline mode so A/B timings
+                // reproduce the pre-optimization engine.)
+                let reduced = if !mq_relation::baseline_mode() && s_home.vars() == ra.vars() {
+                    s_home.len()
+                } else {
+                    ra.semijoin_count(s_home)
+                };
+                if Frac::ratio_or_zero(reduced as u64, ra.len() as u64) > ksup {
                     enough = true;
                     break;
                 }
@@ -435,18 +635,58 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
         // b := J(σb(body(MQ))), assembled from the reduced atoms (joining
         // reduced relations is exact: reduction only removes dangling
         // tuples). Join in postorder of homes for join-tree locality.
-        let mut order: Vec<usize> = (0..self.mq.body.len()).collect();
-        order.sort_by_key(|&bi| self.pos_of[self.ht.atom_home[bi]]);
+        let mut order: Vec<usize> = (0..setup.mq.body.len()).collect();
+        order.sort_by_key(|&bi| setup.pos_of[setup.ht.atom_home[bi]]);
         let mut b = Bindings::unit();
         for &bi in &order {
-            let reduced = body_atoms[bi].semijoin(&s[self.pos_of[self.ht.atom_home[bi]]]);
+            let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
+            // Same identity as in enoughSupport: a vertex relation over
+            // exactly the atom's variables is the reduced atom already.
+            let reduced = if !mq_relation::baseline_mode() && s_home.vars() == body_atoms[bi].vars()
+            {
+                s_home.clone()
+            } else {
+                body_atoms[bi].semijoin(s_home)
+            };
             b = b.join(&reduced);
-            if b.is_empty() && !self.zero_ok {
+            if b.is_empty() && !setup.zero_ok {
                 return ControlFlow::Continue(());
             }
         }
 
-        self.enum_neg(0, b, &body_atoms)
+        // With no negated literals, the exact support is available from
+        // the reduced vertex relations: after both reducer halves the
+        // tree is fully reduced, so `s[j] = π_χ(j)(b)` (Yannakakis), and
+        // for an atom whose variables are exactly χ(home) the projection
+        // count is just `|s[home]|` — no per-σb distinct counting.
+        let sup_hint: Option<Frac> =
+            if setup.mq.neg_body.is_empty() && !mq_relation::baseline_mode() {
+                let mut sup = Some(Frac::ZERO);
+                for (bi, ra) in body_atoms.iter().enumerate() {
+                    if ra.is_empty() {
+                        continue;
+                    }
+                    let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
+                    if s_home.vars() == self.mq_body_atom_vars(bi).as_slice() {
+                        let f = Frac::ratio_or_zero(s_home.len() as u64, ra.len() as u64);
+                        if let Some(cur) = sup {
+                            if f > cur {
+                                sup = Some(f);
+                            }
+                        }
+                    } else {
+                        // Mixed-shape body (e.g. type-2 padding): fall back to
+                        // counting over the assembled join.
+                        sup = None;
+                        break;
+                    }
+                }
+                sup
+            } else {
+                None
+            };
+
+        self.enum_neg(0, b, &body_atoms, sup_hint)
     }
 
     /// Assign negated patterns (agreeing with σb) and apply their
@@ -454,48 +694,59 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
     /// proceed to `findHeads`. Negated atoms only ever shrink the body
     /// join, so the earlier `enoughSupport` prune (an upper bound) stays
     /// sound.
-    fn enum_neg(&mut self, ni: usize, b: Bindings, body_atoms: &[Bindings]) -> ControlFlow<()> {
-        if ni == self.mq.neg_body.len() {
-            // Exact support values for reporting, on the filtered join.
-            let mut sup = Frac::ZERO;
-            for (bi, ra) in body_atoms.iter().enumerate() {
-                if ra.is_empty() {
-                    continue;
+    fn enum_neg(
+        &mut self,
+        ni: usize,
+        b: Bindings,
+        body_atoms: &[Rc<Bindings>],
+        sup_hint: Option<Frac>,
+    ) -> ControlFlow<()> {
+        let setup = self.setup;
+        if ni == setup.mq.neg_body.len() {
+            // Exact support values for reporting, on the filtered join
+            // (or precomputed from the reduced tree when no negated atom
+            // filtered it — see `second_half_and_heads`).
+            let sup = sup_hint.unwrap_or_else(|| {
+                let mut sup = Frac::ZERO;
+                for (bi, ra) in body_atoms.iter().enumerate() {
+                    if ra.is_empty() {
+                        continue;
+                    }
+                    let vars = self.mq_body_atom_vars(bi);
+                    let num = b.count_distinct(&vars) as u64;
+                    let f = Frac::ratio_or_zero(num, ra.len() as u64);
+                    if f > sup {
+                        sup = f;
+                    }
                 }
-                let vars = self.mq_body_atom_vars(bi);
-                let num = b.count_distinct(&vars) as u64;
-                let f = Frac::ratio_or_zero(num, ra.len() as u64);
-                if f > sup {
-                    sup = f;
-                }
-            }
-            if let Some(ksup) = self.thresholds.sup {
+                sup
+            });
+            if let Some(ksup) = setup.thresholds.sup {
                 if sup <= ksup {
                     return ControlFlow::Continue(());
                 }
             }
             return self.find_heads(&b, sup);
         }
-        match self.neg_pattern[ni].filter(|&pidx| self.assign[pidx].is_none()) {
+        match setup.neg_pattern[ni].filter(|&pidx| self.assign[pidx].is_none()) {
             None => {
                 // Fixed atom or already-assigned pattern: filter and go on.
                 let (rel, terms) = self.neg_atom_terms(ni);
-                let jn = Bindings::from_atom(self.db.relation(rel), &terms);
+                let jn = self.eval_atom(rel, terms);
                 let filtered = b.antijoin(&jn);
-                if filtered.is_empty() && !self.zero_ok {
+                if filtered.is_empty() && !setup.zero_ok {
                     return ControlFlow::Continue(());
                 }
-                self.enum_neg(ni + 1, filtered, body_atoms)
+                self.enum_neg(ni + 1, filtered, body_atoms, sup_hint)
             }
             Some(pidx) => {
-                let pv = self.pattern_pv[pidx];
+                let pv = setup.pattern_pv[pidx];
                 let locked = self.pv_rel.get(&pv).map(|&(r, _)| r);
                 let rels: Vec<RelId> = match locked {
-                    Some(r) if self.candidates[pidx].contains_key(&r) => vec![r],
+                    Some(r) if setup.candidates[pidx].contains_key(&r) => vec![r],
                     Some(_) => Vec::new(),
                     None => {
-                        let mut rels: Vec<RelId> =
-                            self.candidates[pidx].keys().copied().collect();
+                        let mut rels: Vec<RelId> = setup.candidates[pidx].keys().copied().collect();
                         rels.sort();
                         rels
                     }
@@ -505,16 +756,16 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
                         .entry(pv)
                         .and_modify(|e| e.1 += 1)
                         .or_insert((rel, 1));
-                    let slot_sets = self.candidates[pidx][&rel].clone();
+                    let slot_sets = setup.candidates[pidx][&rel].clone();
                     for slots in slot_sets {
                         self.assign[pidx] = Some(PatternMap { rel, slots });
                         let (nrel, terms) = self.neg_atom_terms(ni);
-                        let jn = Bindings::from_atom(self.db.relation(nrel), &terms);
+                        let jn = self.eval_atom(nrel, terms);
                         let filtered = b.antijoin(&jn);
-                        let flow = if filtered.is_empty() && !self.zero_ok {
+                        let flow = if filtered.is_empty() && !setup.zero_ok {
                             ControlFlow::Continue(())
                         } else {
-                            self.enum_neg(ni + 1, filtered, body_atoms)
+                            self.enum_neg(ni + 1, filtered, body_atoms, sup_hint)
                         };
                         self.assign[pidx] = None;
                         if flow.is_break() {
@@ -539,43 +790,44 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
     /// The paper's `findHeads(σb)`: enumerate head instantiations agreeing
     /// with the body instantiation and test cover/confidence by semijoin.
     fn find_heads(&mut self, b: &Bindings, sup: Frac) -> ControlFlow<()> {
-        if !self.head_is_pattern {
-            let name = match &self.mq.head.pred {
+        let setup = self.setup;
+        if !setup.head_is_pattern {
+            let name = match &setup.mq.head.pred {
                 Pred::Rel(n) => n,
                 Pred::Var(_) => unreachable!(),
             };
-            let rel = self.db.rel_id(name).expect("checked in setup");
-            let terms: Vec<Term> = self.mq.head.args.iter().map(|&v| Term::Var(v)).collect();
-            return self.check_head(b, sup, None, rel, &terms);
+            let rel = setup.db.rel_id(name).expect("checked in setup");
+            let terms: Vec<Term> = setup.mq.head.args.iter().map(|&v| Term::Var(v)).collect();
+            return self.check_head(b, sup, None, rel, terms);
         }
         // Head pattern has global index 0.
-        let pv = self.pattern_pv[0];
+        let pv = setup.pattern_pv[0];
         let locked = self.pv_rel.get(&pv).map(|&(r, _)| r);
         let rels: Vec<RelId> = match locked {
-            Some(r) if self.candidates[0].contains_key(&r) => vec![r],
+            Some(r) if setup.candidates[0].contains_key(&r) => vec![r],
             Some(_) => Vec::new(),
             None => {
-                let mut rels: Vec<RelId> = self.candidates[0].keys().copied().collect();
+                let mut rels: Vec<RelId> = setup.candidates[0].keys().copied().collect();
                 rels.sort();
                 rels
             }
         };
         for rel in rels {
-            let slot_sets = self.candidates[0][&rel].clone();
+            let slot_sets = setup.candidates[0][&rel].clone();
             for slots in slot_sets {
                 let terms: Vec<Term> = slots
                     .iter()
                     .enumerate()
                     .map(|(j, slot)| match slot {
-                        Some(i) => Term::Var(self.mq.head.args[*i]),
-                        None => Term::Var(self.fresh_slots[0][j]),
+                        Some(i) => Term::Var(setup.mq.head.args[*i]),
+                        None => Term::Var(setup.fresh_slots[0][j]),
                     })
                     .collect();
                 let map = PatternMap {
                     rel,
                     slots: slots.clone(),
                 };
-                if self.check_head(b, sup, Some(map), rel, &terms).is_break() {
+                if self.check_head(b, sup, Some(map), rel, terms).is_break() {
                     return ControlFlow::Break(());
                 }
             }
@@ -589,27 +841,27 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
         sup: Frac,
         head_map: Option<PatternMap>,
         head_rel: RelId,
-        head_terms: &[Term],
+        head_terms: Vec<Term>,
     ) -> ControlFlow<()> {
-        let h = Bindings::from_atom(self.db.relation(head_rel), head_terms);
-        // h' := h ⋉ b; cvr = |h'| / |h|.
-        let h_reduced = h.semijoin(b);
-        let cvr = Frac::ratio_or_zero(h_reduced.len() as u64, h.len() as u64);
-        if let Some(k) = self.thresholds.cvr {
+        let h = self.eval_atom(head_rel, head_terms);
+        // cvr = |h ⋉ b| / |h| — a pure count, no rows materialized.
+        let cvr = Frac::ratio_or_zero(h.semijoin_count(b) as u64, h.len() as u64);
+        if let Some(k) = self.setup.thresholds.cvr {
             if cvr <= k {
                 return ControlFlow::Continue(());
             }
         }
-        // cnf = |b ⋉ h'| / |b| (equivalently b ⋉ h).
-        let b_matching = b.semijoin(&h_reduced);
-        let cnf = Frac::ratio_or_zero(b_matching.len() as u64, b.len() as u64);
-        if let Some(k) = self.thresholds.cnf {
+        // cnf = |b ⋉ h| / |b| (equivalently b ⋉ h': every h-row whose key
+        // occurs in b is itself in h', so the key sets agree). Probing `h`
+        // reuses its cached index across every body instantiation.
+        let cnf = Frac::ratio_or_zero(b.semijoin_count(&h) as u64, b.len() as u64);
+        if let Some(k) = self.setup.thresholds.cnf {
             if cnf <= k {
                 return ControlFlow::Continue(());
             }
         }
         let iv = IndexValues { sup, cnf, cvr };
-        if !self.thresholds.accepts(&iv) {
+        if !self.setup.thresholds.accepts(&iv) {
             return ControlFlow::Continue(());
         }
         // Assemble the full instantiation in rep(MQ) order.
@@ -617,13 +869,13 @@ impl<'a, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, F> {
         if let Some(hm) = head_map {
             maps.push(hm);
         }
-        for bi in 0..self.mq.body.len() {
-            if let Some(pidx) = self.body_pattern[bi] {
+        for bi in 0..self.setup.mq.body.len() {
+            if let Some(pidx) = self.setup.body_pattern[bi] {
                 maps.push(self.assign[pidx].clone().expect("assigned"));
             }
         }
-        for ni in 0..self.mq.neg_body.len() {
-            if let Some(pidx) = self.neg_pattern[ni] {
+        for ni in 0..self.setup.mq.neg_body.len() {
+            if let Some(pidx) = self.setup.neg_pattern[ni] {
                 maps.push(self.assign[pidx].clone().expect("assigned"));
             }
         }
@@ -640,7 +892,7 @@ mod tests {
     use crate::engine::naive;
     use crate::index::IndexKind;
     use crate::parse::parse_metaquery;
-    
+
     use rand::prelude::*;
 
     fn random_db(rng: &mut StdRng, rels: &[(&str, usize)], rows: usize, dom: i64) -> Database {
@@ -775,6 +1027,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_order() {
+        // The parallel driver must return byte-identical, identically
+        // ordered answers to the sequential engine. Force a multi-worker
+        // pool even on single-core machines so the fan-out actually runs
+        // (an atomic override — env mutation is unsound under concurrent
+        // reads).
+        rayon::set_thread_override(Some(3));
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..6 {
+            let db = random_db(&mut rng, &[("p", 2), ("q", 2), ("r", 2)], 14, 5);
+            let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+            for th in [
+                Thresholds::none(),
+                Thresholds::all(Frac::new(1, 10), Frac::new(1, 10), Frac::new(1, 10)),
+            ] {
+                let par = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+                let seq = find_rules_seq(&db, &mq, InstType::Zero, th).unwrap();
+                assert_eq!(par, seq, "parallel and sequential answers must match");
+            }
+        }
+        rayon::set_thread_override(None);
     }
 
     #[test]

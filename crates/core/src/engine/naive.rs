@@ -5,12 +5,10 @@
 //! This engine is the correctness baseline for `findRules` and the
 //! exhaustive-search side of the combined-complexity experiments.
 
+use crate::ast::Metaquery;
 use crate::engine::{MqAnswer, MqProblem, Thresholds};
 use crate::index::{all_indices, index_value};
-use crate::instantiate::{
-    apply_instantiation, for_each_instantiation, InstError, InstType,
-};
-use crate::ast::Metaquery;
+use crate::instantiate::{apply_instantiation, for_each_instantiation, InstError, InstType};
 use mq_relation::Database;
 use std::ops::ControlFlow;
 

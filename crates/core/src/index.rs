@@ -247,7 +247,10 @@ mod tests {
         // body has 3 satisfying assignments; heads hold for 2 of them.
         db.insert(speaks, ints(&[1, 100]));
         db.insert(speaks, ints(&[3, 200]));
-        let r = rule((speaks, &[0, 2]), &[(citizen, &[0, 1]), (language, &[1, 2])]);
+        let r = rule(
+            (speaks, &[0, 2]),
+            &[(citizen, &[0, 1]), (language, &[1, 2])],
+        );
         assert_eq!(confidence(&db, &r), Frac::new(2, 3));
     }
 

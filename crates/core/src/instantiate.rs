@@ -124,7 +124,11 @@ impl std::error::Error for InstError {}
 /// Candidate slot maps for one pattern against one relation, deduplicated
 /// by the variable layout they induce (permutations that move equal
 /// variables onto each other are identical instantiations).
-fn slot_candidates(scheme: &LiteralScheme, rel_arity: usize, ty: InstType) -> Vec<Vec<Option<usize>>> {
+fn slot_candidates(
+    scheme: &LiteralScheme,
+    rel_arity: usize,
+    ty: InstType,
+) -> Vec<Vec<Option<usize>>> {
     let k = scheme.arity();
     match ty {
         InstType::Zero => {
@@ -158,10 +162,8 @@ fn slot_candidates(scheme: &LiteralScheme, rel_arity: usize, ty: InstType) -> Ve
             // rel_arity positions: enumerate ordered arrangements.
             let mut slots: Vec<Option<usize>> = vec![None; rel_arity];
             arrange(k, rel_arity, &mut slots, 0, &mut |slots| {
-                let key: Vec<Option<VarId>> = slots
-                    .iter()
-                    .map(|s| s.map(|i| scheme.args[i]))
-                    .collect();
+                let key: Vec<Option<VarId>> =
+                    slots.iter().map(|s| s.map(|i| scheme.args[i])).collect();
                 if seen.insert(key) {
                     out.push(slots.to_vec());
                 }
@@ -265,11 +267,8 @@ pub fn for_each_instantiation(
     }
     check_fixed_schemes(db, mq)?;
 
-    let patterns: Vec<&LiteralScheme> = mq
-        .relation_patterns()
-        .into_iter()
-        .map(|(_, l)| l)
-        .collect();
+    let patterns: Vec<&LiteralScheme> =
+        mq.relation_patterns().into_iter().map(|(_, l)| l).collect();
     let candidates: Vec<HashMap<RelId, Vec<Vec<Option<usize>>>>> = patterns
         .iter()
         .map(|s| pattern_candidates(db, s, ty))
@@ -356,11 +355,7 @@ pub fn enumerate_instantiations(
 }
 
 /// Count the type-`ty` instantiations without collecting them.
-pub fn count_instantiations(
-    db: &Database,
-    mq: &Metaquery,
-    ty: InstType,
-) -> Result<u64, InstError> {
+pub fn count_instantiations(db: &Database, mq: &Metaquery, ty: InstType) -> Result<u64, InstError> {
     let mut n = 0u64;
     for_each_instantiation(db, mq, ty, |_| {
         n += 1;
@@ -382,29 +377,30 @@ pub fn apply_instantiation(
     check_fixed_schemes(db, mq)?;
     let mut vars = mq.vars.clone();
     let mut pattern_idx = 0usize;
-    let mut make_atom = |scheme: &LiteralScheme, vars: &mut crate::ast::VarPool| -> Result<Atom, InstError> {
-        match &scheme.pred {
-            Pred::Rel(name) => {
-                let rel = db
-                    .rel_id(name)
-                    .ok_or_else(|| InstError::UnknownRelation(name.clone()))?;
-                Ok(Atom::vars_atom(rel, &scheme.args))
+    let mut make_atom =
+        |scheme: &LiteralScheme, vars: &mut crate::ast::VarPool| -> Result<Atom, InstError> {
+            match &scheme.pred {
+                Pred::Rel(name) => {
+                    let rel = db
+                        .rel_id(name)
+                        .ok_or_else(|| InstError::UnknownRelation(name.clone()))?;
+                    Ok(Atom::vars_atom(rel, &scheme.args))
+                }
+                Pred::Var(_) => {
+                    let map = &inst.maps[pattern_idx];
+                    pattern_idx += 1;
+                    let terms: Vec<Term> = map
+                        .slots
+                        .iter()
+                        .map(|slot| match slot {
+                            Some(i) => Term::Var(scheme.args[*i]),
+                            None => Term::Var(vars.fresh()),
+                        })
+                        .collect();
+                    Ok(Atom::new(map.rel, terms))
+                }
             }
-            Pred::Var(_) => {
-                let map = &inst.maps[pattern_idx];
-                pattern_idx += 1;
-                let terms: Vec<Term> = map
-                    .slots
-                    .iter()
-                    .map(|slot| match slot {
-                        Some(i) => Term::Var(scheme.args[*i]),
-                        None => Term::Var(vars.fresh()),
-                    })
-                    .collect();
-                Ok(Atom::new(map.rel, terms))
-            }
-        }
-    };
+        };
     let head = make_atom(&mq.head, &mut vars)?;
     let mut body = Vec::with_capacity(mq.body.len());
     for scheme in &mq.body {
@@ -542,7 +538,8 @@ mod tests {
         // Find an instantiation mapping I to r/3: 1 arg into 3 positions.
         let with_r = insts
             .iter()
-            .map(|i| apply_instantiation(&db, &mq, i).unwrap()).find(|r| db.relation(r.head.rel).name() == "r")
+            .map(|i| apply_instantiation(&db, &mq, i).unwrap())
+            .find(|r| db.relation(r.head.rel).name() == "r")
             .expect("some instantiation uses r/3");
         assert_eq!(with_r.head.terms.len(), 3);
         // Exactly one term is X; the others are fresh and distinct.
@@ -594,8 +591,7 @@ mod tests {
         let db = db3();
         let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
         let stopped =
-            for_each_instantiation(&db, &mq, InstType::Zero, |_| ControlFlow::Break(()))
-                .unwrap();
+            for_each_instantiation(&db, &mq, InstType::Zero, |_| ControlFlow::Break(())).unwrap();
         assert!(stopped);
     }
 }

@@ -219,7 +219,11 @@ impl<'a> Parser<'a> {
             install(
                 &mut b,
                 lit,
-                if *negated { Place::NegBody } else { Place::Body },
+                if *negated {
+                    Place::NegBody
+                } else {
+                    Place::Body
+                },
             );
         }
         let mq = b.build();

@@ -24,16 +24,9 @@ fn atom_order(db: &Database, cq: &Cq) -> Vec<usize> {
             .enumerate()
             .min_by_key(|(_, &i)| {
                 let atom = &cq.atoms[i];
-                let bound_count = atom
-                    .vars()
-                    .iter()
-                    .filter(|v| bound.contains(v))
-                    .count();
+                let bound_count = atom.vars().iter().filter(|v| bound.contains(v)).count();
                 // Prefer more bound vars (negate), then smaller relations.
-                (
-                    usize::MAX - bound_count,
-                    db.relation(atom.rel).len(),
-                )
+                (usize::MAX - bound_count, db.relation(atom.rel).len())
             })
             .expect("remaining non-empty");
         order.push(best);
@@ -99,10 +92,13 @@ impl<'a> Search<'a> {
             return true;
         }
         let atom = self.atoms[depth];
-        let rel = self.db.relation(atom.rel);
+        // Copy the `&Database` out of `self` so borrowing a row does not
+        // conflict with the `&mut self` calls below (no per-row clone).
+        let db = self.db;
+        let rel = db.relation(atom.rel);
         for i in 0..rel.len() {
-            let row = rel.row(i).clone();
-            if let Some(newly) = self.try_match(atom, &row) {
+            let row = rel.row(i);
+            if let Some(newly) = self.try_match(atom, row) {
                 let fully_bound = newly.is_empty();
                 if self.sat(depth + 1) {
                     self.undo(newly);
@@ -125,11 +121,12 @@ impl<'a> Search<'a> {
             return 1;
         }
         let atom = self.atoms[depth];
-        let rel = self.db.relation(atom.rel);
+        let db = self.db;
+        let rel = db.relation(atom.rel);
         let mut total: u128 = 0;
         for i in 0..rel.len() {
-            let row = rel.row(i).clone();
-            if let Some(newly) = self.try_match(atom, &row) {
+            let row = rel.row(i);
+            if let Some(newly) = self.try_match(atom, row) {
                 let fully_bound = newly.is_empty();
                 total += self.count(depth + 1);
                 self.undo(newly);

@@ -57,10 +57,7 @@ impl Hypergraph {
     /// Build from slices of vertices.
     pub fn from_slices(edges: &[&[u32]]) -> Self {
         Hypergraph {
-            edges: edges
-                .iter()
-                .map(|e| e.iter().copied().collect())
-                .collect(),
+            edges: edges.iter().map(|e| e.iter().copied().collect()).collect(),
         }
     }
 
@@ -111,9 +108,9 @@ impl Hypergraph {
                 if !alive[i] {
                     continue;
                 }
-                let isolated = edges[i].iter().all(|v| {
-                    !(0..n).any(|j| j != i && alive[j] && edges[j].contains(v))
-                });
+                let isolated = edges[i]
+                    .iter()
+                    .all(|v| !(0..n).any(|j| j != i && alive[j] && edges[j].contains(v)));
                 if isolated {
                     alive[i] = false;
                     remaining -= 1;
@@ -137,19 +134,14 @@ impl Hypergraph {
                     // Every vertex of e − w must occur in no other edge.
                     let ok = edges[e].iter().all(|v| {
                         edges[w].contains(v)
-                            || !(0..n)
-                                .any(|j| j != e && alive[j] && edges[j].contains(v))
+                            || !(0..n).any(|j| j != e && alive[j] && edges[j].contains(v))
                     });
                     if ok {
                         // Remove ear e; drop vertices of e unique to e.
                         let exclusive: Vec<u32> = edges[e]
                             .iter()
                             .copied()
-                            .filter(|v| {
-                                !(0..n).any(|j| {
-                                    j != e && alive[j] && edges[j].contains(v)
-                                })
-                            })
+                            .filter(|v| !(0..n).any(|j| j != e && alive[j] && edges[j].contains(v)))
                             .collect();
                         alive[e] = false;
                         remaining -= 1;

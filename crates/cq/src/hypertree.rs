@@ -227,7 +227,13 @@ impl Searcher {
         let n = edge_vars.len();
         let mut candidates = Vec::new();
         let mut current = Vec::new();
-        fn rec(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        fn rec(
+            start: usize,
+            n: usize,
+            k: usize,
+            current: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
             if !current.is_empty() {
                 out.push(current.clone());
             }
@@ -258,11 +264,7 @@ impl Searcher {
 
     /// Split `edges` into connected components linked by variables outside
     /// `chi`.
-    fn components(
-        &self,
-        edges: &BTreeSet<usize>,
-        chi: &BTreeSet<VarId>,
-    ) -> Vec<BTreeSet<usize>> {
+    fn components(&self, edges: &BTreeSet<usize>, chi: &BTreeSet<VarId>) -> Vec<BTreeSet<usize>> {
         let list: Vec<usize> = edges.iter().copied().collect();
         let mut comp_id: HashMap<usize, usize> = HashMap::new();
         let mut comps: Vec<BTreeSet<usize>> = Vec::new();
@@ -295,11 +297,7 @@ impl Searcher {
         comps
     }
 
-    fn decompose(
-        &mut self,
-        comp: &BTreeSet<usize>,
-        conn: &BTreeSet<VarId>,
-    ) -> Option<RawNode> {
+    fn decompose(&mut self, comp: &BTreeSet<usize>, conn: &BTreeSet<VarId>) -> Option<RawNode> {
         let key = Self::key(comp, conn);
         if self.failed.contains(&key) || self.visiting.contains(&key) {
             return None;
@@ -446,7 +444,10 @@ pub fn decompose_edge_sets(edge_vars: &[BTreeSet<VarId>], k: usize) -> Option<Hy
 pub fn decompose_width(cq: &Cq, k: usize) -> Option<Hypertree> {
     let edge_vars: Vec<BTreeSet<VarId>> = cq.atoms.iter().map(|a| a.var_set()).collect();
     let ht = decompose_edge_sets(&edge_vars, k)?;
-    debug_assert!(ht.validate(cq).is_ok(), "search produced invalid decomposition");
+    debug_assert!(
+        ht.validate(cq).is_ok(),
+        "search produced invalid decomposition"
+    );
     Some(ht)
 }
 

@@ -7,7 +7,7 @@
 //! (reversed, swapped) program read off a rooted join tree.
 
 use crate::jointree::JoinTree;
-use mq_relation::Bindings;
+use mq_relation::{Bindings, BitSet};
 use std::fmt;
 
 /// One semijoin step `target := target ⋉ source` over atom indices.
@@ -79,18 +79,41 @@ impl FullReducer {
     }
 
     /// Execute against per-atom bindings, in place.
+    ///
+    /// Runs the whole semijoin program on shared row-liveness bitsets and
+    /// materializes each atom's surviving rows once at the end, so a full
+    /// reduction allocates O(atoms) result vectors instead of one new
+    /// relation per semijoin step.
     pub fn run(&self, atoms: &mut [Bindings]) {
-        for step in self.steps() {
-            let reduced = atoms[step.target].semijoin(&atoms[step.source]);
-            atoms[step.target] = reduced;
-        }
+        let steps: Vec<SemijoinStep> = self.steps().copied().collect();
+        run_steps_filtered(&steps, atoms);
     }
 
     /// Execute only the first half (enough for satisfiability at the root).
     pub fn run_first_half(&self, atoms: &mut [Bindings]) {
-        for step in &self.first_half {
-            let reduced = atoms[step.target].semijoin(&atoms[step.source]);
-            atoms[step.target] = reduced;
+        run_steps_filtered(&self.first_half, atoms);
+    }
+}
+
+/// Run a semijoin program over liveness bitsets, then materialize each
+/// atom's surviving rows exactly once.
+fn run_steps_filtered(steps: &[SemijoinStep], atoms: &mut [Bindings]) {
+    let mut live: Vec<BitSet> = atoms.iter().map(|b| BitSet::all_ones(b.len())).collect();
+    for step in steps {
+        debug_assert_ne!(step.target, step.source, "self-semijoin is a no-op");
+        // Split the liveness borrows: target mutable, source shared.
+        let (t_live, s_live) = if step.target < step.source {
+            let (lo, hi) = live.split_at_mut(step.source);
+            (&mut lo[step.target], &hi[0])
+        } else {
+            let (lo, hi) = live.split_at_mut(step.target);
+            (&mut hi[0], &lo[step.source])
+        };
+        atoms[step.target].semijoin_filter(t_live, &atoms[step.source], s_live);
+    }
+    for (atom, mask) in atoms.iter_mut().zip(live.iter()) {
+        if !mask.is_full() {
+            *atom = atom.retain_rows(mask);
         }
     }
 }

@@ -102,11 +102,8 @@ impl PlantedChainSpec {
 /// Distinct `(X0, Xm)` endpoint pairs of the chain join over `r0..r{m-1}`.
 fn chain_endpoints(db: &Database, m: usize) -> Vec<(Value, Value)> {
     use std::collections::BTreeSet;
-    let mut frontier: BTreeSet<(Value, Value)> = db
-        .rel("r0")
-        .rows()
-        .map(|r| (r[0], r[1]))
-        .collect();
+    let mut frontier: BTreeSet<(Value, Value)> =
+        db.rel("r0").rows().map(|r| (r[0], r[1])).collect();
     for i in 1..m {
         let next: BTreeSet<(Value, Value)> = db
             .rel(&format!("r{i}"))
@@ -171,7 +168,9 @@ impl SkewedDbSpec {
         for i in 0..self.n_relations {
             let rel = db.add_relation(format!("r{i}"), self.arity);
             for _ in 0..self.rows {
-                let row: Vec<Value> = (0..self.arity).map(|_| Value::Int(draw(&mut rng))).collect();
+                let row: Vec<Value> = (0..self.arity)
+                    .map(|_| Value::Int(draw(&mut rng)))
+                    .collect();
                 db.insert(rel, row.into_boxed_slice());
             }
         }

@@ -103,13 +103,11 @@ mod tests {
     fn paper_instantiation_indices() {
         let db = db1();
         let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
-        let answers =
-            naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+        let answers = naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
         let target = answers
             .iter()
             .find(|a| {
-                let rule =
-                    mq_core::instantiate::apply_instantiation(&db, &mq, &a.inst).unwrap();
+                let rule = mq_core::instantiate::apply_instantiation(&db, &mq, &a.inst).unwrap();
                 rule.render(&db) == "UsPT(X,Z) <- UsCa(X,Y), CaTe(Y,Z)"
             })
             .expect("the paper's instantiation must be enumerated");
@@ -124,8 +122,7 @@ mod tests {
     fn cover_one_example() {
         let db = db1();
         let mq = parse_metaquery("I(X) <- O(X)").unwrap();
-        let answers =
-            naive::find_all(&db, &mq, InstType::Two, Thresholds::none()).unwrap();
+        let answers = naive::find_all(&db, &mq, InstType::Two, Thresholds::none()).unwrap();
         let hit = answers.iter().any(|a| {
             let rule = mq_core::instantiate::apply_instantiation(&db, &mq, &a.inst).unwrap();
             let head_is_usca = db.relation(rule.head.rel).name() == "UsCa";

@@ -56,10 +56,7 @@ impl Graph {
                 return true;
             }
             for c in 0..3u8 {
-                if adj[v]
-                    .iter()
-                    .all(|&u| colors[u] != Some(c))
-                {
+                if adj[v].iter().all(|&u| colors[u] != Some(c)) {
                     colors[v] = Some(c);
                     if rec(v + 1, n, adj, colors) {
                         return true;
@@ -129,12 +126,7 @@ impl Graph {
     /// (backtracking; intended for small `n`).
     pub fn hamiltonian_path(&self) -> Option<Vec<usize>> {
         let adj = self.adjacency_masks();
-        fn rec(
-            path: &mut Vec<usize>,
-            used: u64,
-            n: usize,
-            adj: &[u64],
-        ) -> bool {
+        fn rec(path: &mut Vec<usize>, used: u64, n: usize, adj: &[u64]) -> bool {
             if path.len() == n {
                 return true;
             }

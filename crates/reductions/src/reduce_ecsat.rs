@@ -40,11 +40,7 @@ pub struct EcsatReduction {
     pub ty: InstType,
 }
 
-fn literal_var(
-    b: &mut MetaqueryBuilder,
-    inst: &EcsatInstance,
-    lit: Lit,
-) -> VarId {
+fn literal_var(b: &mut MetaqueryBuilder, inst: &EcsatInstance, lit: Lit) -> VarId {
     // Position of the variable within Π or χ determines its name.
     if let Some(j) = inst.pi.iter().position(|&v| v == lit.var) {
         if lit.positive {
@@ -101,11 +97,7 @@ fn shared_relations(db: &mut Database, n_clauses: usize) -> Value {
 }
 
 /// Append the `q`, `c'` atoms and the `c` head to the builder.
-fn shared_metaquery_parts(
-    b: &mut MetaqueryBuilder,
-    inst: &EcsatInstance,
-    clauses: &[Vec<Lit>],
-) {
+fn shared_metaquery_parts(b: &mut MetaqueryBuilder, inst: &EcsatInstance, clauses: &[Vec<Lit>]) {
     // Head: c(C1, ..., Cn).
     let c_vars: Vec<VarId> = (0..clauses.len())
         .map(|i| b.var(&format!("C{i}")))
@@ -228,8 +220,8 @@ mod tests {
     }
 
     fn random_instance(rng: &mut StdRng) -> EcsatInstance {
-        let s = rng.gen_range(1..=2);
-        let h = rng.gen_range(1..=3);
+        let s: usize = rng.gen_range(1..=2);
+        let h: usize = rng.gen_range(1..=3);
         let n_vars = s + h;
         let n_clauses = rng.gen_range(1..=4);
         let clauses = (0..n_clauses)

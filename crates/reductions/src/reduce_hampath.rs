@@ -40,8 +40,14 @@ pub fn reduce(g: &Graph) -> HamPathInstance {
     db.insert(grel, nodes.into_boxed_slice());
     let e = db.add_relation("e", 2);
     for &(u, v) in &g.edges {
-        db.insert(e, vec![Value::Int(u as i64), Value::Int(v as i64)].into_boxed_slice());
-        db.insert(e, vec![Value::Int(v as i64), Value::Int(u as i64)].into_boxed_slice());
+        db.insert(
+            e,
+            vec![Value::Int(u as i64), Value::Int(v as i64)].into_boxed_slice(),
+        );
+        db.insert(
+            e,
+            vec![Value::Int(v as i64), Value::Int(u as i64)].into_boxed_slice(),
+        );
     }
 
     let mut b = MetaqueryBuilder::new();

@@ -49,9 +49,7 @@ pub fn reduce(g: &Graph) -> SemiAcyclicInstance {
 
     let mut b = MetaqueryBuilder::new();
     // Predicate variable per node; ordinary variable per node.
-    let pred: Vec<_> = (0..g.n)
-        .map(|u| b.pred_var(&format!("C{u}")))
-        .collect();
+    let pred: Vec<_> = (0..g.n).map(|u| b.pred_var(&format!("C{u}"))).collect();
     let node_var: Vec<_> = (0..g.n).map(|u| b.var(&format!("X{u}"))).collect();
 
     // Head repeats the first S' literal (with its own mute variable).

@@ -47,10 +47,7 @@ pub fn reduce(f: &Cnf) -> SharpBcqInstance {
         for bits in 0..8i64 {
             let row = [bits & 1, bits >> 1 & 1, bits >> 2 & 1];
             if row.to_vec() != falsifying {
-                db.insert(
-                    rel,
-                    row.iter().map(|&v| Value::Int(v)).collect(),
-                );
+                db.insert(rel, row.iter().map(|&v| Value::Int(v)).collect());
             }
         }
         let terms: Vec<Term> = clause
@@ -103,11 +100,7 @@ mod tests {
                 .collect();
             let f = Cnf::new(n, clauses);
             let inst = reduce(&f);
-            assert_eq!(
-                inst.model_count(),
-                count_models(&f),
-                "round {round}: {f}"
-            );
+            assert_eq!(inst.model_count(), count_models(&f), "round {round}: {f}");
         }
     }
 

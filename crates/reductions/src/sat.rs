@@ -125,7 +125,9 @@ fn count_rec(f: &Cnf, assignment: &mut Vec<Option<bool>>, from: usize) -> u128 {
             ClauseState::Satisfied => {}
         }
     }
-    let unassigned = (from..f.n_vars).filter(|&v| assignment[v].is_none()).count()
+    let unassigned = (from..f.n_vars)
+        .filter(|&v| assignment[v].is_none())
+        .count()
         + (0..from).filter(|&v| assignment[v].is_none()).count();
     if all_satisfied {
         return 1u128 << unassigned;

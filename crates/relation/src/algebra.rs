@@ -6,11 +6,51 @@
 //! set. This module implements exactly that view: a [`Bindings`] value is a
 //! relation whose columns are variables, produced by evaluating atoms and
 //! combined by natural join, semijoin and projection.
+//!
+//! ## Kernels
+//!
+//! The join/semijoin/projection kernels are **allocation-free per row**:
+//! keys are hashed straight out of row storage and compared positionally
+//! ([`crate::hashjoin`]), so no `Box<[Value]>` key is ever materialized.
+//! [`Bindings::join_atom`] additionally probes a per-relation column index
+//! cached on the [`Relation`] itself, so the build side of a join against
+//! a database relation is constructed once per (relation, column-set) and
+//! shared across the thousands of instantiations a metaquery engine
+//! evaluates.
+//!
+//! The pre-optimization kernels (the naive port: one boxed key per row,
+//! hash tables rebuilt per operation) are kept in [`baseline`] both as the
+//! oracle for randomized equivalence tests and as the comparison point for
+//! `bench_report`. [`set_baseline_mode`] routes the public API through
+//! them at runtime.
 
+use crate::hashjoin::{self, BitSet, GroupIndex, RawTable};
 use crate::relation::Relation;
 use crate::value::{Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Cached per-column-set group indexes of one row store.
+type IndexCache = Rc<RefCell<Vec<(Box<[usize]>, Rc<GroupIndex>)>>>;
+
+/// When set, the public algebra API routes through the [`baseline`]
+/// kernels (used by `bench_report` to measure the optimization in-tree).
+static BASELINE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Route the algebra through the pre-optimization [`baseline`] kernels
+/// (`true`) or the optimized kernels (`false`, the default).
+pub fn set_baseline_mode(on: bool) {
+    BASELINE_MODE.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`set_baseline_mode`] routed the algebra to the baseline.
+#[inline]
+pub fn baseline_mode() -> bool {
+    BASELINE_MODE.load(Ordering::Relaxed)
+}
 
 /// An ordinary (first-order) variable, interned by the caller.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,33 +102,146 @@ pub fn distinct_vars(terms: &[Term]) -> Vec<VarId> {
     out
 }
 
+/// Positional shape of an atom's argument list against its relation:
+/// constant filters, repeated-variable equalities, and the projection
+/// from relation columns to the atom's distinct variables.
+struct AtomShape {
+    /// Distinct variables, first-occurrence order.
+    vars: Vec<VarId>,
+    /// Relation column holding each distinct variable's first occurrence.
+    first_pos: Vec<usize>,
+    /// Columns carrying a constant, and the required values.
+    const_cols: Vec<usize>,
+    const_vals: Vec<Value>,
+    /// `(a, b)` column pairs that must be equal (repeated variables).
+    eq_pairs: Vec<(usize, usize)>,
+}
+
+impl AtomShape {
+    fn of(terms: &[Term]) -> Self {
+        let vars = distinct_vars(terms);
+        let first_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| {
+                terms
+                    .iter()
+                    .position(|t| t.as_var() == Some(*v))
+                    .expect("var came from terms")
+            })
+            .collect();
+        let mut const_cols = Vec::new();
+        let mut const_vals = Vec::new();
+        let mut eq_pairs = Vec::new();
+        for (j, t) in terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    const_cols.push(j);
+                    const_vals.push(*c);
+                }
+                Term::Var(v) => {
+                    let fp = first_pos[vars.iter().position(|u| u == v).expect("distinct var")];
+                    if fp != j {
+                        eq_pairs.push((fp, j));
+                    }
+                }
+            }
+        }
+        AtomShape {
+            vars,
+            first_pos,
+            const_cols,
+            const_vals,
+            eq_pairs,
+        }
+    }
+
+    /// Whether `row` satisfies the repeated-variable equalities.
+    #[inline]
+    fn eq_ok(&self, row: &[Value]) -> bool {
+        self.eq_pairs.iter().all(|&(a, b)| row[a] == row[b])
+    }
+
+    /// Whether `row` satisfies the constant filters.
+    #[inline]
+    fn consts_ok(&self, row: &[Value]) -> bool {
+        self.const_cols
+            .iter()
+            .zip(self.const_vals.iter())
+            .all(|(&c, v)| row[c] == *v)
+    }
+
+    /// Project `row` onto the distinct variables.
+    #[inline]
+    fn project(&self, row: &[Value]) -> Tuple {
+        self.first_pos.iter().map(|&p| row[p]).collect()
+    }
+}
+
 /// A relation over variables: the result of evaluating and joining atoms.
 ///
 /// Invariant: rows are pairwise distinct (natural join of sets is a set;
 /// [`Bindings::project`] re-deduplicates).
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Row storage is shared (`Rc`), so cloning a `Bindings` — which the
+/// engines do constantly to snapshot reducer state — is O(1) rather than
+/// a deep copy of every tuple. Hash indexes built by joins/semijoins are
+/// cached per column set and shared across clones, so probing the same
+/// side repeatedly (every head check against the same body join, every
+/// reducer step against the same guard) builds its table once.
+#[derive(Clone)]
 pub struct Bindings {
     vars: Vec<VarId>,
-    rows: Vec<Tuple>,
+    rows: Rc<Vec<Tuple>>,
+    /// Lazily built group indexes per key-column set. Shared by clones
+    /// (which share `rows`, keeping the indexes valid); rebuilt from
+    /// scratch by any operation producing new rows. A linear-scan vector:
+    /// a `Bindings` rarely accumulates more than a few column sets, and
+    /// slice comparison beats hashing the key on every probe.
+    indexes: IndexCache,
 }
 
+impl PartialEq for Bindings {
+    /// Equality of contents; cached indexes are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.vars == other.vars && self.rows == other.rows
+    }
+}
+
+impl Eq for Bindings {}
+
 impl Bindings {
+    fn new(vars: Vec<VarId>, rows: Vec<Tuple>) -> Self {
+        Bindings {
+            vars,
+            rows: Rc::new(rows),
+            indexes: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Get (or build once and cache) the group index over `cols`.
+    fn binding_index(&self, cols: &[usize]) -> Rc<GroupIndex> {
+        for (key, idx) in self.indexes.borrow().iter() {
+            if &**key == cols {
+                return Rc::clone(idx);
+            }
+        }
+        let built = Rc::new(GroupIndex::build(&self.rows, cols));
+        self.indexes
+            .borrow_mut()
+            .push((cols.to_vec().into_boxed_slice(), Rc::clone(&built)));
+        built
+    }
+
     /// The unit bindings: no variables, one (empty) row.
     ///
     /// This is the identity of natural join: `unit ⋈ B = B`.
     pub fn unit() -> Self {
-        Bindings {
-            vars: Vec::new(),
-            rows: vec![Vec::new().into_boxed_slice()],
-        }
+        Bindings::new(Vec::new(), vec![Vec::new().into_boxed_slice()])
     }
 
     /// Empty bindings (no rows) over the given variables.
     pub fn empty(vars: Vec<VarId>) -> Self {
-        Bindings {
-            vars,
-            rows: Vec::new(),
-        }
+        Bindings::new(vars, Vec::new())
     }
 
     /// Build from parts. Rows must be distinct and match `vars.len()`.
@@ -99,7 +252,7 @@ impl Bindings {
             rows.len(),
             "Bindings rows must be distinct"
         );
-        Bindings { vars, rows }
+        Bindings::new(vars, rows)
     }
 
     /// Column variables, in order.
@@ -133,6 +286,9 @@ impl Bindings {
     /// receive equal values; the result's columns are the distinct
     /// variables of `terms` in first-occurrence order.
     ///
+    /// When the atom carries constants, the scan probes the relation's
+    /// cached column index instead of visiting every row.
+    ///
     /// # Panics
     /// Panics if `terms.len() != rel.arity()`.
     pub fn from_atom(rel: &Relation, terms: &[Term]) -> Self {
@@ -144,45 +300,54 @@ impl Bindings {
             rel.name(),
             rel.arity()
         );
-        let vars = distinct_vars(terms);
-        // var -> first column position holding it
-        let first_pos: Vec<usize> = vars
-            .iter()
-            .map(|v| {
-                terms
-                    .iter()
-                    .position(|t| t.as_var() == Some(*v))
-                    .expect("var came from terms")
-            })
-            .collect();
+        if baseline_mode() {
+            return baseline::from_atom(rel, terms);
+        }
+        let shape = AtomShape::of(terms);
         let mut rows = Vec::new();
-        'rows: for row in rel.rows() {
-            // Check constants and repeated-variable consistency.
-            let mut assignment: HashMap<VarId, Value> = HashMap::with_capacity(vars.len());
-            for (t, &val) in terms.iter().zip(row.iter()) {
-                match t {
-                    Term::Const(c) => {
-                        if *c != val {
-                            continue 'rows;
-                        }
-                    }
-                    Term::Var(v) => match assignment.get(v) {
-                        Some(&prev) if prev != val => continue 'rows,
-                        Some(_) => {}
-                        None => {
-                            assignment.insert(*v, val);
-                        }
-                    },
+        if !shape.const_cols.is_empty() && rel.len() >= 16 {
+            // Constant-selective atom: probe the cached index on the
+            // constant columns instead of scanning.
+            let idx = rel.group_index(&shape.const_cols);
+            let identity: Vec<usize> = (0..shape.const_vals.len()).collect();
+            let rel_rows = rel.rows_slice();
+            for i in idx.probe_cols(rel_rows, &shape.const_vals, &identity) {
+                let row = &rel_rows[i];
+                if shape.eq_ok(row) {
+                    rows.push(shape.project(row));
                 }
             }
-            rows.push(first_pos.iter().map(|&p| row[p]).collect());
+        } else {
+            for row in rel.rows() {
+                if shape.consts_ok(row) && shape.eq_ok(row) {
+                    rows.push(shape.project(row));
+                }
+            }
         }
-        Bindings { vars, rows }
+        Bindings::new(shape.vars, rows)
     }
 
     /// Natural join on shared variables. With no shared variables this is a
     /// cross product; with identical variable sets it is an intersection.
     pub fn join(&self, other: &Bindings) -> Bindings {
+        if !baseline_mode() {
+            // Unit shortcuts: `unit ⋈ B = B` shares B's row storage; a
+            // variable-free empty side annihilates to empty-over-B's-vars.
+            if self.vars.is_empty() {
+                return if self.is_empty() {
+                    Bindings::empty(other.vars.clone())
+                } else {
+                    other.clone()
+                };
+            }
+            if other.vars.is_empty() {
+                return if other.is_empty() {
+                    Bindings::empty(self.vars.clone())
+                } else {
+                    self.clone()
+                };
+            }
+        }
         // Join the smaller side as the build side.
         if self.rows.len() > other.rows.len() {
             return other.join_ordered(self);
@@ -192,6 +357,9 @@ impl Bindings {
 
     /// Natural join keeping `self`'s columns first (build side = `self`).
     fn join_ordered(&self, probe: &Bindings) -> Bindings {
+        if baseline_mode() {
+            return baseline::join_ordered(self, probe);
+        }
         let shared: Vec<VarId> = self
             .vars
             .iter()
@@ -199,10 +367,7 @@ impl Bindings {
             .filter(|v| probe.position(*v).is_some())
             .collect();
         let build_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
-        let probe_pos: Vec<usize> = shared
-            .iter()
-            .map(|&v| probe.position(v).unwrap())
-            .collect();
+        let probe_pos: Vec<usize> = shared.iter().map(|&v| probe.position(v).unwrap()).collect();
         let extra: Vec<usize> = (0..probe.vars.len())
             .filter(|&i| !shared.contains(&probe.vars[i]))
             .collect();
@@ -210,34 +375,79 @@ impl Bindings {
         let mut out_vars = self.vars.clone();
         out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
 
-        let mut build: HashMap<Box<[Value]>, Vec<usize>> = HashMap::new();
-        for (i, row) in self.rows.iter().enumerate() {
-            let key: Box<[Value]> = build_pos.iter().map(|&p| row[p]).collect();
-            build.entry(key).or_default().push(i);
-        }
-
+        let idx = self.binding_index(&build_pos);
         let mut out_rows = Vec::new();
-        for prow in &probe.rows {
-            let key: Box<[Value]> = probe_pos.iter().map(|&p| prow[p]).collect();
-            if let Some(matches) = build.get(&key) {
-                for &bi in matches {
-                    let brow = &self.rows[bi];
+        for prow in probe.rows.iter() {
+            for bi in idx.probe_cols(&self.rows, prow, &probe_pos) {
+                let brow = &self.rows[bi];
+                let mut row = Vec::with_capacity(out_vars.len());
+                row.extend_from_slice(brow);
+                row.extend(extra.iter().map(|&p| prow[p]));
+                out_rows.push(row.into_boxed_slice());
+            }
+        }
+        Bindings::new(out_vars, out_rows)
+    }
+
+    /// Join with an atom: `self ⋈ eval(rel, terms)`.
+    ///
+    /// Probes the relation's cached per-column-set index
+    /// ([`Relation::group_index`]), so repeated joins against the same
+    /// relation share one build side instead of rebuilding a hash table
+    /// per call.
+    pub fn join_atom(&self, rel: &Relation, terms: &[Term]) -> Bindings {
+        if baseline_mode() {
+            return self.join(&Bindings::from_atom(rel, terms));
+        }
+        assert_eq!(
+            terms.len(),
+            rel.arity(),
+            "atom arity {} does not match relation `{}` arity {}",
+            terms.len(),
+            rel.name(),
+            rel.arity()
+        );
+        let shape = AtomShape::of(terms);
+        // Shared variables and their positions on both sides.
+        let mut self_pos = Vec::new();
+        let mut rel_cols = Vec::new();
+        for (vi, v) in shape.vars.iter().enumerate() {
+            if let Some(p) = self.position(*v) {
+                self_pos.push(p);
+                rel_cols.push(shape.first_pos[vi]);
+            }
+        }
+        if self.vars.is_empty() || self_pos.is_empty() {
+            // Cross product (or unit join): no key to probe on.
+            return self.join(&Bindings::from_atom(rel, terms));
+        }
+        // Atom variables not bound by `self`, in first-occurrence order.
+        let mut extra_vars = Vec::new();
+        let mut extra_pos = Vec::new();
+        for (vi, v) in shape.vars.iter().enumerate() {
+            if self.position(*v).is_none() {
+                extra_vars.push(*v);
+                extra_pos.push(shape.first_pos[vi]);
+            }
+        }
+        let mut out_vars = self.vars.clone();
+        out_vars.extend(extra_vars.iter().copied());
+
+        let idx = rel.group_index(&rel_cols);
+        let rel_rows = rel.rows_slice();
+        let mut out_rows = Vec::new();
+        for srow in self.rows.iter() {
+            for ri in idx.probe_cols(rel_rows, srow, &self_pos) {
+                let rrow = &rel_rows[ri];
+                if shape.consts_ok(rrow) && shape.eq_ok(rrow) {
                     let mut row = Vec::with_capacity(out_vars.len());
-                    row.extend_from_slice(brow);
-                    row.extend(extra.iter().map(|&p| prow[p]));
+                    row.extend_from_slice(srow);
+                    row.extend(extra_pos.iter().map(|&p| rrow[p]));
                     out_rows.push(row.into_boxed_slice());
                 }
             }
         }
-        Bindings {
-            vars: out_vars,
-            rows: out_rows,
-        }
-    }
-
-    /// Join with an atom: `self ⋈ eval(rel, terms)`.
-    pub fn join_atom(&self, rel: &Relation, terms: &[Term]) -> Bindings {
-        self.join(&Bindings::from_atom(rel, terms))
+        Bindings::new(out_vars, out_rows)
     }
 
     /// Projection `π_vars(self)` with duplicate elimination.
@@ -245,73 +455,142 @@ impl Bindings {
     /// Variables in `vars` not present in `self` are ignored (projecting a
     /// join onto `att(R)` may mention variables the join lost to emptiness).
     pub fn project(&self, vars: &[VarId]) -> Bindings {
+        if baseline_mode() {
+            return baseline::project(self, vars);
+        }
         let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
+        if cols.len() == self.vars.len() && cols.iter().enumerate().all(|(i, &c)| i == c) {
+            // Identity projection: rows are already distinct (invariant),
+            // so share the storage instead of copying and re-deduping.
+            return self.clone();
+        }
         let out_vars: Vec<VarId> = cols.iter().map(|&c| self.vars[c]).collect();
-        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(self.rows.len());
-        let mut rows = Vec::new();
-        for row in &self.rows {
-            let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
-            if seen.insert(proj.clone()) {
-                rows.push(proj);
+        let identity: Vec<usize> = (0..cols.len()).collect();
+        let mut table = RawTable::with_capacity(self.rows.len());
+        let mut rows: Vec<Tuple> = Vec::new();
+        for row in self.rows.iter() {
+            let h = hashjoin::hash_cols(row, &cols);
+            let seen = table
+                .find(h, |id| {
+                    hashjoin::eq_cols(&rows[id as usize], &identity, row, &cols)
+                })
+                .is_some();
+            if !seen {
+                // The projected row is built exactly once, on first sight.
+                let id = rows.len() as u32;
+                rows.push(cols.iter().map(|&c| row[c]).collect());
+                table.insert_new(h, id);
             }
         }
-        Bindings {
-            vars: out_vars,
-            rows,
-        }
+        Bindings::new(out_vars, rows)
     }
 
     /// Count of distinct tuples over `vars` (`|π_vars(self)|`) without
     /// materializing the projection rows.
     pub fn count_distinct(&self, vars: &[VarId]) -> usize {
-        let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
-        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(self.rows.len());
-        for row in &self.rows {
-            let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
-            seen.insert(proj);
+        if baseline_mode() {
+            return baseline::count_distinct(self, vars);
         }
-        seen.len()
+        let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
+        let mut table = RawTable::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let h = hashjoin::hash_cols(row, &cols);
+            let seen = table
+                .find(h, |id| {
+                    hashjoin::eq_cols(&self.rows[id as usize], &cols, row, &cols)
+                })
+                .is_some();
+            if !seen {
+                table.insert_new(h, i as u32);
+            }
+        }
+        table.len()
     }
 
-    /// Semijoin `self ⋉ other`: rows of `self` whose shared-variable
-    /// projection appears in `other`. With no shared variables this keeps
-    /// all rows iff `other` is non-empty.
-    pub fn semijoin(&self, other: &Bindings) -> Bindings {
+    /// Shared-variable positions of `self` and `other`, for semijoins.
+    fn semijoin_positions(&self, other: &Bindings) -> (Vec<usize>, Vec<usize>) {
         let shared: Vec<VarId> = self
             .vars
             .iter()
             .copied()
             .filter(|v| other.position(*v).is_some())
             .collect();
-        if shared.is_empty() {
+        let self_pos = shared.iter().map(|&v| self.position(v).unwrap()).collect();
+        let other_pos = shared.iter().map(|&v| other.position(v).unwrap()).collect();
+        (self_pos, other_pos)
+    }
+
+    /// Semijoin `self ⋉ other`: rows of `self` whose shared-variable
+    /// projection appears in `other`. With no shared variables this keeps
+    /// all rows iff `other` is non-empty.
+    pub fn semijoin(&self, other: &Bindings) -> Bindings {
+        if baseline_mode() {
+            return baseline::semijoin(self, other);
+        }
+        let (self_pos, other_pos) = self.semijoin_positions(other);
+        if self_pos.is_empty() {
             return if other.is_empty() {
                 Bindings::empty(self.vars.clone())
             } else {
                 self.clone()
             };
         }
-        let self_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
-        let other_pos: Vec<usize> = shared
-            .iter()
-            .map(|&v| other.position(v).unwrap())
+        let idx = other.binding_index(&other_pos);
+        // Two passes: find survivors first so a no-op semijoin (common in
+        // reduced join trees) shares storage instead of re-cloning rows.
+        let mut kept: Vec<u32> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            let hit = idx.probe_cols(&other.rows, r, &self_pos).next().is_some();
+            if hit {
+                kept.push(i as u32);
+            }
+        }
+        if kept.len() == self.rows.len() {
+            return self.clone();
+        }
+        let rows: Vec<Tuple> = kept
+            .into_iter()
+            .map(|i| self.rows[i as usize].clone())
             .collect();
-        let keys: HashSet<Box<[Value]>> = other
-            .rows
-            .iter()
-            .map(|r| other_pos.iter().map(|&p| r[p]).collect())
-            .collect();
-        let rows: Vec<Tuple> = self
-            .rows
-            .iter()
-            .filter(|r| {
-                let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
-                keys.contains(&key)
-            })
-            .cloned()
-            .collect();
-        Bindings {
-            vars: self.vars.clone(),
-            rows,
+        Bindings::new(self.vars.clone(), rows)
+    }
+
+    /// `|self ⋉ other|` without materializing the surviving rows — the
+    /// cover/confidence checks of `findRules` only need cardinalities, so
+    /// this is pure index probing.
+    ///
+    /// Works group-at-a-time: both sides' cached indexes group rows by the
+    /// shared key, and the side with fewer *distinct* keys drives the
+    /// probing (`|self ⋉ other| = Σ |self-group k| over keys k of both`).
+    pub fn semijoin_count(&self, other: &Bindings) -> usize {
+        if baseline_mode() {
+            return baseline::semijoin(self, other).len();
+        }
+        let (self_pos, other_pos) = self.semijoin_positions(other);
+        if self_pos.is_empty() {
+            return if other.is_empty() { 0 } else { self.len() };
+        }
+        let self_idx = self.binding_index(&self_pos);
+        let other_idx = other.binding_index(&other_pos);
+        if self_idx.num_groups() <= other_idx.num_groups() {
+            self_idx
+                .groups()
+                .filter(|&(head, _)| {
+                    other_idx
+                        .probe_group(&other.rows, &self.rows[head], &self_pos)
+                        .is_some()
+                })
+                .map(|(_, size)| size)
+                .sum()
+        } else {
+            other_idx
+                .groups()
+                .filter_map(|(head, _)| {
+                    self_idx
+                        .probe_group(&self.rows, &other.rows[head], &other_pos)
+                        .map(|(_, size)| size)
+                })
+                .sum()
         }
     }
 
@@ -321,42 +600,91 @@ impl Bindings {
     /// rows iff `other` is empty (negation-as-failure on a closed
     /// condition). Used by the negated-literal extension of metaqueries.
     pub fn antijoin(&self, other: &Bindings) -> Bindings {
-        let shared: Vec<VarId> = self
-            .vars
-            .iter()
-            .copied()
-            .filter(|v| other.position(*v).is_some())
-            .collect();
-        if shared.is_empty() {
+        if baseline_mode() {
+            return baseline::antijoin(self, other);
+        }
+        let (self_pos, other_pos) = self.semijoin_positions(other);
+        if self_pos.is_empty() {
             return if other.is_empty() {
                 self.clone()
             } else {
                 Bindings::empty(self.vars.clone())
             };
         }
-        let self_pos: Vec<usize> = shared.iter().map(|&v| self.position(v).unwrap()).collect();
-        let other_pos: Vec<usize> = shared
-            .iter()
-            .map(|&v| other.position(v).unwrap())
-            .collect();
-        let keys: HashSet<Box<[Value]>> = other
-            .rows
-            .iter()
-            .map(|r| other_pos.iter().map(|&p| r[p]).collect())
-            .collect();
-        let rows: Vec<Tuple> = self
-            .rows
-            .iter()
-            .filter(|r| {
-                let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
-                !keys.contains(&key)
-            })
-            .cloned()
-            .collect();
-        Bindings {
-            vars: self.vars.clone(),
-            rows,
+        let idx = other.binding_index(&other_pos);
+        let mut kept: Vec<u32> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            let miss = idx.probe_cols(&other.rows, r, &self_pos).next().is_none();
+            if miss {
+                kept.push(i as u32);
+            }
         }
+        if kept.len() == self.rows.len() {
+            return self.clone();
+        }
+        let rows: Vec<Tuple> = kept
+            .into_iter()
+            .map(|i| self.rows[i as usize].clone())
+            .collect();
+        Bindings::new(self.vars.clone(), rows)
+    }
+
+    /// In-place semijoin on liveness masks: kill the rows of `self` (in
+    /// `live`) whose shared-variable projection appears in no live row of
+    /// `other`. Nothing is materialized — full reducers run entire
+    /// semijoin programs on bitsets and materialize once at the end.
+    pub fn semijoin_filter(&self, live: &mut BitSet, other: &Bindings, other_live: &BitSet) {
+        debug_assert_eq!(live.len(), self.rows.len());
+        debug_assert_eq!(other_live.len(), other.rows.len());
+        let (self_pos, other_pos) = self.semijoin_positions(other);
+        if self_pos.is_empty() {
+            if other_live.count_ones() == 0 {
+                live.clear_all();
+            }
+            return;
+        }
+        // Distinct-key membership table over *live* rows of `other`.
+        let mut keys = RawTable::with_capacity(other_live.count_ones());
+        for i in other_live.iter_ones() {
+            let row = &other.rows[i];
+            let h = hashjoin::hash_cols(row, &other_pos);
+            let seen = keys
+                .find(h, |id| {
+                    hashjoin::eq_cols(&other.rows[id as usize], &other_pos, row, &other_pos)
+                })
+                .is_some();
+            if !seen {
+                keys.insert_new(h, i as u32);
+            }
+        }
+        for i in 0..self.rows.len() {
+            if !live.get(i) {
+                continue;
+            }
+            let r = &self.rows[i];
+            let h = hashjoin::hash_cols(r, &self_pos);
+            let hit = keys
+                .find(h, |id| {
+                    hashjoin::eq_cols(&other.rows[id as usize], &other_pos, r, &self_pos)
+                })
+                .is_some();
+            if !hit {
+                live.clear(i);
+            }
+        }
+    }
+
+    /// Materialize the rows selected by `live` (one allocation per kept
+    /// row, in row order).
+    pub fn retain_rows(&self, live: &BitSet) -> Bindings {
+        debug_assert_eq!(live.len(), self.rows.len());
+        if live.is_full() {
+            return self.clone();
+        }
+        Bindings::new(
+            self.vars.clone(),
+            live.iter_ones().map(|i| self.rows[i].clone()).collect(),
+        )
     }
 
     /// Natural join of a list of atoms over their relations: `J(R)`.
@@ -377,7 +705,9 @@ impl Bindings {
 
     /// Sort rows lexicographically (for deterministic display/tests).
     pub fn sorted(mut self) -> Bindings {
-        self.rows.sort();
+        Rc::make_mut(&mut self.rows).sort();
+        // Row order changed: cached indexes hold stale row ids.
+        self.indexes = Rc::new(RefCell::new(Vec::new()));
         self
     }
 }
@@ -385,10 +715,197 @@ impl Bindings {
 impl fmt::Debug for Bindings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Bindings over {:?}:", self.vars)?;
-        for row in &self.rows {
+        for row in self.rows.iter() {
             writeln!(f, "  {row:?}")?;
         }
         Ok(())
+    }
+}
+
+/// The pre-optimization kernels: one boxed key per row, hash tables
+/// rebuilt from scratch per operation. Kept as (a) the oracle for the
+/// randomized equivalence tests and (b) the comparison point for
+/// `bench_report`'s in-tree A/B measurement (see [`set_baseline_mode`]).
+pub mod baseline {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Baseline `from_atom`: per-row `HashMap` unification.
+    pub fn from_atom(rel: &Relation, terms: &[Term]) -> Bindings {
+        let vars = distinct_vars(terms);
+        let first_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| {
+                terms
+                    .iter()
+                    .position(|t| t.as_var() == Some(*v))
+                    .expect("var came from terms")
+            })
+            .collect();
+        let mut rows = Vec::new();
+        'rows: for row in rel.rows() {
+            let mut assignment: HashMap<VarId, Value> = HashMap::with_capacity(vars.len());
+            for (t, &val) in terms.iter().zip(row.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if *c != val {
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(&prev) if prev != val => continue 'rows,
+                        Some(_) => {}
+                        None => {
+                            assignment.insert(*v, val);
+                        }
+                    },
+                }
+            }
+            rows.push(first_pos.iter().map(|&p| row[p]).collect());
+        }
+        Bindings::from_parts(vars, rows)
+    }
+
+    /// Baseline natural join (build side = `build`, its columns first).
+    pub fn join_ordered(build: &Bindings, probe: &Bindings) -> Bindings {
+        let shared: Vec<VarId> = build
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| probe.position(*v).is_some())
+            .collect();
+        let build_pos: Vec<usize> = shared.iter().map(|&v| build.position(v).unwrap()).collect();
+        let probe_pos: Vec<usize> = shared.iter().map(|&v| probe.position(v).unwrap()).collect();
+        let extra: Vec<usize> = (0..probe.vars.len())
+            .filter(|&i| !shared.contains(&probe.vars[i]))
+            .collect();
+
+        let mut out_vars = build.vars.clone();
+        out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
+
+        let mut table: HashMap<Box<[Value]>, Vec<usize>> = HashMap::new();
+        for (i, row) in build.rows.iter().enumerate() {
+            let key: Box<[Value]> = build_pos.iter().map(|&p| row[p]).collect();
+            table.entry(key).or_default().push(i);
+        }
+
+        let mut out_rows = Vec::new();
+        for prow in probe.rows.iter() {
+            let key: Box<[Value]> = probe_pos.iter().map(|&p| prow[p]).collect();
+            if let Some(matches) = table.get(&key) {
+                for &bi in matches {
+                    let brow = &build.rows[bi];
+                    let mut row = Vec::with_capacity(out_vars.len());
+                    row.extend_from_slice(brow);
+                    row.extend(extra.iter().map(|&p| prow[p]));
+                    out_rows.push(row.into_boxed_slice());
+                }
+            }
+        }
+        Bindings::new(out_vars, out_rows)
+    }
+
+    /// Baseline natural join with smaller-side build.
+    pub fn join(a: &Bindings, b: &Bindings) -> Bindings {
+        if a.rows.len() > b.rows.len() {
+            join_ordered(b, a)
+        } else {
+            join_ordered(a, b)
+        }
+    }
+
+    /// Baseline projection: one boxed key per row, stored twice.
+    pub fn project(b: &Bindings, vars: &[VarId]) -> Bindings {
+        let cols: Vec<usize> = vars.iter().filter_map(|&v| b.position(v)).collect();
+        let out_vars: Vec<VarId> = cols.iter().map(|&c| b.vars[c]).collect();
+        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(b.rows.len());
+        let mut rows = Vec::new();
+        for row in b.rows.iter() {
+            let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+            if seen.insert(proj.clone()) {
+                rows.push(proj);
+            }
+        }
+        Bindings::new(out_vars, rows)
+    }
+
+    /// Baseline distinct count.
+    pub fn count_distinct(b: &Bindings, vars: &[VarId]) -> usize {
+        let cols: Vec<usize> = vars.iter().filter_map(|&v| b.position(v)).collect();
+        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(b.rows.len());
+        for row in b.rows.iter() {
+            let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+            seen.insert(proj);
+        }
+        seen.len()
+    }
+
+    /// Baseline semijoin: key set rebuilt per call, one boxed key per row.
+    pub fn semijoin(a: &Bindings, other: &Bindings) -> Bindings {
+        let shared: Vec<VarId> = a
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Bindings::empty(a.vars.clone())
+            } else {
+                a.clone()
+            };
+        }
+        let self_pos: Vec<usize> = shared.iter().map(|&v| a.position(v).unwrap()).collect();
+        let other_pos: Vec<usize> = shared.iter().map(|&v| other.position(v).unwrap()).collect();
+        let keys: HashSet<Box<[Value]>> = other
+            .rows
+            .iter()
+            .map(|r| other_pos.iter().map(|&p| r[p]).collect())
+            .collect();
+        let rows: Vec<Tuple> = a
+            .rows
+            .iter()
+            .filter(|r| {
+                let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
+                keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Bindings::new(a.vars.clone(), rows)
+    }
+
+    /// Baseline antijoin.
+    pub fn antijoin(a: &Bindings, other: &Bindings) -> Bindings {
+        let shared: Vec<VarId> = a
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.position(*v).is_some())
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                a.clone()
+            } else {
+                Bindings::empty(a.vars.clone())
+            };
+        }
+        let self_pos: Vec<usize> = shared.iter().map(|&v| a.position(v).unwrap()).collect();
+        let other_pos: Vec<usize> = shared.iter().map(|&v| other.position(v).unwrap()).collect();
+        let keys: HashSet<Box<[Value]>> = other
+            .rows
+            .iter()
+            .map(|r| other_pos.iter().map(|&p| r[p]).collect())
+            .collect();
+        let rows: Vec<Tuple> = a
+            .rows
+            .iter()
+            .filter(|r| {
+                let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
+                !keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Bindings::new(a.vars.clone(), rows)
     }
 }
 
@@ -400,28 +917,14 @@ pub fn reduce_relation(rel: &Relation, terms: &[Term], guard: &Bindings) -> Rela
     let kept = atom.semijoin(guard);
     // Rebuild relation rows from the kept bindings by re-scanning: a row of
     // `rel` survives iff its variable projection is in `kept`.
-    let vars = atom.vars().to_vec();
+    let shape = AtomShape::of(terms);
     let keys: HashSet<&Tuple> = kept.rows().iter().collect();
     let mut out = Relation::new(rel.name(), rel.arity());
-    'rows: for row in rel.rows() {
-        let mut assignment: HashMap<VarId, Value> = HashMap::new();
-        for (t, &val) in terms.iter().zip(row.iter()) {
-            match t {
-                Term::Const(c) => {
-                    if *c != val {
-                        continue 'rows;
-                    }
-                }
-                Term::Var(v) => match assignment.get(v) {
-                    Some(&prev) if prev != val => continue 'rows,
-                    Some(_) => {}
-                    None => {
-                        assignment.insert(*v, val);
-                    }
-                },
-            }
+    for row in rel.rows() {
+        if !shape.consts_ok(row) || !shape.eq_ok(row) {
+            continue;
         }
-        let key: Tuple = vars.iter().map(|v| assignment[v]).collect();
+        let key: Tuple = shape.project(row);
         if keys.contains(&key) {
             out.insert(row.clone());
         }
@@ -465,6 +968,19 @@ mod tests {
         let b = Bindings::from_atom(&e, &[Term::Const(Value::Int(2)), Term::Var(v(1))]);
         assert_eq!(b.len(), 1);
         assert_eq!(b.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn from_atom_constant_indexed_path() {
+        // ≥ 16 rows takes the cached-index probe path.
+        let rows: Vec<Tuple> = (0..40).map(|i| ints(&[i % 4, i])).collect();
+        let r = Relation::from_rows("p", 2, rows);
+        let b = Bindings::from_atom(&r, &[Term::Const(Value::Int(2)), Term::Var(v(1))]);
+        assert_eq!(b.len(), 10);
+        assert!(b.rows().iter().all(|row| row.len() == 1));
+        // Agrees with the baseline scan.
+        let base = baseline::from_atom(&r, &[Term::Const(Value::Int(2)), Term::Var(v(1))]);
+        assert_eq!(b.clone().sorted().rows(), base.sorted().rows());
     }
 
     #[test]
@@ -581,6 +1097,70 @@ mod tests {
     }
 
     #[test]
+    fn join_atom_matches_join_of_from_atom() {
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let terms = [Term::Var(v(1)), Term::Var(v(2))];
+        let fast = xy.join_atom(&e, &terms);
+        let slow = xy.join(&Bindings::from_atom(&e, &terms));
+        let all = [v(0), v(1), v(2)];
+        assert_eq!(
+            fast.project(&all).sorted().rows(),
+            slow.project(&all).sorted().rows()
+        );
+    }
+
+    #[test]
+    fn join_atom_with_constants_and_repeats() {
+        let r = Relation::from_rows(
+            "p",
+            3,
+            vec![
+                ints(&[1, 1, 5]),
+                ints(&[1, 2, 5]),
+                ints(&[2, 2, 5]),
+                ints(&[2, 2, 6]),
+            ],
+        );
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        // p(Y, Y, 5): repeated var + constant.
+        let terms = [Term::Var(v(1)), Term::Var(v(1)), Term::Const(Value::Int(5))];
+        let fast = xy.join_atom(&r, &terms);
+        let slow = xy.join(&Bindings::from_atom(&r, &terms));
+        let all = [v(0), v(1)];
+        assert_eq!(
+            fast.project(&all).sorted().rows(),
+            slow.project(&all).sorted().rows()
+        );
+    }
+
+    #[test]
+    fn semijoin_filter_matches_semijoin() {
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let mut live = BitSet::all_ones(xy.len());
+        let other_live = BitSet::all_ones(yz.len());
+        xy.semijoin_filter(&mut live, &yz, &other_live);
+        let filtered = xy.retain_rows(&live);
+        assert_eq!(filtered.sorted().rows(), xy.semijoin(&yz).sorted().rows());
+    }
+
+    #[test]
+    fn semijoin_filter_respects_dead_source_rows() {
+        let e = rel_e();
+        let xy = Bindings::from_atom(&e, &[Term::Var(v(0)), Term::Var(v(1))]);
+        let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
+        let mut live = BitSet::all_ones(xy.len());
+        let mut other_live = BitSet::all_ones(yz.len());
+        // Kill every source row: semijoin against the empty set.
+        other_live.clear_all();
+        xy.semijoin_filter(&mut live, &yz, &other_live);
+        assert_eq!(live.count_ones(), 0);
+    }
+
+    #[test]
     fn reduce_relation_matches_semijoin() {
         let e = rel_e();
         let yz = Bindings::from_atom(&e, &[Term::Var(v(1)), Term::Var(v(2))]);
@@ -593,11 +1173,7 @@ mod tests {
 
     #[test]
     fn count_distinct_counts_projection() {
-        let r = Relation::from_rows(
-            "p",
-            2,
-            vec![ints(&[1, 1]), ints(&[1, 2]), ints(&[2, 1])],
-        );
+        let r = Relation::from_rows("p", 2, vec![ints(&[1, 1]), ints(&[1, 2]), ints(&[2, 1])]);
         let b = Bindings::from_atom(&r, &[Term::Var(v(0)), Term::Var(v(1))]);
         assert_eq!(b.count_distinct(&[v(0)]), 2);
         assert_eq!(b.count_distinct(&[v(1)]), 2);

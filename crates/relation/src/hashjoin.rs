@@ -1,0 +1,519 @@
+//! Allocation-free hash infrastructure for the join/semijoin kernels.
+//!
+//! The naive port of the algebra materialized a fresh `Box<[Value]>` hash
+//! key for **every row of every operation** — the dominant allocation in
+//! the `findRules` hot path. This module replaces those keys with
+//! *hash-of-column-slice probing*: keys are hashed directly out of the row
+//! storage ([`hash_cols`]) and compared positionally, so building or
+//! probing a table allocates nothing per row.
+//!
+//! Three building blocks:
+//!
+//! * [`FxHasher`] — an FxHash-style multiply-xor [`std::hash::Hasher`],
+//!   much faster than SipHash for the tiny fixed-width keys joins use;
+//! * [`RawTable`] — an open-addressing table of `(hash, id)` entries with
+//!   caller-supplied equality, the substrate for join maps, semijoin
+//!   membership sets, and projection dedup sets;
+//! * [`GroupIndex`] — row-ids grouped by the key at a column subset,
+//!   i.e. a hash join build side (also cached per relation, see
+//!   [`crate::relation::Relation::group_index`]);
+//! * [`BitSet`] — fixed-size row liveness masks for in-place semijoin
+//!   filtering (used by full reducers to avoid materializing a new
+//!   relation per semijoin step).
+
+use crate::value::{Tuple, Value};
+use std::hash::{Hash, Hasher};
+
+/// An FxHash-style hasher: fast, deterministic within a process, and good
+/// enough for hash-join buckets (not DoS-resistant; never exposed to
+/// untrusted keys).
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits are usable as table indexes.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.mix(i as u64);
+    }
+}
+
+/// Hash one value with the same function as [`hash_cols`] over `[v]`.
+#[inline]
+pub fn hash_value(v: &Value) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Hash the values of `row` at `cols`, in order, without materializing the
+/// projection. Two calls agree iff the projected value sequences agree
+/// (regardless of which row/column layout they come from).
+#[inline]
+pub fn hash_cols(row: &[Value], cols: &[usize]) -> u64 {
+    // Single-column keys dominate join graphs; skip the loop machinery.
+    if let [c] = cols {
+        return hash_value(&row[*c]);
+    }
+    let mut h = FxHasher::default();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash an explicit value slice with the same function as [`hash_cols`].
+#[inline]
+pub fn hash_vals(vals: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Positional equality of two projections: `a[acols] == b[bcols]`.
+#[inline]
+pub fn eq_cols(a: &[Value], acols: &[usize], b: &[Value], bcols: &[usize]) -> bool {
+    debug_assert_eq!(acols.len(), bcols.len());
+    if let ([ca], [cb]) = (acols, bcols) {
+        return a[*ca] == b[*cb];
+    }
+    acols
+        .iter()
+        .zip(bcols.iter())
+        .all(|(&ca, &cb)| a[ca] == b[cb])
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing `(hash, id)` table with linear probing and external
+/// equality. Capacity is fixed at construction (size every table for the
+/// maximum number of inserts; join/semijoin/projection all know it).
+pub struct RawTable {
+    mask: usize,
+    hashes: Vec<u64>,
+    ids: Vec<u32>,
+    len: usize,
+}
+
+impl RawTable {
+    /// A table ready to hold up to `capacity` entries at load ≤ 0.75.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 4 / 3 + 1).next_power_of_two().max(8);
+        RawTable {
+            mask: slots - 1,
+            hashes: vec![0; slots],
+            ids: vec![EMPTY; slots],
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Find the id stored under `hash` for which `eq` holds.
+    #[inline]
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let id = self.ids[slot];
+            if id == EMPTY {
+                return None;
+            }
+            if self.hashes[slot] == hash && eq(id) {
+                return Some(id);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Insert `(hash, id)`; the caller guarantees no equal key is present
+    /// (probe with [`RawTable::find`] first) and that capacity suffices.
+    #[inline]
+    pub fn insert_new(&mut self, hash: u64, id: u32) {
+        debug_assert!(self.len <= self.mask * 3 / 4 + 1, "RawTable over capacity");
+        let mut slot = (hash as usize) & self.mask;
+        while self.ids[slot] != EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.hashes[slot] = hash;
+        self.ids[slot] = id;
+        self.len += 1;
+    }
+}
+
+/// Row ids of a tuple set grouped by their key at a fixed column subset —
+/// a reusable hash-join build side.
+pub struct GroupIndex {
+    cols: Box<[usize]>,
+    table: RawTable,
+    /// group id -> first row id (groups numbered in first-seen order).
+    heads: Vec<u32>,
+    /// group id -> number of rows in the group.
+    counts: Vec<u32>,
+    /// row id -> next row id in its group (EMPTY-terminated), in row order.
+    next: Vec<u32>,
+}
+
+impl GroupIndex {
+    /// Group `rows` by their values at `cols`.
+    pub fn build(rows: &[Tuple], cols: &[usize]) -> Self {
+        let n = rows.len();
+        let mut table = RawTable::with_capacity(n);
+        let mut heads: Vec<u32> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut tails: Vec<u32> = Vec::new();
+        let mut next = vec![EMPTY; n];
+        for (i, row) in rows.iter().enumerate() {
+            let h = hash_cols(row, cols);
+            match table.find(h, |g| {
+                eq_cols(&rows[heads[g as usize] as usize], cols, row, cols)
+            }) {
+                Some(g) => {
+                    let g = g as usize;
+                    next[tails[g] as usize] = i as u32;
+                    tails[g] = i as u32;
+                    counts[g] += 1;
+                }
+                None => {
+                    let g = heads.len() as u32;
+                    heads.push(i as u32);
+                    counts.push(1);
+                    tails.push(i as u32);
+                    table.insert_new(h, g);
+                }
+            }
+        }
+        GroupIndex {
+            cols: cols.into(),
+            table,
+            heads,
+            counts,
+            next,
+        }
+    }
+
+    /// The key columns this index groups by.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Number of distinct keys.
+    pub fn num_groups(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Iterate `(head_row_id, group_size)` over all distinct keys, in
+    /// first-seen order.
+    pub fn groups(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.heads
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(&h, &c)| (h as usize, c as usize))
+    }
+
+    /// Iterate the row ids whose key hashes to `hash` and satisfies `eq`
+    /// (called with the group's head row id). Empty iterator on miss.
+    #[inline]
+    pub fn probe(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> GroupRows<'_> {
+        let head = self
+            .table
+            .find(hash, {
+                let heads = &self.heads;
+                let mut eq = eq;
+                move |g| eq(heads[g as usize])
+            })
+            .map(|g| self.heads[g as usize])
+            .unwrap_or(EMPTY);
+        GroupRows {
+            next: &self.next,
+            cur: head,
+        }
+    }
+
+    /// Probe with a key taken from `key_row` at `key_cols`, comparing
+    /// against `rows` (the slice this index was built over).
+    #[inline]
+    pub fn probe_cols<'a>(
+        &'a self,
+        rows: &[Tuple],
+        key_row: &[Value],
+        key_cols: &[usize],
+    ) -> GroupRows<'a> {
+        let h = hash_cols(key_row, key_cols);
+        self.probe(h, |head| {
+            eq_cols(&rows[head as usize], &self.cols, key_row, key_cols)
+        })
+    }
+
+    /// Probe like [`GroupIndex::probe_cols`] but return the matching
+    /// group's `(head_row_id, size)` instead of iterating its rows.
+    #[inline]
+    pub fn probe_group(
+        &self,
+        rows: &[Tuple],
+        key_row: &[Value],
+        key_cols: &[usize],
+    ) -> Option<(usize, usize)> {
+        let h = hash_cols(key_row, key_cols);
+        self.table
+            .find(h, |g| {
+                eq_cols(
+                    &rows[self.heads[g as usize] as usize],
+                    &self.cols,
+                    key_row,
+                    key_cols,
+                )
+            })
+            .map(|g| {
+                (
+                    self.heads[g as usize] as usize,
+                    self.counts[g as usize] as usize,
+                )
+            })
+    }
+}
+
+/// Iterator over one group's row ids, in row order.
+pub struct GroupRows<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for GroupRows<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == EMPTY {
+            return None;
+        }
+        let out = self.cur as usize;
+        self.cur = self.next[out];
+        Some(out)
+    }
+}
+
+/// A fixed-size bitmask over row indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl BitSet {
+    /// All bits set, over `len` rows.
+    pub fn all_ones(len: usize) -> Self {
+        let nblocks = len.div_ceil(64);
+        let mut blocks = vec![u64::MAX; nblocks];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = blocks.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitSet {
+            blocks,
+            len,
+            ones: len,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no row is covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live rows.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Whether every row is live.
+    pub fn is_full(&self) -> bool {
+        self.ones == self.len
+    }
+
+    /// Whether row `i` is live.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.blocks[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Kill row `i` (no-op if already dead).
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        let mask = 1u64 << (i % 64);
+        if self.blocks[i / 64] & mask != 0 {
+            self.blocks[i / 64] &= !mask;
+            self.ones -= 1;
+        }
+    }
+
+    /// Kill every row.
+    pub fn clear_all(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+        self.ones = 0;
+    }
+
+    /// Iterate live row indices in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    return None;
+                }
+                let bit = b.trailing_zeros() as usize;
+                b &= b - 1;
+                Some(bi * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ints;
+
+    #[test]
+    fn hash_cols_matches_hash_vals() {
+        let row = ints(&[7, 8, 9]);
+        let proj = ints(&[9, 7]);
+        assert_eq!(hash_cols(&row, &[2, 0]), hash_vals(&proj));
+    }
+
+    #[test]
+    fn hash_distinguishes_int_and_sym() {
+        use crate::symbol::SymbolTable;
+        let mut t = SymbolTable::new();
+        let s = t.intern("x"); // symbol index 0
+        let a = [Value::Int(0)];
+        let b = [Value::Sym(s)];
+        assert_ne!(hash_vals(&a), hash_vals(&b));
+    }
+
+    #[test]
+    fn raw_table_find_insert() {
+        let mut t = RawTable::with_capacity(100);
+        for i in 0..100u32 {
+            let h = (i as u64) % 7; // force heavy collisions
+            assert_eq!(t.find(h, |id| id == i), None);
+            t.insert_new(h, i);
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u32 {
+            let h = (i as u64) % 7;
+            assert_eq!(t.find(h, |id| id == i), Some(i));
+        }
+        assert_eq!(t.find(3, |_| false), None);
+    }
+
+    #[test]
+    fn group_index_groups_in_row_order() {
+        let rows = vec![
+            ints(&[1, 10]),
+            ints(&[2, 20]),
+            ints(&[1, 30]),
+            ints(&[1, 40]),
+        ];
+        let idx = GroupIndex::build(&rows, &[0]);
+        assert_eq!(idx.num_groups(), 2);
+        let key = ints(&[1]);
+        let got: Vec<usize> = idx.probe_cols(&rows, &key, &[0]).collect();
+        assert_eq!(got, vec![0, 2, 3]);
+        let missing = ints(&[9]);
+        assert_eq!(idx.probe_cols(&rows, &missing, &[0]).count(), 0);
+    }
+
+    #[test]
+    fn group_index_probe_foreign_layout() {
+        // Probe with the key at different positions of a wider row.
+        let rows = vec![ints(&[1, 2]), ints(&[3, 4])];
+        let idx = GroupIndex::build(&rows, &[1]);
+        let probe_row = ints(&[9, 9, 4]);
+        let got: Vec<usize> = idx.probe_cols(&rows, &probe_row, &[2]).collect();
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut b = BitSet::all_ones(70);
+        assert!(b.is_full());
+        assert_eq!(b.count_ones(), 70);
+        b.clear(0);
+        b.clear(69);
+        b.clear(69); // double-clear is a no-op
+        assert_eq!(b.count_ones(), 68);
+        assert!(!b.get(0) && !b.get(69) && b.get(35));
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones.len(), 68);
+        assert_eq!(ones[0], 1);
+        assert_eq!(*ones.last().unwrap(), 68);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+}

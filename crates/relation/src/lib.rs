@@ -21,14 +21,18 @@
 pub mod algebra;
 pub mod database;
 pub mod frac;
+pub mod hashjoin;
 pub mod relation;
 pub mod symbol;
 pub mod textio;
 pub mod value;
 
-pub use algebra::{distinct_vars, reduce_relation, Bindings, Term, VarId};
+pub use algebra::{
+    baseline_mode, distinct_vars, reduce_relation, set_baseline_mode, Bindings, Term, VarId,
+};
 pub use database::{Database, RelId};
 pub use frac::Frac;
+pub use hashjoin::BitSet;
 pub use relation::Relation;
 pub use symbol::{Symbol, SymbolTable};
 pub use textio::{parse_database, render_database, TextError};

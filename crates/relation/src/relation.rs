@@ -6,24 +6,38 @@
 //! therefore deduplicates on insertion and keeps rows in insertion order for
 //! deterministic iteration.
 
+use crate::hashjoin::GroupIndex;
 use crate::value::{Tuple, Value};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-
-/// A hash index from key values (at some column subset) to row indices.
-pub type KeyIndex = HashMap<Box<[Value]>, Vec<usize>>;
+use std::sync::{Arc, RwLock};
 
 /// A named relation: a set of tuples of a fixed arity.
-#[derive(Clone)]
 pub struct Relation {
     name: String,
     arity: usize,
     rows: Vec<Tuple>,
     /// Tuple -> row index, for O(1) membership; values index into `rows`.
     index: HashMap<Tuple, usize>,
-    /// Hash indexes on column subsets, built lazily by the algebra layer.
-    key_indexes: HashMap<Vec<usize>, KeyIndex>,
+    /// Shared allocation-free column indexes, built lazily behind a lock
+    /// so the algebra can consult them through `&Relation` — including
+    /// concurrently from the parallel `findRules` enumeration. Invalidated
+    /// on insert.
+    group_indexes: RwLock<HashMap<Box<[usize]>, Arc<GroupIndex>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            name: self.name.clone(),
+            arity: self.arity,
+            rows: self.rows.clone(),
+            index: self.index.clone(),
+            // Cached indexes are cheap to rebuild; clones start cold.
+            group_indexes: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl Relation {
@@ -34,7 +48,7 @@ impl Relation {
             arity,
             rows: Vec::new(),
             index: HashMap::new(),
-            key_indexes: HashMap::new(),
+            group_indexes: RwLock::new(HashMap::new()),
         }
     }
 
@@ -90,7 +104,10 @@ impl Relation {
                 e.insert(self.rows.len());
                 self.rows.push(row);
                 // Any previously built key indexes are now stale.
-                self.key_indexes.clear();
+                self.group_indexes
+                    .write()
+                    .expect("group index lock poisoned")
+                    .clear();
                 true
             }
         }
@@ -106,49 +123,49 @@ impl Relation {
         self.rows.iter()
     }
 
+    /// All tuples as a slice, in insertion order (for index probing).
+    pub fn rows_slice(&self) -> &[Tuple] {
+        &self.rows
+    }
+
     /// Access the i-th row.
     pub fn row(&self, i: usize) -> &Tuple {
         &self.rows[i]
     }
 
-    /// Get or build a hash index keyed on the given column positions.
+    /// Get (or build once and cache) the shared allocation-free hash
+    /// index grouping rows by their values at `cols`.
     ///
-    /// The returned map sends a key (values at `cols`, in order) to the row
-    /// indices carrying that key.
-    pub fn key_index(&mut self, cols: &[usize]) -> &KeyIndex {
-        if !self.key_indexes.contains_key(cols) {
-            let mut map: KeyIndex = HashMap::new();
-            for (i, row) in self.rows.iter().enumerate() {
-                let key: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
-                map.entry(key).or_default().push(i);
-            }
-            self.key_indexes.insert(cols.to_vec(), map);
+    /// The index is built at most once per (relation, column-set) and
+    /// shared by every join/semijoin that probes it — across the
+    /// thousands of instantiations a metaquery engine evaluates, and
+    /// across threads. Inserting into the relation invalidates it.
+    pub fn group_index(&self, cols: &[usize]) -> Arc<GroupIndex> {
+        if let Some(idx) = self
+            .group_indexes
+            .read()
+            .expect("group index lock poisoned")
+            .get(cols)
+        {
+            return Arc::clone(idx);
         }
-        &self.key_indexes[cols]
-    }
-
-    /// Build (without caching) a hash index keyed on the given columns.
-    ///
-    /// Useful when the relation is behind a shared reference.
-    pub fn build_key_index(&self, cols: &[usize]) -> KeyIndex {
-        let mut map: KeyIndex = HashMap::new();
-        for (i, row) in self.rows.iter().enumerate() {
-            let key: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
-            map.entry(key).or_default().push(i);
-        }
-        map
+        let built = Arc::new(GroupIndex::build(&self.rows, cols));
+        let mut cache = self
+            .group_indexes
+            .write()
+            .expect("group index lock poisoned");
+        // Another thread may have raced us; keep the first one inserted.
+        Arc::clone(
+            cache
+                .entry(cols.to_vec().into_boxed_slice())
+                .or_insert(built),
+        )
     }
 }
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}/{} ({} rows)",
-            self.name,
-            self.arity,
-            self.rows.len()
-        )
+        write!(f, "{}/{} ({} rows)", self.name, self.arity, self.rows.len())
     }
 }
 
@@ -194,25 +211,24 @@ mod tests {
     }
 
     #[test]
-    fn key_index_groups_rows() {
-        let mut r = Relation::from_rows(
-            "e",
-            2,
-            vec![ints(&[1, 2]), ints(&[1, 3]), ints(&[2, 3])],
-        );
-        let idx = r.key_index(&[0]);
-        assert_eq!(idx.len(), 2);
-        assert_eq!(idx[&ints(&[1])].len(), 2);
-        assert_eq!(idx[&ints(&[2])].len(), 1);
+    fn group_index_groups_rows() {
+        let r = Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[1, 3]), ints(&[2, 3])]);
+        let idx = r.group_index(&[0]);
+        assert_eq!(idx.num_groups(), 2);
+        let rows: Vec<usize> = idx.probe_cols(r.rows_slice(), &ints(&[1]), &[0]).collect();
+        assert_eq!(rows, vec![0, 1]);
     }
 
     #[test]
-    fn key_index_invalidated_by_insert() {
+    fn group_index_invalidated_by_insert() {
         let mut r = Relation::from_rows("e", 2, vec![ints(&[1, 2])]);
-        let _ = r.key_index(&[0]);
+        let _ = r.group_index(&[0]);
         r.insert(ints(&[5, 6]));
-        let idx = r.key_index(&[0]);
-        assert!(idx.contains_key(&ints(&[5])));
+        let idx = r.group_index(&[0]);
+        assert!(idx
+            .probe_cols(r.rows_slice(), &ints(&[5]), &[0])
+            .next()
+            .is_some());
     }
 
     #[test]

@@ -56,7 +56,10 @@ fn parse_value(db: &mut Database, token: &str, line: usize) -> Result<Value, Tex
             None => return err(line, "unterminated quoted string"),
         }
     }
-    if t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+    if t.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
         return match t.parse::<i64>() {
             Ok(v) => Ok(Value::Int(v)),
             Err(_) => err(line, format!("invalid integer `{t}`")),

@@ -1,0 +1,93 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.start + rng.below(self.size.end - self.size.start);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `prop::collection::btree_set(element, size_range)`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.start + rng.below(self.size.end - self.size.start);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; retry a bounded number of times so a
+        // small element domain cannot loop forever.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 20 + 20 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut rng = TestRng::for_case("vec_sizes_in_range", 0);
+        let s = vec(0u32..10, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_bounds() {
+        let mut rng = TestRng::for_case("btree_set_respects_bounds", 0);
+        let s = btree_set(0u32..6, 1..4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn nested_collections() {
+        let mut rng = TestRng::for_case("nested_collections", 0);
+        let s = vec(btree_set(0u32..6, 1..4), 1..6);
+        let v = s.generate(&mut rng);
+        assert!((1..6).contains(&v.len()));
+    }
+}

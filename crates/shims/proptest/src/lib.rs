@@ -1,0 +1,197 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), range / tuple / collection / regex-string strategies, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed; there is **no shrinking** — a failing case panics with
+//! the case number so it can be replayed by rerunning the test.
+
+use rand::prelude::*;
+
+pub mod strategy;
+pub use strategy::Strategy;
+
+pub mod collection;
+pub mod regex;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    /// Strategy yielding arbitrary booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Arbitrary boolean.
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+/// Shorthand module mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for (test name, case index).
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n.max(1))
+    }
+}
+
+/// Configuration block (subset: number of cases).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::bool;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; panics with the offending expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = $a;
+        let right = $b;
+        if !(left == right) {
+            panic!(
+                "prop_assert_eq failed: {} != {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let left = $a;
+        let right = $b;
+        if !(left == right) {
+            panic!(
+                "prop_assert_eq failed: {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                left,
+                right
+            );
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            panic!(
+                "prop_assert_ne failed: {} == {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            );
+        }
+    }};
+}
+
+/// The property-test macro. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// docs
+///     #[test]
+///     fn my_prop(x in 0i64..5, v in prop::collection::vec(0u32..4, 0..8)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let run = || -> () { $body };
+                run();
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}

@@ -1,0 +1,237 @@
+//! A tiny regex *generator* (not matcher) for string strategies.
+//!
+//! Supports the subset used by this workspace's properties: literal
+//! characters, `.` (any printable ASCII), character classes `[...]` with
+//! ranges and `\`-escapes, groups `(a|b|...)` with alternation, and the
+//! quantifiers `{m,n}`, `{m}`, `?`, `*`, `+` (`*`/`+` are capped at 8
+//! repetitions). Escapes `\n`, `\t`, `\\` are understood both inside and
+//! outside classes.
+
+use crate::TestRng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Lit(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    /// Parse a sequence until end of input or a stop character (`|`, `)`).
+    fn sequence(&mut self) -> Vec<Node> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            out.push(self.quantified(atom));
+        }
+        out
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.chars.next().expect("atom") {
+            '.' => Node::AnyChar,
+            '[' => self.class(),
+            '(' => {
+                let mut alts = vec![self.sequence()];
+                while self.chars.peek() == Some(&'|') {
+                    self.chars.next();
+                    alts.push(self.sequence());
+                }
+                assert_eq!(self.chars.next(), Some(')'), "unclosed group");
+                Node::Group(alts)
+            }
+            '\\' => Node::Lit(escape(self.chars.next().expect("escape"))),
+            c => Node::Lit(c),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = self.chars.next().expect("unclosed class");
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                escape(self.chars.next().expect("class escape"))
+            } else {
+                c
+            };
+            // Range `lo-hi` (a trailing `-` is a literal).
+            if self.chars.peek() == Some(&'-') {
+                let mut look = self.chars.clone();
+                look.next();
+                if look.peek().is_some() && look.peek() != Some(&']') {
+                    self.chars.next(); // consume '-'
+                    let h = self.chars.next().expect("range end");
+                    let hi = if h == '\\' {
+                        escape(self.chars.next().expect("range escape"))
+                    } else {
+                        h
+                    };
+                    ranges.push((lo, hi));
+                    continue;
+                }
+            }
+            ranges.push((lo, lo));
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Node::Class(ranges)
+    }
+
+    fn quantified(&mut self, node: Node) -> Node {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut lo = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    lo.push(self.chars.next().unwrap());
+                }
+                let lo: usize = lo.parse().expect("repeat lower bound");
+                let hi = if self.chars.peek() == Some(&',') {
+                    self.chars.next();
+                    let mut hi = String::new();
+                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                        hi.push(self.chars.next().unwrap());
+                    }
+                    hi.parse().unwrap_or(lo + 8)
+                } else {
+                    lo
+                };
+                assert_eq!(self.chars.next(), Some('}'), "unclosed repetition");
+                Node::Repeat(Box::new(node), lo, hi)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            _ => node,
+        }
+    }
+}
+
+fn escape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::AnyChar => {
+            // Printable ASCII, like proptest's `.` restricted to one byte.
+            out.push((32 + rng.below(95)) as u8 as char);
+        }
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len())];
+            let span = (hi as u32).saturating_sub(lo as u32) + 1;
+            let c = char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                .expect("class range stays in valid chars");
+            out.push(c);
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.below(alts.len())];
+            for n in alt {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Sample one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let seq = parser.sequence();
+    assert!(
+        parser.chars.next().is_none(),
+        "unsupported regex tail in {pattern:?}"
+    );
+    let mut out = String::new();
+    for node in &seq {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("regex", 1)
+    }
+
+    #[test]
+    fn literal_and_dot() {
+        let mut r = rng();
+        let s = sample("ab.", &mut r);
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with("ab"));
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample("[a-zA-Z0-9_,\"\\- ]{0,30}", &mut r);
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_,\"- ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn group_alternation() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..300 {
+            let s = sample("(.|\\n){0,120}", &mut r);
+            assert!(s.chars().count() <= 120);
+            saw_newline |= s.contains('\n');
+        }
+        assert!(saw_newline, "alternation should sometimes pick \\n");
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample("[A-Za-z][A-Za-z0-9_']{0,5}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 6);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the subset the workspace uses: `Vec::into_par_iter()` and
+//! slice `par_iter()` supporting `.map(f).collect::<Vec<_>>()`, plus
+//! [`current_num_threads`]. Work is distributed over `std::thread::scope`
+//! threads in contiguous chunks, and results are concatenated in chunk
+//! order, so `collect` preserves input order exactly like real rayon's
+//! indexed parallel iterators.
+//!
+//! On a single-core machine (or with `MQ_THREADS=1`) everything runs
+//! inline on the calling thread.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override of the worker count (0 = none). Set via
+/// [`set_thread_override`]; exists so tests can force a multi-worker
+/// pool without `std::env::set_var` (which is unsound under concurrent
+/// env reads on glibc).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force [`current_num_threads`] to return `n` (or `None` to restore
+/// detection). Process-global; intended for tests and harnesses.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Number of worker threads the pool would use. Resolution order: the
+/// [`set_thread_override`] value, then `MQ_THREADS` (read once), then
+/// the detected hardware parallelism (cached — probing
+/// `available_parallelism` opens procfs on Linux, far too slow for a
+/// per-operation check).
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if let Some(v) = std::env::var_os("MQ_THREADS") {
+            if let Ok(n) = v.into_string().unwrap_or_default().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// An ordered parallel iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Evaluate the map, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    // Split into owned chunks, map each on its own scoped thread, then
+    // concatenate in chunk order (preserves input order).
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        chunks.push(items);
+        items = rest;
+    }
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Entry points, mirroring `rayon::prelude`.
+pub mod prelude {
+    use super::*;
+
+    /// Conversion into an ordered parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Start parallel iteration over owned items.
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iteration for slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Iterate references in parallel.
+        fn par_iter(&self) -> IntoParIter<&T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> IntoParIter<&T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 2);
+    }
+}

@@ -14,7 +14,11 @@ use metaquery::reductions::{
 };
 
 fn check(label: &str, via_mq: bool, direct: bool) {
-    let verdict = if via_mq == direct { "agree" } else { "DISAGREE" };
+    let verdict = if via_mq == direct {
+        "agree"
+    } else {
+        "DISAGREE"
+    };
     println!(
         "  {label:<46} metaquery: {:<3}  direct: {:<3}  [{verdict}]",
         if via_mq { "YES" } else { "no" },
@@ -76,7 +80,10 @@ fn main() {
     println!("\n=== Theorem 3.33: HAMILTONIAN PATH -> ACYCLIC metaquerying (types 1/2) ===");
     for (name, g) in [
         ("C5 (has ham. path)", Graph::cycle(5)),
-        ("K_{1,3} star (no ham. path)", Graph::new(4, &[(0, 1), (0, 2), (0, 3)])),
+        (
+            "K_{1,3} star (no ham. path)",
+            Graph::new(4, &[(0, 1), (0, 2), (0, 3)]),
+        ),
     ] {
         let inst = reduce_hampath::reduce(&g);
         let yes = naive_decide(
@@ -120,7 +127,10 @@ fn main() {
         )
         .unwrap();
         check(
-            &format!("k' = {k} (threshold {} over 2^2 assignments)", red.threshold),
+            &format!(
+                "k' = {k} (threshold {} over 2^2 assignments)",
+                red.threshold
+            ),
             yes,
             inst.solve_direct(),
         );
@@ -150,11 +160,7 @@ fn main() {
         db.insert(q, mq_ints(&[b, a]));
     }
     let mq = parse_metaquery("R(X,Y) <- P(X,Y), Q(Y,Z)").unwrap();
-    println!(
-        "  {} is {:?}",
-        mq,
-        metaquery::core::acyclic::classify(&mq)
-    );
+    println!("  {} is {:?}", mq, metaquery::core::acyclic::classify(&mq));
     for kind in IndexKind::ALL {
         let fast = metaquery::core::acyclic::decide_acyclic_zero(&db, &mq, kind)
             .expect("acyclic metaquery");

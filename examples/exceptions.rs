@@ -30,14 +30,20 @@ fn build_db(seed: u64) -> Database {
     for u in 0..n_users {
         let r = rng.gen_range(0..n_roles);
         role_of.push(r);
-        db.insert(member, vec![Value::Int(u), Value::Int(r)].into_boxed_slice());
+        db.insert(
+            member,
+            vec![Value::Int(u), Value::Int(r)].into_boxed_slice(),
+        );
     }
     let mut allowed: Vec<Vec<i64>> = vec![Vec::new(); n_roles as usize];
     for r in 0..n_roles {
         for s in 0..n_resources {
             if rng.gen_bool(0.4) {
                 allowed[r as usize].push(s);
-                db.insert(allows, vec![Value::Int(r), Value::Int(s)].into_boxed_slice());
+                db.insert(
+                    allows,
+                    vec![Value::Int(r), Value::Int(s)].into_boxed_slice(),
+                );
             }
         }
     }
@@ -45,7 +51,10 @@ fn build_db(seed: u64) -> Database {
     for u in 0..n_users {
         for &s in &allowed[role_of[u as usize] as usize] {
             if rng.gen_bool(0.15) {
-                db.insert(revoked, vec![Value::Int(u), Value::Int(s)].into_boxed_slice());
+                db.insert(
+                    revoked,
+                    vec![Value::Int(u), Value::Int(s)].into_boxed_slice(),
+                );
             } else {
                 db.insert(grant, vec![Value::Int(u), Value::Int(s)].into_boxed_slice());
             }
@@ -99,7 +108,10 @@ fn main() {
                 "  best grant rule: {rule}\n  cnf = {:.3} — negation absorbs the revocation list",
                 iv.cnf.to_f64()
             );
-            assert!(iv.cnf.to_f64() > 0.99, "exception rule should be near-perfect");
+            assert!(
+                iv.cnf.to_f64() > 0.99,
+                "exception rule should be near-perfect"
+            );
         }
         None => println!("  no rule above thresholds"),
     }

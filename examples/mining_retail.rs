@@ -30,14 +30,20 @@ fn build_db(seed: u64) -> Database {
     for c in 0..n_customers {
         let r = rng.gen_range(0..n_regions);
         region_of.insert(c, r);
-        db.insert(customer, vec![Value::Int(c), Value::Int(r)].into_boxed_slice());
+        db.insert(
+            customer,
+            vec![Value::Int(c), Value::Int(r)].into_boxed_slice(),
+        );
     }
     // premium(customer_id, tier): subset of customers
     let premium = db.add_relation("premium", 2);
     for c in 0..n_customers {
         if rng.gen_bool(0.3) {
             let tier = rng.gen_range(1..=3);
-            db.insert(premium, vec![Value::Int(c), Value::Int(tier)].into_boxed_slice());
+            db.insert(
+                premium,
+                vec![Value::Int(c), Value::Int(tier)].into_boxed_slice(),
+            );
         }
     }
     // warehouse(region, warehouse_id): one warehouse per region
@@ -58,15 +64,24 @@ fn build_db(seed: u64) -> Database {
     for o in 0..n_orders {
         let c = rng.gen_range(0..n_customers);
         let oid = 1000 + o;
-        db.insert(order, vec![Value::Int(c), Value::Int(oid)].into_boxed_slice());
+        db.insert(
+            order,
+            vec![Value::Int(c), Value::Int(oid)].into_boxed_slice(),
+        );
         // 90%: ship from the customer's regional warehouse.
         let w = if rng.gen_bool(0.9) {
             100 + region_of[&c]
         } else {
             100 + rng.gen_range(0..n_regions)
         };
-        db.insert(ships, vec![Value::Int(oid), Value::Int(w)].into_boxed_slice());
-        db.insert(cust_ship, vec![Value::Int(c), Value::Int(w)].into_boxed_slice());
+        db.insert(
+            ships,
+            vec![Value::Int(oid), Value::Int(w)].into_boxed_slice(),
+        );
+        db.insert(
+            cust_ship,
+            vec![Value::Int(c), Value::Int(w)].into_boxed_slice(),
+        );
         if rng.gen_bool(0.05) {
             db.insert(
                 returns,

@@ -21,14 +21,20 @@ fn build_legacy_db(seed: u64) -> Database {
     let mut pairs = Vec::new();
     for e in 0..80i64 {
         let d = rng.gen_range(0..10);
-        db.insert(emp_dept, vec![Value::Int(e), Value::Int(d)].into_boxed_slice());
+        db.insert(
+            emp_dept,
+            vec![Value::Int(e), Value::Int(d)].into_boxed_slice(),
+        );
         pairs.push((e, d));
     }
     let mut site_of = std::collections::HashMap::new();
     for d in 0..10i64 {
         let s = rng.gen_range(100..104);
         site_of.insert(d, s);
-        db.insert(dept_site, vec![Value::Int(d), Value::Int(s)].into_boxed_slice());
+        db.insert(
+            dept_site,
+            vec![Value::Int(d), Value::Int(s)].into_boxed_slice(),
+        );
     }
 
     // Legacy denormalized table: employee -> site, refreshed long ago —

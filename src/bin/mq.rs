@@ -14,8 +14,8 @@
 //! `mq_relation::textio` (one `relation(v1, v2, ...)` fact per line).
 
 use metaquery::core::acyclic::classify;
-use metaquery::core::engine::{find_rules::find_rules, naive};
 use metaquery::core::engine::find_rules::body_decomposition;
+use metaquery::core::engine::{find_rules::find_rules, naive};
 use metaquery::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -123,7 +123,10 @@ fn cmd_mine(flags: HashMap<String, String>) -> ExitCode {
         .get("limit")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(usize::MAX);
-    let engine = flags.get("engine").map(String::as_str).unwrap_or("findrules");
+    let engine = flags
+        .get("engine")
+        .map(String::as_str)
+        .unwrap_or("findrules");
     let result = match engine {
         "findrules" => find_rules(&db, &mq, ty, thresholds),
         "naive" => naive::find_all(&db, &mq, ty, thresholds),

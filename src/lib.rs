@@ -43,8 +43,8 @@
 #![warn(missing_docs)]
 
 pub use mq_circuits as circuits;
-pub use mq_cq as cq;
 pub use mq_core as core;
+pub use mq_cq as cq;
 pub use mq_datagen as datagen;
 pub use mq_reductions as reductions;
 pub use mq_relation as relation;

@@ -1,0 +1,39 @@
+//! End-to-end agreement of the optimized and baseline cores through
+//! `findRules` — the invariant `bench_report` relies on for its A/B
+//! timing.
+//!
+//! Kept in its own integration-test binary (= its own process): the
+//! baseline switch is process-global, and toggling it while the
+//! equivalence property tests run would silently route their "optimized"
+//! side through the baseline too.
+
+use metaquery::prelude::*;
+use mq_relation::ints;
+
+#[test]
+fn baseline_mode_find_rules_agrees() {
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    let h = db.add_relation("h", 2);
+    for &(a, b) in &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+        db.insert(p, ints(&[a, b]));
+    }
+    for &(a, b) in &[(1, 2), (2, 0), (0, 0), (3, 1)] {
+        db.insert(q, ints(&[a, b]));
+    }
+    for &(a, b) in &[(0, 2), (1, 0), (2, 2)] {
+        db.insert(h, ints(&[a, b]));
+    }
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    for th in [
+        Thresholds::all(Frac::new(1, 10), Frac::new(1, 10), Frac::new(1, 10)),
+        Thresholds::none(),
+    ] {
+        let fast = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+        mq_relation::set_baseline_mode(true);
+        let slow = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+        mq_relation::set_baseline_mode(false);
+        assert_eq!(fast, slow, "baseline and optimized engines must agree");
+    }
+}

@@ -50,7 +50,11 @@ fn theorem_3_37_ac0_equals_engine() {
                     },
                 )
                 .unwrap();
-                assert_eq!(circuit.eval(&layout.encode(&db)), expected, "{kind} D={dom}");
+                assert_eq!(
+                    circuit.eval(&layout.encode(&db)),
+                    expected,
+                    "{kind} D={dom}"
+                );
             }
         }
     }
@@ -141,8 +145,14 @@ fn families_have_constant_depth() {
         tc0_depths.push(tc0.lower_thresholds().depth());
         ac0_sizes.push(ac0.size());
     }
-    assert!(ac0_depths.windows(2).all(|w| w[0] == w[1]), "{ac0_depths:?}");
-    assert!(tc0_depths.windows(2).all(|w| w[0] == w[1]), "{tc0_depths:?}");
+    assert!(
+        ac0_depths.windows(2).all(|w| w[0] == w[1]),
+        "{ac0_depths:?}"
+    );
+    assert!(
+        tc0_depths.windows(2).all(|w| w[0] == w[1]),
+        "{tc0_depths:?}"
+    );
     assert!(ac0_sizes[0] < ac0_sizes[1] && ac0_sizes[1] < ac0_sizes[2]);
 }
 

@@ -33,10 +33,8 @@ mod tempfile {
     impl NamedTempFile {
         pub fn new() -> std::io::Result<Self> {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "mq-cli-test-{}-{n}.db",
-                std::process::id()
-            ));
+            let path =
+                std::env::temp_dir().join(format!("mq-cli-test-{}-{n}.db", std::process::id()));
             let file = std::fs::File::create(&path)?;
             Ok(NamedTempFile { file, path })
         }
@@ -86,7 +84,11 @@ fn mine_finds_the_rule() {
         ])
         .output()
         .expect("run mq");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("grand(X,Z) <- parent(X,Y), parent(Y,Z)"));
     assert!(stdout.contains("cnf=1"));
@@ -201,9 +203,7 @@ fn bad_inputs_fail_cleanly() {
 
 #[test]
 fn negation_through_the_cli() {
-    let db = write_db(
-        "p(1, 2)\np(2, 3)\nblocked(1, 2)\nlinkable(2, 3)\n",
-    );
+    let db = write_db("p(1, 2)\np(2, 3)\nblocked(1, 2)\nlinkable(2, 3)\n");
     let out = Command::new(mq_bin())
         .args([
             "mine",
@@ -216,7 +216,11 @@ fn negation_through_the_cli() {
         ])
         .output()
         .expect("run mq");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.contains("linkable(X,Y) <- p(X,Y), not blocked(X,Y)"),

@@ -173,7 +173,13 @@ fn fixed_atoms_and_shared_predvars() {
         // Semi-acyclic with a fixed atom and a shared predicate variable.
         let mq = parse_metaquery("N(X) <- N(Y), e(X,Y)").unwrap();
         for th in threshold_grid() {
-            assert_agree(&db, &mq, InstType::Zero, th, &format!("fixed round={round}"));
+            assert_agree(
+                &db,
+                &mq,
+                InstType::Zero,
+                th,
+                &format!("fixed round={round}"),
+            );
         }
         // Head fixed, body patterns.
         let mq2 = parse_metaquery("e(X,Y) <- P(X,Z), Q(Z,Y)").unwrap();

@@ -140,8 +140,7 @@ fn negation_never_increases_support() {
         let plain = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
         let negated = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z), not S(Y,Y)").unwrap();
         let base = naive::find_all(&db, &plain, InstType::Zero, Thresholds::none()).unwrap();
-        let with_neg =
-            naive::find_all(&db, &negated, InstType::Zero, Thresholds::none()).unwrap();
+        let with_neg = naive::find_all(&db, &negated, InstType::Zero, Thresholds::none()).unwrap();
         // For every negated answer, find the base answer with the same
         // positive maps (first three pattern maps) and compare support.
         for wn in &with_neg {
@@ -167,7 +166,10 @@ fn shared_predvar_across_negation_is_functional() {
     let answers = naive::find_all(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
     for a in &answers {
         // maps order: head R, body P, body Q, neg P.
-        assert_eq!(a.inst.maps[1].rel, a.inst.maps[3].rel, "P must be consistent");
+        assert_eq!(
+            a.inst.maps[1].rel, a.inst.maps[3].rel,
+            "P must be consistent"
+        );
     }
     let b = find_rules(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
     assert_eq!(answers, b);

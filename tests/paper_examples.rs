@@ -5,12 +5,10 @@
 //! full-reducer / hypertree-decomposition examples (Figure 3, Examples
 //! 4.3, 4.5, 4.8, 4.10, 4.11).
 
-use metaquery::prelude::*;
 use metaquery::core::acyclic::{classify, MqClass};
-use metaquery::cq::{
-    hypertree_width, Atom, Cq, FullReducer, JoinTree,
-};
+use metaquery::cq::{hypertree_width, Atom, Cq, FullReducer, JoinTree};
 use metaquery::datagen::telecom;
+use metaquery::prelude::*;
 use mq_relation::VarId;
 
 /// §2.1: the type-0 instantiation of metaquery (4) shown in the paper
@@ -230,8 +228,7 @@ fn figure_5_tractable_row() {
             );
         }
         for kind in IndexKind::ALL {
-            let fast =
-                metaquery::core::acyclic::decide_acyclic_zero(&db, &mq, kind).unwrap();
+            let fast = metaquery::core::acyclic::decide_acyclic_zero(&db, &mq, kind).unwrap();
             let slow = naive_decide(
                 &db,
                 &mq,

@@ -59,16 +59,10 @@ fn streaming_stops_after_first_answer() {
     let db = demo_db();
     let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
     let mut seen = 0;
-    let stopped = find_rules_with(
-        &db,
-        &mq,
-        InstType::Zero,
-        Thresholds::none(),
-        |_| {
-            seen += 1;
-            ControlFlow::Break(())
-        },
-    )
+    let stopped = find_rules_with(&db, &mq, InstType::Zero, Thresholds::none(), |_| {
+        seen += 1;
+        ControlFlow::Break(())
+    })
     .unwrap();
     assert!(stopped);
     assert_eq!(seen, 1);
@@ -79,16 +73,10 @@ fn streaming_visits_all_without_break() {
     let db = demo_db();
     let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
     let mut seen = 0;
-    let stopped = find_rules_with(
-        &db,
-        &mq,
-        InstType::Zero,
-        Thresholds::none(),
-        |_| {
-            seen += 1;
-            ControlFlow::Continue(())
-        },
-    )
+    let stopped = find_rules_with(&db, &mq, InstType::Zero, Thresholds::none(), |_| {
+        seen += 1;
+        ControlFlow::Continue(())
+    })
     .unwrap();
     assert!(!stopped);
     // 3 relations, 3 patterns: 27 type-0 instantiations, all reported

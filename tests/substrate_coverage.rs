@@ -2,8 +2,8 @@
 //! Yannakakis on constants, the cost model through the public API,
 //! database rendering, and Frac edge cases.
 
-use metaquery::cq::{acyclic_count, acyclic_satisfiable, Atom, Cq, Hypergraph};
 use metaquery::core::cost::CostModel;
+use metaquery::cq::{acyclic_count, acyclic_satisfiable, Atom, Cq, Hypergraph};
 use metaquery::prelude::*;
 use mq_relation::{ints, Term, VarId};
 
