@@ -10,8 +10,13 @@
 //!
 //! Run: `cargo run --release -p mq-bench --bin bench_report`
 //!
+//! Also enforces the width-2 regression guard: `fig4_width2_cycle4` must
+//! stay within a sane factor of `fig4_width1_chain2` (the PR-2 λ-join
+//! planner fix), so the CI bench smoke run fails if the planner regresses.
+//!
 //! Knobs: `MQ_BENCH_SAMPLES` (default 5) timed samples per
-//! (workload, core); `MQ_BENCH_OUT` overrides the output path.
+//! (workload, core); `MQ_BENCH_OUT` overrides the output path;
+//! `MQ_BENCH_MAX_WIDTH2_LAG` (default 30) the guard threshold.
 
 use mq_bench::{chain_workload, cycle_workload, mid_thresholds, time, Workload};
 use mq_core::engine::find_rules::find_rules;
@@ -132,12 +137,43 @@ fn main() {
     fig4_speedups.sort_by(f64::total_cmp);
     let fig4_median_speedup = fig4_speedups[fig4_speedups.len() / 2];
 
+    // Width-2 regression guard: the cycle workload must stay within a sane
+    // factor of the width-1 chain at the same d. Before the λ-join planner
+    // the lag was ~41× (an unplanned cross-product intermediate in every
+    // multi-atom node join); with it the medians sit around 20× — the
+    // cycle genuinely does more work (16 body instantiations × a ~2k-row
+    // body join) but no longer pathologically so. CI runs this binary, so
+    // a planner regression fails the bench smoke step. Overridable for
+    // exotic hardware via MQ_BENCH_MAX_WIDTH2_LAG.
+    let chain2 = rows
+        .iter()
+        .find(|r| r.name == "fig4_width1_chain2")
+        .expect("chain workload measured");
+    let cycle4 = rows
+        .iter()
+        .find(|r| r.name == "fig4_width2_cycle4")
+        .expect("cycle workload measured");
+    let width2_lag = cycle4.median_opt_s / chain2.median_opt_s.max(1e-12);
+    let max_lag: f64 = std::env::var("MQ_BENCH_MAX_WIDTH2_LAG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+    assert!(
+        width2_lag <= max_lag,
+        "width-2 regression: fig4_width2_cycle4 ({:.5}s) is {width2_lag:.1}x slower than \
+         fig4_width1_chain2 ({:.5}s); limit {max_lag}x (MQ_BENCH_MAX_WIDTH2_LAG)",
+        cycle4.median_opt_s,
+        chain2.median_opt_s,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"samples_per_case\": {},\n  \"fig4_median_speedup\": {:.3},\n  \"workloads\": [\n",
+        "  \"samples_per_case\": {},\n  \"fig4_median_speedup\": {:.3},\n  \
+         \"width2_lag_vs_chain\": {:.3},\n  \"workloads\": [\n",
         samples(),
-        fig4_median_speedup
+        fig4_median_speedup,
+        width2_lag
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

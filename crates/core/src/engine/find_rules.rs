@@ -27,7 +27,13 @@
 //! decomposition, per-pattern candidates, thresholds) and a lightweight
 //! per-search `Engine` (assignment stacks, node relations, and a memo of
 //! instantiated-atom bindings keyed by `(relation, terms)` so the same
-//! atom evaluation is shared across instantiations). [`find_rules`]
+//! atom evaluation is shared across instantiations). Multi-atom node
+//! joins are **planned**, not folded in λ-label order: atoms are ordered
+//! by a cardinality/selectivity estimate ([`crate::cost::plan_join_order`]),
+//! intermediates are projected onto the still-needed variables (applying
+//! purely-filtering atoms as semijoins), and every planned prefix is
+//! memoized so sibling instantiations sharing a prefix reuse the
+//! intermediate — see [`Engine::plan_node_join`]. [`find_rules`]
 //! partitions the search space by the first pattern assignment of the
 //! first decomposition vertex and runs the partitions on rayon workers —
 //! each with its own `Engine` — merging per-candidate result vectors in
@@ -36,6 +42,7 @@
 //! [`find_rules_seq`].
 
 use crate::ast::{Metaquery, Pred, PredVarId};
+use crate::cost::{plan_join_order, JoinAtomStats};
 use crate::engine::{MqAnswer, MqProblem, Thresholds};
 use crate::index::IndexValues;
 use crate::instantiate::{
@@ -334,6 +341,10 @@ impl<'a> Setup<'a> {
     }
 }
 
+/// An instantiated atom — the memo-key unit shared by the atom cache and
+/// the partial-join memo.
+type AtomKey = (RelId, Vec<Term>);
+
 /// Per-search mutable state: assignment stacks, node relations, and the
 /// atom-bindings memo. Cheap to construct — one per parallel worker.
 struct Engine<'a, 'b, F> {
@@ -350,12 +361,21 @@ struct Engine<'a, 'b, F> {
     /// ranges over few relations), so evaluating once per distinct
     /// instantiated atom — instead of once per use per instantiation —
     /// removes most `from_atom` work from the enumeration.
-    atom_cache: HashMap<(RelId, Vec<Term>), Rc<Bindings>>,
+    atom_cache: HashMap<AtomKey, Rc<Bindings>>,
     /// Memo of `π_χ(J(σi(λ(p_ν(i)))))` per decomposition vertex, keyed by
     /// the vertex and its λ patterns' assignments: the projected node join
     /// is independent of every *other* pattern's assignment, so sibling
     /// instantiations share it (only the child semijoins differ).
     node_cache: HashMap<(usize, Vec<PatternMap>), Rc<Bindings>>,
+    /// Memo of *partial* λ-join prefixes, keyed by the planned prefix of
+    /// instantiated atoms and the variables the intermediate keeps (the
+    /// projection applied, `χ ∪ vars(remaining atoms)` restricted to the
+    /// prefix). Sibling λ assignments that differ only in later-planned
+    /// atoms — the inner loops of the pattern enumeration — resume from
+    /// the shared prefix instead of rejoining from scratch, and because
+    /// the key carries no vertex, prefixes are even shared across
+    /// decomposition vertices whose λ labels overlap.
+    partial_cache: HashMap<(Vec<AtomKey>, Vec<VarId>), Rc<Bindings>>,
 }
 
 impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
@@ -370,6 +390,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             r: vec![None; n_pos],
             atom_cache: HashMap::new(),
             node_cache: HashMap::new(),
+            partial_cache: HashMap::new(),
         }
     }
 
@@ -435,22 +456,23 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
     }
 
     /// `π_χ(J(σi(λ(p_ν(i)))))` for vertex `node`, memoized by the λ
-    /// patterns' current assignments.
+    /// patterns' current assignments. The optimized path plans the join
+    /// instead of folding λ in label order — see
+    /// [`Engine::plan_node_join`].
     fn eval_node_join(&mut self, node: usize, lambda: &[usize]) -> Rc<Bindings> {
-        let compute = |this: &mut Self| {
+        if mq_relation::baseline_mode() {
+            // Pre-optimization engine: fold in raw λ order, no planning,
+            // no memo — the A/B comparison target of `bench_report`.
             let mut join = Bindings::unit();
             for &bi in lambda {
-                let b = this.eval_body_atom(bi);
+                let b = self.eval_body_atom(bi);
                 join = join.join(&b);
                 if join.is_empty() {
                     break;
                 }
             }
-            let chi: Vec<VarId> = this.setup.ht.nodes[node].chi.iter().copied().collect();
-            Rc::new(join.project(&chi))
-        };
-        if mq_relation::baseline_mode() {
-            return compute(self);
+            let chi: Vec<VarId> = self.setup.ht.nodes[node].chi.iter().copied().collect();
+            return Rc::new(join.project(&chi));
         }
         let key_maps: Vec<PatternMap> = lambda
             .iter()
@@ -461,9 +483,110 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         if let Some(hit) = self.node_cache.get(&key) {
             return Rc::clone(hit);
         }
-        let built = compute(self);
+        let built = self.plan_node_join(node, lambda);
         self.node_cache.insert(key, Rc::clone(&built));
         built
+    }
+
+    /// Cost-guided, prefix-memoized evaluation of the node join
+    /// `π_χ(J(σi(λ(p_ν(i)))))`.
+    ///
+    /// The λ atoms are joined in a planned order ([`plan_join_order`]):
+    /// smallest atom first, then greedily by estimated hash-join fan-out
+    /// (`len / distinct_keys` on the shared columns, both read off the
+    /// cached [`mq_relation::hashjoin::GroupIndex`]). Completed width-≥2
+    /// decompositions routinely label a vertex with variable-disjoint atom
+    /// pairs, and the raw λ fold joined those into a `d²` cross product
+    /// before the connecting atom could filter it — the fig-4 width-2
+    /// cycle slowdown.
+    ///
+    /// Two further refinements keep the largest intermediate from ever
+    /// materializing:
+    ///
+    /// * each intermediate is projected onto the variables still *needed*
+    ///   (`χ ∪ vars(remaining atoms)`), and
+    /// * an atom contributing no needed variable is applied as a
+    ///   **semijoin** — `π_V(J ⋈ A) = π_V(J ⋉ A)` when `A` adds no
+    ///   variable of `V`, and the semijoin never multiplies rows.
+    ///
+    /// Every planned prefix is memoized by `(instantiated atoms, kept
+    /// variables)`, so sibling instantiations that differ only in
+    /// later-planned atoms resume from the shared intermediate.
+    fn plan_node_join(&mut self, node: usize, lambda: &[usize]) -> Rc<Bindings> {
+        let chi: Vec<VarId> = self.setup.ht.nodes[node].chi.iter().copied().collect();
+        let keys: Vec<AtomKey> = lambda.iter().map(|&bi| self.body_atom_terms(bi)).collect();
+        let atoms: Vec<Rc<Bindings>> = keys
+            .iter()
+            .map(|(rel, terms)| self.eval_atom(*rel, terms.clone()))
+            .collect();
+        if let [atom] = atoms.as_slice() {
+            return Rc::new(atom.project(&chi));
+        }
+        let stats: Vec<JoinAtomStats> = atoms
+            .iter()
+            .map(|b| JoinAtomStats {
+                len: b.len(),
+                vars: b.vars().to_vec(),
+            })
+            .collect();
+        let order = plan_join_order(&stats, |i, shared| {
+            atoms[i].len() as f64 / atoms[i].distinct_keys(shared).max(1) as f64
+        });
+        // needed[k]: variables the pipeline still requires after step k —
+        // χ plus everything a later-planned atom joins on.
+        let mut needed: Vec<BTreeSet<VarId>> = Vec::with_capacity(order.len());
+        let mut acc_need: BTreeSet<VarId> = chi.iter().copied().collect();
+        for &ai in order.iter().rev() {
+            needed.push(acc_need.clone());
+            acc_need.extend(atoms[ai].vars().iter().copied());
+        }
+        needed.reverse();
+
+        let mut prefix: Vec<AtomKey> = Vec::with_capacity(order.len());
+        let mut covered: BTreeSet<VarId> = BTreeSet::new();
+        let mut acc: Option<Rc<Bindings>> = None;
+        for (k, &ai) in order.iter().enumerate() {
+            prefix.push(keys[ai].clone());
+            covered.extend(atoms[ai].vars().iter().copied());
+            let kept: Vec<VarId> = covered
+                .iter()
+                .copied()
+                .filter(|v| needed[k].contains(v))
+                .collect();
+            let memo_key = (prefix.clone(), kept.clone());
+            if let Some(hit) = self.partial_cache.get(&memo_key) {
+                let empty = hit.is_empty();
+                acc = Some(Rc::clone(hit));
+                if empty {
+                    break; // joins and semijoins both preserve emptiness
+                }
+                continue;
+            }
+            let next = match &acc {
+                None => Rc::new(atoms[ai].project(&kept)),
+                Some(a) => {
+                    let adds_needed = atoms[ai]
+                        .vars()
+                        .iter()
+                        .any(|v| a.position(*v).is_none() && needed[k].contains(v));
+                    let stepped = if adds_needed {
+                        a.join(&atoms[ai])
+                    } else {
+                        a.semijoin(&atoms[ai])
+                    };
+                    Rc::new(stepped.project(&kept))
+                }
+            };
+            self.partial_cache.insert(memo_key, Rc::clone(&next));
+            let empty = next.is_empty();
+            acc = Some(next);
+            if empty {
+                break; // joins and semijoins both preserve emptiness
+            }
+        }
+        // The last step's kept set is `covered ∩ χ` in sorted order —
+        // exactly what projecting the full join onto χ produces.
+        acc.expect("λ labels are non-empty")
     }
 
     /// Instantiated terms for negated body scheme `ni` (must be fixed or
@@ -648,7 +771,18 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             } else {
                 body_atoms[bi].semijoin(s_home)
             };
-            b = b.join(&reduced);
+            // An atom contributing no new variable is a pure filter:
+            // `b ⋈ reduced = b ⋉ reduced` (set semantics), and the
+            // semijoin never re-materializes surviving rows. Cyclic
+            // bodies always close with such an atom.
+            let filter_only = !mq_relation::baseline_mode()
+                && !b.vars().is_empty()
+                && reduced.vars().iter().all(|v| b.position(*v).is_some());
+            b = if filter_only {
+                b.semijoin(&reduced)
+            } else {
+                b.join(&reduced)
+            };
             if b.is_empty() && !setup.zero_ok {
                 return ControlFlow::Continue(());
             }
@@ -656,9 +790,12 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
 
         // With no negated literals, the exact support is available from
         // the reduced vertex relations: after both reducer halves the
-        // tree is fully reduced, so `s[j] = π_χ(j)(b)` (Yannakakis), and
-        // for an atom whose variables are exactly χ(home) the projection
-        // count is just `|s[home]|` — no per-σb distinct counting.
+        // tree is fully reduced, so `s[j] = π_χ(j)(b)` (Yannakakis).
+        // For an atom whose instantiated variables all occur in χ(home),
+        // projection composes — `π_vars(b) = π_vars(s[home])` — so the
+        // support count runs over the (small) vertex relation, never the
+        // assembled join; when the variables are *exactly* the vertex's,
+        // the count is just `|s[home]|`.
         let sup_hint: Option<Frac> =
             if setup.mq.neg_body.is_empty() && !mq_relation::baseline_mode() {
                 let mut sup = Some(Frac::ZERO);
@@ -667,16 +804,23 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
                         continue;
                     }
                     let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
-                    if s_home.vars() == self.mq_body_atom_vars(bi).as_slice() {
-                        let f = Frac::ratio_or_zero(s_home.len() as u64, ra.len() as u64);
+                    let vars = self.mq_body_atom_vars(bi);
+                    if vars.iter().all(|v| s_home.position(*v).is_some()) {
+                        let num = if s_home.vars() == vars.as_slice() {
+                            s_home.len()
+                        } else {
+                            s_home.count_distinct(&vars)
+                        };
+                        let f = Frac::ratio_or_zero(num as u64, ra.len() as u64);
                         if let Some(cur) = sup {
                             if f > cur {
                                 sup = Some(f);
                             }
                         }
                     } else {
-                        // Mixed-shape body (e.g. type-2 padding): fall back to
-                        // counting over the assembled join.
+                        // Atom variables outside the decomposition (type-2
+                        // padding): fall back to counting over the
+                        // assembled join.
                         sup = None;
                         break;
                     }

@@ -13,6 +13,10 @@ use mq_relation::Database;
 use std::ops::ControlFlow;
 
 /// Find all type-`ty` instantiations whose indices clear `thresholds`.
+///
+/// A failing [`apply_instantiation`] (e.g. a relation disappearing
+/// between validation and application) is propagated as an [`InstError`]
+/// rather than panicking mid-enumeration.
 pub fn find_all(
     db: &Database,
     mq: &Metaquery,
@@ -20,8 +24,15 @@ pub fn find_all(
     thresholds: Thresholds,
 ) -> Result<Vec<MqAnswer>, InstError> {
     let mut out = Vec::new();
+    let mut failed: Option<InstError> = None;
     for_each_instantiation(db, mq, ty, |inst| {
-        let rule = apply_instantiation(db, mq, inst).expect("enumeration produced valid inst");
+        let rule = match apply_instantiation(db, mq, inst) {
+            Ok(rule) => rule,
+            Err(e) => {
+                failed = Some(e);
+                return ControlFlow::Break(());
+            }
+        };
         let iv = all_indices(db, &rule);
         if thresholds.accepts(&iv) {
             out.push(MqAnswer {
@@ -31,16 +42,27 @@ pub fn find_all(
         }
         ControlFlow::Continue(())
     })?;
+    if let Some(e) = failed {
+        return Err(e);
+    }
     crate::engine::sort_answers(&mut out);
     Ok(out)
 }
 
 /// Decide the problem `⟨DB, MQ, I, k, T⟩`: is there a type-`T`
 /// instantiation with `I(σ(MQ)) > k`? Stops at the first witness.
+/// Application errors propagate like in [`find_all`].
 pub fn decide(db: &Database, mq: &Metaquery, problem: MqProblem) -> Result<bool, InstError> {
     let mut found = false;
+    let mut failed: Option<InstError> = None;
     for_each_instantiation(db, mq, problem.ty, |inst| {
-        let rule = apply_instantiation(db, mq, inst).expect("enumeration produced valid inst");
+        let rule = match apply_instantiation(db, mq, inst) {
+            Ok(rule) => rule,
+            Err(e) => {
+                failed = Some(e);
+                return ControlFlow::Break(());
+            }
+        };
         if index_value(db, &rule, problem.index) > problem.threshold {
             found = true;
             ControlFlow::Break(())
@@ -48,6 +70,9 @@ pub fn decide(db: &Database, mq: &Metaquery, problem: MqProblem) -> Result<bool,
             ControlFlow::Continue(())
         }
     })?;
+    if let Some(e) = failed {
+        return Err(e);
+    }
     Ok(found)
 }
 

@@ -507,6 +507,23 @@ impl Bindings {
         table.len()
     }
 
+    /// Number of distinct keys over `vars`, computed from the cached group
+    /// index — the λ-join planner's selectivity statistic (`len /
+    /// distinct_keys` is the average hash-join fan-out of probing this
+    /// side on `vars`). Unlike [`Bindings::count_distinct`] the index is
+    /// cached, so the joins that follow the planning pass reuse it.
+    ///
+    /// Variables absent from `self` are ignored; with no present variable
+    /// the key is empty, so there is one distinct key unless `self` is
+    /// empty.
+    pub fn distinct_keys(&self, vars: &[VarId]) -> usize {
+        let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
+        if cols.is_empty() {
+            return usize::from(!self.is_empty());
+        }
+        self.binding_index(&cols).num_groups()
+    }
+
     /// Shared-variable positions of `self` and `other`, for semijoins.
     fn semijoin_positions(&self, other: &Bindings) -> (Vec<usize>, Vec<usize>) {
         let shared: Vec<VarId> = self
@@ -540,7 +557,7 @@ impl Bindings {
         // reduced join trees) shares storage instead of re-cloning rows.
         let mut kept: Vec<u32> = Vec::new();
         for (i, r) in self.rows.iter().enumerate() {
-            let hit = idx.probe_cols(&other.rows, r, &self_pos).next().is_some();
+            let hit = idx.probe_group(&other.rows, r, &self_pos).is_some();
             if hit {
                 kept.push(i as u32);
             }
@@ -614,7 +631,7 @@ impl Bindings {
         let idx = other.binding_index(&other_pos);
         let mut kept: Vec<u32> = Vec::new();
         for (i, r) in self.rows.iter().enumerate() {
-            let miss = idx.probe_cols(&other.rows, r, &self_pos).next().is_none();
+            let miss = idx.probe_group(&other.rows, r, &self_pos).is_none();
             if miss {
                 kept.push(i as u32);
             }
@@ -874,6 +891,27 @@ pub mod baseline {
         Bindings::new(a.vars.clone(), rows)
     }
 
+    /// Baseline `reduce_relation`: materialize the atom, semijoin it, then
+    /// re-scan the relation through a set of projected keys (two passes,
+    /// one boxed key per row).
+    pub fn reduce_relation(rel: &Relation, terms: &[Term], guard: &Bindings) -> Relation {
+        let atom = from_atom(rel, terms);
+        let kept = semijoin(&atom, guard);
+        let shape = AtomShape::of(terms);
+        let keys: HashSet<&Tuple> = kept.rows().iter().collect();
+        let mut out = Relation::new(rel.name(), rel.arity());
+        for row in rel.rows() {
+            if !shape.consts_ok(row) || !shape.eq_ok(row) {
+                continue;
+            }
+            let key: Tuple = shape.project(row);
+            if keys.contains(&key) {
+                out.insert(row.clone());
+            }
+        }
+        out
+    }
+
     /// Baseline antijoin.
     pub fn antijoin(a: &Bindings, other: &Bindings) -> Bindings {
         let shared: Vec<VarId> = a
@@ -912,20 +950,46 @@ pub mod baseline {
 /// Reduce `rel` with respect to a guard: keep rows matching `terms` whose
 /// variable projection appears in `guard` — the semijoin step
 /// `r := r ⋉ guard` of Definition 4.4, returning the reduced relation.
+///
+/// Single pass, like `FullReducer::run`: each relation row is checked
+/// positionally against the atom shape and probed against the guard's
+/// cached key index straight out of row storage — no intermediate
+/// `Bindings`, no per-row key materialization, no re-scan.
 pub fn reduce_relation(rel: &Relation, terms: &[Term], guard: &Bindings) -> Relation {
-    let atom = Bindings::from_atom(rel, terms);
-    let kept = atom.semijoin(guard);
-    // Rebuild relation rows from the kept bindings by re-scanning: a row of
-    // `rel` survives iff its variable projection is in `kept`.
+    if baseline_mode() {
+        return baseline::reduce_relation(rel, terms, guard);
+    }
     let shape = AtomShape::of(terms);
-    let keys: HashSet<&Tuple> = kept.rows().iter().collect();
-    let mut out = Relation::new(rel.name(), rel.arity());
-    for row in rel.rows() {
-        if !shape.consts_ok(row) || !shape.eq_ok(row) {
-            continue;
+    // Shared variables: pair each guard column with the relation column
+    // holding that variable's first occurrence.
+    let mut rel_cols = Vec::new();
+    let mut guard_cols = Vec::new();
+    for (vi, v) in shape.vars.iter().enumerate() {
+        if let Some(p) = guard.position(*v) {
+            rel_cols.push(shape.first_pos[vi]);
+            guard_cols.push(p);
         }
-        let key: Tuple = shape.project(row);
-        if keys.contains(&key) {
+    }
+    let mut out = Relation::new(rel.name(), rel.arity());
+    if guard_cols.is_empty() {
+        // No shared variables: semijoin semantics keep every matching row
+        // iff the guard is non-empty.
+        if guard.is_empty() {
+            return out;
+        }
+        for row in rel.rows() {
+            if shape.consts_ok(row) && shape.eq_ok(row) {
+                out.insert(row.clone());
+            }
+        }
+        return out;
+    }
+    let idx = guard.binding_index(&guard_cols);
+    for row in rel.rows() {
+        if shape.consts_ok(row)
+            && shape.eq_ok(row)
+            && idx.probe_group(guard.rows(), row, &rel_cols).is_some()
+        {
             out.insert(row.clone());
         }
     }
@@ -1169,6 +1233,56 @@ mod tests {
         assert!(reduced.contains(&ints(&[1, 2])));
         assert!(reduced.contains(&ints(&[2, 3])));
         assert!(!reduced.contains(&ints(&[3, 4])));
+    }
+
+    #[test]
+    fn reduce_relation_matches_baseline_with_shape_filters() {
+        // Constants + repeated variables + a guard sharing one variable.
+        let r = Relation::from_rows(
+            "p",
+            3,
+            vec![
+                ints(&[1, 1, 5]),
+                ints(&[1, 2, 5]),
+                ints(&[2, 2, 5]),
+                ints(&[3, 3, 5]),
+                ints(&[2, 2, 6]),
+            ],
+        );
+        // p(X, X, 5)
+        let terms = [Term::Var(v(0)), Term::Var(v(0)), Term::Const(Value::Int(5))];
+        let guard = Bindings::from_parts(vec![v(0), v(9)], vec![ints(&[1, 7]), ints(&[2, 8])]);
+        let fast = reduce_relation(&r, &terms, &guard);
+        let slow = baseline::reduce_relation(&r, &terms, &guard);
+        assert_eq!(fast.len(), slow.len());
+        for row in slow.rows() {
+            assert!(fast.contains(row));
+        }
+        assert_eq!(fast.len(), 2); // (1,1,5) and (2,2,5)
+    }
+
+    #[test]
+    fn reduce_relation_disjoint_guard() {
+        let e = rel_e();
+        let terms = [Term::Var(v(0)), Term::Var(v(1))];
+        // Guard over unrelated variables: non-empty keeps everything...
+        let nonempty = Bindings::from_parts(vec![v(7)], vec![ints(&[1])]);
+        assert_eq!(reduce_relation(&e, &terms, &nonempty).len(), e.len());
+        // ...empty keeps nothing.
+        let empty = Bindings::empty(vec![v(7)]);
+        assert_eq!(reduce_relation(&e, &terms, &empty).len(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_counts_groups() {
+        let r = Relation::from_rows("p", 2, vec![ints(&[1, 1]), ints(&[1, 2]), ints(&[2, 1])]);
+        let b = Bindings::from_atom(&r, &[Term::Var(v(0)), Term::Var(v(1))]);
+        assert_eq!(b.distinct_keys(&[v(0)]), 2);
+        assert_eq!(b.distinct_keys(&[v(0), v(1)]), 3);
+        // Absent variables are ignored; a fully-absent key is the empty
+        // key: one group for non-empty bindings, zero for empty ones.
+        assert_eq!(b.distinct_keys(&[v(9)]), 1);
+        assert_eq!(Bindings::empty(vec![v(0)]).distinct_keys(&[v(9)]), 0);
     }
 
     #[test]

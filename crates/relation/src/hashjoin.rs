@@ -255,7 +255,10 @@ impl GroupIndex {
         &self.cols
     }
 
-    /// Number of distinct keys.
+    /// Number of distinct keys. Doubles as the join planner's cardinality
+    /// statistic: `rows / num_groups` is the average fan-out of probing
+    /// this index with one row, read off the cached index with no extra
+    /// pass over the data (see `Bindings::distinct_keys`).
     pub fn num_groups(&self) -> usize {
         self.heads.len()
     }

@@ -1,0 +1,136 @@
+//! Allocation regressions in the probe phases of the relational kernels.
+//!
+//! The pre-optimization kernels materialized one `Box<[Value]>` key per
+//! probed row (`algebra::baseline` keeps that code as the reference); the
+//! optimized kernels hash keys straight out of row storage and compare
+//! positionally, so — once the build-side index is cached — probing must
+//! allocate O(result), not O(rows). A counting global allocator pins that
+//! down: each probe phase below runs over thousands of rows and is
+//! asserted to allocate at most a small constant.
+//!
+//! All phases live in one `#[test]` because the allocation counter is
+//! global to the process and the test harness runs tests concurrently.
+
+use mq_relation::{ints, reduce_relation, Bindings, Relation, Term, VarId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+const N: i64 = 4096;
+/// Generous constant budget per probe phase: row-independent bookkeeping
+/// (result headers, a grown index vector) stays well under this; a
+/// regression to per-row keys costs ≥ N allocations.
+const BUDGET: usize = 256;
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+#[test]
+fn probe_phases_allocate_constant_not_per_row() {
+    // a(V0, V1) with V1 = V0 + 1; `hits` covers every V1 key, `misses`
+    // covers none.
+    let a = Bindings::from_parts(
+        vec![v(0), v(1)],
+        (0..N).map(|i| ints(&[i, i + 1])).collect(),
+    );
+    let hits = Bindings::from_parts(
+        vec![v(1), v(2)],
+        (0..N).map(|i| ints(&[i + 1, 0])).collect(),
+    );
+    let misses = Bindings::from_parts(
+        vec![v(1), v(2)],
+        (0..N).map(|i| ints(&[-i - 1, 0])).collect(),
+    );
+
+    // Prime every cached build-side index outside the measured window.
+    assert_eq!(a.semijoin(&hits).len(), a.len());
+    assert!(a.antijoin(&hits).is_empty());
+    assert!(a.semijoin(&misses).is_empty());
+    assert_eq!(a.antijoin(&misses).len(), a.len());
+    assert_eq!(a.semijoin_count(&hits), a.len());
+
+    // Antijoin probe, all rows matching: empty result, ~no allocations.
+    let before = allocations();
+    let anti = a.antijoin(&hits);
+    let spent = allocations() - before;
+    assert!(anti.is_empty());
+    assert!(
+        spent < BUDGET,
+        "antijoin probe allocated {spent} times for {N} rows — per-row keys are back"
+    );
+
+    // Antijoin probe, no rows matching: full result shares `a`'s storage.
+    let before = allocations();
+    let anti = a.antijoin(&misses);
+    let spent = allocations() - before;
+    assert_eq!(anti.len(), a.len());
+    assert!(
+        spent < BUDGET,
+        "all-miss antijoin allocated {spent} times for {N} rows"
+    );
+
+    // Semijoin probe, all rows surviving: shares storage likewise.
+    let before = allocations();
+    let semi = a.semijoin(&hits);
+    let spent = allocations() - before;
+    assert_eq!(semi.len(), a.len());
+    assert!(
+        spent < BUDGET,
+        "all-hit semijoin allocated {spent} times for {N} rows"
+    );
+
+    // semijoin_count never materializes rows at all.
+    let before = allocations();
+    let count = a.semijoin_count(&hits);
+    let spent = allocations() - before;
+    assert_eq!(count, a.len());
+    assert!(
+        spent < BUDGET,
+        "semijoin_count allocated {spent} times for {N} rows"
+    );
+
+    // reduce_relation: single positional pass; with a guard matching no
+    // row the only allocations are the empty output relation's.
+    let rel = Relation::from_rows("e", 2, (0..N).map(|i| ints(&[i, i + 1])).collect());
+    let terms = [Term::Var(v(0)), Term::Var(v(1))];
+    let guard = Bindings::from_parts(vec![v(1)], (0..N).map(|i| ints(&[-i - 1])).collect());
+    let primed = reduce_relation(&rel, &terms, &guard);
+    assert!(primed.is_empty());
+    let before = allocations();
+    let reduced = reduce_relation(&rel, &terms, &guard);
+    let spent = allocations() - before;
+    assert!(reduced.is_empty());
+    assert!(
+        spent < BUDGET,
+        "reduce_relation probe allocated {spent} times for {N} rows — \
+         the double-pass/boxed-key path regressed"
+    );
+}

@@ -152,6 +152,36 @@ proptest! {
         prop_assert!(is_fully_reduced(&fast));
     }
 
+    /// The cost-guided λ-join planner and its partial-join memo must not
+    /// change answers: planned `find_rules` ≡ the naive guess-and-check
+    /// engine on random cyclic (hypertree width 2) metaqueries — the
+    /// shapes whose completed decompositions put several atoms, including
+    /// variable-disjoint pairs, into one vertex's λ label.
+    #[test]
+    fn planned_node_joins_match_naive_on_width2_cycles(
+        p in relation_strategy(),
+        q in relation_strategy(),
+        h in relation_strategy(),
+        four_cycle in proptest::bool::ANY,
+        ksup in 0u64..3,
+    ) {
+        let db = build_db(&p, &q, &h);
+        let text = if four_cycle {
+            "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X3), P3(X3,X0)"
+        } else {
+            "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X0)"
+        };
+        let mq = parse_metaquery(text).unwrap();
+        prop_assert_eq!(
+            metaquery::core::engine::find_rules::body_decomposition(&mq).width,
+            2
+        );
+        let th = Thresholds::all(Frac::new(ksup, 4), Frac::ZERO, Frac::ZERO);
+        let planned = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+        let reference = naive_find_all(&db, &mq, InstType::Zero, th).unwrap();
+        prop_assert_eq!(planned, reference);
+    }
+
     /// Parallel findRules returns exactly the sequential engine's answers,
     /// in the same (sorted) order.
     #[test]
