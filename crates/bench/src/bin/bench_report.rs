@@ -1,12 +1,12 @@
 //! Machine-readable `findRules` performance report.
 //!
-//! Runs the Figure 4 workload family (data scaling, width contrast,
-//! pruning ablation) and a Figure 5-style combined-complexity point
-//! through **both** join cores — the optimized allocation-free kernels
-//! and the pre-optimization baseline kept in-tree behind
-//! [`mq_relation::set_baseline_mode`] — and writes medians, rows/sec and
-//! speedups to `BENCH_findrules.json` so successive PRs have a perf
-//! trajectory.
+//! Runs the Figure 4 workload family (data scaling, width contrast at
+//! widths 1/2/3, pruning ablation) and a Figure 5-style combined-
+//! complexity point through **both** join cores — the optimized
+//! plan-IR executor and the pre-optimization baseline kept in-tree
+//! behind [`mq_relation::set_baseline_mode`] — and writes medians,
+//! rows/sec and speedups to `BENCH_findrules.json` so successive PRs
+//! have a perf trajectory.
 //!
 //! Run: `cargo run --release -p mq-bench --bin bench_report`
 //!
@@ -15,10 +15,17 @@
 //! planner fix), so the CI bench smoke run fails if the planner regresses.
 //!
 //! Knobs: `MQ_BENCH_SAMPLES` (default 5) timed samples per
-//! (workload, core); `MQ_BENCH_OUT` overrides the output path;
-//! `MQ_BENCH_MAX_WIDTH2_LAG` (default 30) the guard threshold.
+//! (workload, core); `MQ_BENCH_ONLY=<substring>` restricts the run to
+//! workloads whose name contains the substring (single-series runs;
+//! guards needing absent workloads are skipped); `MQ_BENCH_OUT`
+//! overrides the output path; `MQ_BENCH_MAX_WIDTH2_LAG` (default 30)
+//! the guard threshold. The report records the `threads` and
+//! `split_depth` the scheduler ran with (`MQ_THREADS`,
+//! `MQ_SPLIT_DEPTH`).
 
-use mq_bench::{chain_workload, cycle_workload, mid_thresholds, time, Workload};
+use mq_bench::{
+    chain_workload, cycle_workload, hybrid_star_workload, mid_thresholds, time, Workload,
+};
 use mq_core::engine::find_rules::find_rules;
 use mq_core::prelude::*;
 use mq_relation::{set_baseline_mode, Frac};
@@ -50,6 +57,13 @@ fn samples() -> usize {
         .unwrap_or(5)
 }
 
+/// The `MQ_BENCH_ONLY` substring filter, if set (and non-empty).
+fn bench_only() -> Option<String> {
+    std::env::var("MQ_BENCH_ONLY")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 /// Median of `n` timed runs of `f` (which returns the answer count).
 fn median_secs(n: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
     let mut secs = Vec::with_capacity(n);
@@ -63,7 +77,15 @@ fn median_secs(n: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
     (secs[secs.len() / 2], answers)
 }
 
-fn measure(name: &str, w: &Workload, rows: usize, th: Thresholds) -> Row {
+/// Measure `w` under both cores and append a row — unless the workload
+/// name misses the `MQ_BENCH_ONLY` filter.
+fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: Thresholds) {
+    if let Some(only) = bench_only() {
+        if !name.contains(&only) {
+            eprintln!("{name}: skipped (MQ_BENCH_ONLY={only})");
+            return;
+        }
+    }
     let n = samples();
     let run = || find_rules(&w.db, &w.mq, InstType::Zero, th).unwrap().len();
     let (median_opt_s, answers) = median_secs(n, run);
@@ -78,14 +100,14 @@ fn measure(name: &str, w: &Workload, rows: usize, th: Thresholds) -> Row {
         "{name}: opt {median_opt_s:.5}s  base {median_base_s:.5}s  ({:.2}x, {answers} answers)",
         median_base_s / median_opt_s.max(1e-12)
     );
-    Row {
+    rows_out.push(Row {
         name: name.to_string(),
         rows,
         total_tuples: w.db.total_tuples(),
         answers,
         median_opt_s,
         median_base_s,
-    }
+    });
 }
 
 fn main() {
@@ -94,48 +116,69 @@ fn main() {
     // Figure 4 data scaling: chain metaquery (width 1), growing d.
     for d in [50usize, 150, 450] {
         let w = chain_workload(3, d, (d as i64) / 3, 2);
-        rows.push(measure(
+        measure(
+            &mut rows,
             &format!("fig4_findrules_chain_d{d}"),
             &w,
             d,
             mid_thresholds(),
-        ));
+        );
     }
 
-    // Figure 4 width contrast at fixed d.
+    // Figure 4 width contrast at fixed d: widths 1, 2 and 3.
     let d = 120usize;
     let chain = chain_workload(2, d, 18, 2);
-    rows.push(measure("fig4_width1_chain2", &chain, d, mid_thresholds()));
+    measure(&mut rows, "fig4_width1_chain2", &chain, d, mid_thresholds());
     let cycle = cycle_workload(2, d, 18, 4);
-    rows.push(measure("fig4_width2_cycle4", &cycle, d, mid_thresholds()));
+    measure(&mut rows, "fig4_width2_cycle4", &cycle, d, mid_thresholds());
+    // Width-3 star/clique hybrid (K5 body: 4 pattern spokes + fixed rim):
+    // the deepest node joins the planner sees; smaller d, the K5 join is
+    // the cost driver, not the data volume.
+    let d3 = 60usize;
+    let hybrid = hybrid_star_workload(2, d3, 12, 4);
+    measure(
+        &mut rows,
+        "fig4_width3_star4",
+        &hybrid,
+        d3,
+        mid_thresholds(),
+    );
 
     // Figure 4 pruning ablation: thresholds that cut vs keep everything.
     let w = chain_workload(3, 250, 20, 2);
-    rows.push(measure(
+    measure(
+        &mut rows,
         "fig4_pruning_on",
         &w,
         250,
         Thresholds::all(Frac::new(1, 2), Frac::ZERO, Frac::ZERO),
-    ));
-    rows.push(measure(
+    );
+    measure(
+        &mut rows,
         "fig4_pruning_off",
         &w,
         250,
         Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
-    ));
+    );
 
     // Figure 5-style combined complexity: longer chain at fixed d.
     let w = chain_workload(4, 80, 12, 3);
-    rows.push(measure("fig5_combined_chain3", &w, 80, mid_thresholds()));
+    measure(&mut rows, "fig5_combined_chain3", &w, 80, mid_thresholds());
 
-    // Aggregate: the fig4 findRules series' median speedup.
+    assert!(
+        !rows.is_empty(),
+        "MQ_BENCH_ONLY matched no workload — nothing to report"
+    );
+
+    // Aggregate: the fig4 findRules series' median speedup (when the
+    // series ran — MQ_BENCH_ONLY may have filtered it out).
     let mut fig4_speedups: Vec<f64> = rows
         .iter()
         .filter(|r| r.name.starts_with("fig4_findrules_chain"))
         .map(Row::speedup)
         .collect();
     fig4_speedups.sort_by(f64::total_cmp);
-    let fig4_median_speedup = fig4_speedups[fig4_speedups.len() / 2];
+    let fig4_median_speedup = fig4_speedups.get(fig4_speedups.len() / 2).copied();
 
     // Width-2 regression guard: the cycle workload must stay within a sane
     // factor of the width-1 chain at the same d. Before the λ-join planner
@@ -144,37 +187,44 @@ fn main() {
     // cycle genuinely does more work (16 body instantiations × a ~2k-row
     // body join) but no longer pathologically so. CI runs this binary, so
     // a planner regression fails the bench smoke step. Overridable for
-    // exotic hardware via MQ_BENCH_MAX_WIDTH2_LAG.
-    let chain2 = rows
-        .iter()
-        .find(|r| r.name == "fig4_width1_chain2")
-        .expect("chain workload measured");
-    let cycle4 = rows
-        .iter()
-        .find(|r| r.name == "fig4_width2_cycle4")
-        .expect("cycle workload measured");
-    let width2_lag = cycle4.median_opt_s / chain2.median_opt_s.max(1e-12);
-    let max_lag: f64 = std::env::var("MQ_BENCH_MAX_WIDTH2_LAG")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30.0);
-    assert!(
-        width2_lag <= max_lag,
-        "width-2 regression: fig4_width2_cycle4 ({:.5}s) is {width2_lag:.1}x slower than \
-         fig4_width1_chain2 ({:.5}s); limit {max_lag}x (MQ_BENCH_MAX_WIDTH2_LAG)",
-        cycle4.median_opt_s,
-        chain2.median_opt_s,
-    );
+    // exotic hardware via MQ_BENCH_MAX_WIDTH2_LAG; skipped when
+    // MQ_BENCH_ONLY filtered either side out.
+    let chain2 = rows.iter().find(|r| r.name == "fig4_width1_chain2");
+    let cycle4 = rows.iter().find(|r| r.name == "fig4_width2_cycle4");
+    let width2_lag = match (chain2, cycle4) {
+        (Some(c2), Some(c4)) => {
+            let lag = c4.median_opt_s / c2.median_opt_s.max(1e-12);
+            let max_lag: f64 = std::env::var("MQ_BENCH_MAX_WIDTH2_LAG")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(30.0);
+            assert!(
+                lag <= max_lag,
+                "width-2 regression: fig4_width2_cycle4 ({:.5}s) is {lag:.1}x slower than \
+                 fig4_width1_chain2 ({:.5}s); limit {max_lag}x (MQ_BENCH_MAX_WIDTH2_LAG)",
+                c4.median_opt_s,
+                c2.median_opt_s,
+            );
+            Some(lag)
+        }
+        _ => None,
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
     json.push_str(&format!(
-        "  \"samples_per_case\": {},\n  \"fig4_median_speedup\": {:.3},\n  \
-         \"width2_lag_vs_chain\": {:.3},\n  \"workloads\": [\n",
-        samples(),
-        fig4_median_speedup,
-        width2_lag
+        "  \"threads\": {},\n  \"split_depth\": {},\n",
+        rayon::current_num_threads(),
+        mq_core::engine::parallel::split_depth(),
     ));
+    if let Some(s) = fig4_median_speedup {
+        json.push_str(&format!("  \"fig4_median_speedup\": {s:.3},\n"));
+    }
+    if let Some(lag) = width2_lag {
+        json.push_str(&format!("  \"width2_lag_vs_chain\": {lag:.3},\n"));
+    }
+    json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rows\": {}, \"total_tuples\": {}, \"answers\": {}, \
@@ -196,5 +246,7 @@ fn main() {
     let out = std::env::var("MQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_findrules.json".into());
     std::fs::write(&out, &json).expect("write BENCH_findrules.json");
     println!("wrote {out}");
-    println!("fig4 findRules median speedup vs baseline core: {fig4_median_speedup:.2}x");
+    if let Some(s) = fig4_median_speedup {
+        println!("fig4 findRules median speedup vs baseline core: {s:.2}x");
+    }
 }

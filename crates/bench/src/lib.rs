@@ -68,6 +68,35 @@ pub fn clique_workload(n_relations: usize, rows: usize, domain: i64, n: usize) -
     }
 }
 
+/// Build the width-3 star/clique hybrid workload: `hybrid_star(arms)`
+/// (body hypergraph `K_{arms+1}`; `arms = 4` is the width-3 series) over
+/// a random database extended with the fixed `rim` relation the hybrid's
+/// clique atoms name.
+pub fn hybrid_star_workload(n_relations: usize, rows: usize, domain: i64, arms: usize) -> Workload {
+    use rand::prelude::*;
+    let mut db = RandomDbSpec {
+        n_relations,
+        arity: 2,
+        rows,
+        domain,
+        seed: BASE_SEED ^ 0x57a2 ^ (rows as u64),
+    }
+    .generate();
+    let rim = db.add_relation("rim", 2);
+    let mut rng = StdRng::seed_from_u64(BASE_SEED ^ 0x21b ^ (rows as u64));
+    for _ in 0..rows {
+        let row = vec![
+            mq_relation::Value::Int(rng.gen_range(0..domain)),
+            mq_relation::Value::Int(rng.gen_range(0..domain)),
+        ];
+        db.insert(rim, row.into_boxed_slice());
+    }
+    Workload {
+        db,
+        mq: metaqueries::hybrid_star(arms, "rim"),
+    }
+}
+
 /// Standard mid thresholds used by the engine-comparison experiments.
 pub fn mid_thresholds() -> Thresholds {
     Thresholds::all(Frac::new(1, 10), Frac::new(1, 10), Frac::new(1, 10))

@@ -16,8 +16,11 @@
 use crate::ast::Metaquery;
 use crate::engine::find_rules::body_decomposition;
 use crate::instantiate::InstType;
-use mq_relation::{Database, VarId};
-use std::cmp::Ordering;
+use mq_relation::Database;
+
+// The λ-join planner moved to the plan IR module (PR 3); re-exported here
+// for continuity with the PR 2 API.
+pub use crate::plan::{plan_join_order, JoinAtomStats};
 
 /// The six parameters of the §4 analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,90 +113,6 @@ impl CostModel {
     }
 }
 
-/// Per-atom statistics consumed by [`plan_join_order`]: the instantiated
-/// atom's cardinality and its distinct variables.
-#[derive(Clone, Debug)]
-pub struct JoinAtomStats {
-    /// Number of tuples of the instantiated atom.
-    pub len: usize,
-    /// Its distinct variables (any order).
-    pub vars: Vec<VarId>,
-}
-
-/// Greedy cost-guided join order for a multi-atom join (the λ label of one
-/// hypertree vertex).
-///
-/// Starts from the smallest atom, then repeatedly appends the *connected*
-/// atom — one sharing at least one already-bound variable — with the
-/// smallest `expansion(atom, shared_vars)` estimate. For hash joins the
-/// natural estimate is the atom's average group size on the shared
-/// columns (`len / distinct_keys`, see `Bindings::distinct_keys`): the
-/// expected number of rows each probe row fans out into. Atoms sharing no
-/// bound variable rank after every connected one and are only picked
-/// (smallest first) when a cross product is unavoidable.
-///
-/// This is the fix for the width-2 cycle slowdown: a completed
-/// decomposition routinely labels a vertex with variable-disjoint atom
-/// pairs, and folding them in raw λ order materializes a `d²` cross
-/// product that the remaining atoms then shrink back down.
-///
-/// Deterministic: ties break on `(len, index)`, so planned searches are
-/// reproducible across runs and across parallel workers.
-pub fn plan_join_order(
-    stats: &[JoinAtomStats],
-    mut expansion: impl FnMut(usize, &[VarId]) -> f64,
-) -> Vec<usize> {
-    let n = stats.len();
-    if n <= 1 {
-        return (0..n).collect();
-    }
-    let first = (0..n)
-        .min_by_key(|&i| (stats[i].len, i))
-        .expect("n >= 1 atoms");
-    let mut order = Vec::with_capacity(n);
-    order.push(first);
-    let mut bound: Vec<VarId> = Vec::new();
-    for &v in &stats[first].vars {
-        if !bound.contains(&v) {
-            bound.push(v);
-        }
-    }
-    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
-    let mut shared: Vec<VarId> = Vec::new();
-    while !remaining.is_empty() {
-        let mut best: Option<(f64, usize, usize)> = None; // (score, len, atom)
-        for &i in &remaining {
-            shared.clear();
-            shared.extend(stats[i].vars.iter().copied().filter(|v| bound.contains(v)));
-            let score = if shared.is_empty() {
-                f64::INFINITY // cross product: last resort
-            } else {
-                expansion(i, &shared)
-            };
-            let better = match best {
-                None => true,
-                Some((bs, bl, bi)) => match score.total_cmp(&bs) {
-                    Ordering::Less => true,
-                    Ordering::Greater => false,
-                    Ordering::Equal => (stats[i].len, i) < (bl, bi),
-                },
-            };
-            if better {
-                best = Some((score, stats[i].len, i));
-            }
-        }
-        let (_, _, next) = best.expect("remaining is non-empty");
-        order.push(next);
-        remaining.retain(|&i| i != next);
-        for &v in &stats[next].vars {
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-        }
-    }
-    order
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,62 +185,6 @@ mod tests {
         assert!(cm.instantiation_bound(InstType::One) <= cm.instantiation_bound(InstType::Two));
         assert!(cm.support_phase_steps(InstType::Zero) <= cm.support_phase_steps(InstType::Two));
         assert!(cm.total_steps(InstType::Zero) > 0.0);
-    }
-
-    fn stats(atoms: &[(usize, &[u32])]) -> Vec<JoinAtomStats> {
-        atoms
-            .iter()
-            .map(|&(len, vars)| JoinAtomStats {
-                len,
-                vars: vars.iter().map(|&v| mq_relation::VarId(v)).collect(),
-            })
-            .collect()
-    }
-
-    /// Uniform expansion estimate for planner tests.
-    fn flat(_: usize, _: &[mq_relation::VarId]) -> f64 {
-        1.0
-    }
-
-    /// The planner never picks a cross product while a connected atom
-    /// remains: on the 4-cycle vertex {e(X0,X1), e(X2,X3), e(X3,X0)} the
-    /// raw λ order joins the two disjoint atoms first; the plan must not.
-    #[test]
-    fn plan_avoids_cross_products() {
-        let s = stats(&[(120, &[0, 1]), (120, &[2, 3]), (120, &[3, 0])]);
-        let order = plan_join_order(&s, flat);
-        assert_eq!(order.len(), 3);
-        // Every step after the first shares a variable with the atoms
-        // already planned.
-        let mut bound: Vec<u32> = s[order[0]].vars.iter().map(|v| v.0).collect();
-        for &i in &order[1..] {
-            assert!(
-                s[i].vars.iter().any(|v| bound.contains(&v.0)),
-                "step {i} is a cross product in {order:?}"
-            );
-            bound.extend(s[i].vars.iter().map(|v| v.0));
-        }
-    }
-
-    /// Smaller atoms are preferred as the starting point and lower
-    /// expansion estimates win among connected candidates.
-    #[test]
-    fn plan_prefers_small_and_selective() {
-        let s = stats(&[(1000, &[0, 1]), (10, &[1, 2]), (500, &[2, 3])]);
-        let order = plan_join_order(&s, |i, _| s[i].len as f64);
-        assert_eq!(order[0], 1, "smallest atom starts the plan");
-        assert_eq!(order, vec![1, 2, 0], "lower expansion estimate wins");
-    }
-
-    /// Disconnected components force a cross product eventually; the
-    /// planner still orders each component before jumping.
-    #[test]
-    fn plan_handles_forced_cross_product() {
-        let s = stats(&[(50, &[0, 1]), (50, &[1, 2]), (50, &[8, 9])]);
-        let order = plan_join_order(&s, flat);
-        assert_eq!(order[2], 2, "the disjoint atom goes last");
-        assert_eq!(plan_join_order(&stats(&[(5, &[0])]), flat), vec![0]);
-        assert!(plan_join_order(&stats(&[]), flat).is_empty());
     }
 
     /// Width enters the support-phase bound exponentially in d.

@@ -1,0 +1,179 @@
+//! The plan executor: an interpreter over the [`crate::plan`] IR.
+//!
+//! One [`Executor`] lives inside each search engine (one per parallel
+//! worker). It owns the three memo layers that make repeated plan
+//! execution cheap:
+//!
+//! * **atom cache** — instantiated-atom bindings keyed by
+//!   `(relation, terms)`: instantiations overwhelmingly share atom
+//!   evaluations, so each distinct instantiated atom is evaluated once;
+//! * **plan cache** — `(χ, λ atom keys) → plan root`, so re-visiting a
+//!   vertex under the same λ assignment skips re-planning entirely;
+//! * **result memo** — plan-node id → bindings, a dense vector aligned
+//!   with the hash-consing [`PlanArena`]. Because node identity is the
+//!   operator plus its operands, sibling plans that share a planned
+//!   prefix share node ids, and the memo resumes them from the cached
+//!   intermediate — the PR 2 partial-join memo, re-keyed from ad-hoc
+//!   `(atom prefix, kept vars)` tuples to interned plan-node ids.
+//!
+//! The memos travel with the executor: the work-stealing scheduler keeps
+//! one engine (and thus one executor) per worker, so every task a worker
+//! steals reuses the slices accumulated by its previous tasks.
+//!
+//! In baseline mode ([`mq_relation::baseline_mode`]) the executor
+//! reproduces the pre-optimization engine faithfully: atoms re-evaluated
+//! at every use, node joins folded in raw λ order, no plans, no memos.
+
+use crate::plan::{
+    build_node_plan, AtomKey, CountOp, CountPlan, JoinAtomStats, PlanArena, PlanNodeId, PlanOp,
+};
+use mq_relation::{Bindings, Database, VarId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Interprets [`crate::plan`] IR against a database, memoizing per
+/// plan-node id. Cheap to construct — one per search engine.
+pub(crate) struct Executor<'a> {
+    db: &'a Database,
+    arena: PlanArena,
+    /// Memo of instantiated-atom bindings, keyed by `(relation, terms)`.
+    atom_cache: HashMap<AtomKey, Rc<Bindings>>,
+    /// `(χ, λ atom keys) → plan root` — "decide once".
+    plan_cache: HashMap<(Vec<VarId>, Vec<AtomKey>), PlanNodeId>,
+    /// Plan-node id → result, aligned with the arena ("execute many").
+    results: Vec<Option<Rc<Bindings>>>,
+}
+
+impl<'a> Executor<'a> {
+    pub(crate) fn new(db: &'a Database) -> Self {
+        Executor {
+            db,
+            arena: PlanArena::new(),
+            atom_cache: HashMap::new(),
+            plan_cache: HashMap::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Evaluate `rel(terms)` once, memoized. In baseline mode the memo is
+    /// bypassed so A/B timings measure the pre-optimization engine (which
+    /// re-evaluated every atom at every use) faithfully.
+    pub(crate) fn eval_atom(&mut self, key: AtomKey) -> Rc<Bindings> {
+        if mq_relation::baseline_mode() {
+            return Rc::new(Bindings::from_atom(self.db.relation(key.0), &key.1));
+        }
+        let db = self.db;
+        Rc::clone(
+            self.atom_cache
+                .entry(key)
+                .or_insert_with_key(|(rel, terms)| {
+                    Rc::new(Bindings::from_atom(db.relation(*rel), terms))
+                }),
+        )
+    }
+
+    /// `π_χ(J(σi(λ(p_ν(i)))))`: plan (or fetch the cached plan for) the
+    /// node join of `atom_keys` projected onto `chi`, then execute it.
+    ///
+    /// Planning uses the cost model of [`crate::plan::plan_join_order`]
+    /// with the executor's own evaluated atoms as the statistics source
+    /// (`len / distinct_keys` off the cached
+    /// [`mq_relation::hashjoin::GroupIndex`]). The plan is keyed by
+    /// `(χ, atom keys)` — not by decomposition vertex — so vertices with
+    /// identical labels share one plan outright.
+    pub(crate) fn node_join(&mut self, chi: &[VarId], atom_keys: Vec<AtomKey>) -> Rc<Bindings> {
+        if mq_relation::baseline_mode() {
+            // Pre-optimization engine: fold in raw λ order, no planning,
+            // no memo — the A/B comparison target of `bench_report`.
+            let mut join = Bindings::unit();
+            for key in atom_keys {
+                let b = self.eval_atom(key);
+                join = join.join(&b);
+                if join.is_empty() {
+                    break;
+                }
+            }
+            return Rc::new(join.project(chi));
+        }
+        let cache_key = (chi.to_vec(), atom_keys);
+        if let Some(&root) = self.plan_cache.get(&cache_key) {
+            return self.exec(root);
+        }
+        let atoms: Vec<Rc<Bindings>> = cache_key
+            .1
+            .iter()
+            .map(|key| self.eval_atom(key.clone()))
+            .collect();
+        let stats: Vec<JoinAtomStats> = atoms
+            .iter()
+            .map(|b| JoinAtomStats {
+                len: b.len(),
+                vars: b.vars().to_vec(),
+            })
+            .collect();
+        let root = build_node_plan(&mut self.arena, chi, &cache_key.1, &stats, |i, shared| {
+            atoms[i].len() as f64 / atoms[i].distinct_keys(shared).max(1) as f64
+        });
+        self.plan_cache.insert(cache_key, root);
+        self.exec(root)
+    }
+
+    /// Execute plan node `id`, memoized per node id. Recursion depth is
+    /// the plan's atom count (plans are left-deep chains).
+    ///
+    /// Empty intermediates short-circuit: joins and semijoins both
+    /// preserve emptiness, so the remaining pipeline is skipped and the
+    /// empty intermediate itself is the node's (memoized) result — its
+    /// columns are the prefix's kept variables, exactly like the engine
+    /// before this refactor.
+    pub(crate) fn exec(&mut self, id: PlanNodeId) -> Rc<Bindings> {
+        if let Some(Some(hit)) = self.results.get(id.0 as usize) {
+            return Rc::clone(hit);
+        }
+        let op = self.arena.op(id).clone();
+        let out: Rc<Bindings> = match op {
+            PlanOp::Scan { atom } => self.eval_atom(atom),
+            PlanOp::Project { left, vars } => {
+                let l = self.exec(left);
+                if l.is_empty() {
+                    l
+                } else {
+                    Rc::new(l.project(&vars))
+                }
+            }
+            PlanOp::HashJoin { left, atom, keys } => {
+                let l = self.exec(left);
+                if l.is_empty() {
+                    l
+                } else {
+                    let a = self.eval_atom(atom);
+                    Rc::new(l.join_on(&a, &keys))
+                }
+            }
+            PlanOp::Semijoin { left, atom, keys } => {
+                let l = self.exec(left);
+                if l.is_empty() {
+                    l
+                } else {
+                    let a = self.eval_atom(atom);
+                    Rc::new(l.semijoin_on(&a, &keys))
+                }
+            }
+        };
+        if self.results.len() < self.arena.len() {
+            self.results.resize(self.arena.len(), None);
+        }
+        self.results[id.0 as usize] = Some(Rc::clone(&out));
+        out
+    }
+
+    /// Execute a count-only plan over the given input slots — the
+    /// cover/confidence semijoin counts and the Yannakakis support
+    /// counts run through here, so every index computation is IR-driven.
+    pub(crate) fn exec_count(&self, plan: &CountPlan, inputs: &[&Bindings]) -> usize {
+        match &plan.op {
+            CountOp::SemijoinCount { left, right } => inputs[*left].semijoin_count(inputs[*right]),
+            CountOp::CountDistinct { input, vars } => inputs[*input].count_distinct(vars),
+        }
+    }
+}

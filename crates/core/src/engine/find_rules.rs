@@ -21,44 +21,44 @@
 //! instantiation `σ` to the `λ` labels preserves a width-`c`
 //! decomposition, so one decomposition serves every instantiation.
 //!
-//! ## Execution strategy
+//! ## Architecture
 //!
-//! The enumeration machinery is split into an immutable [`Setup`] (the
-//! decomposition, per-pattern candidates, thresholds) and a lightweight
-//! per-search `Engine` (assignment stacks, node relations, and a memo of
-//! instantiated-atom bindings keyed by `(relation, terms)` so the same
-//! atom evaluation is shared across instantiations). Multi-atom node
-//! joins are **planned**, not folded in λ-label order: atoms are ordered
-//! by a cardinality/selectivity estimate ([`crate::cost::plan_join_order`]),
-//! intermediates are projected onto the still-needed variables (applying
-//! purely-filtering atoms as semijoins), and every planned prefix is
-//! memoized so sibling instantiations sharing a prefix reuse the
-//! intermediate — see [`Engine::plan_node_join`]. [`find_rules`]
-//! partitions the search space by the first pattern assignment of the
-//! first decomposition vertex and runs the partitions on rayon workers —
-//! each with its own `Engine` — merging per-candidate result vectors in
-//! enumeration order, so answers are identical (and identically ordered
-//! after [`crate::engine::sort_answers`]) to the sequential
-//! [`find_rules_seq`].
+//! The engine is three explicit layers (see `ARCHITECTURE.md`):
+//!
+//! * **Planner** ([`crate::plan`]) — a pure function from a vertex's χ
+//!   and λ-atom statistics to a hash-consed [`crate::plan::PlanOp`] DAG;
+//! * **Executor** ([`super::exec`]) — interprets plan nodes against
+//!   [`Bindings`], memoizing per plan-node id (atom cache, plan cache,
+//!   result memo); the count-only cvr/cnf/sup paths run through it too;
+//! * **Scheduler** ([`super::parallel`]) — splits the search over
+//!   instantiation prefixes up to `MQ_SPLIT_DEPTH` and drains the task
+//!   deque with work-stealing workers, merging results in enumeration
+//!   order so answers are byte-identical to [`find_rules_seq`].
+//!
+//! This module is the remaining orchestration: the immutable [`Setup`]
+//! (decomposition, candidates, thresholds, enumeration order) and the
+//! per-search [`Engine`] (assignment stacks, node relations, executor)
+//! driving the three phases.
 
 use crate::ast::{Metaquery, Pred, PredVarId};
-use crate::cost::{plan_join_order, JoinAtomStats};
+use crate::engine::exec::Executor;
 use crate::engine::{MqAnswer, MqProblem, Thresholds};
 use crate::index::IndexValues;
 use crate::instantiate::{
     check_fixed_schemes, pattern_candidates, InstError, InstType, Instantiation, PatternMap,
 };
+use crate::plan::{AtomKey, CountPlan};
 use mq_cq::hypertree::{hypertree_width_of_sets, Hypertree};
 use mq_relation::{Bindings, Database, Frac, RelId, Term, VarId};
-use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
 use std::rc::Rc;
 
 /// Find all type-`ty` instantiations whose indices clear `thresholds`,
-/// using the Figure 4 algorithm with the outer pattern enumeration run in
-/// parallel. Answers match [`crate::engine::naive`] exactly (including the
-/// degenerate no-thresholds case) and are returned in sorted order.
+/// using the Figure 4 algorithm with the search run on the work-stealing
+/// scheduler ([`super::parallel`]). Answers match
+/// [`crate::engine::naive`] exactly (including the degenerate
+/// no-thresholds case) and are returned in sorted order.
 pub fn find_rules(
     db: &Database,
     mq: &Metaquery,
@@ -67,30 +67,7 @@ pub fn find_rules(
 ) -> Result<Vec<MqAnswer>, InstError> {
     validate(db, mq, ty)?;
     let setup = Setup::new(db, mq, ty, thresholds);
-    let mut out = match setup.top_split() {
-        Some(split)
-            if split.tasks.len() >= 2 && parallel_enabled() && rayon::current_num_threads() > 1 =>
-        {
-            let results: Vec<Vec<MqAnswer>> = split
-                .tasks
-                .into_par_iter()
-                .map(|(rel, slots)| {
-                    let mut local = Vec::new();
-                    {
-                        let mut engine = Engine::new(&setup, |ans: &MqAnswer| {
-                            local.push(ans.clone());
-                            ControlFlow::Continue(())
-                        });
-                        engine.preassign(split.pidx, rel, slots);
-                        let _ = engine.find_bodies(0);
-                    }
-                    local
-                })
-                .collect();
-            results.into_iter().flatten().collect()
-        }
-        _ => collect_sequential(&setup),
-    };
+    let mut out = super::parallel::run(&setup);
     crate::engine::sort_answers(&mut out);
     Ok(out)
 }
@@ -111,7 +88,8 @@ pub fn find_rules_seq(
     Ok(out)
 }
 
-fn collect_sequential(setup: &Setup) -> Vec<MqAnswer> {
+/// Run the whole search on the calling thread, collecting every answer.
+pub(crate) fn collect_sequential(setup: &Setup) -> Vec<MqAnswer> {
     let mut out = Vec::new();
     {
         let mut engine = Engine::new(setup, |ans: &MqAnswer| {
@@ -121,19 +99,6 @@ fn collect_sequential(setup: &Setup) -> Vec<MqAnswer> {
         let _ = engine.find_bodies(0);
     }
     out
-}
-
-/// Whether the parallel driver is enabled (`MQ_PARALLEL=0` disables it;
-/// baseline mode always runs sequentially so A/B timings compare the
-/// pre-optimization engine faithfully).
-fn parallel_enabled() -> bool {
-    if mq_relation::baseline_mode() {
-        return false;
-    }
-    match std::env::var_os("MQ_PARALLEL") {
-        Some(v) => !matches!(v.to_str(), Some("0") | Some("false") | Some("off")),
-        None => true,
-    }
 }
 
 /// Decide `⟨DB, MQ, I, k, T⟩` with `findRules`, stopping at the first
@@ -205,8 +170,8 @@ pub fn body_decomposition(mq: &Metaquery) -> BodyDecomposition {
 /// Everything `findRules` computes **once** per (database, metaquery,
 /// type, thresholds) — immutable and shared by every search engine,
 /// including parallel workers.
-struct Setup<'a> {
-    db: &'a Database,
+pub(crate) struct Setup<'a> {
+    pub(crate) db: &'a Database,
     mq: &'a Metaquery,
     thresholds: Thresholds,
     /// `true` when a rule with all-zero indices would be accepted; in that
@@ -218,6 +183,9 @@ struct Setup<'a> {
     post: Vec<usize>,
     /// node -> its postorder position.
     pos_of: Vec<usize>,
+    /// Per node: its χ label as a sorted variable list (what node joins
+    /// project onto).
+    chi_sorted: Vec<Vec<VarId>>,
 
     /// Global pattern count and scheme info. Pattern index 0 is the head
     /// pattern when the head is a pattern; body patterns follow in order.
@@ -227,24 +195,27 @@ struct Setup<'a> {
     /// negated body scheme index -> global pattern index (None if fixed).
     neg_pattern: Vec<Option<usize>>,
     /// Per global pattern: candidate relation -> slot maps.
-    candidates: Vec<HashMap<RelId, Vec<Vec<Option<usize>>>>>,
+    pub(crate) candidates: Vec<HashMap<RelId, Vec<Vec<Option<usize>>>>>,
     /// Per global pattern: pre-allocated fresh padding variables, one per
     /// relation position (type-2); index j pads position j.
     fresh_slots: Vec<Vec<VarId>>,
     /// Per global pattern: its predicate variable.
-    pattern_pv: Vec<PredVarId>,
-}
-
-/// The deterministic partition of the search space used by the parallel
-/// driver: every candidate assignment of the first pattern enumerated at
-/// the first decomposition vertex.
-struct TopSplit {
-    pidx: usize,
-    tasks: Vec<(RelId, Vec<Option<usize>>)>,
+    pub(crate) pattern_pv: Vec<PredVarId>,
+    /// Body patterns in the order `find_bodies` first assigns them —
+    /// the scheduler's split axis.
+    pub(crate) enum_order: Vec<usize>,
+    /// The count-only plan behind both cover and confidence:
+    /// `|inputs[0] ⋉ inputs[1]|` (cvr feeds `[h, b]`, cnf `[b, h]`).
+    semijoin_count_plan: CountPlan,
 }
 
 impl<'a> Setup<'a> {
-    fn new(db: &'a Database, mq: &'a Metaquery, ty: InstType, thresholds: Thresholds) -> Self {
+    pub(crate) fn new(
+        db: &'a Database,
+        mq: &'a Metaquery,
+        ty: InstType,
+        thresholds: Thresholds,
+    ) -> Self {
         // Decomposition of the body literal schemes' ordinary variables.
         let edges: Vec<BTreeSet<VarId>> = mq.body.iter().map(|l| l.var_set()).collect();
         let (_, mut ht) = hypertree_width_of_sets(&edges).expect("non-empty body");
@@ -254,6 +225,11 @@ impl<'a> Setup<'a> {
         for (i, &n) in post.iter().enumerate() {
             pos_of[n] = i;
         }
+        let chi_sorted: Vec<Vec<VarId>> = ht
+            .nodes
+            .iter()
+            .map(|n| n.chi.iter().copied().collect())
+            .collect();
 
         // Global pattern bookkeeping (head first, as in rep(MQ)).
         let head_is_pattern = mq.head.is_pattern();
@@ -298,6 +274,23 @@ impl<'a> Setup<'a> {
             .map(|_| (0..max_arity).map(|_| pool.fresh()).collect())
             .collect();
 
+        // The order `find_bodies` first assigns body patterns: postorder
+        // vertices, each vertex's λ patterns in label order, first
+        // occurrence only. The scheduler splits tasks along a prefix of
+        // this order, so it must mirror `enum_node` exactly.
+        let mut seen = vec![false; schemes.len()];
+        let mut enum_order = Vec::new();
+        for &node in &post {
+            for &bi in &ht.nodes[node].lambda {
+                if let Some(pidx) = body_pattern[bi] {
+                    if !seen[pidx] {
+                        seen[pidx] = true;
+                        enum_order.push(pidx);
+                    }
+                }
+            }
+        }
+
         let zero = IndexValues {
             sup: Frac::ZERO,
             cnf: Frac::ZERO,
@@ -311,44 +304,92 @@ impl<'a> Setup<'a> {
             ht,
             post,
             pos_of,
+            chi_sorted,
             head_is_pattern,
             body_pattern,
             neg_pattern,
             candidates,
             fresh_slots,
             pattern_pv,
+            enum_order,
+            semijoin_count_plan: CountPlan::semijoin_count(0, 1),
         }
-    }
-
-    /// The candidate assignments of the first pattern the search would
-    /// enumerate, in enumeration order — the parallel partition points.
-    /// `None` when the first vertex binds no pattern (all fixed atoms).
-    fn top_split(&self) -> Option<TopSplit> {
-        let node = self.post[0];
-        let pidx = self.ht.nodes[node]
-            .lambda
-            .iter()
-            .find_map(|&bi| self.body_pattern[bi])?;
-        let mut rels: Vec<RelId> = self.candidates[pidx].keys().copied().collect();
-        rels.sort();
-        let mut tasks = Vec::new();
-        for rel in rels {
-            for slots in &self.candidates[pidx][&rel] {
-                tasks.push((rel, slots.clone()));
-            }
-        }
-        Some(TopSplit { pidx, tasks })
     }
 }
 
-/// An instantiated atom — the memo-key unit shared by the atom cache and
-/// the partial-join memo.
-type AtomKey = (RelId, Vec<Term>);
+/// One pre-pinned pattern assignment of a scheduler task: pattern index,
+/// relation, slot map.
+pub(crate) type PrefixAssign = (usize, RelId, Vec<Option<usize>>);
+
+impl Setup<'_> {
+    /// The deterministic partition of the search space used by the
+    /// scheduler: every combination of candidate assignments for the
+    /// first `depth` patterns in [`Setup::enum_order`], generated in
+    /// exactly the order `enum_node` would enumerate them (including
+    /// predicate-variable locking between patterns sharing a `pv`).
+    /// Empty when the body binds no pattern.
+    pub(crate) fn prefix_tasks(&self, depth: usize) -> Vec<Vec<PrefixAssign>> {
+        let pats: Vec<usize> = self.enum_order.iter().copied().take(depth.max(1)).collect();
+        let mut tasks = Vec::new();
+        if pats.is_empty() {
+            return tasks;
+        }
+        let mut locked: HashMap<PredVarId, (RelId, usize)> = HashMap::new();
+        let mut cur: Vec<PrefixAssign> = Vec::with_capacity(pats.len());
+        self.gen_prefix(&pats, 0, &mut locked, &mut cur, &mut tasks);
+        tasks
+    }
+
+    fn gen_prefix(
+        &self,
+        pats: &[usize],
+        k: usize,
+        locked: &mut HashMap<PredVarId, (RelId, usize)>,
+        cur: &mut Vec<PrefixAssign>,
+        out: &mut Vec<Vec<PrefixAssign>>,
+    ) {
+        if k == pats.len() {
+            out.push(cur.clone());
+            return;
+        }
+        let pidx = pats[k];
+        let pv = self.pattern_pv[pidx];
+        let rels: Vec<RelId> = match locked.get(&pv).map(|&(r, _)| r) {
+            Some(r) if self.candidates[pidx].contains_key(&r) => vec![r],
+            Some(_) => Vec::new(),
+            None => {
+                let mut rels: Vec<RelId> = self.candidates[pidx].keys().copied().collect();
+                rels.sort();
+                rels
+            }
+        };
+        for rel in rels {
+            locked
+                .entry(pv)
+                .and_modify(|e| e.1 += 1)
+                .or_insert((rel, 1));
+            for slots in &self.candidates[pidx][&rel] {
+                cur.push((pidx, rel, slots.clone()));
+                self.gen_prefix(pats, k + 1, locked, cur, out);
+                cur.pop();
+            }
+            match locked.get_mut(&pv) {
+                Some(e) if e.1 == 1 => {
+                    locked.remove(&pv);
+                }
+                Some(e) => e.1 -= 1,
+                None => {}
+            }
+        }
+    }
+}
 
 /// Per-search mutable state: assignment stacks, node relations, and the
-/// atom-bindings memo. Cheap to construct — one per parallel worker.
-struct Engine<'a, 'b, F> {
+/// plan executor with its memos. Cheap to construct — one per worker,
+/// reused across every task the worker steals (so memo slices accumulate).
+pub(crate) struct Engine<'a, 'b, F> {
     setup: &'b Setup<'a>,
+    exec: Executor<'a>,
     f: F,
     /// Search state: per-pattern assignment.
     assign: Vec<Option<PatternMap>>,
@@ -356,73 +397,59 @@ struct Engine<'a, 'b, F> {
     pv_rel: HashMap<PredVarId, (RelId, usize)>,
     /// Per postorder position: the reduced node relation `r[i]`.
     r: Vec<Option<Bindings>>,
-    /// Memo of instantiated-atom bindings, keyed by `(relation, terms)`.
-    /// Instantiations overwhelmingly share atom evaluations (each pattern
-    /// ranges over few relations), so evaluating once per distinct
-    /// instantiated atom — instead of once per use per instantiation —
-    /// removes most `from_atom` work from the enumeration.
-    atom_cache: HashMap<AtomKey, Rc<Bindings>>,
-    /// Memo of `π_χ(J(σi(λ(p_ν(i)))))` per decomposition vertex, keyed by
-    /// the vertex and its λ patterns' assignments: the projected node join
-    /// is independent of every *other* pattern's assignment, so sibling
-    /// instantiations share it (only the child semijoins differ).
-    node_cache: HashMap<(usize, Vec<PatternMap>), Rc<Bindings>>,
-    /// Memo of *partial* λ-join prefixes, keyed by the planned prefix of
-    /// instantiated atoms and the variables the intermediate keeps (the
-    /// projection applied, `χ ∪ vars(remaining atoms)` restricted to the
-    /// prefix). Sibling λ assignments that differ only in later-planned
-    /// atoms — the inner loops of the pattern enumeration — resume from
-    /// the shared prefix instead of rejoining from scratch, and because
-    /// the key carries no vertex, prefixes are even shared across
-    /// decomposition vertices whose λ labels overlap.
-    partial_cache: HashMap<(Vec<AtomKey>, Vec<VarId>), Rc<Bindings>>,
 }
 
 impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
-    fn new(setup: &'b Setup<'a>, f: F) -> Self {
+    pub(crate) fn new(setup: &'b Setup<'a>, f: F) -> Self {
         let n_patterns = setup.candidates.len();
         let n_pos = setup.post.len();
         Engine {
             setup,
+            exec: Executor::new(setup.db),
             f,
             assign: vec![None; n_patterns],
             pv_rel: HashMap::new(),
             r: vec![None; n_pos],
-            atom_cache: HashMap::new(),
-            node_cache: HashMap::new(),
-            partial_cache: HashMap::new(),
         }
     }
 
     /// Pin pattern `pidx` to `(rel, slots)` before the search starts (the
-    /// parallel driver's partition point). Mirrors one iteration of the
-    /// `enum_node` candidate loop.
+    /// scheduler's partition points). Mirrors one iteration of the
+    /// `enum_node` candidate loop, including the shared-`pv` lock count.
     fn preassign(&mut self, pidx: usize, rel: RelId, slots: Vec<Option<usize>>) {
         let pv = self.setup.pattern_pv[pidx];
-        self.pv_rel.insert(pv, (rel, 1));
+        self.pv_rel
+            .entry(pv)
+            .and_modify(|e| e.1 += 1)
+            .or_insert((rel, 1));
         self.assign[pidx] = Some(PatternMap { rel, slots });
     }
 
-    /// Evaluate `rel(terms)` once, memoized. In baseline mode the memo is
-    /// bypassed so A/B timings measure the pre-optimization engine (which
-    /// re-evaluated every atom at every use) faithfully.
-    fn eval_atom(&mut self, rel: RelId, terms: Vec<Term>) -> Rc<Bindings> {
-        let db = self.setup.db;
-        if mq_relation::baseline_mode() {
-            return Rc::new(Bindings::from_atom(db.relation(rel), &terms));
+    /// Undo a [`Engine::preassign`].
+    fn unassign(&mut self, pidx: usize) {
+        self.assign[pidx] = None;
+        self.unpin(self.setup.pattern_pv[pidx]);
+    }
+
+    /// Run one scheduler task: pin the prefix, search the remainder,
+    /// unpin. The executor's memos survive across tasks.
+    pub(crate) fn run_prefix_task(&mut self, task: &[PrefixAssign]) {
+        for (pidx, rel, slots) in task {
+            self.preassign(*pidx, *rel, slots.clone());
         }
-        Rc::clone(
-            self.atom_cache
-                .entry((rel, terms))
-                .or_insert_with_key(|(rel, terms)| {
-                    Rc::new(Bindings::from_atom(db.relation(*rel), terms))
-                }),
-        )
+        let _ = self.find_bodies(0);
+        for (pidx, _, _) in task {
+            self.unassign(*pidx);
+        }
+    }
+
+    fn eval_atom(&mut self, rel: RelId, terms: Vec<Term>) -> Rc<Bindings> {
+        self.exec.eval_atom((rel, terms))
     }
 
     /// Instantiated terms for body scheme `bi` under the current (partial)
     /// assignment. Only called when the scheme is fixed or assigned.
-    fn body_atom_terms(&self, bi: usize) -> (RelId, Vec<Term>) {
+    fn body_atom_terms(&self, bi: usize) -> AtomKey {
         let setup = self.setup;
         let scheme = &setup.mq.body[bi];
         match setup.body_pattern[bi] {
@@ -455,143 +482,17 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         self.eval_atom(rel, terms)
     }
 
-    /// `π_χ(J(σi(λ(p_ν(i)))))` for vertex `node`, memoized by the λ
-    /// patterns' current assignments. The optimized path plans the join
-    /// instead of folding λ in label order — see
-    /// [`Engine::plan_node_join`].
+    /// `π_χ(J(σi(λ(p_ν(i)))))` for vertex `node`: collect the λ atoms'
+    /// instantiated keys and hand them to the executor, which plans
+    /// (memoized by `(χ, atoms)`) and executes (memoized by plan-node id).
     fn eval_node_join(&mut self, node: usize, lambda: &[usize]) -> Rc<Bindings> {
-        if mq_relation::baseline_mode() {
-            // Pre-optimization engine: fold in raw λ order, no planning,
-            // no memo — the A/B comparison target of `bench_report`.
-            let mut join = Bindings::unit();
-            for &bi in lambda {
-                let b = self.eval_body_atom(bi);
-                join = join.join(&b);
-                if join.is_empty() {
-                    break;
-                }
-            }
-            let chi: Vec<VarId> = self.setup.ht.nodes[node].chi.iter().copied().collect();
-            return Rc::new(join.project(&chi));
-        }
-        let key_maps: Vec<PatternMap> = lambda
-            .iter()
-            .filter_map(|&bi| self.setup.body_pattern[bi])
-            .map(|pidx| self.assign[pidx].clone().expect("λ patterns assigned"))
-            .collect();
-        let key = (node, key_maps);
-        if let Some(hit) = self.node_cache.get(&key) {
-            return Rc::clone(hit);
-        }
-        let built = self.plan_node_join(node, lambda);
-        self.node_cache.insert(key, Rc::clone(&built));
-        built
-    }
-
-    /// Cost-guided, prefix-memoized evaluation of the node join
-    /// `π_χ(J(σi(λ(p_ν(i)))))`.
-    ///
-    /// The λ atoms are joined in a planned order ([`plan_join_order`]):
-    /// smallest atom first, then greedily by estimated hash-join fan-out
-    /// (`len / distinct_keys` on the shared columns, both read off the
-    /// cached [`mq_relation::hashjoin::GroupIndex`]). Completed width-≥2
-    /// decompositions routinely label a vertex with variable-disjoint atom
-    /// pairs, and the raw λ fold joined those into a `d²` cross product
-    /// before the connecting atom could filter it — the fig-4 width-2
-    /// cycle slowdown.
-    ///
-    /// Two further refinements keep the largest intermediate from ever
-    /// materializing:
-    ///
-    /// * each intermediate is projected onto the variables still *needed*
-    ///   (`χ ∪ vars(remaining atoms)`), and
-    /// * an atom contributing no needed variable is applied as a
-    ///   **semijoin** — `π_V(J ⋈ A) = π_V(J ⋉ A)` when `A` adds no
-    ///   variable of `V`, and the semijoin never multiplies rows.
-    ///
-    /// Every planned prefix is memoized by `(instantiated atoms, kept
-    /// variables)`, so sibling instantiations that differ only in
-    /// later-planned atoms resume from the shared intermediate.
-    fn plan_node_join(&mut self, node: usize, lambda: &[usize]) -> Rc<Bindings> {
-        let chi: Vec<VarId> = self.setup.ht.nodes[node].chi.iter().copied().collect();
         let keys: Vec<AtomKey> = lambda.iter().map(|&bi| self.body_atom_terms(bi)).collect();
-        let atoms: Vec<Rc<Bindings>> = keys
-            .iter()
-            .map(|(rel, terms)| self.eval_atom(*rel, terms.clone()))
-            .collect();
-        if let [atom] = atoms.as_slice() {
-            return Rc::new(atom.project(&chi));
-        }
-        let stats: Vec<JoinAtomStats> = atoms
-            .iter()
-            .map(|b| JoinAtomStats {
-                len: b.len(),
-                vars: b.vars().to_vec(),
-            })
-            .collect();
-        let order = plan_join_order(&stats, |i, shared| {
-            atoms[i].len() as f64 / atoms[i].distinct_keys(shared).max(1) as f64
-        });
-        // needed[k]: variables the pipeline still requires after step k —
-        // χ plus everything a later-planned atom joins on.
-        let mut needed: Vec<BTreeSet<VarId>> = Vec::with_capacity(order.len());
-        let mut acc_need: BTreeSet<VarId> = chi.iter().copied().collect();
-        for &ai in order.iter().rev() {
-            needed.push(acc_need.clone());
-            acc_need.extend(atoms[ai].vars().iter().copied());
-        }
-        needed.reverse();
-
-        let mut prefix: Vec<AtomKey> = Vec::with_capacity(order.len());
-        let mut covered: BTreeSet<VarId> = BTreeSet::new();
-        let mut acc: Option<Rc<Bindings>> = None;
-        for (k, &ai) in order.iter().enumerate() {
-            prefix.push(keys[ai].clone());
-            covered.extend(atoms[ai].vars().iter().copied());
-            let kept: Vec<VarId> = covered
-                .iter()
-                .copied()
-                .filter(|v| needed[k].contains(v))
-                .collect();
-            let memo_key = (prefix.clone(), kept.clone());
-            if let Some(hit) = self.partial_cache.get(&memo_key) {
-                let empty = hit.is_empty();
-                acc = Some(Rc::clone(hit));
-                if empty {
-                    break; // joins and semijoins both preserve emptiness
-                }
-                continue;
-            }
-            let next = match &acc {
-                None => Rc::new(atoms[ai].project(&kept)),
-                Some(a) => {
-                    let adds_needed = atoms[ai]
-                        .vars()
-                        .iter()
-                        .any(|v| a.position(*v).is_none() && needed[k].contains(v));
-                    let stepped = if adds_needed {
-                        a.join(&atoms[ai])
-                    } else {
-                        a.semijoin(&atoms[ai])
-                    };
-                    Rc::new(stepped.project(&kept))
-                }
-            };
-            self.partial_cache.insert(memo_key, Rc::clone(&next));
-            let empty = next.is_empty();
-            acc = Some(next);
-            if empty {
-                break; // joins and semijoins both preserve emptiness
-            }
-        }
-        // The last step's kept set is `covered ∩ χ` in sorted order —
-        // exactly what projecting the full join onto χ produces.
-        acc.expect("λ labels are non-empty")
+        self.exec.node_join(&self.setup.chi_sorted[node], keys)
     }
 
     /// Instantiated terms for negated body scheme `ni` (must be fixed or
     /// assigned).
-    fn neg_atom_terms(&self, ni: usize) -> (RelId, Vec<Term>) {
+    fn neg_atom_terms(&self, ni: usize) -> AtomKey {
         let setup = self.setup;
         let scheme = &setup.mq.neg_body[ni];
         match setup.neg_pattern[ni] {
@@ -620,7 +521,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
     }
 
     /// The paper's `findBodies(i, σb)`.
-    fn find_bodies(&mut self, i: usize) -> ControlFlow<()> {
+    pub(crate) fn find_bodies(&mut self, i: usize) -> ControlFlow<()> {
         if i == self.setup.post.len() {
             return self.second_half_and_heads();
         }
@@ -647,8 +548,8 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
     ) -> ControlFlow<()> {
         if depth == to_assign.len() {
             // All λ patterns mapped: r[i] := π_χ(J(σi(λ(p_ν(i))))),
-            // memoized per (vertex, λ assignment) and shared across the
-            // sibling instantiations that only differ elsewhere.
+            // planned and executed by the executor, memoized so sibling
+            // instantiations that only differ elsewhere share it.
             let projected = self.eval_node_join(node, lambda);
             let mut r_i = (*projected).clone();
             for &child in &self.setup.ht.children[node] {
@@ -743,7 +644,8 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
                 let reduced = if !mq_relation::baseline_mode() && s_home.vars() == ra.vars() {
                     s_home.len()
                 } else {
-                    ra.semijoin_count(s_home)
+                    self.exec
+                        .exec_count(&setup.semijoin_count_plan, &[ra, s_home])
                 };
                 if Frac::ratio_or_zero(reduced as u64, ra.len() as u64) > ksup {
                     enough = true;
@@ -809,7 +711,8 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
                         let num = if s_home.vars() == vars.as_slice() {
                             s_home.len()
                         } else {
-                            s_home.count_distinct(&vars)
+                            self.exec
+                                .exec_count(&CountPlan::count_distinct(0, vars), &[s_home])
                         };
                         let f = Frac::ratio_or_zero(num as u64, ra.len() as u64);
                         if let Some(cur) = sup {
@@ -850,21 +753,27 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             // Exact support values for reporting, on the filtered join
             // (or precomputed from the reduced tree when no negated atom
             // filtered it — see `second_half_and_heads`).
-            let sup = sup_hint.unwrap_or_else(|| {
-                let mut sup = Frac::ZERO;
-                for (bi, ra) in body_atoms.iter().enumerate() {
-                    if ra.is_empty() {
-                        continue;
+            let sup = match sup_hint {
+                Some(s) => s,
+                None => {
+                    let mut sup = Frac::ZERO;
+                    for (bi, ra) in body_atoms.iter().enumerate() {
+                        if ra.is_empty() {
+                            continue;
+                        }
+                        let vars = self.mq_body_atom_vars(bi);
+                        let num = self
+                            .exec
+                            .exec_count(&CountPlan::count_distinct(0, vars), &[&b])
+                            as u64;
+                        let f = Frac::ratio_or_zero(num, ra.len() as u64);
+                        if f > sup {
+                            sup = f;
+                        }
                     }
-                    let vars = self.mq_body_atom_vars(bi);
-                    let num = b.count_distinct(&vars) as u64;
-                    let f = Frac::ratio_or_zero(num, ra.len() as u64);
-                    if f > sup {
-                        sup = f;
-                    }
+                    sup
                 }
-                sup
-            });
+            };
             if let Some(ksup) = setup.thresholds.sup {
                 if sup <= ksup {
                     return ControlFlow::Continue(());
@@ -988,8 +897,12 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         head_terms: Vec<Term>,
     ) -> ControlFlow<()> {
         let h = self.eval_atom(head_rel, head_terms);
+        let count_plan = &self.setup.semijoin_count_plan;
         // cvr = |h ⋉ b| / |h| — a pure count, no rows materialized.
-        let cvr = Frac::ratio_or_zero(h.semijoin_count(b) as u64, h.len() as u64);
+        let cvr = Frac::ratio_or_zero(
+            self.exec.exec_count(count_plan, &[&h, b]) as u64,
+            h.len() as u64,
+        );
         if let Some(k) = self.setup.thresholds.cvr {
             if cvr <= k {
                 return ControlFlow::Continue(());
@@ -998,7 +911,10 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         // cnf = |b ⋉ h| / |b| (equivalently b ⋉ h': every h-row whose key
         // occurs in b is itself in h', so the key sets agree). Probing `h`
         // reuses its cached index across every body instantiation.
-        let cnf = Frac::ratio_or_zero(b.semijoin_count(&h) as u64, b.len() as u64);
+        let cnf = Frac::ratio_or_zero(
+            self.exec.exec_count(count_plan, &[b, &h]) as u64,
+            b.len() as u64,
+        );
         if let Some(k) = self.setup.thresholds.cnf {
             if cnf <= k {
                 return ControlFlow::Continue(());
@@ -1175,10 +1091,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_order() {
-        // The parallel driver must return byte-identical, identically
-        // ordered answers to the sequential engine. Force a multi-worker
-        // pool even on single-core machines so the fan-out actually runs
-        // (an atomic override — env mutation is unsound under concurrent
+        // The scheduler must return byte-identical, identically ordered
+        // answers to the sequential engine. Force a multi-worker pool
+        // even on single-core machines so the fan-out actually runs (an
+        // atomic override — env mutation is unsound under concurrent
         // reads).
         rayon::set_thread_override(Some(3));
         let mut rng = StdRng::seed_from_u64(8);
@@ -1195,6 +1111,33 @@ mod tests {
             }
         }
         rayon::set_thread_override(None);
+    }
+
+    #[test]
+    fn prefix_tasks_cover_enumeration_in_order() {
+        // Depth-2 tasks over "R(X,Z) <- P(X,Y), Q(Y,Z)" with 2 relations:
+        // the cartesian product of both body patterns' candidates, in
+        // enumeration order.
+        let mut rng = StdRng::seed_from_u64(9);
+        let db = random_db(&mut rng, &[("p", 2), ("q", 2)], 6, 3);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let setup = Setup::new(&db, &mq, InstType::Zero, Thresholds::none());
+        assert_eq!(setup.enum_order.len(), 2);
+        let d1 = setup.prefix_tasks(1);
+        let d2 = setup.prefix_tasks(2);
+        assert_eq!(d1.len(), 2, "2 relations × 1 slot map for pattern 1");
+        assert_eq!(d2.len(), 4, "cartesian product at depth 2");
+        // Depth-2 tasks refine depth-1 tasks in order.
+        for (i, task) in d2.iter().enumerate() {
+            assert_eq!(task.len(), 2);
+            assert_eq!(task[0], d1[i / 2][0], "prefix order must nest");
+        }
+        // A shared predicate variable locks the relation across patterns.
+        let mq2 = parse_metaquery("R(X,Z) <- P(X,Y), P(Y,Z)").unwrap();
+        let setup2 = Setup::new(&db, &mq2, InstType::Zero, Thresholds::none());
+        for task in setup2.prefix_tasks(2) {
+            assert_eq!(task[0].1, task[1].1, "shared pv must lock the relation");
+        }
     }
 
     #[test]

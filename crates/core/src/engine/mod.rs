@@ -12,8 +12,10 @@
 //! `T` and thresholds, all type-`T` instantiations `σ` with
 //! `sup(σ(MQ)) > k_sup`, `cvr(σ(MQ)) > k_cvr` and `cnf(σ(MQ)) > k_cnf`.
 
+pub(crate) mod exec;
 pub mod find_rules;
 pub mod naive;
+pub mod parallel;
 
 use crate::index::{IndexKind, IndexValues};
 use crate::instantiate::{InstType, Instantiation};

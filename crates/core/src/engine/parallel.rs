@@ -1,0 +1,123 @@
+//! The work-stealing scheduler for `findRules`.
+//!
+//! The sequential search enumerates pattern assignments depth-first. The
+//! scheduler splits that search over *instantiation prefixes*: every
+//! combination of candidate assignments for the first [`split_depth`]
+//! patterns (in enumeration order, respecting predicate-variable locks)
+//! becomes one task. Tasks go into a shared deque drained by
+//! work-stealing workers (`rayon::scope`/`spawn`, identical under the
+//! offline shim and real rayon): each worker owns **one** engine — and
+//! thus one plan arena, atom cache, and plan-node result memo — reused
+//! across every task it steals, so the memo slice for a prefix travels
+//! with the worker that computed it.
+//!
+//! Determinism: tasks are generated in enumeration order and each task's
+//! answers land in its own output slot; concatenating slots in task order
+//! reproduces the sequential enumeration order exactly, regardless of
+//! which worker ran what when. `find_rules` then applies the same final
+//! sort as `find_rules_seq`, so output is byte-identical for every
+//! `MQ_THREADS` × `MQ_SPLIT_DEPTH` combination.
+//!
+//! Knobs: `MQ_PARALLEL=0` disables the scheduler; `MQ_THREADS` caps the
+//! worker count (via the rayon shim); `MQ_SPLIT_DEPTH` (default 2) sets
+//! how many leading patterns the split enumerates — deeper splits give
+//! more, finer tasks for many-core machines.
+
+use super::find_rules::{collect_sequential, Engine, Setup};
+use super::MqAnswer;
+use std::cell::RefCell;
+use std::ops::ControlFlow;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of leading patterns the scheduler splits on.
+pub const DEFAULT_SPLIT_DEPTH: usize = 2;
+
+/// Runtime override of the split depth (0 = none). Exists so tests can
+/// sweep depths without `std::env::set_var` (unsound under concurrent
+/// env reads on glibc).
+static SPLIT_DEPTH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force [`split_depth`] to return `d` (or `None` to restore the
+/// `MQ_SPLIT_DEPTH` env / default resolution). Process-global; intended
+/// for tests and harnesses.
+pub fn set_split_depth_override(d: Option<usize>) {
+    SPLIT_DEPTH_OVERRIDE.store(d.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The split depth: the override, else `MQ_SPLIT_DEPTH`, else
+/// [`DEFAULT_SPLIT_DEPTH`]. Clamped to ≥ 1.
+pub fn split_depth() -> usize {
+    let over = SPLIT_DEPTH_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    std::env::var("MQ_SPLIT_DEPTH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&d| d > 0)
+        .unwrap_or(DEFAULT_SPLIT_DEPTH)
+}
+
+/// Whether the parallel driver is enabled (`MQ_PARALLEL=0` disables it;
+/// baseline mode always runs sequentially so A/B timings compare the
+/// pre-optimization engine faithfully).
+fn parallel_enabled() -> bool {
+    if mq_relation::baseline_mode() {
+        return false;
+    }
+    match std::env::var_os("MQ_PARALLEL") {
+        Some(v) => !matches!(v.to_str(), Some("0") | Some("false") | Some("off")),
+        None => true,
+    }
+}
+
+/// Run the search for `setup`, on the work-stealing scheduler when it is
+/// enabled and the split yields at least two tasks, else sequentially.
+/// Answers come back in enumeration order (pre-sort).
+pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || !parallel_enabled() {
+        return collect_sequential(setup);
+    }
+    let tasks = setup.prefix_tasks(split_depth());
+    if tasks.len() < 2 {
+        return collect_sequential(setup);
+    }
+    let n_workers = threads.min(tasks.len());
+    // One output slot per task: deterministic merge regardless of which
+    // worker ran the task (or when).
+    let slots: Vec<Mutex<Vec<MqAnswer>>> = tasks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    rayon::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|_| {
+                // One engine per worker, reused across stolen tasks: the
+                // plan arena and result memos accumulate, so a prefix
+                // computed for one task is a memo hit for the next.
+                let sink: Rc<RefCell<Vec<MqAnswer>>> = Rc::new(RefCell::new(Vec::new()));
+                let mut engine = Engine::new(setup, {
+                    let sink = Rc::clone(&sink);
+                    move |ans: &MqAnswer| {
+                        sink.borrow_mut().push(ans.clone());
+                        ControlFlow::Continue(())
+                    }
+                });
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    engine.run_prefix_task(&tasks[i]);
+                    let got: Vec<MqAnswer> = sink.borrow_mut().drain(..).collect();
+                    *slots[i].lock().expect("result slot poisoned") = got;
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("result slot poisoned"))
+        .collect()
+}

@@ -15,7 +15,10 @@
 //! * [`certificate`] — the NP certificates of Theorems 3.21/3.24, as
 //!   executable checkers;
 //! * [`cost`] — the §4 cost model (`n`, `d`, `b`, `a`, `m`, `c`) with the
-//!   paper's step bounds, validated against actual enumeration counts.
+//!   paper's step bounds, validated against actual enumeration counts;
+//! * [`plan`] — the physical plan IR: the cost-guided join planner as a
+//!   pure function producing hash-consed operator DAGs, interpreted by
+//!   the engine's executor (see `ARCHITECTURE.md`).
 //!
 //! Beyond the paper, the crate implements the §5 future-work *negation
 //! extension*: metaquery bodies may contain `not L(...)` literal schemes
@@ -53,6 +56,7 @@ pub mod engine;
 pub mod index;
 pub mod instantiate;
 pub mod parse;
+pub mod plan;
 pub mod rule;
 
 /// Convenient re-exports of the most-used items.

@@ -70,6 +70,35 @@ pub fn clique(n: usize) -> Metaquery {
     b.build()
 }
 
+/// Star/clique hybrid metaquery of hypertree width `⌈(arms+1)/2⌉`: a
+/// center `X0` with `arms` **pattern** spokes `P_i(X0, X_i)`, plus a
+/// **fixed** rim atom `rim_rel(X_i, X_j)` for every pair of arm tips —
+/// the body hypergraph is the complete graph `K_{arms+1}`.
+///
+/// `arms = 4` gives `K_5`, hypertree width **3** — the width-3 series of
+/// `bench_report`, one step past the chain (width 1) and cycle (width 2)
+/// contrast. Keeping the rim fixed keeps the pattern count (and thus the
+/// instantiation space, which is exponential in `m`) at `arms + 1`, so
+/// the workload stresses the width-3 node joins rather than the
+/// enumeration.
+pub fn hybrid_star(arms: usize, rim_rel: &str) -> Metaquery {
+    assert!(arms >= 2);
+    let mut b = MetaqueryBuilder::new();
+    let xs: Vec<_> = (0..=arms).map(|i| b.var(&format!("X{i}"))).collect();
+    let head = b.pred_var("R");
+    b.head_pattern(head, vec![xs[1], xs[2]]);
+    for i in 1..=arms {
+        let p = b.pred_var(&format!("P{i}"));
+        b.body_pattern(p, vec![xs[0], xs[i]]);
+    }
+    for i in 1..=arms {
+        for j in (i + 1)..=arms {
+            b.body_atom(rim_rel, vec![xs[i], xs[j]]);
+        }
+    }
+    b.build()
+}
+
 /// Schema-driven metaquery generation (§1: metaqueries "can be
 /// automatically generated from the database schema"): all chain
 /// metaqueries of the given length whose patterns can match the schema's
@@ -108,6 +137,17 @@ mod tests {
         for m in 4..=6 {
             assert_eq!(body_decomposition(&cycle(m)).width, 2, "cycle({m})");
         }
+    }
+
+    #[test]
+    fn hybrid_star_width_three() {
+        let mq = hybrid_star(4, "rim");
+        assert_eq!(body_decomposition(&mq).width, 3, "K5 has width 3");
+        assert_eq!(mq.relation_patterns().len(), 5, "head + 4 spokes");
+        assert_eq!(mq.body.len(), 4 + 6, "4 spokes + C(4,2) rim atoms");
+        assert!(mq.is_pure());
+        // Smaller hybrid: K4 is the width-2 wheel.
+        assert_eq!(body_decomposition(&hybrid_star(3, "rim")).width, 2);
     }
 
     #[test]

@@ -389,6 +389,114 @@ impl Bindings {
         Bindings::new(out_vars, out_rows)
     }
 
+    /// Natural join on a **pre-planned** key set — the plan executor's
+    /// entry point. `keys` must be exactly the variables shared by the
+    /// two sides (the planner computes them once per plan node instead of
+    /// re-discovering them per execution); column and row order of the
+    /// result are identical to [`Bindings::join`].
+    pub fn join_on(&self, other: &Bindings, keys: &[VarId]) -> Bindings {
+        if baseline_mode() {
+            return baseline::join(self, other);
+        }
+        debug_assert!(
+            {
+                let (sp, _) = self.semijoin_positions(other);
+                sp.len() == keys.len() && keys.iter().all(|k| self.position(*k).is_some())
+            },
+            "join_on keys must be the shared variables"
+        );
+        if keys.is_empty() || self.vars.is_empty() || other.vars.is_empty() {
+            return self.join(other);
+        }
+        // Smaller side builds, as in `join`.
+        if self.rows.len() > other.rows.len() {
+            other.join_on_ordered(self, keys)
+        } else {
+            self.join_on_ordered(other, keys)
+        }
+    }
+
+    /// Keyed natural join keeping `self`'s columns first (build side =
+    /// `self`). Key positions are taken in build-column order so the
+    /// probe hits the same cached [`GroupIndex`] a derived join builds.
+    fn join_on_ordered(&self, probe: &Bindings, keys: &[VarId]) -> Bindings {
+        let build_pos: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| keys.contains(&self.vars[i]))
+            .collect();
+        let probe_pos: Vec<usize> = build_pos
+            .iter()
+            .map(|&i| probe.position(self.vars[i]).expect("key on both sides"))
+            .collect();
+        let extra: Vec<usize> = (0..probe.vars.len())
+            .filter(|&i| self.position(probe.vars[i]).is_none())
+            .collect();
+
+        let mut out_vars = self.vars.clone();
+        out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
+
+        let idx = self.binding_index(&build_pos);
+        let mut out_rows = Vec::new();
+        for prow in probe.rows.iter() {
+            for bi in idx.probe_cols(&self.rows, prow, &probe_pos) {
+                let brow = &self.rows[bi];
+                let mut row = Vec::with_capacity(out_vars.len());
+                row.extend_from_slice(brow);
+                row.extend(extra.iter().map(|&p| prow[p]));
+                out_rows.push(row.into_boxed_slice());
+            }
+        }
+        Bindings::new(out_vars, out_rows)
+    }
+
+    /// Semijoin on a **pre-planned** key set — the plan executor's
+    /// filtering entry point; result is identical to
+    /// [`Bindings::semijoin`] given `keys` = the shared variables.
+    pub fn semijoin_on(&self, other: &Bindings, keys: &[VarId]) -> Bindings {
+        if baseline_mode() {
+            return baseline::semijoin(self, other);
+        }
+        debug_assert!(
+            {
+                let (sp, _) = self.semijoin_positions(other);
+                sp.len() == keys.len() && keys.iter().all(|k| self.position(*k).is_some())
+            },
+            "semijoin_on keys must be the shared variables"
+        );
+        if keys.is_empty() {
+            return self.semijoin(other);
+        }
+        let self_pos: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| keys.contains(&self.vars[i]))
+            .collect();
+        let other_pos: Vec<usize> = self_pos
+            .iter()
+            .map(|&i| other.position(self.vars[i]).expect("key on both sides"))
+            .collect();
+        self.semijoin_filtered(other, &self_pos, &other_pos)
+    }
+
+    /// Shared semijoin body: keep rows of `self` whose key (columns
+    /// `self_pos`) hits a group of `other`'s cached index over
+    /// `other_pos`. Two passes so a no-op semijoin shares storage.
+    fn semijoin_filtered(&self, other: &Bindings, self_pos: &[usize], other_pos: &[usize]) -> Self {
+        let idx = other.binding_index(other_pos);
+        let mut kept: Vec<u32> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            let hit = idx.probe_group(&other.rows, r, self_pos).is_some();
+            if hit {
+                kept.push(i as u32);
+            }
+        }
+        if kept.len() == self.rows.len() {
+            return self.clone();
+        }
+        let rows: Vec<Tuple> = kept
+            .into_iter()
+            .map(|i| self.rows[i as usize].clone())
+            .collect();
+        Bindings::new(self.vars.clone(), rows)
+    }
+
     /// Join with an atom: `self ⋈ eval(rel, terms)`.
     ///
     /// Probes the relation's cached per-column-set index
@@ -552,24 +660,7 @@ impl Bindings {
                 self.clone()
             };
         }
-        let idx = other.binding_index(&other_pos);
-        // Two passes: find survivors first so a no-op semijoin (common in
-        // reduced join trees) shares storage instead of re-cloning rows.
-        let mut kept: Vec<u32> = Vec::new();
-        for (i, r) in self.rows.iter().enumerate() {
-            let hit = idx.probe_group(&other.rows, r, &self_pos).is_some();
-            if hit {
-                kept.push(i as u32);
-            }
-        }
-        if kept.len() == self.rows.len() {
-            return self.clone();
-        }
-        let rows: Vec<Tuple> = kept
-            .into_iter()
-            .map(|i| self.rows[i as usize].clone())
-            .collect();
-        Bindings::new(self.vars.clone(), rows)
+        self.semijoin_filtered(other, &self_pos, &other_pos)
     }
 
     /// `|self ⋉ other|` without materializing the surviving rows — the

@@ -200,5 +200,86 @@ proptest! {
             metaquery::core::engine::find_rules::find_rules_seq(&db, &mq, InstType::Zero, th)
                 .unwrap();
         prop_assert_eq!(par, seq);
+        rayon::set_thread_override(None);
+    }
+
+    /// The Plan IR → Executor pipeline must not change answers: planned
+    /// `find_rules` ≡ the naive guess-and-check engine on random chains,
+    /// stars and width-2 cycles — the shapes exercising single-atom
+    /// plans, shared-variable fans, and multi-atom λ labels (including
+    /// variable-disjoint pairs) respectively.
+    #[test]
+    fn plan_ir_executor_matches_naive(
+        p in relation_strategy(),
+        q in relation_strategy(),
+        h in relation_strategy(),
+        shape in 0usize..5,
+        ksup in 0u64..3,
+    ) {
+        let db = build_db(&p, &q, &h);
+        let text = match shape {
+            0 => "R(X0,X1) <- P0(X0,X1)",                                     // chain(1)
+            1 => "R(X0,X2) <- P0(X0,X1), P1(X1,X2)",                          // chain(2)
+            2 => "R(X0) <- P0(X0,X1), P1(X0,X2), P2(X0,X3)",                  // star(3)
+            3 => "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X0)",               // triangle
+            _ => "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X3), P3(X3,X0)",    // 4-cycle
+        };
+        let mq = parse_metaquery(text).unwrap();
+        let th = Thresholds::all(Frac::new(ksup, 4), Frac::ZERO, Frac::ZERO);
+        let planned = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+        let reference = naive_find_all(&db, &mq, InstType::Zero, th).unwrap();
+        prop_assert_eq!(planned, reference);
+    }
+}
+
+/// The scheduler must be deterministic across every thread-count ×
+/// split-depth combination: byte-identical `find_rules` output for
+/// `MQ_THREADS ∈ {1, 2, 4}` × `MQ_SPLIT_DEPTH ∈ {1, 2}` (set via the
+/// process-global overrides — env mutation is unsound under concurrent
+/// reads), on shapes whose enumeration actually spans multiple patterns
+/// and a shared predicate variable.
+#[test]
+fn find_rules_deterministic_across_threads_and_split_depths() {
+    use metaquery::core::engine::parallel::set_split_depth_override;
+    use mq_relation::ints;
+
+    let mut db = Database::new();
+    let rels = [("p", 2), ("q", 2), ("r", 2)];
+    let mut x = 0i64;
+    for (name, ar) in rels {
+        let id = db.add_relation(name, ar);
+        for i in 0..14 {
+            x = (x * 31 + 17) % 97; // deterministic pseudo-data
+            db.insert(id, ints(&[x % 5, (x + i) % 5]));
+        }
+    }
+    for text in [
+        "R(X,Z) <- P(X,Y), Q(Y,Z)",
+        "P(X,Y) <- P(Y,Z), Q(Z,W)", // shared pv between head and body
+        "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X0)", // width 2
+    ] {
+        let mq = parse_metaquery(text).unwrap();
+        for th in [
+            Thresholds::none(),
+            Thresholds::all(Frac::new(1, 10), Frac::new(1, 10), Frac::new(1, 10)),
+        ] {
+            let reference =
+                metaquery::core::engine::find_rules::find_rules_seq(&db, &mq, InstType::Zero, th)
+                    .unwrap();
+            for threads in [1usize, 2, 4] {
+                for depth in [1usize, 2] {
+                    rayon::set_thread_override(Some(threads));
+                    set_split_depth_override(Some(depth));
+                    let got = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+                    rayon::set_thread_override(None);
+                    set_split_depth_override(None);
+                    assert_eq!(
+                        got, reference,
+                        "output must be byte-identical for {text} at \
+                         MQ_THREADS={threads}, MQ_SPLIT_DEPTH={depth}"
+                    );
+                }
+            }
+        }
     }
 }
