@@ -19,14 +19,21 @@
 //! workloads whose name contains the substring (single-series runs;
 //! guards needing absent workloads are skipped); `MQ_BENCH_OUT`
 //! overrides the output path; `MQ_BENCH_MAX_WIDTH2_LAG` (default 30)
-//! the guard threshold. The report records the `threads` and
-//! `split_depth` the scheduler ran with (`MQ_THREADS`,
-//! `MQ_SPLIT_DEPTH`).
+//! the guard threshold; `MQ_BENCH_THREADS=1,2,4` additionally times the
+//! optimized core at each listed worker count (via the scheduler's
+//! thread override — the first entry is the primary measurement the
+//! speedup guards use), so shared-vs-private memo scaling shows up in
+//! the perf trajectory even before real many-core hardware is
+//! available. The report records the `threads`, `split_depth` and
+//! `shared_memo` configuration the scheduler ran with (`MQ_THREADS`,
+//! `MQ_SPLIT_DEPTH`, `MQ_SHARED_MEMO`), plus per-workload shared-memo
+//! hit/miss counters.
 
 use mq_bench::{
     chain_workload, cycle_workload, hybrid_star_workload, mid_thresholds, time, Workload,
 };
 use mq_core::engine::find_rules::find_rules;
+use mq_core::engine::memo::{shared_memo_enabled, take_shared_memo_counters, MemoStats};
 use mq_core::prelude::*;
 use mq_relation::{set_baseline_mode, Frac};
 
@@ -37,6 +44,12 @@ struct Row {
     answers: usize,
     median_opt_s: f64,
     median_base_s: f64,
+    /// Shared-memo traffic accumulated over the primary optimized
+    /// samples (zero when `MQ_SHARED_MEMO=0`).
+    memo: MemoStats,
+    /// `(worker count, optimized median)` per `MQ_BENCH_THREADS` entry;
+    /// empty when no sweep was requested.
+    by_threads: Vec<(usize, f64)>,
 }
 
 impl Row {
@@ -64,6 +77,34 @@ fn bench_only() -> Option<String> {
         .filter(|s| !s.is_empty())
 }
 
+/// The `MQ_BENCH_THREADS` sweep (e.g. `1,2,4`): worker counts to time
+/// the optimized core at. Empty when unset — one measurement at the
+/// ambient thread count, exactly the pre-sweep behavior.
+fn thread_sweep() -> Vec<usize> {
+    std::env::var("MQ_BENCH_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| {
+                    // Dropping an entry silently would shift which count
+                    // the primary measurement (and the guards) run at;
+                    // a misconfiguration must be loud.
+                    match t.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => Some(n),
+                        _ => {
+                            eprintln!(
+                                "MQ_BENCH_THREADS: ignoring invalid entry {t:?} \
+                                 (want positive integers, e.g. \"1,2,4\")"
+                            );
+                            None
+                        }
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// Median of `n` timed runs of `f` (which returns the answer count).
 fn median_secs(n: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
     let mut secs = Vec::with_capacity(n);
@@ -88,17 +129,55 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
     }
     let n = samples();
     let run = || find_rules(&w.db, &w.mq, InstType::Zero, th).unwrap().len();
-    let (median_opt_s, answers) = median_secs(n, run);
+    let sweep = thread_sweep();
+    // Primary measurement: the first sweep entry, or the ambient thread
+    // count when no sweep was requested. Shared-memo counters are
+    // drained before and after so the reported hit rate covers exactly
+    // the primary samples.
+    let _ = take_shared_memo_counters();
+    let (median_opt_s, answers) = match sweep.first() {
+        Some(&t) => {
+            // The thread override is the shim-rayon knob the scheduler
+            // tests use; it avoids unsound env mutation.
+            rayon::set_thread_override(Some(t));
+            let out = median_secs(n, run);
+            rayon::set_thread_override(None);
+            out
+        }
+        None => median_secs(n, run),
+    };
+    let memo = take_shared_memo_counters();
+    // Remaining sweep entries re-time the optimized core only.
+    let mut by_threads: Vec<(usize, f64)> = Vec::new();
+    if let Some((&first, rest)) = sweep.split_first() {
+        by_threads.push((first, median_opt_s));
+        for &t in rest {
+            rayon::set_thread_override(Some(t));
+            let (m, a) = median_secs(n, run);
+            rayon::set_thread_override(None);
+            assert_eq!(a, answers, "{name}: answers changed at {t} threads");
+            by_threads.push((t, m));
+        }
+    }
+    // Baseline always runs sequentially (baseline mode disables the
+    // scheduler), but keep the primary thread override in force anyway
+    // so both medians are measured under one configuration.
     set_baseline_mode(true);
+    if let Some(&t) = sweep.first() {
+        rayon::set_thread_override(Some(t));
+    }
     let (median_base_s, base_answers) = median_secs(n, run);
+    rayon::set_thread_override(None);
     set_baseline_mode(false);
     assert_eq!(
         answers, base_answers,
         "optimized and baseline cores must agree on {name}"
     );
     eprintln!(
-        "{name}: opt {median_opt_s:.5}s  base {median_base_s:.5}s  ({:.2}x, {answers} answers)",
-        median_base_s / median_opt_s.max(1e-12)
+        "{name}: opt {median_opt_s:.5}s  base {median_base_s:.5}s  ({:.2}x, {answers} answers, \
+         memo {:.0}% hit)",
+        median_base_s / median_opt_s.max(1e-12),
+        memo.hit_rate() * 100.0
     );
     rows_out.push(Row {
         name: name.to_string(),
@@ -107,6 +186,8 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
         answers,
         median_opt_s,
         median_base_s,
+        memo,
+        by_threads,
     });
 }
 
@@ -213,11 +294,29 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"samples_per_case\": {},\n", samples()));
+    // `threads` records the worker count the *primary* medians (and the
+    // guards) were measured at: the first sweep entry, or the ambient
+    // count when no sweep was requested.
+    let sweep = thread_sweep();
     json.push_str(&format!(
-        "  \"threads\": {},\n  \"split_depth\": {},\n",
-        rayon::current_num_threads(),
+        "  \"threads\": {},\n  \"split_depth\": {},\n  \"shared_memo\": {},\n",
+        sweep
+            .first()
+            .copied()
+            .unwrap_or_else(rayon::current_num_threads),
         mq_core::engine::parallel::split_depth(),
+        shared_memo_enabled(),
     ));
+    if !sweep.is_empty() {
+        json.push_str(&format!(
+            "  \"thread_sweep\": [{}],\n",
+            sweep
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
     if let Some(s) = fig4_median_speedup {
         json.push_str(&format!("  \"fig4_median_speedup\": {s:.3},\n"));
     }
@@ -226,10 +325,23 @@ fn main() {
     }
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let by_threads = if r.by_threads.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", \"by_threads\": {{{}}}",
+                r.by_threads
+                    .iter()
+                    .map(|(t, m)| format!("\"{t}\": {m:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"rows\": {}, \"total_tuples\": {}, \"answers\": {}, \
              \"median_optimized_s\": {:.6}, \"median_baseline_s\": {:.6}, \
-             \"speedup\": {:.3}, \"rows_per_sec\": {:.1}}}{}\n",
+             \"speedup\": {:.3}, \"rows_per_sec\": {:.1}, \
+             \"memo_hits\": {}, \"memo_misses\": {}, \"memo_hit_rate\": {:.3}{}}}{}\n",
             r.name,
             r.rows,
             r.total_tuples,
@@ -238,6 +350,10 @@ fn main() {
             r.median_base_s,
             r.speedup(),
             r.rows_per_sec(),
+            r.memo.hits,
+            r.memo.misses,
+            r.memo.hit_rate(),
+            by_threads,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

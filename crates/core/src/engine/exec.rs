@@ -1,75 +1,107 @@
 //! The plan executor: an interpreter over the [`crate::plan`] IR.
 //!
 //! One [`Executor`] lives inside each search engine (one per parallel
-//! worker). It owns the three memo layers that make repeated plan
-//! execution cheap:
+//! worker). It owns handles to the three memo layers that make repeated
+//! plan execution cheap:
 //!
 //! * **atom cache** — instantiated-atom bindings keyed by
 //!   `(relation, terms)`: instantiations overwhelmingly share atom
 //!   evaluations, so each distinct instantiated atom is evaluated once;
 //! * **plan cache** — `(χ, λ atom keys) → plan root`, so re-visiting a
 //!   vertex under the same λ assignment skips re-planning entirely;
-//! * **result memo** — plan-node id → bindings, a dense vector aligned
-//!   with the hash-consing [`PlanArena`]. Because node identity is the
-//!   operator plus its operands, sibling plans that share a planned
-//!   prefix share node ids, and the memo resumes them from the cached
-//!   intermediate — the PR 2 partial-join memo, re-keyed from ad-hoc
-//!   `(atom prefix, kept vars)` tuples to interned plan-node ids.
+//! * **result memo** — plan-node id → bindings, aligned with the
+//!   hash-consing [`PlanArena`]. Because node identity is the operator
+//!   plus its operands, sibling plans that share a planned prefix share
+//!   node ids, and the memo resumes them from the cached intermediate.
 //!
-//! The memos travel with the executor: the work-stealing scheduler keeps
-//! one engine (and thus one executor) per worker, so every task a worker
-//! steals reuses the slices accumulated by its previous tasks.
+//! The memos come in two backings:
+//!
+//! * **Shared** (the default) — handles into the search-global
+//!   [`SharedMemos`] service: every scheduler worker reads and publishes
+//!   into one memo, so an intermediate computed by any worker is a hit
+//!   for all of them. Sound because every memo value is a deterministic
+//!   function of its key and publication is first-writer-wins.
+//! * **Private** (`MQ_SHARED_MEMO=0`) — the PR 3 layout: one arena, one
+//!   atom/plan map and one dense id-indexed result vector per executor,
+//!   traveling with the worker that owns it.
 //!
 //! In baseline mode ([`mq_relation::baseline_mode`]) the executor
 //! reproduces the pre-optimization engine faithfully: atoms re-evaluated
 //! at every use, node joins folded in raw λ order, no plans, no memos.
 
+use crate::engine::memo::{PlanKey, SharedMemos};
 use crate::plan::{
-    build_node_plan, AtomKey, CountOp, CountPlan, JoinAtomStats, PlanArena, PlanNodeId, PlanOp,
+    build_node_plan_ordered, AtomKey, CountOp, CountPlan, JoinAtomStats, PlanArena, PlanNodeId,
+    PlanOp,
 };
 use mq_relation::{Bindings, Database, VarId};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// The executor's memo backing: private per-worker slices, or handles
+/// into the cross-worker shared memo service.
+enum Memos {
+    /// One memo slice per executor (the `MQ_SHARED_MEMO=0` escape
+    /// hatch): an arena plus maps only this worker touches.
+    Private {
+        arena: PlanArena,
+        /// Memo of instantiated-atom bindings, keyed by `(relation, terms)`.
+        atom_cache: HashMap<AtomKey, Arc<Bindings>>,
+        /// `(χ, λ atom keys) → plan root` — "decide once".
+        plan_cache: HashMap<PlanKey, PlanNodeId>,
+        /// Plan-node id → result, aligned with the arena ("execute many").
+        results: Vec<Option<Arc<Bindings>>>,
+    },
+    /// Handles into the search-global shared memo service.
+    Shared(Arc<SharedMemos>),
+}
 
 /// Interprets [`crate::plan`] IR against a database, memoizing per
 /// plan-node id. Cheap to construct — one per search engine.
 pub(crate) struct Executor<'a> {
     db: &'a Database,
-    arena: PlanArena,
-    /// Memo of instantiated-atom bindings, keyed by `(relation, terms)`.
-    atom_cache: HashMap<AtomKey, Rc<Bindings>>,
-    /// `(χ, λ atom keys) → plan root` — "decide once".
-    plan_cache: HashMap<(Vec<VarId>, Vec<AtomKey>), PlanNodeId>,
-    /// Plan-node id → result, aligned with the arena ("execute many").
-    results: Vec<Option<Rc<Bindings>>>,
+    memos: Memos,
 }
 
 impl<'a> Executor<'a> {
-    pub(crate) fn new(db: &'a Database) -> Self {
-        Executor {
-            db,
-            arena: PlanArena::new(),
-            atom_cache: HashMap::new(),
-            plan_cache: HashMap::new(),
-            results: Vec::new(),
-        }
+    /// An executor over `db`. With `shared = Some(service)` all memo
+    /// traffic goes through the cross-worker service; with `None` the
+    /// executor owns private memo slices.
+    pub(crate) fn new(db: &'a Database, shared: Option<Arc<SharedMemos>>) -> Self {
+        let memos = match shared {
+            Some(s) => Memos::Shared(s),
+            None => Memos::Private {
+                arena: PlanArena::new(),
+                atom_cache: HashMap::new(),
+                plan_cache: HashMap::new(),
+                results: Vec::new(),
+            },
+        };
+        Executor { db, memos }
     }
 
     /// Evaluate `rel(terms)` once, memoized. In baseline mode the memo is
     /// bypassed so A/B timings measure the pre-optimization engine (which
     /// re-evaluated every atom at every use) faithfully.
-    pub(crate) fn eval_atom(&mut self, key: AtomKey) -> Rc<Bindings> {
+    pub(crate) fn eval_atom(&mut self, key: AtomKey) -> Arc<Bindings> {
         if mq_relation::baseline_mode() {
-            return Rc::new(Bindings::from_atom(self.db.relation(key.0), &key.1));
+            return Arc::new(Bindings::from_atom(self.db.relation(key.0), &key.1));
         }
         let db = self.db;
-        Rc::clone(
-            self.atom_cache
-                .entry(key)
-                .or_insert_with_key(|(rel, terms)| {
-                    Rc::new(Bindings::from_atom(db.relation(*rel), terms))
-                }),
-        )
+        match &mut self.memos {
+            Memos::Private { atom_cache, .. } => {
+                Arc::clone(atom_cache.entry(key).or_insert_with_key(|(rel, terms)| {
+                    Arc::new(Bindings::from_atom(db.relation(*rel), terms))
+                }))
+            }
+            Memos::Shared(memos) => {
+                if let Some(hit) = memos.atoms.get(&key) {
+                    return hit;
+                }
+                let built = Arc::new(Bindings::from_atom(db.relation(key.0), &key.1));
+                memos.atoms.publish(key, built)
+            }
+        }
     }
 
     /// `π_χ(J(σi(λ(p_ν(i)))))`: plan (or fetch the cached plan for) the
@@ -81,7 +113,7 @@ impl<'a> Executor<'a> {
     /// [`mq_relation::hashjoin::GroupIndex`]). The plan is keyed by
     /// `(χ, atom keys)` — not by decomposition vertex — so vertices with
     /// identical labels share one plan outright.
-    pub(crate) fn node_join(&mut self, chi: &[VarId], atom_keys: Vec<AtomKey>) -> Rc<Bindings> {
+    pub(crate) fn node_join(&mut self, chi: &[VarId], atom_keys: Vec<AtomKey>) -> Arc<Bindings> {
         if mq_relation::baseline_mode() {
             // Pre-optimization engine: fold in raw λ order, no planning,
             // no memo — the A/B comparison target of `bench_report`.
@@ -93,13 +125,17 @@ impl<'a> Executor<'a> {
                     break;
                 }
             }
-            return Rc::new(join.project(chi));
+            return Arc::new(join.project(chi));
         }
-        let cache_key = (chi.to_vec(), atom_keys);
-        if let Some(&root) = self.plan_cache.get(&cache_key) {
+        let cache_key: PlanKey = (chi.to_vec(), atom_keys);
+        let cached_root = match &self.memos {
+            Memos::Private { plan_cache, .. } => plan_cache.get(&cache_key).copied(),
+            Memos::Shared(memos) => memos.plans.get(&cache_key),
+        };
+        if let Some(root) = cached_root {
             return self.exec(root);
         }
-        let atoms: Vec<Rc<Bindings>> = cache_key
+        let atoms: Vec<Arc<Bindings>> = cache_key
             .1
             .iter()
             .map(|key| self.eval_atom(key.clone()))
@@ -111,11 +147,65 @@ impl<'a> Executor<'a> {
                 vars: b.vars().to_vec(),
             })
             .collect();
-        let root = build_node_plan(&mut self.arena, chi, &cache_key.1, &stats, |i, shared| {
+        let expansion = |i: usize, shared: &[VarId]| {
             atoms[i].len() as f64 / atoms[i].distinct_keys(shared).max(1) as f64
-        });
-        self.plan_cache.insert(cache_key, root);
+        };
+        // Costing probes row statistics (index builds); do it before any
+        // arena lock so shared-mode planning never serializes workers on
+        // O(rows) work.
+        let order = crate::plan::plan_join_order(&stats, expansion);
+        let root = match &mut self.memos {
+            Memos::Private {
+                arena, plan_cache, ..
+            } => {
+                let root = build_node_plan_ordered(arena, chi, &cache_key.1, &stats, &order);
+                plan_cache.insert(cache_key, root);
+                root
+            }
+            Memos::Shared(memos) => {
+                // Interning is idempotent, so racing planners converge
+                // on identical node ids; the plan cache then keeps the
+                // first-published (equal) root. Only the pure intern
+                // runs under the shared arena's write lock.
+                let root = memos.intern_plan(|arena| {
+                    build_node_plan_ordered(arena, chi, &cache_key.1, &stats, &order)
+                });
+                memos.plans.publish(cache_key, root)
+            }
+        };
         self.exec(root)
+    }
+
+    /// The memoized result of node `id`, if present.
+    fn result_hit(&self, id: PlanNodeId) -> Option<Arc<Bindings>> {
+        match &self.memos {
+            Memos::Private { results, .. } => results.get(id.0 as usize).and_then(Clone::clone),
+            Memos::Shared(memos) => memos.results.get(&id),
+        }
+    }
+
+    /// Publish `out` as node `id`'s result; returns the canonical value
+    /// (a racing worker's first-published result wins in shared mode —
+    /// byte-identical either way, since node execution is deterministic).
+    fn result_publish(&mut self, id: PlanNodeId, out: Arc<Bindings>) -> Arc<Bindings> {
+        match &mut self.memos {
+            Memos::Private { arena, results, .. } => {
+                if results.len() < arena.len() {
+                    results.resize(arena.len(), None);
+                }
+                results[id.0 as usize] = Some(Arc::clone(&out));
+                out
+            }
+            Memos::Shared(memos) => memos.results.publish(id, out),
+        }
+    }
+
+    /// The operator of node `id`.
+    fn op(&self, id: PlanNodeId) -> PlanOp {
+        match &self.memos {
+            Memos::Private { arena, .. } => arena.op(id).clone(),
+            Memos::Shared(memos) => memos.op(id),
+        }
     }
 
     /// Execute plan node `id`, memoized per node id. Recursion depth is
@@ -126,19 +216,19 @@ impl<'a> Executor<'a> {
     /// empty intermediate itself is the node's (memoized) result — its
     /// columns are the prefix's kept variables, exactly like the engine
     /// before this refactor.
-    pub(crate) fn exec(&mut self, id: PlanNodeId) -> Rc<Bindings> {
-        if let Some(Some(hit)) = self.results.get(id.0 as usize) {
-            return Rc::clone(hit);
+    pub(crate) fn exec(&mut self, id: PlanNodeId) -> Arc<Bindings> {
+        if let Some(hit) = self.result_hit(id) {
+            return hit;
         }
-        let op = self.arena.op(id).clone();
-        let out: Rc<Bindings> = match op {
+        let op = self.op(id);
+        let out: Arc<Bindings> = match op {
             PlanOp::Scan { atom } => self.eval_atom(atom),
             PlanOp::Project { left, vars } => {
                 let l = self.exec(left);
                 if l.is_empty() {
                     l
                 } else {
-                    Rc::new(l.project(&vars))
+                    Arc::new(l.project(&vars))
                 }
             }
             PlanOp::HashJoin { left, atom, keys } => {
@@ -147,7 +237,7 @@ impl<'a> Executor<'a> {
                     l
                 } else {
                     let a = self.eval_atom(atom);
-                    Rc::new(l.join_on(&a, &keys))
+                    Arc::new(l.join_on(&a, &keys))
                 }
             }
             PlanOp::Semijoin { left, atom, keys } => {
@@ -156,15 +246,11 @@ impl<'a> Executor<'a> {
                     l
                 } else {
                     let a = self.eval_atom(atom);
-                    Rc::new(l.semijoin_on(&a, &keys))
+                    Arc::new(l.semijoin_on(&a, &keys))
                 }
             }
         };
-        if self.results.len() < self.arena.len() {
-            self.results.resize(self.arena.len(), None);
-        }
-        self.results[id.0 as usize] = Some(Rc::clone(&out));
-        out
+        self.result_publish(id, out)
     }
 
     /// Execute a count-only plan over the given input slots — the

@@ -52,7 +52,7 @@ use mq_cq::hypertree::{hypertree_width_of_sets, Hypertree};
 use mq_relation::{Bindings, Database, Frac, RelId, Term, VarId};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Find all type-`ty` instantiations whose indices clear `thresholds`,
 /// using the Figure 4 algorithm with the search run on the work-stealing
@@ -207,6 +207,12 @@ pub(crate) struct Setup<'a> {
     /// The count-only plan behind both cover and confidence:
     /// `|inputs[0] ⋉ inputs[1]|` (cvr feeds `[h, b]`, cnf `[b, h]`).
     semijoin_count_plan: CountPlan,
+    /// The cross-worker shared memo service (atoms, plans, node
+    /// results), created once per search when `MQ_SHARED_MEMO` is on
+    /// (the default) and handed to every worker's executor. `None` means
+    /// each worker warms a private memo slice (the escape hatch, and
+    /// baseline mode — which bypasses memos anyway).
+    pub(crate) shared_memos: Option<Arc<super::memo::SharedMemos>>,
 }
 
 impl<'a> Setup<'a> {
@@ -313,6 +319,8 @@ impl<'a> Setup<'a> {
             pattern_pv,
             enum_order,
             semijoin_count_plan: CountPlan::semijoin_count(0, 1),
+            shared_memos: (!mq_relation::baseline_mode() && super::memo::shared_memo_enabled())
+                .then(|| Arc::new(super::memo::SharedMemos::new())),
         }
     }
 }
@@ -405,7 +413,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         let n_pos = setup.post.len();
         Engine {
             setup,
-            exec: Executor::new(setup.db),
+            exec: Executor::new(setup.db, setup.shared_memos.clone()),
             f,
             assign: vec![None; n_patterns],
             pv_rel: HashMap::new(),
@@ -443,7 +451,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         }
     }
 
-    fn eval_atom(&mut self, rel: RelId, terms: Vec<Term>) -> Rc<Bindings> {
+    fn eval_atom(&mut self, rel: RelId, terms: Vec<Term>) -> Arc<Bindings> {
         self.exec.eval_atom((rel, terms))
     }
 
@@ -477,7 +485,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         }
     }
 
-    fn eval_body_atom(&mut self, bi: usize) -> Rc<Bindings> {
+    fn eval_body_atom(&mut self, bi: usize) -> Arc<Bindings> {
         let (rel, terms) = self.body_atom_terms(bi);
         self.eval_atom(rel, terms)
     }
@@ -485,7 +493,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
     /// `π_χ(J(σi(λ(p_ν(i)))))` for vertex `node`: collect the λ atoms'
     /// instantiated keys and hand them to the executor, which plans
     /// (memoized by `(χ, atoms)`) and executes (memoized by plan-node id).
-    fn eval_node_join(&mut self, node: usize, lambda: &[usize]) -> Rc<Bindings> {
+    fn eval_node_join(&mut self, node: usize, lambda: &[usize]) -> Arc<Bindings> {
         let keys: Vec<AtomKey> = lambda.iter().map(|&bi| self.body_atom_terms(bi)).collect();
         self.exec.node_join(&self.setup.chi_sorted[node], keys)
     }
@@ -625,7 +633,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         }
 
         // enoughSupport (exact: sup > k iff some atom's fraction > k).
-        let mut body_atoms: Vec<Rc<Bindings>> = Vec::with_capacity(setup.mq.body.len());
+        let mut body_atoms: Vec<Arc<Bindings>> = Vec::with_capacity(setup.mq.body.len());
         for bi in 0..setup.mq.body.len() {
             body_atoms.push(self.eval_body_atom(bi));
         }
@@ -745,7 +753,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         &mut self,
         ni: usize,
         b: Bindings,
-        body_atoms: &[Rc<Bindings>],
+        body_atoms: &[Arc<Bindings>],
         sup_hint: Option<Frac>,
     ) -> ControlFlow<()> {
         let setup = self.setup;

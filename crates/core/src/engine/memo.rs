@@ -1,0 +1,193 @@
+//! The cross-worker **shared memo service** for `findRules`.
+//!
+//! Before this layer existed, every scheduler worker owned a private
+//! memo slice (atom cache, plan cache, plan-node results): `Bindings`
+//! rows lived behind `Rc` and could not cross threads, so each worker
+//! re-derived — and re-joined — intermediates its siblings had already
+//! computed. With the frozen row store (`mq_store::FrozenRows`) making
+//! `Bindings` `Send + Sync`, this module hosts **one** global memo per
+//! search that all workers read and publish into:
+//!
+//! * `atoms`   — `(relation, terms) → Arc<Bindings>`;
+//! * `plans`   — `(χ, λ atom keys) → PlanNodeId` (roots into the shared
+//!   arena);
+//! * `results` — `PlanNodeId → Arc<Bindings>`;
+//! * a **shared [`PlanArena`]** behind an `RwLock`, so plan-node ids are
+//!   globally consistent — hash-consing is what makes a node id a valid
+//!   cross-worker memo key in the first place.
+//!
+//! Every memo value is a deterministic function of its key (see the
+//! memo-sharing contract in `ARCHITECTURE.md`), so first-writer-wins
+//! publication ([`mq_store::ShardedMemo`]) keeps all workers byte-
+//! consistent: whichever worker computes a key first, the value is the
+//! one the sequential engine would have computed.
+//!
+//! The service is attached to every non-baseline search, including
+//! sequential ones (`find_rules_seq`, 1-thread pools): a sharded hit
+//! costs one uncontended read lock + `Arc` clone over the private
+//! path's map probe — measured as noise on the bench guards (see
+//! PERFORMANCE.md) — and in exchange the default path always reports
+//! hit-rate telemetry and exercises the exact storage layer that
+//! concurrent sessions will share. Deliberate trade-off; revisit if a
+//! profile ever says otherwise.
+//!
+//! Knobs: `MQ_SHARED_MEMO=0` (or [`set_shared_memo_override`]) falls
+//! back to the PR 3 behavior — one private memo slice per worker.
+//! Hit/miss counters accumulate into process-global totals when a
+//! service is dropped; [`take_shared_memo_counters`] drains them (used
+//! by `bench_report` to report per-workload hit rates).
+
+use crate::plan::{AtomKey, PlanArena, PlanNodeId, PlanOp};
+use mq_relation::{Bindings, VarId};
+pub use mq_store::MemoStats;
+use mq_store::ShardedMemo;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Key of the plan cache: the node join's χ plus its instantiated λ atom
+/// keys (which determine the evaluated atoms, hence the stats, hence the
+/// deterministic plan).
+pub(crate) type PlanKey = (Vec<VarId>, Vec<AtomKey>);
+
+/// Runtime override of the `MQ_SHARED_MEMO` knob: 0 = none, 1 = forced
+/// off, 2 = forced on. Exists so tests can sweep the axis without
+/// `std::env::set_var` (unsound under concurrent env reads on glibc).
+static SHARED_MEMO_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the shared memo service on or off (`None` restores the
+/// `MQ_SHARED_MEMO` env / default resolution). Process-global; intended
+/// for tests and harnesses.
+pub fn set_shared_memo_override(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    SHARED_MEMO_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Whether searches use the cross-worker shared memo service: the
+/// override, else `MQ_SHARED_MEMO` (`0`/`false`/`off` disable), else on.
+pub fn shared_memo_enabled() -> bool {
+    match SHARED_MEMO_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return false,
+        2 => return true,
+        _ => {}
+    }
+    match std::env::var_os("MQ_SHARED_MEMO") {
+        Some(v) => !matches!(v.to_str(), Some("0") | Some("false") | Some("off")),
+        None => true,
+    }
+}
+
+/// Process-global hit/miss totals, fed by dropped [`SharedMemos`].
+static TOTAL_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Drain (read and reset) the process-global shared-memo counters.
+/// Counters accumulate when a search's memo service is dropped, so call
+/// this after the `find_rules` calls you want to attribute.
+pub fn take_shared_memo_counters() -> MemoStats {
+    MemoStats {
+        hits: TOTAL_HITS.swap(0, Ordering::Relaxed),
+        misses: TOTAL_MISSES.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// One search's shared memos: the three executor memo layers plus the
+/// shared plan arena, all `Send + Sync`. Created once per `Setup` and
+/// handed (via `Arc`) to every worker's executor.
+pub(crate) struct SharedMemos {
+    /// Hash-consing arena for plan nodes, shared so node ids agree
+    /// across workers. Write-locked only while interning (plan-cache
+    /// misses); executing reads clone single ops under the read lock.
+    arena: RwLock<PlanArena>,
+    /// Instantiated-atom bindings by `(relation, terms)`.
+    pub(crate) atoms: ShardedMemo<AtomKey, Arc<Bindings>>,
+    /// Plan roots by `(χ, λ atom keys)`.
+    pub(crate) plans: ShardedMemo<PlanKey, PlanNodeId>,
+    /// Plan-node results by interned node id.
+    pub(crate) results: ShardedMemo<PlanNodeId, Arc<Bindings>>,
+}
+
+impl SharedMemos {
+    pub(crate) fn new() -> Self {
+        SharedMemos {
+            arena: RwLock::new(PlanArena::new()),
+            atoms: ShardedMemo::new(),
+            plans: ShardedMemo::new(),
+            results: ShardedMemo::new(),
+        }
+    }
+
+    /// The operator of node `id` (cloned out of the shared arena).
+    pub(crate) fn op(&self, id: PlanNodeId) -> PlanOp {
+        self.arena
+            .read()
+            .expect("plan arena poisoned")
+            .op(id)
+            .clone()
+    }
+
+    /// Intern a plan under the write lock. Interning is pure and
+    /// idempotent, so concurrent planners racing on the same key build
+    /// identical node ids.
+    pub(crate) fn intern_plan(
+        &self,
+        build: impl FnOnce(&mut PlanArena) -> PlanNodeId,
+    ) -> PlanNodeId {
+        build(&mut self.arena.write().expect("plan arena poisoned"))
+    }
+
+    /// Aggregated hit/miss counters of the three memo layers.
+    pub(crate) fn stats(&self) -> MemoStats {
+        self.atoms
+            .stats()
+            .merged(self.plans.stats())
+            .merged(self.results.stats())
+    }
+}
+
+impl Drop for SharedMemos {
+    fn drop(&mut self) {
+        // Fold this search's counters into the process totals so
+        // bench/report code can read hit rates after the fact.
+        let s = self.stats();
+        TOTAL_HITS.fetch_add(s.hits, Ordering::Relaxed);
+        TOTAL_MISSES.fetch_add(s.misses, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_memos_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedMemos>();
+    }
+
+    #[test]
+    fn override_beats_env_resolution() {
+        set_shared_memo_override(Some(false));
+        assert!(!shared_memo_enabled());
+        set_shared_memo_override(Some(true));
+        assert!(shared_memo_enabled());
+        set_shared_memo_override(None);
+    }
+
+    #[test]
+    fn dropped_service_feeds_global_counters() {
+        let memos = SharedMemos::new();
+        assert!(memos
+            .atoms
+            .get(&(mq_relation::RelId(0), Vec::new()))
+            .is_none());
+        drop(memos);
+        // At least the miss above landed in the totals (other tests may
+        // add more concurrently; drain and check the floor).
+        let drained = take_shared_memo_counters();
+        assert!(drained.misses >= 1);
+    }
+}

@@ -14,6 +14,7 @@
 
 pub(crate) mod exec;
 pub mod find_rules;
+pub mod memo;
 pub mod naive;
 pub mod parallel;
 

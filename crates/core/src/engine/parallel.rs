@@ -6,10 +6,14 @@
 //! patterns (in enumeration order, respecting predicate-variable locks)
 //! becomes one task. Tasks go into a shared deque drained by
 //! work-stealing workers (`rayon::scope`/`spawn`, identical under the
-//! offline shim and real rayon): each worker owns **one** engine — and
-//! thus one plan arena, atom cache, and plan-node result memo — reused
-//! across every task it steals, so the memo slice for a prefix travels
-//! with the worker that computed it.
+//! offline shim and real rayon): each worker owns **one** engine reused
+//! across every task it steals. By default every engine's executor
+//! reads and publishes into the search-global shared memo service
+//! ([`super::memo::SharedMemos`], carried by the `Setup`), so an atom,
+//! plan or plan-node intermediate computed by any worker is a memo hit
+//! for all of them — no per-worker warm-up. With `MQ_SHARED_MEMO=0`
+//! each worker instead warms a private memo slice that travels with it
+//! (the PR 3 behavior).
 //!
 //! Determinism: tasks are generated in enumeration order and each task's
 //! answers land in its own output slot; concatenating slots in task order
@@ -21,7 +25,8 @@
 //! Knobs: `MQ_PARALLEL=0` disables the scheduler; `MQ_THREADS` caps the
 //! worker count (via the rayon shim); `MQ_SPLIT_DEPTH` (default 2) sets
 //! how many leading patterns the split enumerates — deeper splits give
-//! more, finer tasks for many-core machines.
+//! more, finer tasks for many-core machines; `MQ_SHARED_MEMO=0` falls
+//! back to one private memo slice per worker.
 
 use super::find_rules::{collect_sequential, Engine, Setup};
 use super::MqAnswer;
@@ -93,9 +98,11 @@ pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
     rayon::scope(|s| {
         for _ in 0..n_workers {
             s.spawn(|_| {
-                // One engine per worker, reused across stolen tasks: the
-                // plan arena and result memos accumulate, so a prefix
-                // computed for one task is a memo hit for the next.
+                // One engine per worker, reused across stolen tasks. Its
+                // executor talks to the Setup's shared memo service (or,
+                // with MQ_SHARED_MEMO=0, a private slice), so a prefix
+                // computed for one task is a memo hit for the next —
+                // and, when shared, for every other worker too.
                 let sink: Rc<RefCell<Vec<MqAnswer>>> = Rc::new(RefCell::new(Vec::new()));
                 let mut engine = Engine::new(setup, {
                     let sink = Rc::clone(&sink);

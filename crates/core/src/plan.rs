@@ -225,8 +225,26 @@ pub fn build_node_plan(
     stats: &[JoinAtomStats],
     expansion: impl FnMut(usize, &[VarId]) -> f64,
 ) -> PlanNodeId {
+    let order = plan_join_order(stats, expansion);
+    build_node_plan_ordered(arena, chi, atom_keys, stats, &order)
+}
+
+/// [`build_node_plan`] with the join order already decided — the
+/// costing half split from the interning half. The cost model probes
+/// row statistics (an O(rows) index build per uncached column set), so
+/// callers sharing one arena across workers run [`plan_join_order`]
+/// **outside** the arena lock and only intern — pure, allocation-light
+/// work — under it.
+pub fn build_node_plan_ordered(
+    arena: &mut PlanArena,
+    chi: &[VarId],
+    atom_keys: &[AtomKey],
+    stats: &[JoinAtomStats],
+    order: &[usize],
+) -> PlanNodeId {
     assert!(!atom_keys.is_empty(), "λ labels are non-empty");
     assert_eq!(atom_keys.len(), stats.len());
+    assert_eq!(atom_keys.len(), order.len());
     if let [key] = atom_keys {
         let scan = arena.intern(PlanOp::Scan { atom: key.clone() });
         return arena.intern(PlanOp::Project {
@@ -234,7 +252,6 @@ pub fn build_node_plan(
             vars: chi.to_vec(),
         });
     }
-    let order = plan_join_order(stats, expansion);
     // needed[k]: variables the pipeline still requires after step k —
     // χ plus everything a later-planned atom joins on.
     let mut needed: Vec<BTreeSet<VarId>> = Vec::with_capacity(order.len());

@@ -27,14 +27,11 @@
 use crate::hashjoin::{self, BitSet, GroupIndex, RawTable};
 use crate::relation::Relation;
 use crate::value::{Tuple, Value};
-use std::cell::RefCell;
+use mq_store::{ColIndexCache, FrozenRows};
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-
-/// Cached per-column-set group indexes of one row store.
-type IndexCache = Rc<RefCell<Vec<(Box<[usize]>, Rc<GroupIndex>)>>>;
+use std::sync::Arc;
 
 /// When set, the public algebra API routes through the [`baseline`]
 /// kernels (used by `bench_report` to measure the optimization in-tree).
@@ -182,22 +179,24 @@ impl AtomShape {
 /// Invariant: rows are pairwise distinct (natural join of sets is a set;
 /// [`Bindings::project`] re-deduplicates).
 ///
-/// Row storage is shared (`Rc`), so cloning a `Bindings` — which the
-/// engines do constantly to snapshot reducer state — is O(1) rather than
-/// a deep copy of every tuple. Hash indexes built by joins/semijoins are
-/// cached per column set and shared across clones, so probing the same
-/// side repeatedly (every head check against the same body join, every
-/// reducer step against the same guard) builds its table once.
+/// Row storage is frozen and shared ([`mq_store::FrozenRows`]), so
+/// cloning a `Bindings` — which the engines do constantly to snapshot
+/// reducer state — is O(1) rather than a deep copy of every tuple, and
+/// the whole value is `Send + Sync`: bindings cross worker threads and
+/// live in the cross-worker shared memo service. Hash indexes built by
+/// joins/semijoins are cached per column set and shared across clones
+/// (and threads), so probing the same side repeatedly (every head check
+/// against the same body join, every reducer step against the same
+/// guard) builds its table once — process-wide.
 #[derive(Clone)]
 pub struct Bindings {
     vars: Vec<VarId>,
-    rows: Rc<Vec<Tuple>>,
-    /// Lazily built group indexes per key-column set. Shared by clones
-    /// (which share `rows`, keeping the indexes valid); rebuilt from
-    /// scratch by any operation producing new rows. A linear-scan vector:
-    /// a `Bindings` rarely accumulates more than a few column sets, and
-    /// slice comparison beats hashing the key on every probe.
-    indexes: IndexCache,
+    rows: FrozenRows<Tuple>,
+    /// Lazily built group indexes per key-column set
+    /// ([`mq_store::ColIndexCache`]: hashed lookup, thread-safe). Shared
+    /// by clones (which share `rows`, keeping the indexes valid); rebuilt
+    /// from scratch by any operation producing new rows.
+    indexes: Arc<ColIndexCache<GroupIndex>>,
 }
 
 impl PartialEq for Bindings {
@@ -213,23 +212,15 @@ impl Bindings {
     fn new(vars: Vec<VarId>, rows: Vec<Tuple>) -> Self {
         Bindings {
             vars,
-            rows: Rc::new(rows),
-            indexes: Rc::new(RefCell::new(Vec::new())),
+            rows: FrozenRows::new(rows),
+            indexes: Arc::new(ColIndexCache::new()),
         }
     }
 
     /// Get (or build once and cache) the group index over `cols`.
-    fn binding_index(&self, cols: &[usize]) -> Rc<GroupIndex> {
-        for (key, idx) in self.indexes.borrow().iter() {
-            if &**key == cols {
-                return Rc::clone(idx);
-            }
-        }
-        let built = Rc::new(GroupIndex::build(&self.rows, cols));
+    fn binding_index(&self, cols: &[usize]) -> Arc<GroupIndex> {
         self.indexes
-            .borrow_mut()
-            .push((cols.to_vec().into_boxed_slice(), Rc::clone(&built)));
-        built
+            .get_or_build(cols, || GroupIndex::build(&self.rows, cols))
     }
 
     /// The unit bindings: no variables, one (empty) row.
@@ -262,7 +253,7 @@ impl Bindings {
 
     /// Rows, each aligned with [`Bindings::vars`].
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.rows.as_slice()
     }
 
     /// Number of tuples (`|J(R)|` when this is the join of atom set `R`).
@@ -813,9 +804,9 @@ impl Bindings {
 
     /// Sort rows lexicographically (for deterministic display/tests).
     pub fn sorted(mut self) -> Bindings {
-        Rc::make_mut(&mut self.rows).sort();
+        self.rows.make_mut().sort();
         // Row order changed: cached indexes hold stale row ids.
-        self.indexes = Rc::new(RefCell::new(Vec::new()));
+        self.indexes = Arc::new(ColIndexCache::new());
         self
     }
 }
@@ -1099,6 +1090,15 @@ mod tests {
     fn rel_e() -> Relation {
         // e = {(1,2),(2,3),(3,4)}
         Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[2, 3]), ints(&[3, 4])])
+    }
+
+    #[test]
+    fn bindings_are_send_and_sync() {
+        // The frozen row store + thread-safe index cache make Bindings
+        // shareable across worker threads — the shared memo service and
+        // the parallel scheduler both rely on this bound.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Bindings>();
     }
 
     #[test]

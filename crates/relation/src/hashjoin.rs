@@ -24,68 +24,10 @@
 use crate::value::{Tuple, Value};
 use std::hash::{Hash, Hasher};
 
-/// An FxHash-style hasher: fast, deterministic within a process, and good
-/// enough for hash-join buckets (not DoS-resistant; never exposed to
-/// untrusted keys).
-#[derive(Clone, Default)]
-pub struct FxHasher {
-    state: u64,
-}
-
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl FxHasher {
-    #[inline]
-    fn mix(&mut self, word: u64) {
-        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        // Final avalanche so low bits are usable as table indexes.
-        let mut h = self.state;
-        h ^= h >> 32;
-        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
-        h ^= h >> 32;
-        h
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            self.mix(u64::from_le_bytes(word));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, i: u8) {
-        self.mix(i as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, i: u32) {
-        self.mix(i as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        self.mix(i);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, i: usize) {
-        self.mix(i as u64);
-    }
-
-    #[inline]
-    fn write_i64(&mut self, i: i64) {
-        self.mix(i as u64);
-    }
-}
+// The hasher now lives in the storage layer (`mq-store`) so row stores,
+// index caches and the shared memo service all hash with one function;
+// re-exported here so kernel code and downstream users are unaffected.
+pub use mq_store::{FxBuildHasher, FxHasher};
 
 /// Hash one value with the same function as [`hash_cols`] over `[v]`.
 #[inline]

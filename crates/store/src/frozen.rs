@@ -1,0 +1,209 @@
+//! Frozen row storage and its per-column-set index cache.
+//!
+//! A [`FrozenRows`] is an immutable tuple store behind an `Arc`: handle
+//! clones are O(1) pointer copies, the storage itself never mutates once
+//! frozen (the one escape hatch, [`FrozenRows::make_mut`], is
+//! copy-on-write and requires exclusive access to the handle), and the
+//! whole value is `Send + Sync`. This is what lets relation values cross
+//! worker threads: the engines snapshot intermediate results constantly,
+//! and with frozen storage a snapshot is a pointer, shareable with any
+//! thread.
+//!
+//! A [`ColIndexCache`] rides next to a frozen store: derived indexes
+//! (hash-join build sides, grouped by a column subset) are built at most
+//! once per column set and shared by every clone of the store — across
+//! threads — behind a single `RwLock`. Lookup is **hashed** (an
+//! `FxHasher` map keyed by the column set), not a linear scan, so stores
+//! probed on many distinct column sets pay O(1) per probe rather than
+//! O(cached entries).
+
+use crate::fxhash::FxBuildHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, RwLock};
+
+/// Immutable, atomically shared row storage with O(1) handle clones.
+///
+/// Dereferences to `[T]`; equality compares contents with a same-storage
+/// pointer shortcut (two handles to one frozen store are trivially
+/// equal).
+pub struct FrozenRows<T> {
+    rows: Arc<Vec<T>>,
+}
+
+impl<T> FrozenRows<T> {
+    /// Freeze `rows` into shared storage.
+    pub fn new(rows: Vec<T>) -> Self {
+        FrozenRows {
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// The rows as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.rows
+    }
+
+    /// Whether two handles share the same frozen storage.
+    #[inline]
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.rows, &b.rows)
+    }
+}
+
+impl<T: Clone> FrozenRows<T> {
+    /// Copy-on-write mutable access: returns the unique storage, cloning
+    /// it first if other handles share it. Callers that reorder rows must
+    /// drop any derived per-row-id state (indexes) themselves.
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        Arc::make_mut(&mut self.rows)
+    }
+}
+
+impl<T> Clone for FrozenRows<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        FrozenRows {
+            rows: Arc::clone(&self.rows),
+        }
+    }
+}
+
+impl<T> Deref for FrozenRows<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.rows
+    }
+}
+
+impl<T: PartialEq> PartialEq for FrozenRows<T> {
+    fn eq(&self, other: &Self) -> bool {
+        Self::ptr_eq(self, other) || *self.rows == *other.rows
+    }
+}
+
+impl<T: Eq> Eq for FrozenRows<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for FrozenRows<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.rows.fmt(f)
+    }
+}
+
+/// A thread-safe cache of derived indexes over one frozen row store,
+/// keyed by the column set the index was built on.
+///
+/// Shared (behind an `Arc`) by every handle to the same store, so a hash
+/// table built by one clone — on any thread — serves them all. The
+/// builder closure runs *outside* the write lock (holding it would block
+/// every reader for the build's duration), so two threads racing on the
+/// same column set may both build; the first inserted index wins and
+/// both callers get the same `Arc`.
+pub struct ColIndexCache<I> {
+    map: RwLock<HashMap<Box<[usize]>, Arc<I>, FxBuildHasher>>,
+}
+
+impl<I> ColIndexCache<I> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ColIndexCache {
+            map: RwLock::new(HashMap::with_hasher(FxBuildHasher)),
+        }
+    }
+
+    /// Get the index over `cols`, building (and caching) it on first use.
+    pub fn get_or_build(&self, cols: &[usize], build: impl FnOnce() -> I) -> Arc<I> {
+        if let Some(idx) = self.map.read().expect("index cache poisoned").get(cols) {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(build());
+        let mut map = self.map.write().expect("index cache poisoned");
+        // Another thread may have built it concurrently; keep the first.
+        Arc::clone(map.entry(cols.to_vec().into_boxed_slice()).or_insert(built))
+    }
+
+    /// Number of cached column sets.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("index cache poisoned").len()
+    }
+
+    /// Whether no index has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<I> Default for ColIndexCache<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_rows_clone_shares_storage() {
+        let a = FrozenRows::new(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(FrozenRows::ptr_eq(&a, &b));
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        assert_eq!(a, b);
+        // Content equality without shared storage.
+        let c = FrozenRows::new(vec![1, 2, 3]);
+        assert!(!FrozenRows::ptr_eq(&a, &c));
+        assert_eq!(a, c);
+        assert_ne!(a, FrozenRows::new(vec![1, 2]));
+    }
+
+    #[test]
+    fn make_mut_is_copy_on_write() {
+        let mut a = FrozenRows::new(vec![3, 1, 2]);
+        let b = a.clone();
+        a.make_mut().sort();
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        assert_eq!(b.as_slice(), &[3, 1, 2], "shared handle is untouched");
+        assert!(!FrozenRows::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn index_cache_builds_once_per_column_set() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache: ColIndexCache<Vec<usize>> = ColIndexCache::new();
+        let builds = AtomicUsize::new(0);
+        let build = |cols: &[usize]| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            cols.to_vec()
+        };
+        let a = cache.get_or_build(&[0, 2], || build(&[0, 2]));
+        let b = cache.get_or_build(&[0, 2], || build(&[0, 2]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let _ = cache.get_or_build(&[1], || build(&[1]));
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn index_cache_shared_across_threads() {
+        let cache: Arc<ColIndexCache<usize>> = Arc::new(ColIndexCache::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..64usize {
+                        let cols = [i % 4];
+                        let idx = cache.get_or_build(&cols, || i % 4);
+                        assert_eq!(*idx, i % 4, "thread {t} read a foreign index");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4);
+    }
+}

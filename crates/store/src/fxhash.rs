@@ -1,0 +1,120 @@
+//! The FxHash-style hasher shared by the whole storage stack.
+//!
+//! Moved here from `mq_relation::hashjoin` (which re-exports it for
+//! compatibility): the join kernels, the per-column-set index caches and
+//! the sharded memos all hash with this one deterministic function, so a
+//! key hashed by any layer agrees with every other layer.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// An FxHash-style hasher: fast, deterministic within a process, and good
+/// enough for hash-join buckets and memo shards (not DoS-resistant; never
+/// exposed to untrusted keys).
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits are usable as table indexes.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.mix(i as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s, for `HashMap`s that must be
+/// fast on the tiny fixed-width keys the engine uses (column sets, plan
+/// node ids, interned atom keys).
+#[derive(Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn deterministic_and_avalanched() {
+        let h1 = {
+            let mut h = FxHasher::default();
+            42u64.hash(&mut h);
+            h.finish()
+        };
+        let h2 = {
+            let mut h = FxHasher::default();
+            42u64.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h1, h2);
+        let h3 = {
+            let mut h = FxHasher::default();
+            43u64.hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn build_hasher_usable_in_hashmap() {
+        let mut m = std::collections::HashMap::with_hasher(FxBuildHasher);
+        m.insert(vec![1usize, 2], "a");
+        assert_eq!(m.get([1usize, 2].as_slice()), Some(&"a"));
+    }
+}

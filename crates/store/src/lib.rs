@@ -1,0 +1,35 @@
+//! # mq-store — the storage layer of the metaquery engine
+//!
+//! Everything above this crate computes over immutable tuple sets; this
+//! crate owns *how those sets are stored and shared*. It has no
+//! dependency on the relational model — every type is generic — which is
+//! what lets it sit **below** `mq-relation` in the workspace while still
+//! serving the whole stack:
+//!
+//! * [`FrozenRows`] — immutable, atomically reference-counted row
+//!   storage with O(1) handle clones. `Send + Sync`, so values built on
+//!   it (notably `mq_relation::Bindings`) can cross worker threads and
+//!   live in cross-worker caches.
+//! * [`ColIndexCache`] — a thread-safe, *hashed* per-column-set cache of
+//!   derived indexes over one frozen row store (the replacement for the
+//!   old linear-scan `Rc<RefCell<Vec<…>>>` cache in `mq_relation`).
+//! * [`ShardedMemo`] — a sharded, lock-striped concurrent map with
+//!   first-writer-wins publication and hit/miss counters: the substrate
+//!   of the shared memo service that lets every `findRules` scheduler
+//!   worker read and publish into **one** global memo instead of warming
+//!   a private slice per worker.
+//! * [`FxHasher`] / [`FxBuildHasher`] — the FxHash-style hasher the
+//!   join kernels already used, now owned by the storage layer so row
+//!   stores, index caches and memos hash with one deterministic
+//!   function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frozen;
+pub mod fxhash;
+pub mod memo;
+
+pub use frozen::{ColIndexCache, FrozenRows};
+pub use fxhash::{FxBuildHasher, FxHasher};
+pub use memo::{MemoStats, ShardedMemo};

@@ -40,6 +40,19 @@ fn v(i: u32) -> VarId {
     VarId(i)
 }
 
+/// Serializes the tests that toggle `set_shared_memo_override`: the
+/// knob is a process-global atomic and libtest runs tests on concurrent
+/// threads, so without exclusion one test's restore could flip another
+/// test's `shared = false` arm back to shared mid-search — answers
+/// would still match, but the private-slice path would silently go
+/// untested. (The thread/split-depth overrides don't need this: every
+/// setting must give identical answers, so cross-talk can't weaken what
+/// those tests assert.)
+fn shared_memo_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Sorted row multiset projected onto `vars` — the order-insensitive,
 /// column-order-insensitive comparison key for join results.
 fn canon(b: &Bindings, vars: &[VarId]) -> Vec<Box<[mq_relation::Value]>> {
@@ -203,6 +216,42 @@ proptest! {
         rayon::set_thread_override(None);
     }
 
+    /// The cross-worker shared memo service must not change answers:
+    /// with 4 workers hammering one global memo, `find_rules` stays
+    /// byte-identical to `find_rules_seq` — and to the private-slice
+    /// escape hatch — on random databases, for chain and width-2 cycle
+    /// shapes (single- and multi-atom λ labels).
+    #[test]
+    fn shared_memo_find_rules_matches_seq(
+        p in relation_strategy(),
+        q in relation_strategy(),
+        h in relation_strategy(),
+        cyclic in proptest::bool::ANY,
+        ksup in 0u64..3,
+    ) {
+        use metaquery::core::engine::memo::set_shared_memo_override;
+        let _guard = shared_memo_lock();
+        let db = build_db(&p, &q, &h);
+        let text = if cyclic {
+            "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X0)"
+        } else {
+            "R(X,Z) <- P(X,Y), Q(Y,Z)"
+        };
+        let mq = parse_metaquery(text).unwrap();
+        let th = Thresholds::all(Frac::new(ksup, 4), Frac::ZERO, Frac::ZERO);
+        let seq =
+            metaquery::core::engine::find_rules::find_rules_seq(&db, &mq, InstType::Zero, th)
+                .unwrap();
+        for shared in [true, false] {
+            rayon::set_thread_override(Some(4));
+            set_shared_memo_override(Some(shared));
+            let par = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+            rayon::set_thread_override(None);
+            set_shared_memo_override(None);
+            prop_assert_eq!(&par, &seq, "MQ_SHARED_MEMO={} diverged", shared);
+        }
+    }
+
     /// The Plan IR → Executor pipeline must not change answers: planned
     /// `find_rules` ≡ the naive guess-and-check engine on random chains,
     /// stars and width-2 cycles — the shapes exercising single-atom
@@ -233,16 +282,19 @@ proptest! {
 }
 
 /// The scheduler must be deterministic across every thread-count ×
-/// split-depth combination: byte-identical `find_rules` output for
-/// `MQ_THREADS ∈ {1, 2, 4}` × `MQ_SPLIT_DEPTH ∈ {1, 2}` (set via the
-/// process-global overrides — env mutation is unsound under concurrent
-/// reads), on shapes whose enumeration actually spans multiple patterns
-/// and a shared predicate variable.
+/// split-depth × memo-sharing combination: byte-identical `find_rules`
+/// output for `MQ_THREADS ∈ {1, 2, 4}` × `MQ_SPLIT_DEPTH ∈ {1, 2}` ×
+/// `MQ_SHARED_MEMO ∈ {0, 1}` (set via the process-global overrides —
+/// env mutation is unsound under concurrent reads), on shapes whose
+/// enumeration actually spans multiple patterns and a shared predicate
+/// variable.
 #[test]
 fn find_rules_deterministic_across_threads_and_split_depths() {
+    use metaquery::core::engine::memo::set_shared_memo_override;
     use metaquery::core::engine::parallel::set_split_depth_override;
     use mq_relation::ints;
 
+    let _guard = shared_memo_lock();
     let mut db = Database::new();
     let rels = [("p", 2), ("q", 2), ("r", 2)];
     let mut x = 0i64;
@@ -268,16 +320,22 @@ fn find_rules_deterministic_across_threads_and_split_depths() {
                     .unwrap();
             for threads in [1usize, 2, 4] {
                 for depth in [1usize, 2] {
-                    rayon::set_thread_override(Some(threads));
-                    set_split_depth_override(Some(depth));
-                    let got = find_rules(&db, &mq, InstType::Zero, th).unwrap();
-                    rayon::set_thread_override(None);
-                    set_split_depth_override(None);
-                    assert_eq!(
-                        got, reference,
-                        "output must be byte-identical for {text} at \
-                         MQ_THREADS={threads}, MQ_SPLIT_DEPTH={depth}"
-                    );
+                    for shared in [false, true] {
+                        rayon::set_thread_override(Some(threads));
+                        set_split_depth_override(Some(depth));
+                        set_shared_memo_override(Some(shared));
+                        let got = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+                        rayon::set_thread_override(None);
+                        set_split_depth_override(None);
+                        set_shared_memo_override(None);
+                        assert_eq!(
+                            got, reference,
+                            "output must be byte-identical for {text} at \
+                             MQ_THREADS={threads}, MQ_SPLIT_DEPTH={depth}, \
+                             MQ_SHARED_MEMO={}",
+                            shared as u8
+                        );
+                    }
                 }
             }
         }

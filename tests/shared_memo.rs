@@ -1,0 +1,135 @@
+//! Cross-thread shared-memo stress coverage.
+//!
+//! The shared memo service (`mq-store`'s `ShardedMemo` under
+//! `mq_core::engine::memo`) lets every scheduler worker read and publish
+//! into one global memo. These tests hammer a single search's memo from
+//! a forced 4-worker pool at both split depths and assert the contract
+//! the service must keep: `find_rules` output is **byte-identical** to
+//! the sequential engine for every `MQ_SHARED_MEMO` × `MQ_SPLIT_DEPTH` ×
+//! `MQ_THREADS` combination.
+//!
+//! Overrides (`set_thread_override`, `set_split_depth_override`,
+//! `set_shared_memo_override`) are process-global atomics; both settings
+//! of every knob produce identical *answers*, but the counter test below
+//! additionally asserts which memo configuration actually ran, so every
+//! test in this binary that touches an override serializes on
+//! [`override_lock`].
+
+use metaquery::core::engine::find_rules::{find_rules, find_rules_seq};
+use metaquery::core::engine::memo::{
+    set_shared_memo_override, shared_memo_enabled, take_shared_memo_counters,
+};
+use metaquery::core::engine::parallel::set_split_depth_override;
+use metaquery::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the process-global override knobs across the tests in
+/// this binary (libtest runs them on concurrent threads by default).
+fn override_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A panicking test poisons the mutex; the knobs are still fine to
+    // take (every test restores them on its happy path).
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A deterministic pseudo-random database over `rels` (no RNG dep).
+fn stress_db(rels: &[(&str, usize)], rows: usize, dom: i64) -> Database {
+    let mut db = Database::new();
+    let mut x = 7i64;
+    for &(name, ar) in rels {
+        let id = db.add_relation(name, ar);
+        for i in 0..rows {
+            let row: Vec<_> = (0..ar)
+                .map(|j| {
+                    x = (x * 31 + 17 * (i as i64 + 1) + j as i64) % 1009;
+                    mq_relation::Value::Int(x % dom)
+                })
+                .collect();
+            db.insert(id, row.into_boxed_slice());
+        }
+    }
+    db
+}
+
+/// Four workers hammer one shared memo, at both split depths, across
+/// metaquery shapes that exercise single-atom plans, multi-atom λ labels
+/// (width 2) and shared predicate variables. Every configuration must
+/// reproduce the sequential answers byte-identically.
+#[test]
+fn four_workers_hammer_one_shared_memo_at_both_split_depths() {
+    let _guard = override_lock();
+    let db = stress_db(&[("p", 2), ("q", 2), ("r", 2)], 24, 6);
+    for text in [
+        "R(X,Z) <- P(X,Y), Q(Y,Z)",
+        "P(X,Y) <- P(Y,Z), Q(Z,W)",
+        "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X0)",
+    ] {
+        let mq = parse_metaquery(text).unwrap();
+        for th in [
+            Thresholds::none(),
+            Thresholds::all(Frac::new(1, 10), Frac::new(1, 10), Frac::new(1, 10)),
+        ] {
+            let reference = find_rules_seq(&db, &mq, InstType::Zero, th).unwrap();
+            for depth in [1usize, 2] {
+                rayon::set_thread_override(Some(4));
+                set_split_depth_override(Some(depth));
+                set_shared_memo_override(Some(true));
+                // Several rounds: the first warms the memo inside one
+                // call; later calls re-create the service and re-race
+                // the publication paths from a cold start.
+                for round in 0..3 {
+                    let got = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+                    assert_eq!(
+                        got, reference,
+                        "shared-memo answers diverged for {text} at \
+                         depth={depth}, round={round}"
+                    );
+                }
+                rayon::set_thread_override(None);
+                set_split_depth_override(None);
+                set_shared_memo_override(None);
+            }
+        }
+    }
+}
+
+/// The escape hatch must behave exactly like the shared path: private
+/// per-worker memo slices and the global memo give identical answers.
+#[test]
+fn shared_memo_escape_hatch_is_byte_identical() {
+    let _guard = override_lock();
+    let db = stress_db(&[("p", 2), ("q", 2)], 18, 5);
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    let th = Thresholds::all(Frac::new(1, 8), Frac::ZERO, Frac::ZERO);
+    let reference = find_rules_seq(&db, &mq, InstType::Zero, th).unwrap();
+    for shared in [false, true] {
+        rayon::set_thread_override(Some(4));
+        set_shared_memo_override(Some(shared));
+        let got = find_rules(&db, &mq, InstType::Zero, th).unwrap();
+        rayon::set_thread_override(None);
+        set_shared_memo_override(None);
+        assert_eq!(got, reference, "MQ_SHARED_MEMO={shared} diverged");
+    }
+}
+
+/// A shared-memo search actually exercises the service: the process-
+/// global counters record traffic, and repeated executions inside one
+/// search produce hits (the whole point of sharing).
+#[test]
+fn shared_memo_counters_record_hits() {
+    let _guard = override_lock();
+    let db = stress_db(&[("p", 2), ("q", 2)], 16, 4);
+    let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+    set_shared_memo_override(Some(true));
+    assert!(shared_memo_enabled());
+    let _ = take_shared_memo_counters(); // drain earlier traffic
+    let _ = find_rules(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+    set_shared_memo_override(None);
+    let stats = take_shared_memo_counters();
+    assert!(
+        stats.hits > 0 && stats.misses > 0,
+        "a multi-candidate search must both miss (first eval) and hit \
+         (re-use), got {stats:?}"
+    );
+    assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+}
