@@ -32,10 +32,21 @@
 use mq_bench::{
     chain_workload, cycle_workload, hybrid_star_workload, mid_thresholds, time, Workload,
 };
-use mq_core::engine::find_rules::find_rules;
-use mq_core::engine::memo::{shared_memo_enabled, take_shared_memo_counters, MemoStats};
+use mq_core::engine::find_rules::{find_rules, find_rules_seq};
+use mq_core::engine::memo::{shared_memo_enabled, MemoStats};
 use mq_core::prelude::*;
 use mq_relation::{set_baseline_mode, Frac};
+use mq_service::{MetaqueryRequest, MqService};
+use std::sync::Arc;
+
+/// The deprecated process-global drain, kept as the attribution path for
+/// the single-search workloads below (one search at a time, so the
+/// totals are unambiguous); the service workload reads per-instance
+/// stats instead.
+#[allow(deprecated)]
+fn drain_global_memo_counters() -> MemoStats {
+    mq_core::engine::memo::take_shared_memo_counters()
+}
 
 struct Row {
     name: String,
@@ -134,7 +145,7 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
     // count when no sweep was requested. Shared-memo counters are
     // drained before and after so the reported hit rate covers exactly
     // the primary samples.
-    let _ = take_shared_memo_counters();
+    let _ = drain_global_memo_counters();
     let (median_opt_s, answers) = match sweep.first() {
         Some(&t) => {
             // The thread override is the shim-rayon knob the scheduler
@@ -146,7 +157,7 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
         }
         None => median_secs(n, run),
     };
-    let memo = take_shared_memo_counters();
+    let memo = drain_global_memo_counters();
     // Remaining sweep entries re-time the optimized core only.
     let mut by_threads: Vec<(usize, f64)> = Vec::new();
     if let Some((&first, rest)) = sweep.split_first() {
@@ -189,6 +200,104 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
         memo,
         by_threads,
     });
+}
+
+/// Results of the `service_concurrent_sessions` workload.
+struct ServiceReport {
+    sessions: usize,
+    rounds: usize,
+    requests: u64,
+    executed: u64,
+    deduped: u64,
+    /// Cross-search atom-cache traffic (the catalog's persistent cache).
+    atom: MemoStats,
+    /// Per-search shared-memo traffic summed over executed searches.
+    memo: MemoStats,
+    wall_s: f64,
+}
+
+/// N concurrent sessions × M metaqueries × R rounds over one fig4-style
+/// database served by `mq-service`: measures what the serving layer adds
+/// over bare `find_rules` — in-flight dedup of identical requests and
+/// cross-search atom-cache hits — while asserting the answers stay
+/// byte-identical to a cold `find_rules_seq` run.
+fn bench_service() -> Option<ServiceReport> {
+    const NAME: &str = "service_concurrent_sessions";
+    if let Some(only) = bench_only() {
+        if !NAME.contains(&only) {
+            eprintln!("{NAME}: skipped (MQ_BENCH_ONLY={only})");
+            return None;
+        }
+    }
+    const SESSIONS: usize = 4;
+    const ROUNDS: usize = 2;
+    const MQS: [&str; 3] = [
+        "R(X,Z) <- P(X,Y), Q(Y,Z)",
+        "R(X,Y) <- P(X,Y), Q(X,Y)",
+        "P(X,Z) <- P(X,Y), P(Y,Z)",
+    ];
+    let w = chain_workload(3, 120, 40, 2);
+    let th = mid_thresholds();
+    let svc = Arc::new(MqService::new());
+    svc.register("fig4", w.db.clone())
+        .expect("register fig4 db");
+    // Cold references per metaquery, for the byte-identity guard.
+    let expected: Vec<Vec<MqAnswer>> = MQS
+        .iter()
+        .map(|mq| find_rules_seq(&w.db, &parse_metaquery(mq).unwrap(), InstType::Zero, th).unwrap())
+        .collect();
+    let (_, wall_s) = time(|| {
+        std::thread::scope(|s| {
+            for _ in 0..SESSIONS {
+                let svc = Arc::clone(&svc);
+                let expected = &expected;
+                s.spawn(move || {
+                    for _round in 0..ROUNDS {
+                        for (i, mq) in MQS.iter().enumerate() {
+                            let mut req = MetaqueryRequest::new("fig4", *mq);
+                            req.thresholds = th;
+                            let out = svc.query(&req).expect("service query");
+                            assert_eq!(
+                                *out.answers, expected[i],
+                                "service answers diverged from find_rules_seq on {mq}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    });
+    let m = svc.metrics();
+    let atom = svc.atom_cache_stats("fig4").expect("fig4 stats");
+    if shared_memo_enabled() {
+        assert!(
+            atom.hits > 0,
+            "repeated sessions over an unchanged db must hit the \
+             cross-search atom cache, got {atom:?}"
+        );
+    }
+    assert_eq!(m.requests, (SESSIONS * ROUNDS * MQS.len()) as u64);
+    assert_eq!(m.executed + m.deduped, m.requests);
+    eprintln!(
+        "{NAME}: {} requests in {wall_s:.3}s — {} executed, {} deduped, \
+         atom cache {:.0}% hit ({} hits / {} misses)",
+        m.requests,
+        m.executed,
+        m.deduped,
+        atom.hit_rate() * 100.0,
+        atom.hits,
+        atom.misses
+    );
+    Some(ServiceReport {
+        sessions: SESSIONS,
+        rounds: ROUNDS,
+        requests: m.requests,
+        executed: m.executed,
+        deduped: m.deduped,
+        atom,
+        memo: m.memo,
+        wall_s,
+    })
 }
 
 fn main() {
@@ -246,8 +355,11 @@ fn main() {
     let w = chain_workload(4, 80, 12, 3);
     measure(&mut rows, "fig5_combined_chain3", &w, 80, mid_thresholds());
 
+    // The serving-layer workload (dedup + cross-search atom cache).
+    let service = bench_service();
+
     assert!(
-        !rows.is_empty(),
+        !rows.is_empty() || service.is_some(),
         "MQ_BENCH_ONLY matched no workload — nothing to report"
     );
 
@@ -322,6 +434,26 @@ fn main() {
     }
     if let Some(lag) = width2_lag {
         json.push_str(&format!("  \"width2_lag_vs_chain\": {lag:.3},\n"));
+    }
+    if let Some(s) = &service {
+        json.push_str(&format!(
+            "  \"service_concurrent_sessions\": {{\"sessions\": {}, \"rounds\": {}, \
+             \"requests\": {}, \"executed\": {}, \"deduped\": {}, \
+             \"atom_cache_hits\": {}, \"atom_cache_misses\": {}, \
+             \"atom_cache_hit_rate\": {:.3}, \"memo_hits\": {}, \
+             \"memo_misses\": {}, \"wall_s\": {:.6}}},\n",
+            s.sessions,
+            s.rounds,
+            s.requests,
+            s.executed,
+            s.deduped,
+            s.atom.hits,
+            s.atom.misses,
+            s.atom.hit_rate(),
+            s.memo.hits,
+            s.memo.misses,
+            s.wall_s
+        ));
     }
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {

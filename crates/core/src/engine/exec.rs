@@ -95,11 +95,12 @@ impl<'a> Executor<'a> {
                 }))
             }
             Memos::Shared(memos) => {
-                if let Some(hit) = memos.atoms.get(&key) {
-                    return hit;
-                }
-                let built = Arc::new(Bindings::from_atom(db.relation(key.0), &key.1));
-                memos.atoms.publish(key, built)
+                // The service consults the search-local atom memo, then
+                // (when seeded by the serving layer) the persistent
+                // cross-search cache under the snapshot's generations.
+                memos.atom_or_compute(key, |(rel, terms)| {
+                    Arc::new(Bindings::from_atom(db.relation(*rel), terms))
+                })
             }
         }
     }

@@ -72,6 +72,32 @@ pub fn find_rules(
     Ok(out)
 }
 
+/// [`find_rules`] with an **externally supplied memo service** — the
+/// serving layer's entry point. The search reads and publishes into
+/// `memos` instead of creating a fresh service, so a catalog can seed
+/// the atom layer from its persistent cross-search [`AtomCache`]
+/// (`SharedMemos::with_persistent_atoms`) and read per-search hit rates
+/// off the instance afterwards. Answers are byte-identical to
+/// [`find_rules`]/[`find_rules_seq`]: every memo value is a
+/// deterministic function of its key and the snapshot the generations
+/// describe (see the memo-sharing contract in `ARCHITECTURE.md`).
+///
+/// In baseline mode the supplied service is ignored (the baseline engine
+/// bypasses every memo by design).
+pub fn find_rules_shared(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+    memos: Arc<super::memo::SharedMemos>,
+) -> Result<Vec<MqAnswer>, InstError> {
+    validate(db, mq, ty)?;
+    let setup = Setup::with_memo_service(db, mq, ty, thresholds, Some(memos));
+    let mut out = super::parallel::run(&setup);
+    crate::engine::sort_answers(&mut out);
+    Ok(out)
+}
+
 /// Single-threaded `findRules` (the parallel driver's reference). Public
 /// so benchmarks and the determinism regression test can compare against
 /// [`find_rules`].
@@ -128,8 +154,23 @@ pub fn find_rules_with(
     thresholds: Thresholds,
     f: impl FnMut(&MqAnswer) -> ControlFlow<()>,
 ) -> Result<bool, InstError> {
+    find_rules_with_memos(db, mq, ty, thresholds, None, f)
+}
+
+/// [`find_rules_with`] with an optionally supplied memo service (`None`
+/// keeps the default per-search service resolution) — the streaming
+/// sibling of [`find_rules_shared`], used by serving-layer callers that
+/// want early termination under a persistent atom cache.
+pub fn find_rules_with_memos(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+    memos: Option<Arc<super::memo::SharedMemos>>,
+    f: impl FnMut(&MqAnswer) -> ControlFlow<()>,
+) -> Result<bool, InstError> {
     validate(db, mq, ty)?;
-    let setup = Setup::new(db, mq, ty, thresholds);
+    let setup = Setup::with_memo_service(db, mq, ty, thresholds, memos);
     let mut engine = Engine::new(&setup, f);
     let stopped = engine.find_bodies(0).is_break();
     Ok(stopped)
@@ -209,9 +250,11 @@ pub(crate) struct Setup<'a> {
     semijoin_count_plan: CountPlan,
     /// The cross-worker shared memo service (atoms, plans, node
     /// results), created once per search when `MQ_SHARED_MEMO` is on
-    /// (the default) and handed to every worker's executor. `None` means
-    /// each worker warms a private memo slice (the escape hatch, and
-    /// baseline mode — which bypasses memos anyway).
+    /// (the default) — or supplied by the serving layer, possibly seeded
+    /// with a persistent cross-search atom cache — and handed to every
+    /// worker's executor. `None` means each worker warms a private memo
+    /// slice (the escape hatch, and baseline mode — which bypasses memos
+    /// anyway).
     pub(crate) shared_memos: Option<Arc<super::memo::SharedMemos>>,
 }
 
@@ -221,6 +264,21 @@ impl<'a> Setup<'a> {
         mq: &'a Metaquery,
         ty: InstType,
         thresholds: Thresholds,
+    ) -> Self {
+        Setup::with_memo_service(db, mq, ty, thresholds, None)
+    }
+
+    /// [`Setup::new`] with an externally supplied memo service. `None`
+    /// resolves the default (fresh service when shared memos are
+    /// enabled); `Some` is honored unconditionally — except in baseline
+    /// mode, which bypasses every memo to reproduce the pre-optimization
+    /// engine faithfully.
+    pub(crate) fn with_memo_service(
+        db: &'a Database,
+        mq: &'a Metaquery,
+        ty: InstType,
+        thresholds: Thresholds,
+        external_memos: Option<Arc<super::memo::SharedMemos>>,
     ) -> Self {
         // Decomposition of the body literal schemes' ordinary variables.
         let edges: Vec<BTreeSet<VarId>> = mq.body.iter().map(|l| l.var_set()).collect();
@@ -319,8 +377,14 @@ impl<'a> Setup<'a> {
             pattern_pv,
             enum_order,
             semijoin_count_plan: CountPlan::semijoin_count(0, 1),
-            shared_memos: (!mq_relation::baseline_mode() && super::memo::shared_memo_enabled())
-                .then(|| Arc::new(super::memo::SharedMemos::new())),
+            shared_memos: if mq_relation::baseline_mode() {
+                None
+            } else {
+                external_memos.or_else(|| {
+                    super::memo::shared_memo_enabled()
+                        .then(|| Arc::new(super::memo::SharedMemos::new()))
+                })
+            },
         }
     }
 }

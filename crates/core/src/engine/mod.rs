@@ -25,7 +25,9 @@ use std::fmt;
 
 /// Strict lower-bound thresholds for the three indices; `None` disables a
 /// constraint (the decision problems of §3 constrain one index at a time).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// `Hash` so a request `(metaquery, type, thresholds)` can key the serving
+/// layer's in-flight dedup map.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Thresholds {
     /// Keep rules with `sup > ksup`.
     pub sup: Option<Frac>,

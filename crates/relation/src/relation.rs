@@ -113,6 +113,24 @@ impl Relation {
         }
     }
 
+    /// Replace the relation's contents wholesale (duplicates dropped, as
+    /// on insert). Used by copy-on-write catalog updates; any cached
+    /// group indexes are invalidated.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from the arity.
+    pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
+        self.rows.clear();
+        self.index.clear();
+        self.group_indexes
+            .write()
+            .expect("group index lock poisoned")
+            .clear();
+        for row in rows {
+            self.insert(row);
+        }
+    }
+
     /// Membership test.
     pub fn contains(&self, row: &[Value]) -> bool {
         self.index.contains_key(row)
@@ -229,6 +247,25 @@ mod tests {
             .probe_cols(r.rows_slice(), &ints(&[5]), &[0])
             .next()
             .is_some());
+    }
+
+    #[test]
+    fn replace_rows_swaps_contents_and_invalidates_indexes() {
+        let mut r = Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[3, 4])]);
+        let _ = r.group_index(&[0]);
+        r.replace_rows(vec![ints(&[9, 9]), ints(&[9, 9]), ints(&[8, 7])]);
+        assert_eq!(r.len(), 2, "replacement deduplicates");
+        assert!(r.contains(&ints(&[9, 9])));
+        assert!(!r.contains(&ints(&[1, 2])));
+        let idx = r.group_index(&[0]);
+        assert!(idx
+            .probe_cols(r.rows_slice(), &ints(&[9]), &[0])
+            .next()
+            .is_some());
+        assert!(idx
+            .probe_cols(r.rows_slice(), &ints(&[1]), &[0])
+            .next()
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! In-flight request deduplication.
+//!
+//! When many sessions fire the **same** request (same database snapshot
+//! version, metaquery, type, thresholds, budget) at once, running one
+//! search per caller wastes the whole cost of the duplicates — the
+//! answers are deterministic, so one search serves everyone. A
+//! [`RequestTable`] coalesces them: the first caller to
+//! [`RequestTable::join`] a key becomes the **owner** (it runs the
+//! computation and [`Ticket::publish`]es the result), every concurrent
+//! caller becomes a **follower** and blocks until the owner's result is
+//! shared with it.
+//!
+//! Completed results are *not* cached here: the entry is removed at
+//! publication, so a request arriving after the result was handed out
+//! recomputes (and can hit the memo layers instead). Dedup is strictly
+//! about concurrent identical work.
+//!
+//! Owner crash safety: if the owner unwinds (or otherwise drops its
+//! ticket without publishing), the slot is marked abandoned and waiting
+//! followers get [`Joined::Retry`] — they re-join, and one of them
+//! becomes the new owner. No lock is held while the owner computes.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// State of one in-flight slot.
+enum SlotState<V> {
+    /// The owner is still computing.
+    Pending,
+    /// The owner published this result.
+    Done(V),
+    /// The owner dropped its ticket without publishing (panic path).
+    Abandoned,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+/// Outcome of [`RequestTable::join`].
+pub enum Joined<'t, K: Hash + Eq + Clone, V: Clone> {
+    /// This caller owns the computation: run it, then
+    /// [`Ticket::publish`] the result so followers wake up.
+    Owner(Ticket<'t, K, V>),
+    /// Another caller owned an identical in-flight request; this is its
+    /// (cloned) result.
+    Shared(V),
+    /// The owner abandoned the slot (it panicked); call `join` again.
+    Retry,
+}
+
+/// The owner's obligation to publish: created by [`RequestTable::join`],
+/// resolved by [`Ticket::publish`]. Dropping it unpublished marks the
+/// slot abandoned so followers retry instead of hanging.
+pub struct Ticket<'t, K: Hash + Eq + Clone, V: Clone> {
+    table: &'t RequestTable<K, V>,
+    key: K,
+    slot: Arc<Slot<V>>,
+    published: bool,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Ticket<'_, K, V> {
+    /// Publish `value`: wake every follower with a clone and retire the
+    /// in-flight entry (later identical requests start a fresh
+    /// computation). Returns `value` back for the owner's own use.
+    pub fn publish(mut self, value: V) -> V {
+        {
+            let mut state = self.slot.state.lock().expect("dedup slot poisoned");
+            *state = SlotState::Done(value.clone());
+        }
+        self.slot.cv.notify_all();
+        self.published = true;
+        self.table.remove(&self.key);
+        value
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Drop for Ticket<'_, K, V> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Owner failed to publish (unwinding): release the followers.
+        {
+            let mut state = self.slot.state.lock().expect("dedup slot poisoned");
+            *state = SlotState::Abandoned;
+        }
+        self.slot.cv.notify_all();
+        self.table.remove(&self.key);
+    }
+}
+
+/// A table of in-flight computations keyed by request identity.
+pub struct RequestTable<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> RequestTable<K, V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        RequestTable {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join the in-flight computation for `key`: become the owner if
+    /// nobody holds it, otherwise block until the owner publishes (or
+    /// abandons) and share its result.
+    pub fn join(&self, key: K) -> Joined<'_, K, V> {
+        let slot = {
+            let mut map = self.inflight.lock().expect("dedup table poisoned");
+            match map.entry(key.clone()) {
+                Entry::Vacant(e) => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    e.insert(Arc::clone(&slot));
+                    return Joined::Owner(Ticket {
+                        table: self,
+                        key,
+                        slot,
+                        published: false,
+                    });
+                }
+                Entry::Occupied(e) => Arc::clone(e.get()),
+            }
+        };
+        let mut state = slot.state.lock().expect("dedup slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = slot.cv.wait(state).expect("dedup slot poisoned");
+                }
+                SlotState::Done(v) => return Joined::Shared(v.clone()),
+                SlotState::Abandoned => return Joined::Retry,
+            }
+        }
+    }
+
+    /// Number of requests currently in flight.
+    pub fn len(&self) -> usize {
+        self.inflight.lock().expect("dedup table poisoned").len()
+    }
+
+    /// Whether no request is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn remove(&self, key: &K) {
+        self.inflight
+            .lock()
+            .expect("dedup table poisoned")
+            .remove(key);
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for RequestTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn first_joiner_owns_and_later_one_recomputes() {
+        let table: RequestTable<u32, String> = RequestTable::new();
+        let Joined::Owner(ticket) = table.join(7) else {
+            panic!("first joiner must own");
+        };
+        assert_eq!(table.len(), 1);
+        let out = ticket.publish("seven".into());
+        assert_eq!(out, "seven");
+        assert!(table.is_empty(), "publication retires the entry");
+        // After publication the next joiner owns a fresh computation.
+        assert!(matches!(table.join(7), Joined::Owner(_)));
+    }
+
+    /// Deterministic dedup: the follower registers *while* the owner
+    /// holds the slot, so it must block and then receive the owner's
+    /// result — never compute.
+    #[test]
+    fn follower_blocks_until_owner_publishes() {
+        let table: Arc<RequestTable<u32, String>> = Arc::new(RequestTable::new());
+        let Joined::Owner(ticket) = table.join(1) else {
+            panic!("owner expected");
+        };
+        let entered = Arc::new(Barrier::new(2));
+        let follower = {
+            let table = Arc::clone(&table);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                entered.wait();
+                match table.join(1) {
+                    Joined::Shared(v) => v,
+                    _ => panic!("concurrent identical request must share"),
+                }
+            })
+        };
+        entered.wait();
+        // Give the follower time to actually park on the slot before the
+        // owner publishes (publication must wake parked waiters).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ticket.publish("one".into());
+        assert_eq!(follower.join().unwrap(), "one");
+    }
+
+    /// An owner that panics (drops the ticket unpublished) must not hang
+    /// its followers: they retry and one becomes the new owner.
+    #[test]
+    fn abandoned_owner_releases_followers_for_retry() {
+        let table: Arc<RequestTable<u32, u32>> = Arc::new(RequestTable::new());
+        let Joined::Owner(ticket) = table.join(5) else {
+            panic!("owner expected");
+        };
+        let follower = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || loop {
+                match table.join(5) {
+                    Joined::Shared(v) => return v,
+                    Joined::Retry => continue,
+                    Joined::Owner(t) => return t.publish(99),
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(ticket); // abandon without publishing
+        assert_eq!(follower.join().unwrap(), 99);
+        assert!(table.is_empty());
+    }
+
+    /// Many concurrent joiners of one key: exactly the owners compute,
+    /// everyone agrees on a canonical result per round.
+    #[test]
+    fn concurrent_joiners_converge() {
+        let table: Arc<RequestTable<u32, u32>> = Arc::new(RequestTable::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let table = Arc::clone(&table);
+            let computes = Arc::clone(&computes);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                loop {
+                    match table.join(3) {
+                        Joined::Owner(t) => {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            return t.publish(42);
+                        }
+                        Joined::Shared(v) => return v,
+                        Joined::Retry => continue,
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert!(computes.load(Ordering::SeqCst) >= 1);
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,464 @@
+//! A line-oriented text protocol over the service (the `mq serve` mode).
+//!
+//! One request per line, one-or-more response lines per request; every
+//! response block starts with `ok …` or `err …` so clients can frame
+//! replies without counting lines ahead of time. Commands:
+//!
+//! ```text
+//! ping
+//! open <name> <path>                       load a textio database file
+//! mine <name> [type=0|1|2] [sup=K] [cvr=K] [cnf=K] [limit=N] :: <metaquery>
+//! append <name> <relation> <v,v,..> [<v,v,..> ...]
+//! replace <name> <relation> [<v,v,..> ...]
+//! dump <name> <relation> [limit]           rows from the frozen arena
+//! stats <name>
+//! metrics
+//! quit
+//! ```
+//!
+//! Values in `append`/`replace` rows are integers or bare symbols
+//! (interned into the database's symbol table during the copy-on-write
+//! update). `mine` thresholds accept `1/2`, `0.5` or `0`, exactly like
+//! the `mq mine` CLI; answers render as instantiated rules with their
+//! indices, one per line, prefixed `rule `.
+
+use crate::session::{MetaqueryRequest, MqService, ServiceError};
+use mq_core::instantiate::{apply_instantiation, InstType};
+use mq_relation::{parse_database, Database, Frac, Tuple, Value};
+
+/// The reply to one protocol line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Response lines to send back (first line is `ok …` or `err …`).
+    Lines(Vec<String>),
+    /// The client asked to close the connection.
+    Quit,
+}
+
+impl Reply {
+    fn ok(line: impl Into<String>) -> Reply {
+        Reply::Lines(vec![format!("ok {}", line.into())])
+    }
+
+    fn err(line: impl std::fmt::Display) -> Reply {
+        Reply::Lines(vec![format!("err {line}")])
+    }
+
+    /// The reply's text lines (empty for [`Reply::Quit`]).
+    pub fn lines(&self) -> &[String] {
+        match self {
+            Reply::Lines(lines) => lines,
+            Reply::Quit => &[],
+        }
+    }
+}
+
+/// Handle one protocol line against `service`.
+pub fn handle_line(service: &MqService, line: &str) -> Reply {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Reply::Lines(Vec::new());
+    }
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((cmd, rest)) => (cmd, rest.trim()),
+        None => (line, ""),
+    };
+    match cmd {
+        "ping" => Reply::ok("pong"),
+        "quit" | "exit" => Reply::Quit,
+        "open" => cmd_open(service, rest),
+        "mine" => cmd_mine(service, rest),
+        "append" => cmd_update(service, rest, UpdateKind::Append),
+        "replace" => cmd_update(service, rest, UpdateKind::Replace),
+        "dump" => cmd_dump(service, rest),
+        "stats" => cmd_stats(service, rest),
+        "metrics" => cmd_metrics(service),
+        other => Reply::err(format_args!(
+            "unknown command `{other}` (ping|open|mine|append|replace|dump|stats|metrics|quit)"
+        )),
+    }
+}
+
+fn cmd_open(service: &MqService, rest: &str) -> Reply {
+    let Some((name, path)) = rest.split_once(char::is_whitespace) else {
+        return Reply::err("usage: open <name> <path>");
+    };
+    let text = match std::fs::read_to_string(path.trim()) {
+        Ok(t) => t,
+        Err(e) => return Reply::err(format_args!("cannot read `{}`: {e}", path.trim())),
+    };
+    let db = match parse_database(&text) {
+        Ok(db) => db,
+        Err(e) => return Reply::err(format_args!("cannot parse `{}`: {e}", path.trim())),
+    };
+    register_db(service, name, db)
+}
+
+/// Register a database under `name` (shared by `open` and in-process
+/// embedders that already hold a [`Database`]).
+pub fn register_db(service: &MqService, name: &str, db: Database) -> Reply {
+    let relations = db.num_relations();
+    let tuples = db.total_tuples();
+    match service.register(name, db) {
+        Ok(h) => Reply::ok(format!(
+            "open {name} version={} relations={relations} tuples={tuples}",
+            h.version()
+        )),
+        Err(e) => Reply::err(e),
+    }
+}
+
+fn cmd_mine(service: &MqService, rest: &str) -> Reply {
+    let Some((head, mq_text)) = rest.split_once("::") else {
+        return Reply::err(
+            "usage: mine <name> [type=T] [sup=K] [cvr=K] [cnf=K] [limit=N] :: <metaquery>",
+        );
+    };
+    let mut words = head.split_whitespace();
+    let Some(name) = words.next() else {
+        return Reply::err("mine: missing database name");
+    };
+    let mut req = MetaqueryRequest::new(name, mq_text.trim());
+    for word in words {
+        let Some((key, value)) = word.split_once('=') else {
+            return Reply::err(format_args!(
+                "mine: malformed flag `{word}` (want key=value)"
+            ));
+        };
+        match key {
+            "type" => {
+                req.ty = match value {
+                    "0" => InstType::Zero,
+                    "1" => InstType::One,
+                    "2" => InstType::Two,
+                    other => return Reply::err(format_args!("mine: invalid type `{other}`")),
+                }
+            }
+            "sup" | "cvr" | "cnf" => {
+                let k = match value.parse::<Frac>() {
+                    Ok(k) if k.is_probability() => k,
+                    _ => {
+                        return Reply::err(format_args!(
+                            "mine: threshold `{value}` must be a fraction in [0, 1]"
+                        ))
+                    }
+                };
+                match key {
+                    "sup" => req.thresholds.sup = Some(k),
+                    "cvr" => req.thresholds.cvr = Some(k),
+                    _ => req.thresholds.cnf = Some(k),
+                }
+            }
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => req.max_answers = Some(n),
+                Err(_) => return Reply::err(format_args!("mine: invalid limit `{value}`")),
+            },
+            other => return Reply::err(format_args!("mine: unknown flag `{other}`")),
+        }
+    }
+    // Pin one snapshot for both the search and the rendering, so a
+    // concurrent update can't make the rendered rules disagree with the
+    // answered version.
+    let handle = match service.catalog().snapshot(name) {
+        Ok(h) => h,
+        Err(e) => return Reply::err(ServiceError::from(e)),
+    };
+    let out = match service.query_at(&handle, &req) {
+        Ok(out) => out,
+        Err(e) => return Reply::err(e),
+    };
+    let mq = match mq_core::parse::parse_metaquery(&req.metaquery) {
+        Ok(mq) => mq,
+        Err(e) => return Reply::err(format_args!("invalid metaquery: {e}")),
+    };
+    let db = handle.database();
+    let mut lines = vec![format!(
+        "ok mine {} answer(s) version={}{}",
+        out.answers.len(),
+        out.db_version,
+        if out.shared { " deduped" } else { "" }
+    )];
+    for a in out.answers.iter() {
+        match apply_instantiation(db, &mq, &a.inst) {
+            Ok(rule) => lines.push(format!(
+                "rule {} sup={} cvr={} cnf={}",
+                rule.render(db),
+                a.indices.sup,
+                a.indices.cvr,
+                a.indices.cnf
+            )),
+            Err(e) => lines.push(format!("rule <unrenderable: {e}>")),
+        }
+    }
+    Reply::Lines(lines)
+}
+
+enum UpdateKind {
+    Append,
+    Replace,
+}
+
+fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
+    let mut words = rest.split_whitespace();
+    let (Some(name), Some(rel)) = (words.next(), words.next()) else {
+        return Reply::err("usage: append|replace <name> <relation> [<v,v,..> ...]");
+    };
+    let raw_rows: Vec<&str> = words.collect();
+    if matches!(kind, UpdateKind::Append) && raw_rows.is_empty() {
+        return Reply::err("append: no rows given");
+    }
+    // Interning bare-word symbols needs the (cloned) database of the
+    // update itself, so row parsing happens inside the copy-on-write
+    // closure.
+    let result = service.catalog().update_with(name, |db| {
+        let rel_id =
+            db.rel_id(rel)
+                .ok_or_else(|| crate::catalog::CatalogError::UnknownRelation {
+                    db: name.to_string(),
+                    relation: rel.to_string(),
+                })?;
+        let arity = db.relation(rel_id).arity();
+        let mut rows: Vec<Tuple> = Vec::with_capacity(raw_rows.len());
+        for raw in &raw_rows {
+            let values: Vec<Value> = raw
+                .split(',')
+                .map(|tok| {
+                    let tok = tok.trim();
+                    match tok.parse::<i64>() {
+                        Ok(n) => Value::Int(n),
+                        Err(_) => db.sym(tok),
+                    }
+                })
+                .collect();
+            if values.len() != arity {
+                return Err(crate::catalog::CatalogError::ArityMismatch {
+                    relation: rel.to_string(),
+                    expected: arity,
+                    got: values.len(),
+                });
+            }
+            rows.push(values.into_boxed_slice());
+        }
+        match kind {
+            UpdateKind::Append => {
+                for row in rows {
+                    db.insert(rel_id, row);
+                }
+            }
+            UpdateKind::Replace => db.relation_mut(rel_id).replace_rows(rows),
+        }
+        Ok(rel_id)
+    });
+    match result {
+        Ok(h) => {
+            let rel_id = h.database().rel_id(rel).expect("touched relation exists");
+            Reply::ok(format!(
+                "update {name} version={} {rel} rows={} generation={}",
+                h.version(),
+                h.database().relation(rel_id).len(),
+                h.generation(rel_id)
+            ))
+        }
+        Err(e) => Reply::err(ServiceError::from(e)),
+    }
+}
+
+/// Serve a relation's rows straight from the snapshot's frozen arena
+/// (never touching the live `Relation`): the arena is the read surface
+/// row-dump traffic is meant to hit, one contiguous scan per reply.
+fn cmd_dump(service: &MqService, rest: &str) -> Reply {
+    let mut words = rest.split_whitespace();
+    let (Some(name), Some(rel)) = (words.next(), words.next()) else {
+        return Reply::err("usage: dump <name> <relation> [limit]");
+    };
+    let limit = match words.next() {
+        None => usize::MAX,
+        Some(tok) => match tok.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Reply::err(format_args!("dump: invalid limit `{tok}`")),
+        },
+    };
+    let handle = match service.catalog().snapshot(name) {
+        Ok(h) => h,
+        Err(e) => return Reply::err(ServiceError::from(e)),
+    };
+    let db = handle.database();
+    let Some(rel_id) = db.rel_id(rel) else {
+        return Reply::err(format_args!("database `{name}` has no relation `{rel}`"));
+    };
+    let arena = handle.frozen_rows(rel_id);
+    let mut lines = vec![format!(
+        "ok dump {name} {rel} rows={} generation={} version={}",
+        arena.len(),
+        handle.generation(rel_id),
+        handle.version()
+    )];
+    let symbols = db.symbols();
+    for row in arena.rows().take(limit) {
+        let cells: Vec<String> = row.iter().map(|v| v.display(symbols).to_string()).collect();
+        lines.push(format!("row {}", cells.join(",")));
+    }
+    Reply::Lines(lines)
+}
+
+fn cmd_stats(service: &MqService, rest: &str) -> Reply {
+    let name = rest.trim();
+    if name.is_empty() {
+        return Reply::err("usage: stats <name>");
+    }
+    let handle = match service.catalog().snapshot(name) {
+        Ok(h) => h,
+        Err(e) => return Reply::err(ServiceError::from(e)),
+    };
+    let db = handle.database();
+    let atom = handle.atom_cache().stats();
+    let mut lines = vec![format!(
+        "ok stats {name} version={} relations={} tuples={} atom_cache_hits={} atom_cache_misses={}",
+        handle.version(),
+        db.num_relations(),
+        handle.total_tuples(),
+        atom.hits,
+        atom.misses
+    )];
+    for id in db.rel_ids() {
+        let rel = db.relation(id);
+        lines.push(format!(
+            "relation {}/{} rows={} generation={}",
+            rel.name(),
+            rel.arity(),
+            handle.frozen_rows(id).len(),
+            handle.generation(id)
+        ));
+    }
+    Reply::Lines(lines)
+}
+
+fn cmd_metrics(service: &MqService) -> Reply {
+    let m = service.metrics();
+    Reply::ok(format!(
+        "metrics requests={} executed={} deduped={} memo_hits={} memo_misses={}",
+        m.requests, m.executed, m.deduped, m.memo.hits, m.memo.misses
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_relation::ints;
+
+    fn service_with_db() -> MqService {
+        let svc = MqService::new();
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        let q = db.add_relation("q", 2);
+        for i in 0..5i64 {
+            db.insert(p, ints(&[i, i + 1]));
+            db.insert(q, ints(&[i + 1, i + 2]));
+        }
+        svc.register("tele", db).unwrap();
+        svc
+    }
+
+    fn first_line(reply: &Reply) -> &str {
+        &reply.lines()[0]
+    }
+
+    #[test]
+    fn ping_quit_unknown() {
+        let svc = MqService::new();
+        assert_eq!(handle_line(&svc, "ping"), Reply::ok("pong"));
+        assert_eq!(handle_line(&svc, "quit"), Reply::Quit);
+        assert_eq!(handle_line(&svc, ""), Reply::Lines(Vec::new()));
+        assert!(first_line(&handle_line(&svc, "bogus x")).starts_with("err "));
+    }
+
+    #[test]
+    fn mine_renders_rules() {
+        let svc = service_with_db();
+        // No thresholds: every instantiation qualifies (they are strict
+        // lower bounds, so sup=0 would already filter zero-support rules).
+        let reply = handle_line(&svc, "mine tele type=0 :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        let lines = reply.lines();
+        assert!(lines[0].starts_with("ok mine "), "got: {}", lines[0]);
+        assert!(lines[0].contains("version=1"));
+        assert!(lines.len() > 1, "some rules expected");
+        assert!(lines[1].starts_with("rule "));
+        assert!(lines[1].contains("sup="));
+        // limit caps the rule lines.
+        let limited = handle_line(&svc, "mine tele limit=1 :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        assert_eq!(limited.lines().len(), 2);
+    }
+
+    #[test]
+    fn mine_flag_errors() {
+        let svc = service_with_db();
+        assert!(
+            first_line(&handle_line(&svc, "mine tele sup=2 :: R(X,Z) <- P(X,Y)"))
+                .starts_with("err ")
+        );
+        assert!(first_line(&handle_line(&svc, "mine tele :: not a metaquery")).starts_with("err "));
+        assert!(
+            first_line(&handle_line(&svc, "mine nosuch :: R(X,Z) <- P(X,Y)")).starts_with("err ")
+        );
+        assert!(first_line(&handle_line(&svc, "mine tele")).starts_with("err "));
+    }
+
+    #[test]
+    fn append_replace_and_stats_roundtrip() {
+        let svc = service_with_db();
+        let reply = handle_line(&svc, "append tele p 10,11 11,12");
+        assert!(
+            first_line(&reply).starts_with("ok update tele version=2"),
+            "got: {}",
+            first_line(&reply)
+        );
+        assert!(first_line(&reply).contains("rows=7"));
+        assert!(first_line(&reply).contains("generation=2"));
+        let reply = handle_line(&svc, "replace tele q 0,ann");
+        assert!(first_line(&reply).contains("version=3"));
+        assert!(first_line(&reply).contains("rows=1"));
+        let stats = handle_line(&svc, "stats tele");
+        let lines = stats.lines();
+        assert!(lines[0].starts_with("ok stats tele version=3"));
+        assert!(lines
+            .iter()
+            .any(|l| l == "relation p/2 rows=7 generation=2"));
+        assert!(lines
+            .iter()
+            .any(|l| l == "relation q/2 rows=1 generation=3"));
+        // Arity errors surface as err.
+        assert!(first_line(&handle_line(&svc, "append tele p 1,2,3")).starts_with("err "));
+        assert!(first_line(&handle_line(&svc, "append tele zz 1,2")).starts_with("err "));
+        // A failed update did not bump the version.
+        assert!(first_line(&handle_line(&svc, "stats tele")).contains("version=3"));
+    }
+
+    #[test]
+    fn dump_serves_rows_from_the_arena() {
+        let svc = service_with_db();
+        let reply = handle_line(&svc, "dump tele p");
+        let lines = reply.lines();
+        assert!(lines[0].starts_with("ok dump tele p rows=5 generation=1"));
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[1], "row 0,1");
+        // Limit caps the row lines; updates show up (and symbols render).
+        let _ = handle_line(&svc, "replace tele p 7,ann");
+        let reply = handle_line(&svc, "dump tele p 1");
+        let lines = reply.lines();
+        assert!(lines[0].starts_with("ok dump tele p rows=1 generation=2"));
+        assert_eq!(lines[1], "row 7,ann");
+        assert!(first_line(&handle_line(&svc, "dump tele zz")).starts_with("err "));
+        assert!(first_line(&handle_line(&svc, "dump nosuch p")).starts_with("err "));
+        assert!(first_line(&handle_line(&svc, "dump tele p x")).starts_with("err "));
+    }
+
+    #[test]
+    fn metrics_counts_requests() {
+        let svc = service_with_db();
+        let _ = handle_line(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        let _ = handle_line(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        let m = first_line(&handle_line(&svc, "metrics")).to_string();
+        assert!(m.contains("requests=2"), "got: {m}");
+        assert!(m.contains("executed=2"));
+    }
+}

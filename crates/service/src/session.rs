@@ -1,0 +1,573 @@
+//! The session manager: many concurrent metaquery searches over one
+//! catalog.
+//!
+//! [`MqService`] is the top of the serving stack. Each request names a
+//! catalog entry; the service pins the entry's current [`DbHandle`]
+//! snapshot, coalesces identical in-flight requests
+//! ([`crate::dedup::RequestTable`]), applies **admission control** (at
+//! most [`ServiceConfig::max_concurrent`] searches execute at once —
+//! excess owners queue on a semaphore; dedup followers never consume a
+//! permit, they only wait for their owner), and runs `find_rules` with a
+//! per-search memo service seeded from the entry's persistent
+//! cross-search atom cache ([`DbHandle::memo_service`]).
+//!
+//! A [`Session`] pins one snapshot for its lifetime: every query it
+//! issues sees exactly the rows the session opened with, even while the
+//! catalog publishes updated snapshots underneath — the generation tags
+//! in the memo keys guarantee its cache probes never observe post-update
+//! bindings. Sessions also carry a [`SessionBudget`] applied to every
+//! query they issue.
+//!
+//! Answers are **byte-identical to a cold `find_rules_seq` run** over
+//! the same snapshot, whether a request executed, was coalesced onto a
+//! concurrent twin, or was served from a warm atom cache — every cache
+//! value is a deterministic function of its key and the snapshot
+//! generations (regression-tested in `tests/service.rs`).
+
+use crate::catalog::{Catalog, CatalogError, DbHandle};
+use crate::dedup::{Joined, RequestTable};
+use mq_core::engine::find_rules::{find_rules, find_rules_shared};
+use mq_core::engine::memo::MemoStats;
+use mq_core::engine::{MqAnswer, Thresholds};
+use mq_core::instantiate::{InstError, InstType};
+use mq_core::parse::parse_metaquery;
+use mq_relation::{Database, Tuple};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Errors surfaced to service callers. `Clone` because a deduplicated
+/// error is fanned out to every coalesced caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Catalog lookup/update failure.
+    Catalog(CatalogError),
+    /// The request's metaquery text does not parse.
+    Parse(String),
+    /// The engine rejected the (metaquery, database, type) combination.
+    Engine(InstError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Catalog(e) => write!(f, "{e}"),
+            ServiceError::Parse(msg) => write!(f, "invalid metaquery: {msg}"),
+            ServiceError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CatalogError> for ServiceError {
+    fn from(e: CatalogError) -> Self {
+        ServiceError::Catalog(e)
+    }
+}
+
+/// Service-wide configuration. The default admits everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// Maximum number of searches executing at once (`0` = unlimited).
+    /// Excess requests queue; dedup followers wait on their owner
+    /// without consuming a permit.
+    pub max_concurrent: usize,
+}
+
+/// Per-session limits applied to every query the session issues.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SessionBudget {
+    /// Keep at most this many answers (sorted order, so the kept prefix
+    /// is deterministic). `None` = unbounded.
+    pub max_answers: Option<usize>,
+}
+
+/// One metaquery request against a named catalog entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MetaqueryRequest {
+    /// The catalog entry to search.
+    pub db: String,
+    /// The metaquery text (also the dedup identity — textually identical
+    /// requests coalesce; semantically equal but differently written
+    /// ones do not).
+    pub metaquery: String,
+    /// The instantiation type.
+    pub ty: InstType,
+    /// The index thresholds.
+    pub thresholds: Thresholds,
+    /// Keep at most this many (sorted) answers.
+    pub max_answers: Option<usize>,
+}
+
+impl MetaqueryRequest {
+    /// A type-0, no-thresholds, unbounded request.
+    pub fn new(db: impl Into<String>, metaquery: impl Into<String>) -> Self {
+        MetaqueryRequest {
+            db: db.into(),
+            metaquery: metaquery.into(),
+            ty: InstType::Zero,
+            thresholds: Thresholds::none(),
+            max_answers: None,
+        }
+    }
+}
+
+/// The identity under which concurrent requests coalesce: everything
+/// that determines the answer bytes, including the snapshot version (so
+/// requests across an update never share results).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RequestKey {
+    db: String,
+    version: u64,
+    metaquery: String,
+    ty: InstType,
+    thresholds: Thresholds,
+    max_answers: Option<usize>,
+}
+
+/// What a finished search shares with every coalesced caller.
+#[derive(Clone)]
+struct CompletedSearch {
+    answers: Arc<Vec<MqAnswer>>,
+    db_version: u64,
+    memo: MemoStats,
+}
+
+type SearchResult = Result<CompletedSearch, ServiceError>;
+
+/// One answered request.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The answers, in `find_rules` order (shared when deduplicated).
+    pub answers: Arc<Vec<MqAnswer>>,
+    /// The snapshot version the search ran against.
+    pub db_version: u64,
+    /// `true` when this caller was coalesced onto another caller's
+    /// in-flight search instead of executing its own.
+    pub shared: bool,
+    /// The executing search's memo-service hit/miss counters (the
+    /// owner's counters, when `shared`).
+    pub memo: MemoStats,
+}
+
+/// Counters the service accumulates across its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Requests received (including deduplicated ones).
+    pub requests: u64,
+    /// Searches actually executed.
+    pub executed: u64,
+    /// Requests served by coalescing onto an in-flight twin.
+    pub deduped: u64,
+    /// Per-search memo-service traffic, summed over executed searches.
+    pub memo: MemoStats,
+}
+
+/// A small counting semaphore (admission control). `max == 0` admits
+/// everything.
+struct Semaphore {
+    max: usize,
+    busy: Mutex<usize>,
+    idle: Condvar,
+}
+
+struct Permit<'a>(Option<&'a Semaphore>);
+
+impl Semaphore {
+    fn new(max: usize) -> Self {
+        Semaphore {
+            max,
+            busy: Mutex::new(0),
+            idle: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        if self.max == 0 {
+            return Permit(None);
+        }
+        let mut busy = self.busy.lock().expect("semaphore poisoned");
+        while *busy >= self.max {
+            busy = self.idle.wait(busy).expect("semaphore poisoned");
+        }
+        *busy += 1;
+        Permit(Some(self))
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if let Some(sem) = self.0 {
+            *sem.busy.lock().expect("semaphore poisoned") -= 1;
+            sem.idle.notify_one();
+        }
+    }
+}
+
+/// The concurrent metaquery service: a catalog of frozen databases, a
+/// dedup table, admission control and service metrics. All methods take
+/// `&self`; share it across session threads behind an `Arc` (or plain
+/// borrows with `std::thread::scope`).
+pub struct MqService {
+    catalog: Catalog,
+    inflight: RequestTable<RequestKey, SearchResult>,
+    gate: Semaphore,
+    requests: AtomicU64,
+    executed: AtomicU64,
+    deduped: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl MqService {
+    /// A service with default configuration (unlimited admission).
+    pub fn new() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
+
+    /// A service with explicit configuration.
+    pub fn with_config(cfg: ServiceConfig) -> Self {
+        MqService {
+            catalog: Catalog::new(),
+            inflight: RequestTable::new(),
+            gate: Semaphore::new(cfg.max_concurrent),
+            requests: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying catalog (register/update/snapshot/purge).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register `db` under `name` (freezes and pre-warms it).
+    pub fn register(&self, name: &str, db: Database) -> Result<DbHandle, ServiceError> {
+        Ok(self.catalog.register(name, db)?)
+    }
+
+    /// Append rows to a relation — copy-on-write: bumps the entry
+    /// version and only the touched relation's generation; running
+    /// sessions finish on their snapshot.
+    pub fn append_rows(
+        &self,
+        name: &str,
+        rel: &str,
+        rows: Vec<Tuple>,
+    ) -> Result<DbHandle, ServiceError> {
+        Ok(self.catalog.append_rows(name, rel, rows)?)
+    }
+
+    /// Replace a relation's contents — copy-on-write, like
+    /// [`MqService::append_rows`].
+    pub fn replace_relation(
+        &self,
+        name: &str,
+        rel: &str,
+        rows: Vec<Tuple>,
+    ) -> Result<DbHandle, ServiceError> {
+        Ok(self.catalog.replace_relation(name, rel, rows)?)
+    }
+
+    /// Open a session pinned to the current snapshot of `name`, with no
+    /// budget.
+    pub fn session(&self, name: &str) -> Result<Session<'_>, ServiceError> {
+        self.session_with_budget(name, SessionBudget::default())
+    }
+
+    /// Open a budgeted session pinned to the current snapshot of `name`.
+    pub fn session_with_budget(
+        &self,
+        name: &str,
+        budget: SessionBudget,
+    ) -> Result<Session<'_>, ServiceError> {
+        Ok(Session {
+            service: self,
+            handle: self.catalog.snapshot(name)?,
+            budget,
+        })
+    }
+
+    /// Answer `req` against the **current** snapshot of its database
+    /// (one-shot convenience; open a [`Session`] to pin a snapshot
+    /// across several queries).
+    pub fn query(&self, req: &MetaqueryRequest) -> Result<QueryOutcome, ServiceError> {
+        let handle = self.catalog.snapshot(&req.db)?;
+        self.query_at(&handle, req)
+    }
+
+    /// Answer `req` against an explicit snapshot. Identical concurrent
+    /// requests (same snapshot version) coalesce onto one search.
+    pub fn query_at(
+        &self,
+        handle: &DbHandle,
+        req: &MetaqueryRequest,
+    ) -> Result<QueryOutcome, ServiceError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        // Parse before joining the dedup table so malformed requests
+        // fail fast without occupying a slot.
+        let mq = parse_metaquery(&req.metaquery).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let key = RequestKey {
+            db: handle.name().to_string(),
+            version: handle.version(),
+            metaquery: req.metaquery.clone(),
+            ty: req.ty,
+            thresholds: req.thresholds,
+            max_answers: req.max_answers,
+        };
+        loop {
+            match self.inflight.join(key.clone()) {
+                Joined::Owner(ticket) => {
+                    let result = self.run_search(handle, &mq, req);
+                    let result = ticket.publish(result);
+                    return result.map(|c| QueryOutcome {
+                        answers: c.answers,
+                        db_version: c.db_version,
+                        shared: false,
+                        memo: c.memo,
+                    });
+                }
+                Joined::Shared(result) => {
+                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                    return result.map(|c| QueryOutcome {
+                        answers: c.answers,
+                        db_version: c.db_version,
+                        shared: true,
+                        memo: c.memo,
+                    });
+                }
+                Joined::Retry => continue,
+            }
+        }
+    }
+
+    /// Execute one search under admission control, with a memo service
+    /// seeded from the snapshot's persistent atom cache.
+    fn run_search(
+        &self,
+        handle: &DbHandle,
+        mq: &mq_core::ast::Metaquery,
+        req: &MetaqueryRequest,
+    ) -> SearchResult {
+        let _permit = self.gate.acquire();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let memos = handle.memo_service();
+        let searched = match &memos {
+            Some(m) => {
+                find_rules_shared(handle.database(), mq, req.ty, req.thresholds, Arc::clone(m))
+            }
+            // MQ_SHARED_MEMO=0: private per-worker memos, no persistence.
+            None => find_rules(handle.database(), mq, req.ty, req.thresholds),
+        };
+        match searched {
+            Ok(mut answers) => {
+                if let Some(limit) = req.max_answers {
+                    answers.truncate(limit);
+                }
+                let memo = memos.as_ref().map(|m| m.stats()).unwrap_or_default();
+                self.memo_hits.fetch_add(memo.hits, Ordering::Relaxed);
+                self.memo_misses.fetch_add(memo.misses, Ordering::Relaxed);
+                Ok(CompletedSearch {
+                    answers: Arc::new(answers),
+                    db_version: handle.version(),
+                    memo,
+                })
+            }
+            Err(e) => Err(ServiceError::Engine(e)),
+        }
+    }
+
+    /// Snapshot of the service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            memo: MemoStats {
+                hits: self.memo_hits.load(Ordering::Relaxed),
+                misses: self.memo_misses.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Hit/miss counters of `name`'s persistent cross-search atom cache.
+    pub fn atom_cache_stats(&self, name: &str) -> Result<MemoStats, ServiceError> {
+        Ok(self.catalog.snapshot(name)?.atom_cache().stats())
+    }
+}
+
+impl Default for MqService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A session pinned to one database snapshot, with a per-session budget.
+/// Queries issued through the session are snapshot-consistent: catalog
+/// updates published after the session opened are invisible to it.
+pub struct Session<'s> {
+    service: &'s MqService,
+    handle: DbHandle,
+    budget: SessionBudget,
+}
+
+impl Session<'_> {
+    /// The pinned snapshot.
+    pub fn handle(&self) -> &DbHandle {
+        &self.handle
+    }
+
+    /// The snapshot version this session is pinned to.
+    pub fn db_version(&self) -> u64 {
+        self.handle.version()
+    }
+
+    /// Answer a metaquery against the pinned snapshot, under the
+    /// session's budget.
+    pub fn query(
+        &self,
+        metaquery: &str,
+        ty: InstType,
+        thresholds: Thresholds,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let req = MetaqueryRequest {
+            db: self.handle.name().to_string(),
+            metaquery: metaquery.to_string(),
+            ty,
+            thresholds,
+            max_answers: self.budget.max_answers,
+        };
+        self.service.query_at(&self.handle, &req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_relation::ints;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        let q = db.add_relation("q", 2);
+        for i in 0..6i64 {
+            db.insert(p, ints(&[i, i + 1]));
+            db.insert(q, ints(&[i + 1, i + 2]));
+        }
+        db
+    }
+
+    const MQ: &str = "R(X,Z) <- P(X,Y), Q(Y,Z)";
+
+    #[test]
+    fn query_matches_direct_find_rules() {
+        let svc = MqService::new();
+        let db = sample_db();
+        svc.register("tele", db.clone()).unwrap();
+        let out = svc.query(&MetaqueryRequest::new("tele", MQ)).unwrap();
+        let direct = find_rules(
+            &db,
+            &parse_metaquery(MQ).unwrap(),
+            InstType::Zero,
+            Thresholds::none(),
+        )
+        .unwrap();
+        assert_eq!(*out.answers, direct);
+        assert_eq!(out.db_version, 1);
+        assert!(!out.shared);
+        let m = svc.metrics();
+        assert_eq!((m.requests, m.executed, m.deduped), (1, 1, 0));
+    }
+
+    #[test]
+    fn parse_and_lookup_errors_fail_fast() {
+        let svc = MqService::new();
+        svc.register("tele", sample_db()).unwrap();
+        assert!(matches!(
+            svc.query(&MetaqueryRequest::new("nope", MQ)).unwrap_err(),
+            ServiceError::Catalog(CatalogError::UnknownDb(_))
+        ));
+        assert!(matches!(
+            svc.query(&MetaqueryRequest::new("tele", "not a metaquery"))
+                .unwrap_err(),
+            ServiceError::Parse(_)
+        ));
+        assert!(svc.inflight.is_empty());
+    }
+
+    #[test]
+    fn session_budget_truncates_sorted_answers() {
+        let svc = MqService::new();
+        let db = sample_db();
+        svc.register("tele", db.clone()).unwrap();
+        let full = svc.query(&MetaqueryRequest::new("tele", MQ)).unwrap();
+        assert!(full.answers.len() > 2);
+        let sess = svc
+            .session_with_budget(
+                "tele",
+                SessionBudget {
+                    max_answers: Some(2),
+                },
+            )
+            .unwrap();
+        let limited = sess.query(MQ, InstType::Zero, Thresholds::none()).unwrap();
+        assert_eq!(limited.answers.len(), 2);
+        assert_eq!(&limited.answers[..], &full.answers[..2]);
+    }
+
+    #[test]
+    fn admission_control_still_answers_everything() {
+        let svc = Arc::new(MqService::with_config(ServiceConfig { max_concurrent: 1 }));
+        let db = sample_db();
+        svc.register("tele", db.clone()).unwrap();
+        let expected = find_rules(
+            &db,
+            &parse_metaquery(MQ).unwrap(),
+            InstType::Zero,
+            Thresholds::none(),
+        )
+        .unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let svc = Arc::clone(&svc);
+                let expected = expected.clone();
+                s.spawn(move || {
+                    let out = svc.query(&MetaqueryRequest::new("tele", MQ)).unwrap();
+                    assert_eq!(*out.answers, expected);
+                });
+            }
+        });
+        let m = svc.metrics();
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.executed + m.deduped, 4);
+        assert!(m.executed >= 1);
+    }
+
+    #[test]
+    fn session_pins_snapshot_across_updates() {
+        let svc = MqService::new();
+        let db = sample_db();
+        svc.register("tele", db.clone()).unwrap();
+        let sess = svc.session("tele").unwrap();
+        // Update lands after the session opened.
+        svc.append_rows("tele", "p", vec![ints(&[50, 0])]).unwrap();
+        let pinned = sess.query(MQ, InstType::Zero, Thresholds::none()).unwrap();
+        let old_expected = find_rules(
+            &db,
+            &parse_metaquery(MQ).unwrap(),
+            InstType::Zero,
+            Thresholds::none(),
+        )
+        .unwrap();
+        assert_eq!(*pinned.answers, old_expected, "session sees its snapshot");
+        assert_eq!(pinned.db_version, 1);
+        // A fresh query sees the update.
+        let fresh = svc.query(&MetaqueryRequest::new("tele", MQ)).unwrap();
+        assert_eq!(fresh.db_version, 2);
+        assert_ne!(*fresh.answers, old_expected);
+    }
+}

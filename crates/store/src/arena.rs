@@ -1,0 +1,231 @@
+//! Arena-backed frozen row storage: contiguous values, no per-row boxes.
+//!
+//! [`crate::FrozenRows`] freezes a `Vec<T>` of already-materialized rows;
+//! when `T` is a boxed tuple that still means one heap allocation per
+//! row, paid again every time a database is cloned or re-frozen. An
+//! [`ArenaRows`] instead lays every row's values out back to back in
+//! **one** contiguous allocation (the arena) and hands rows back as
+//! slices into it: freezing `n` rows costs O(1) allocations instead of
+//! O(n), row access costs a bounds check, and iteration is a cache-
+//! friendly linear walk.
+//!
+//! Like `FrozenRows`, the arena sits behind an `Arc`: handle clones are
+//! O(1) pointer copies, the storage never mutates once frozen, and the
+//! whole value is `Send + Sync`. The service catalog freezes each
+//! relation of a registered database into an `ArenaRows<Value>` — the
+//! snapshot storage its copy-on-write updates extend and its protocol
+//! queries read — without re-boxing a single tuple.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Immutable row storage with all values in one contiguous allocation.
+///
+/// Rows all share one fixed `arity`; row `i` is the value slice
+/// `values[i * arity .. (i + 1) * arity]`. Handle clones are O(1) and
+/// share the arena.
+pub struct ArenaRows<V> {
+    values: Arc<Vec<V>>,
+    arity: usize,
+    rows: usize,
+}
+
+impl<V: Clone> ArenaRows<V> {
+    /// Freeze `rows` (each of length `arity`) into one contiguous arena.
+    ///
+    /// Allocates O(1) times regardless of the row count (the arena plus
+    /// its `Arc` header), versus one box per row for `Vec<Box<[V]>>`
+    /// storage — pinned down by the allocation-count test in
+    /// `tests/no_alloc_kernels.rs`.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `arity`.
+    pub fn from_rows<R: AsRef<[V]>>(arity: usize, rows: &[R]) -> Self {
+        let mut values = Vec::with_capacity(arity * rows.len());
+        for row in rows {
+            let row = row.as_ref();
+            assert_eq!(
+                row.len(),
+                arity,
+                "arena row length {} does not match arity {arity}",
+                row.len()
+            );
+            values.extend_from_slice(row);
+        }
+        ArenaRows {
+            values: Arc::new(values),
+            arity,
+            rows: rows.len(),
+        }
+    }
+
+    /// A new arena holding this one's rows followed by `more` — the
+    /// append path of a copy-on-write update. The existing arena is
+    /// copied with one contiguous `extend_from_slice`; handles to it are
+    /// untouched (freezing is immutable).
+    ///
+    /// # Panics
+    /// Panics if any new row's length differs from the arena's arity.
+    pub fn extended<R: AsRef<[V]>>(&self, more: &[R]) -> Self {
+        let mut values = Vec::with_capacity(self.values.len() + self.arity * more.len());
+        values.extend_from_slice(&self.values);
+        for row in more {
+            let row = row.as_ref();
+            assert_eq!(
+                row.len(),
+                self.arity,
+                "arena row length {} does not match arity {}",
+                row.len(),
+                self.arity
+            );
+            values.extend_from_slice(row);
+        }
+        ArenaRows {
+            values: Arc::new(values),
+            arity: self.arity,
+            rows: self.rows + more.len(),
+        }
+    }
+}
+
+impl<V> ArenaRows<V> {
+    /// An empty arena of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        ArenaRows {
+            values: Arc::new(Vec::new()),
+            arity,
+            rows: 0,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the arena holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The fixed row arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Row `i` as a slice into the arena (no allocation).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[V] {
+        debug_assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        &self.values[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate rows in order, as slices into the arena.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[V]> {
+        (0..self.rows).map(|i| self.row(i))
+    }
+
+    /// The whole arena as one flat value slice.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Whether two handles share the same arena storage.
+    #[inline]
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.values, &b.values)
+    }
+}
+
+impl<V> Clone for ArenaRows<V> {
+    #[inline]
+    fn clone(&self) -> Self {
+        ArenaRows {
+            values: Arc::clone(&self.values),
+            arity: self.arity,
+            rows: self.rows,
+        }
+    }
+}
+
+impl<V: PartialEq> PartialEq for ArenaRows<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.rows == other.rows
+            && (Self::ptr_eq(self, other) || *self.values == *other.values)
+    }
+}
+
+impl<V: Eq> Eq for ArenaRows<V> {}
+
+impl<V: fmt::Debug> fmt::Debug for ArenaRows<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.rows()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(rows: &[&[i32]]) -> Vec<Box<[i32]>> {
+        rows.iter().map(|r| r.to_vec().into_boxed_slice()).collect()
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = boxed(&[&[1, 2], &[3, 4], &[5, 6]]);
+        let a = ArenaRows::from_rows(2, &rows);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.arity(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.row(1), &[3, 4]);
+        assert_eq!(a.values(), &[1, 2, 3, 4, 5, 6]);
+        let collected: Vec<&[i32]> = a.rows().collect();
+        assert_eq!(collected, vec![&[1, 2][..], &[3, 4], &[5, 6]]);
+    }
+
+    #[test]
+    fn clone_shares_storage_and_extended_does_not() {
+        let a = ArenaRows::from_rows(2, &boxed(&[&[1, 2]]));
+        let b = a.clone();
+        assert!(ArenaRows::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        let c = a.extended(&boxed(&[&[3, 4]]));
+        assert!(!ArenaRows::ptr_eq(&a, &c));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.row(0), &[1, 2]);
+        assert_eq!(c.row(1), &[3, 4]);
+        // The original handle is untouched.
+        assert_eq!(a.len(), 1);
+        // Content equality without shared storage.
+        let d = ArenaRows::from_rows(2, &boxed(&[&[1, 2], &[3, 4]]));
+        assert_eq!(c, d);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn zero_arity_rows_are_well_defined() {
+        let rows: Vec<Box<[i32]>> = vec![Box::new([]), Box::new([])];
+        let a = ArenaRows::from_rows(0, &rows);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.row(1), &[] as &[i32]);
+        assert_eq!(a.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match arity")]
+    fn arity_mismatch_panics() {
+        let _ = ArenaRows::from_rows(2, &boxed(&[&[1, 2, 3]]));
+    }
+
+    #[test]
+    fn arena_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArenaRows<i64>>();
+    }
+}

@@ -10,6 +10,10 @@
 //!   storage with O(1) handle clones. `Send + Sync`, so values built on
 //!   it (notably `mq_relation::Bindings`) can cross worker threads and
 //!   live in cross-worker caches.
+//! * [`ArenaRows`] — the arena-backed frozen variant: every row's values
+//!   in **one** contiguous allocation, rows handed back as slices.
+//!   Freezing `n` rows costs O(1) allocations instead of one box per
+//!   row; the service catalog freezes database snapshots into it.
 //! * [`ColIndexCache`] — a thread-safe, *hashed* per-column-set cache of
 //!   derived indexes over one frozen row store (the replacement for the
 //!   old linear-scan `Rc<RefCell<Vec<…>>>` cache in `mq_relation`).
@@ -26,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod frozen;
 pub mod fxhash;
 pub mod memo;
 
+pub use arena::ArenaRows;
 pub use frozen::{ColIndexCache, FrozenRows};
 pub use fxhash::{FxBuildHasher, FxHasher};
 pub use memo::{MemoStats, ShardedMemo};

@@ -7,11 +7,19 @@
 //! mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type T]
 //! mq classify --metaquery MQ
 //! mq stats    --db FILE
+//! mq serve    [--db NAME=FILE]
 //! ```
 //!
 //! Thresholds accept `1/2`, `0.5` or `0`; they are strict lower bounds,
 //! exactly as in the paper. Database files use the text format of
 //! `mq_relation::textio` (one `relation(v1, v2, ...)` fact per line).
+//!
+//! `serve` starts the concurrent metaquery service on stdin/stdout: a
+//! catalog of named databases behind the line protocol of
+//! `mq_service::protocol` (`open`/`mine`/`append`/`replace`/`stats`/
+//! `metrics`/`quit`), with copy-on-write updates, generation-tagged
+//! snapshots, in-flight request dedup and a persistent cross-search atom
+//! cache. `--db NAME=FILE` preloads a database into the catalog.
 
 use metaquery::core::acyclic::classify;
 use metaquery::core::engine::find_rules::body_decomposition;
@@ -22,7 +30,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mq mine     --db FILE --metaquery MQ [--type 0|1|2] [--sup K] [--cvr K] [--cnf K] [--engine findrules|naive] [--limit N]\n  mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type 0|1|2]\n  mq classify --metaquery MQ\n  mq stats    --db FILE"
+        "usage:\n  mq mine     --db FILE --metaquery MQ [--type 0|1|2] [--sup K] [--cvr K] [--cnf K] [--engine findrules|naive] [--limit N]\n  mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type 0|1|2]\n  mq classify --metaquery MQ\n  mq stats    --db FILE\n  mq serve    [--db NAME=FILE]"
     );
     std::process::exit(2);
 }
@@ -222,6 +230,53 @@ fn cmd_stats(flags: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
+    use std::io::{BufRead, Write};
+
+    let service = metaquery::service::MqService::new();
+    if let Some(spec) = flags.get("db") {
+        let Some((name, path)) = spec.split_once('=') else {
+            eprintln!("--db wants NAME=FILE, got `{spec}`");
+            usage();
+        };
+        let db = load_db(path);
+        let reply = metaquery::service::register_db(&service, name, db);
+        for line in reply.lines() {
+            eprintln!("{line}");
+        }
+    }
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match metaquery::service::handle_line(&service, &line) {
+            metaquery::service::Reply::Quit => break,
+            reply => {
+                // A client hanging up mid-reply (broken pipe) is a
+                // normal way for a serve session to end, not a crash.
+                let wrote = reply
+                    .lines()
+                    .iter()
+                    .try_for_each(|out| writeln!(stdout, "{out}"))
+                    .and_then(|()| stdout.flush());
+                if let Err(e) = wrote {
+                    if e.kind() != std::io::ErrorKind::BrokenPipe {
+                        eprintln!("stdout error: {e}");
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -233,6 +288,7 @@ fn main() -> ExitCode {
         "decide" => cmd_decide(flags),
         "classify" => cmd_classify(flags),
         "stats" => cmd_stats(flags),
+        "serve" => cmd_serve(flags),
         _ => usage(),
     }
 }

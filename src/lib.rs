@@ -16,7 +16,11 @@
 //! * [`circuits`] — the AC0/TC0 data-complexity upper bounds of §3.5 as
 //!   runnable circuit compilers;
 //! * [`datagen`] — seeded workload generators, including the paper's
-//!   telecom database (Figures 1-2).
+//!   telecom database (Figures 1-2);
+//! * [`service`] — the concurrent multi-session serving layer: a catalog
+//!   of generation-tagged frozen databases, session manager with
+//!   admission control, in-flight request dedup and a cross-search atom
+//!   cache (`mq serve`).
 //!
 //! ## Quick start
 //!
@@ -48,6 +52,7 @@ pub use mq_cq as cq;
 pub use mq_datagen as datagen;
 pub use mq_reductions as reductions;
 pub use mq_relation as relation;
+pub use mq_service as service;
 
 /// One-stop imports for applications.
 pub mod prelude {

@@ -16,12 +16,17 @@
 //! [`override_lock`].
 
 use metaquery::core::engine::find_rules::{find_rules, find_rules_seq};
-use metaquery::core::engine::memo::{
-    set_shared_memo_override, shared_memo_enabled, take_shared_memo_counters,
-};
+use metaquery::core::engine::memo::{set_shared_memo_override, shared_memo_enabled, MemoStats};
 use metaquery::core::engine::parallel::set_split_depth_override;
 use metaquery::prelude::*;
 use std::sync::{Mutex, MutexGuard};
+
+/// The deprecated global drain, still regression-tested here: it is the
+/// bench shim's contract (single search at a time ⇒ unambiguous totals).
+#[allow(deprecated)]
+fn take_shared_memo_counters() -> MemoStats {
+    metaquery::core::engine::memo::take_shared_memo_counters()
+}
 
 /// Serializes the process-global override knobs across the tests in
 /// this binary (libtest runs them on concurrent threads by default).
