@@ -28,7 +28,15 @@
 //! `shared_memo` configuration the scheduler ran with (`MQ_THREADS`,
 //! `MQ_SPLIT_DEPTH`, `MQ_SHARED_MEMO`), plus per-workload shared-memo
 //! hit/miss counters.
+//!
+//! The `net_load` workload drives the hardened TCP serving layer with
+//! concurrent client connections and records tail latency and
+//! error/recovery counts; its knobs are `MQ_BENCH_NET_CONNS` (default
+//! 120), `MQ_BENCH_NET_REQS` (default 5 requests per connection),
+//! `MQ_BENCH_NET_FAULTS` (an `MQ_FAULTS`-syntax plan injected for the
+//! run) and `MQ_BENCH_MAX_NET_P99_MS` (latency guard, default 10000).
 
+use mq_bench::netload::{run_load, LoadConfig, LoadReport};
 use mq_bench::{
     chain_workload, cycle_workload, hybrid_star_workload, mid_thresholds, time, Workload,
 };
@@ -36,7 +44,7 @@ use mq_core::engine::find_rules::{find_rules, find_rules_seq};
 use mq_core::engine::memo::{shared_memo_enabled, MemoStats};
 use mq_core::prelude::*;
 use mq_relation::{set_baseline_mode, Frac};
-use mq_service::{MetaqueryRequest, MqService};
+use mq_service::{handle_line, MetaqueryRequest, MqService, NetConfig, NetServer};
 use std::sync::Arc;
 
 /// The deprecated process-global drain, kept as the attribution path for
@@ -300,6 +308,124 @@ fn bench_service() -> Option<ServiceReport> {
     })
 }
 
+/// Results of the `net_load` workload.
+struct NetLoadReport {
+    load: LoadReport,
+    /// Fault sites that fired during the run: `(site, fired, polled)`.
+    faults: Vec<(String, u64, u64)>,
+}
+
+/// Hundreds of concurrent TCP connections (default 120, or
+/// `MQ_BENCH_NET_CONNS`) in a closed loop against the hardened serving
+/// layer, each issuing `MQ_BENCH_NET_REQS` (default 5) identical `mine`
+/// requests: measures serving tail latency (p50/p95/p99), throughput,
+/// and the error/recovery accounting. `MQ_BENCH_NET_FAULTS` injects a
+/// fault plan (same `site:prob:seed` syntax as `MQ_FAULTS`) for the
+/// duration of the run — the chaos smoke uses it — under which the run
+/// still must answer every failure structurally and never corrupt a
+/// successful reply (byte-identity against an in-process reference).
+fn bench_net_load() -> Option<NetLoadReport> {
+    const NAME: &str = "net_load";
+    if let Some(only) = bench_only() {
+        if !NAME.contains(&only) {
+            eprintln!("{NAME}: skipped (MQ_BENCH_ONLY={only})");
+            return None;
+        }
+    }
+    let env_n = |key: &str, default: usize| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(default)
+    };
+    let connections = env_n("MQ_BENCH_NET_CONNS", 120);
+    let requests_per_conn = env_n("MQ_BENCH_NET_REQS", 5);
+    let fault_plan = std::env::var("MQ_BENCH_NET_FAULTS")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(|spec| mq_service::FaultPlan::parse(&spec).expect("MQ_BENCH_NET_FAULTS"));
+    let faulted = fault_plan.is_some();
+
+    let w = chain_workload(3, 120, 40, 2);
+    let svc = Arc::new(MqService::new());
+    svc.register("fig4", w.db.clone()).expect("register fig4");
+    let request = "mine fig4 sup=1/10 cvr=1/10 cnf=1/10 :: R(X,Z) <- P(X,Y), Q(Y,Z)".to_string();
+    // The reference block comes from the in-process protocol handler —
+    // itself regression-tested byte-identical to `find_rules_seq` — so
+    // every successful TCP reply is transitively checked against the
+    // sequential engine.
+    let expected = handle_line(&svc, &request).lines().to_vec();
+    assert!(
+        expected[0].starts_with("ok mine "),
+        "reference request failed: {}",
+        expected[0]
+    );
+    let mut server = NetServer::bind(
+        Arc::clone(&svc),
+        NetConfig {
+            max_connections: connections + 8,
+            default_wall_ms: Some(30_000),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind net_load server");
+    let cfg = LoadConfig {
+        connections,
+        requests_per_conn,
+        request,
+        expected: Some(expected),
+        ..LoadConfig::default()
+    };
+    // Scope the fault plan to the load run (it is process-global).
+    mq_service::set_plan_override(fault_plan);
+    let load = run_load(server.local_addr(), &cfg);
+    let faults = mq_service::faults::fired_counts();
+    mq_service::set_plan_override(None);
+    let drain = server.shutdown();
+
+    // The robustness contract, asserted on every bench run: no crashes
+    // (the server survived to drain), every failure structured, every
+    // successful answer byte-identical.
+    assert_eq!(load.mismatches, 0, "corrupted replies under load");
+    assert!(
+        load.all_failures_structured(),
+        "unstructured failures under load: {load:?}"
+    );
+    if !faulted {
+        assert_eq!(
+            load.ok, load.sent,
+            "clean run must answer every request ok: {load:?}"
+        );
+    }
+    let max_p99: f64 = std::env::var("MQ_BENCH_MAX_NET_P99_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000.0);
+    assert!(
+        load.p99_ms <= max_p99,
+        "net_load p99 {:.1}ms exceeds {max_p99}ms (MQ_BENCH_MAX_NET_P99_MS)",
+        load.p99_ms
+    );
+    eprintln!(
+        "{NAME}: {} conns × {} reqs in {:.3}s — {} ok, {} err, {} reconnects; \
+         p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, {:.0} req/s; drained {} aborted {}",
+        connections,
+        requests_per_conn,
+        load.wall_s,
+        load.ok,
+        load.err_total(),
+        load.reconnects,
+        load.p50_ms,
+        load.p95_ms,
+        load.p99_ms,
+        load.throughput_rps(),
+        drain.drained,
+        drain.aborted,
+    );
+    Some(NetLoadReport { load, faults })
+}
+
 fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
@@ -358,8 +484,11 @@ fn main() {
     // The serving-layer workload (dedup + cross-search atom cache).
     let service = bench_service();
 
+    // The hardened-TCP workload (tail latency + error/recovery counts).
+    let net_load = bench_net_load();
+
     assert!(
-        !rows.is_empty() || service.is_some(),
+        !rows.is_empty() || service.is_some() || net_load.is_some(),
         "MQ_BENCH_ONLY matched no workload — nothing to report"
     );
 
@@ -453,6 +582,39 @@ fn main() {
             s.memo.hits,
             s.memo.misses,
             s.wall_s
+        ));
+    }
+    if let Some(n) = &net_load {
+        let l = &n.load;
+        let errs = l
+            .errs
+            .iter()
+            .map(|(code, count)| format!("\"{code}\": {count}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let faults = n
+            .faults
+            .iter()
+            .map(|(site, fired, polled)| format!("\"{site}\": [{fired}, {polled}]"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "  \"net_load\": {{\"connections\": {}, \"requests\": {}, \"ok\": {}, \
+             \"errs\": {{{errs}}}, \"reconnects\": {}, \"lost\": {}, \"mismatches\": {}, \
+             \"unstructured\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"throughput_rps\": {:.1}, \"wall_s\": {:.6}, \"faults_fired\": {{{faults}}}}},\n",
+            l.connections,
+            l.sent,
+            l.ok,
+            l.reconnects,
+            l.lost,
+            l.mismatches,
+            l.unstructured,
+            l.p50_ms,
+            l.p95_ms,
+            l.p99_ms,
+            l.throughput_rps(),
+            l.wall_s,
         ));
     }
     json.push_str("  \"workloads\": [\n");

@@ -4,6 +4,8 @@
 //! module so the criterion benches and the table-printer binaries measure
 //! exactly the same workloads (same seeds, same sizes).
 
+pub mod netload;
+
 use mq_core::prelude::*;
 use mq_datagen::{metaqueries, RandomDbSpec};
 use mq_relation::{Database, Frac};

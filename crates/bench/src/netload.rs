@@ -1,0 +1,327 @@
+//! TCP load generator for the hardened serving layer (`mq_service::net`).
+//!
+//! Drives many concurrent client connections against a [`NetServer`]
+//! address, each issuing the same `mine` request in a closed loop, and
+//! reports tail latency (p50/p95/p99), throughput, and the
+//! error/recovery accounting the chaos harness asserts on:
+//!
+//! * every failed request must have produced a **structured** `err
+//!   <code> …` reply (counted per code in [`LoadReport::errs`]) — or a
+//!   disconnect, from which the client **recovers by reconnecting**
+//!   (counted in [`LoadReport::reconnects`]);
+//! * every successful reply block must be **byte-identical** to the
+//!   expected block ([`LoadReport::mismatches`] must stay zero — the
+//!   robustness layer may fail requests, never corrupt them).
+//!
+//! Used by `bench_report`'s `net_load` workload and by the chaos
+//! integration tests (`tests/chaos.rs`), clean and under `MQ_FAULTS`
+//! plans.
+//!
+//! [`NetServer`]: mq_service::NetServer
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests each connection issues (sequentially).
+    pub requests_per_conn: usize,
+    /// The request line to send (no trailing newline).
+    pub request: String,
+    /// The reply block a successful request must equal byte-for-byte
+    /// (`None` = don't check).
+    pub expected: Option<Vec<String>>,
+    /// Per-read socket timeout while awaiting a reply.
+    pub reply_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 120,
+            requests_per_conn: 5,
+            request: "ping".to_string(),
+            expected: None,
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a load run observed, aggregated over all connections.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests sent (including ones whose reply never arrived).
+    pub sent: u64,
+    /// Requests answered `ok …`.
+    pub ok: u64,
+    /// Requests answered `err <code> …`, counted per code.
+    pub errs: BTreeMap<String, u64>,
+    /// Replies that arrived but matched neither `ok` nor `err <code>`
+    /// framing — must stay zero (unstructured failure).
+    pub unstructured: u64,
+    /// Successful replies that differed from the expected block — must
+    /// stay zero.
+    pub mismatches: u64,
+    /// Reconnections after a mid-request disconnect (the recovery path
+    /// for injected write faults and slow-client kills).
+    pub reconnects: u64,
+    /// Requests abandoned because reconnection itself kept failing.
+    pub lost: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// p50 / p95 / p99 of per-request latency, milliseconds (completed
+    /// requests only; zeroes if none completed).
+    pub p50_ms: f64,
+    /// 95th percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+}
+
+impl LoadReport {
+    /// Total `err` replies across codes.
+    pub fn err_total(&self) -> u64 {
+        self.errs.values().sum()
+    }
+
+    /// Completed requests (ok + structured err) per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        (self.ok + self.err_total()) as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Every request is accounted for as exactly one of: ok, structured
+    /// err, disconnect-then-reconnect, or lost to reconnection failure.
+    /// True iff nothing fell through unstructured.
+    pub fn all_failures_structured(&self) -> bool {
+        self.unstructured == 0
+            && self.sent == self.ok + self.err_total() + self.reconnects + self.lost
+    }
+}
+
+/// One client connection (stream + buffered reader over a clone).
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr, reply_timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(reply_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Send one request and read its full reply block.
+    fn exchange(&mut self, request: &str) -> std::io::Result<Vec<String>> {
+        self.stream.write_all(request.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let first = self.read_line()?;
+        let mut block = vec![first];
+        // `ok mine N answer(s) …` is followed by exactly N rule lines
+        // (the service caps answers before rendering, so the header
+        // count is the rule-line count). Everything else is one line.
+        if let Some(rest) = block[0].strip_prefix("ok mine ") {
+            let n: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|w| w.parse().ok())
+                .unwrap_or(0);
+            for _ in 0..n {
+                let line = self.read_line()?;
+                block.push(line);
+            }
+        }
+        Ok(block)
+    }
+}
+
+/// Per-worker tallies, merged into the report under a lock at the end.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    errs: BTreeMap<String, u64>,
+    unstructured: u64,
+    mismatches: u64,
+    reconnects: u64,
+    lost: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// `ok mine …` headers may carry a ` deduped` marker when the request
+/// coalesced onto another in-flight search; answers are identical either
+/// way, so the byte-identity check compares headers modulo the marker.
+fn strip_dedup(line: &str) -> &str {
+    line.strip_suffix(" deduped").unwrap_or(line)
+}
+
+fn blocks_match(got: &[String], expected: &[String]) -> bool {
+    got.len() == expected.len()
+        && strip_dedup(&got[0]) == strip_dedup(&expected[0])
+        && got[1..] == expected[1..]
+}
+
+fn classify(tally: &mut Tally, cfg: &LoadConfig, block: &[String]) {
+    let first = &block[0];
+    if first.starts_with("ok") {
+        tally.ok += 1;
+        if let Some(expected) = &cfg.expected {
+            if !blocks_match(block, expected) {
+                tally.mismatches += 1;
+            }
+        }
+    } else if let Some(rest) = first.strip_prefix("err ") {
+        let code = rest.split_whitespace().next().unwrap_or("").to_string();
+        if code.is_empty() {
+            tally.unstructured += 1;
+        } else {
+            *tally.errs.entry(code).or_insert(0) += 1;
+        }
+    } else {
+        tally.unstructured += 1;
+    }
+}
+
+fn drive_connection(addr: SocketAddr, cfg: &LoadConfig) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = None;
+    for _ in 0..cfg.requests_per_conn {
+        // (Re)connect lazily; a few retries ride out accept backlog
+        // pressure when hundreds of clients arrive at once.
+        if client.is_none() {
+            for attempt in 0..5 {
+                match Client::connect(addr, cfg.reply_timeout) {
+                    Ok(c) => {
+                        client = Some(c);
+                        break;
+                    }
+                    Err(_) if attempt + 1 < 5 => {
+                        std::thread::sleep(Duration::from_millis(10 << attempt));
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        let Some(c) = client.as_mut() else {
+            tally.sent += 1;
+            tally.lost += 1;
+            continue;
+        };
+        tally.sent += 1;
+        let start = Instant::now();
+        match c.exchange(&cfg.request) {
+            Ok(block) => {
+                tally.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                classify(&mut tally, cfg, &block);
+            }
+            Err(_) => {
+                // Disconnected mid-request (injected write fault, slow
+                // kill, drain): recover by reconnecting for the next
+                // request.
+                tally.reconnects += 1;
+                client = None;
+            }
+        }
+    }
+    if let Some(mut c) = client {
+        let _ = c.stream.write_all(b"quit\n");
+    }
+    tally
+}
+
+/// Percentile of a **sorted** latency slice (nearest-rank).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Run the load: `cfg.connections` concurrent clients, each issuing
+/// `cfg.requests_per_conn` requests against `addr`.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let merged: Mutex<Vec<Tally>> = Mutex::new(Vec::with_capacity(cfg.connections));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.connections {
+            let merged = &merged;
+            s.spawn(move || {
+                let tally = drive_connection(addr, cfg);
+                merged.lock().expect("tally lock").push(tally);
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut report = LoadReport {
+        connections: cfg.connections,
+        wall_s,
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    for t in merged.into_inner().expect("tally lock") {
+        report.sent += t.sent;
+        report.ok += t.ok;
+        report.unstructured += t.unstructured;
+        report.mismatches += t.mismatches;
+        report.reconnects += t.reconnects;
+        report.lost += t.lost;
+        for (code, n) in t.errs {
+            *report.errs.entry(code).or_insert(0) += n;
+        }
+        latencies.extend(t.latencies_ms);
+    }
+    latencies.sort_by(f64::total_cmp);
+    report.p50_ms = percentile(&latencies, 0.50);
+    report.p95_ms = percentile(&latencies, 0.95);
+    report.p99_ms = percentile(&latencies, 0.99);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn accounting_identity_detects_unstructured() {
+        let mut r = LoadReport {
+            sent: 10,
+            ok: 7,
+            reconnects: 1,
+            ..LoadReport::default()
+        };
+        r.errs.insert("deadline".into(), 2);
+        assert!(r.all_failures_structured());
+        r.unstructured = 1;
+        assert!(!r.all_failures_structured());
+    }
+}

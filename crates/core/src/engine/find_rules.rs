@@ -52,7 +52,9 @@ use mq_cq::hypertree::{hypertree_width_of_sets, Hypertree};
 use mq_relation::{Bindings, Database, Frac, RelId, Term, VarId};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Find all type-`ty` instantiations whose indices clear `thresholds`,
 /// using the Figure 4 algorithm with the search run on the work-stealing
@@ -94,6 +96,48 @@ pub fn find_rules_shared(
     validate(db, mq, ty)?;
     let setup = Setup::with_memo_service(db, mq, ty, thresholds, Some(memos));
     let mut out = super::parallel::run(&setup);
+    crate::engine::sort_answers(&mut out);
+    Ok(out)
+}
+
+/// [`find_rules_shared`] under a **wall-clock budget** — the serving
+/// layer's deadline entry point. The search checks the deadline
+/// cooperatively (in the engine's enumeration loop and in the
+/// scheduler's task loop) and, once it expires, unwinds and returns
+/// [`InstError::DeadlineExceeded`] instead of a partial answer set —
+/// partial answers are never surfaced, so every `Ok` is still
+/// byte-identical to [`find_rules_seq`]. `memos: None` keeps the
+/// default memo-service resolution; `max_wall_ms: None` runs unbounded
+/// (exactly [`find_rules_shared`] / [`find_rules`]).
+pub fn find_rules_budgeted(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+    memos: Option<Arc<super::memo::SharedMemos>>,
+    max_wall_ms: Option<u64>,
+) -> Result<Vec<MqAnswer>, InstError> {
+    validate(db, mq, ty)?;
+    let mut setup = Setup::with_memo_service(db, mq, ty, thresholds, memos);
+    setup.deadline = max_wall_ms.map(SearchDeadline::new);
+    // An already-expired budget (e.g. 0 ms) fails before any work: the
+    // engines only read the clock every 64th poll, so a tiny search
+    // could otherwise finish under an expired deadline.
+    if let Some(dl) = &setup.deadline {
+        if dl.check() {
+            return Err(InstError::DeadlineExceeded {
+                budget_ms: dl.budget_ms,
+            });
+        }
+    }
+    let mut out = super::parallel::run(&setup);
+    if let Some(dl) = &setup.deadline {
+        if dl.is_expired() {
+            return Err(InstError::DeadlineExceeded {
+                budget_ms: dl.budget_ms,
+            });
+        }
+    }
     crate::engine::sort_answers(&mut out);
     Ok(out)
 }
@@ -208,6 +252,50 @@ pub fn body_decomposition(mq: &Metaquery) -> BodyDecomposition {
     }
 }
 
+/// A cooperative wall-clock deadline shared by every worker of one
+/// search. Workers poll it ([`SearchDeadline::check`]) at enumeration
+/// and task boundaries; the first poll past the deadline latches
+/// `expired`, after which every poll is a cheap atomic load and the
+/// whole search unwinds without further clock reads. Latching matters
+/// for determinism of the *error*: once any worker observes expiry the
+/// search is doomed, so [`find_rules_budgeted`] reports
+/// [`InstError::DeadlineExceeded`] rather than whatever partial answers
+/// happened to be merged.
+pub(crate) struct SearchDeadline {
+    at: Instant,
+    /// The configured budget, echoed back in the error.
+    pub(crate) budget_ms: u64,
+    expired: AtomicBool,
+}
+
+impl SearchDeadline {
+    pub(crate) fn new(budget_ms: u64) -> Self {
+        SearchDeadline {
+            at: Instant::now() + Duration::from_millis(budget_ms),
+            budget_ms,
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// Read the clock (unless already latched): `true` once the budget
+    /// has run out.
+    pub(crate) fn check(&self) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= self.at {
+            self.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether any poll has observed expiry (no clock read).
+    pub(crate) fn is_expired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+}
+
 /// Everything `findRules` computes **once** per (database, metaquery,
 /// type, thresholds) — immutable and shared by every search engine,
 /// including parallel workers.
@@ -256,6 +344,10 @@ pub(crate) struct Setup<'a> {
     /// slice (the escape hatch, and baseline mode — which bypasses memos
     /// anyway).
     pub(crate) shared_memos: Option<Arc<super::memo::SharedMemos>>,
+    /// Optional wall-clock budget, polled cooperatively by every engine
+    /// and by the scheduler's task loop. `None` (every entry point but
+    /// [`find_rules_budgeted`]) is a single branch on the hot path.
+    pub(crate) deadline: Option<SearchDeadline>,
 }
 
 impl<'a> Setup<'a> {
@@ -385,6 +477,7 @@ impl<'a> Setup<'a> {
                         .then(|| Arc::new(super::memo::SharedMemos::new()))
                 })
             },
+            deadline: None,
         }
     }
 }
@@ -469,6 +562,9 @@ pub(crate) struct Engine<'a, 'b, F> {
     pv_rel: HashMap<PredVarId, (RelId, usize)>,
     /// Per postorder position: the reduced node relation `r[i]`.
     r: Vec<Option<Bindings>>,
+    /// Deadline poll counter: the clock is read every 64th poll (and
+    /// never when the setup has no deadline).
+    ticks: u32,
 }
 
 impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
@@ -482,7 +578,23 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             assign: vec![None; n_patterns],
             pv_rel: HashMap::new(),
             r: vec![None; n_pos],
+            ticks: 0,
         }
+    }
+
+    /// Cooperative deadline poll. A counter keeps the common case to one
+    /// branch + one increment; every 64th poll reads the clock. Once the
+    /// deadline latches, every poll short-circuits `true` so the
+    /// recursion unwinds immediately.
+    fn over_deadline(&mut self) -> bool {
+        let Some(dl) = &self.setup.deadline else {
+            return false;
+        };
+        if dl.is_expired() {
+            return true;
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        self.ticks.is_multiple_of(64) && dl.check()
     }
 
     /// Pin pattern `pidx` to `(rel, slots)` before the search starts (the
@@ -594,6 +706,9 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
 
     /// The paper's `findBodies(i, σb)`.
     pub(crate) fn find_bodies(&mut self, i: usize) -> ControlFlow<()> {
+        if self.over_deadline() {
+            return ControlFlow::Break(());
+        }
         if i == self.setup.post.len() {
             return self.second_half_and_heads();
         }
@@ -968,6 +1083,9 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         head_rel: RelId,
         head_terms: Vec<Term>,
     ) -> ControlFlow<()> {
+        if self.over_deadline() {
+            return ControlFlow::Break(());
+        }
         let h = self.eval_atom(head_rel, head_terms);
         let count_plan = &self.setup.semijoin_count_plan;
         // cvr = |h ⋉ b| / |h| — a pure count, no rows materialized.
@@ -1210,6 +1328,27 @@ mod tests {
         for task in setup2.prefix_tasks(2) {
             assert_eq!(task[0].1, task[1].1, "shared pv must lock the relation");
         }
+    }
+
+    #[test]
+    fn budgeted_search_honors_deadline_and_matches_when_unconstrained() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let db = random_db(&mut rng, &[("p", 2), ("q", 2)], 12, 4);
+        let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
+        let th = Thresholds::none();
+        // An already-expired budget fails fast with the budget echoed.
+        let err = find_rules_budgeted(&db, &mq, InstType::Zero, th, None, Some(0)).unwrap_err();
+        assert!(
+            matches!(err, InstError::DeadlineExceeded { budget_ms: 0 }),
+            "want DeadlineExceeded, got {err:?}"
+        );
+        // A generous budget and no budget both match the sequential
+        // reference byte-for-byte.
+        let seq = find_rules_seq(&db, &mq, InstType::Zero, th).unwrap();
+        let ok = find_rules_budgeted(&db, &mq, InstType::Zero, th, None, Some(60_000)).unwrap();
+        assert_eq!(ok, seq);
+        let unbounded = find_rules_budgeted(&db, &mq, InstType::Zero, th, None, None).unwrap();
+        assert_eq!(unbounded, seq);
     }
 
     #[test]

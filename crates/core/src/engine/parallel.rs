@@ -112,6 +112,13 @@ pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
                     }
                 });
                 loop {
+                    // Cooperative deadline: once any worker latches
+                    // expiry, the rest stop claiming tasks. (The answers
+                    // merged so far are discarded by the budgeted entry
+                    // point — partial results are never surfaced.)
+                    if setup.deadline.as_ref().is_some_and(|dl| dl.check()) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks.len() {
                         break;

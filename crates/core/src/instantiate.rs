@@ -93,6 +93,13 @@ pub enum InstError {
         /// Arity in the database.
         relation_arity: usize,
     },
+    /// The search overran its wall-clock deadline and was cooperatively
+    /// cancelled (serving-layer per-request budget; see
+    /// [`crate::engine::find_rules::find_rules_budgeted`]).
+    DeadlineExceeded {
+        /// The budget the search was given, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for InstError {
@@ -115,6 +122,9 @@ impl fmt::Display for InstError {
                 f,
                 "scheme arity {scheme_arity} does not match relation `{relation}` arity {relation_arity}"
             ),
+            InstError::DeadlineExceeded { budget_ms } => {
+                write!(f, "search exceeded its {budget_ms}ms deadline")
+            }
         }
     }
 }

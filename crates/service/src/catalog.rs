@@ -32,7 +32,8 @@ use mq_relation::{Database, RelId, Tuple, Value};
 use mq_store::ArenaRows;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Errors raised by catalog operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,6 +58,16 @@ pub enum CatalogError {
         /// The offending row's length.
         got: usize,
     },
+    /// The update closure panicked mid-mutation. The entry is untouched
+    /// (updates mutate a private clone and publish atomically), so this
+    /// is a per-update error, not a poisoned catalog: later reads and
+    /// updates of the same entry proceed normally.
+    UpdatePanicked {
+        /// The database name.
+        db: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CatalogError {
@@ -77,6 +88,9 @@ impl fmt::Display for CatalogError {
                 f,
                 "relation `{relation}` has arity {expected}, update row has {got} values"
             ),
+            CatalogError::UpdatePanicked { db, message } => {
+                write!(f, "update of `{db}` panicked: {message}")
+            }
         }
     }
 }
@@ -260,7 +274,7 @@ impl Catalog {
         if self
             .entries
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(name)
         {
             return Err(CatalogError::DuplicateDb(name.to_string()));
@@ -274,7 +288,7 @@ impl Catalog {
             Arc::new(AtomCache::new()),
             None,
         );
-        let mut entries = self.entries.write().expect("catalog poisoned");
+        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
         if entries.contains_key(name) {
             return Err(CatalogError::DuplicateDb(name.to_string()));
         }
@@ -292,7 +306,7 @@ impl Catalog {
     pub fn snapshot(&self, name: &str) -> Result<DbHandle, CatalogError> {
         self.entries
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map(|e| e.handle.clone())
             .ok_or_else(|| CatalogError::UnknownDb(name.to_string()))
@@ -303,7 +317,7 @@ impl Catalog {
         let mut names: Vec<String> = self
             .entries
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -331,18 +345,29 @@ impl Catalog {
         let update = self
             .entries
             .read()
-            .expect("catalog poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map(|e| Arc::clone(&e.update))
             .ok_or_else(|| CatalogError::UnknownDb(name.to_string()))?;
         // Serialize with other updates of this entry; the snapshot read
         // below therefore sees the latest published version (no lost
-        // updates). A panicking `touch` poisons only this entry's
-        // updates, never reads.
-        let _guard = update.lock().expect("entry update lock poisoned");
+        // updates). Recovering a poisoned guard is sound: the lock
+        // protects no data (`Mutex<()>`), it only sequences updates, and
+        // a panicking `touch` below is caught before it can unwind
+        // through the guard anyway.
+        let _guard = update.lock().unwrap_or_else(PoisonError::into_inner);
         let current = self.snapshot(name)?;
         let mut db = (*current.db).clone();
-        let touched = touch(&mut db)?;
+        // `touch` is caller code: isolate its panics. It mutates only the
+        // private clone, so a panic mid-mutation discards the clone and
+        // leaves the published snapshot untouched — surfaced as a
+        // per-update error rather than a poisoned entry.
+        let touched = catch_unwind(AssertUnwindSafe(|| touch(&mut db))).map_err(|payload| {
+            CatalogError::UpdatePanicked {
+                db: name.to_string(),
+                message: panic_message(&*payload),
+            }
+        })??;
         let version = current.version + 1;
         let mut rel_gens = (*current.rel_gens).clone();
         // Relations added by the update enter at the new version.
@@ -358,7 +383,7 @@ impl Catalog {
             Arc::clone(&current.atoms),
             Some((&current, touched)),
         );
-        let mut entries = self.entries.write().expect("catalog poisoned");
+        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
         let entry = entries
             .get_mut(name)
             .ok_or_else(|| CatalogError::UnknownDb(name.to_string()))?;
@@ -413,6 +438,18 @@ impl Catalog {
 impl Default for Catalog {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Render a panic payload for error messages (`&str` and `String`
+/// payloads verbatim, anything else a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -532,6 +569,29 @@ mod tests {
         ));
         // A failed update leaves the entry untouched.
         assert_eq!(cat.snapshot("tele").unwrap().version(), 1);
+    }
+
+    #[test]
+    fn panicking_update_is_isolated_and_entry_stays_usable() {
+        let cat = Catalog::new();
+        cat.register("tele", sample_db()).unwrap();
+        // A panic mid-update surfaces as a per-update error...
+        let err = cat
+            .update_with("tele", |_db| -> Result<RelId, CatalogError> {
+                panic!("boom in touch")
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, CatalogError::UpdatePanicked { db, message }
+                if db == "tele" && message.contains("boom")),
+            "want UpdatePanicked, got {err:?}"
+        );
+        // ...the published snapshot is untouched...
+        assert_eq!(cat.snapshot("tele").unwrap().version(), 1);
+        // ...and both reads and later updates of the entry still work.
+        let h = cat.append_rows("tele", "q", vec![ints(&[9, 9])]).unwrap();
+        assert_eq!(h.version(), 2);
+        assert_eq!(cat.names(), vec!["tele".to_string()]);
     }
 
     #[test]

@@ -24,6 +24,42 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How a follower behaves after an abandoned-owner wakeup
+/// ([`Joined::Retry`]): capped exponential backoff between re-joins, and
+/// a hard attempt cap so a crash-looping owner can't spin followers
+/// forever. The backoff keeps a stampede of released followers from all
+/// re-joining in the same instant (one becomes the new owner
+/// immediately; the rest arrive staggered and coalesce onto it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Give up after this many [`Joined::Retry`] wakeups.
+    pub max_attempts: u32,
+    /// Backoff before the first re-join; doubles per attempt.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before re-join number `attempt` (1-based):
+    /// `base · 2^(attempt-1)`, capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        self.base.saturating_mul(1u32 << exp).min(self.cap)
+    }
+}
 
 /// State of one in-flight slot.
 enum SlotState<V> {
@@ -170,6 +206,20 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Barrier;
+
+    #[test]
+    fn retry_policy_backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(10), "cap binds");
+        assert_eq!(p.backoff(100), Duration::from_millis(10), "no overflow");
+    }
 
     #[test]
     fn first_joiner_owns_and_later_one_recomputes() {

@@ -1,0 +1,307 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A **fault plan** names protocol sites and, per site, a firing
+//! probability and an RNG seed: `MQ_FAULTS=site:prob:seed[,...]`, e.g.
+//!
+//! ```text
+//! MQ_FAULTS=read.err:0.05:7,search.panic:0.02:11,write.err:0.05:13
+//! ```
+//!
+//! Each instrumented boundary calls [`crate::faultpoint!`] with its site
+//! name; the call returns `true` when the site's deterministic RNG says
+//! the fault fires this time. Everything is reproducible: same plan,
+//! same call sequence → same faults. The sites the net layer
+//! instruments (see `net.rs`):
+//!
+//! | site           | boundary            | effect when fired            |
+//! |----------------|---------------------|------------------------------|
+//! | `read.err`     | protocol line read  | treated as an I/O error      |
+//! | `read.delay`   | protocol line read  | sleep [`FIRE_DELAY`]         |
+//! | `search.panic` | inside the search   | `panic!` (isolated per-request) |
+//! | `write.err`    | reply write         | treated as an I/O error      |
+//! | `write.delay`  | reply write         | sleep [`FIRE_DELAY`]         |
+//!
+//! The plan is resolved once from `MQ_FAULTS` (empty/absent = no
+//! faults). Tests and harnesses install plans programmatically with
+//! [`set_plan_override`] — mutating the environment at runtime is
+//! unsound under concurrent reads, exactly like the scheduler's thread
+//! override. Per-site fire counters ([`fired_counts`]) feed the chaos
+//! harness's recovery accounting.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+use std::time::Duration;
+
+/// How long a `*.delay` site stalls when it fires: long enough to
+/// exercise slow-path handling (read/write timeouts, queue backpressure)
+/// without turning a chaos run into a sleep benchmark.
+pub const FIRE_DELAY: Duration = Duration::from_millis(25);
+
+/// One site's injection config: probability in `[0, 1]` and a
+/// deterministic RNG state.
+struct Site {
+    /// Fire when the next RNG draw, scaled to `[0, 1)`, is below this.
+    prob: f64,
+    /// xorshift64* state; never zero.
+    state: AtomicU64,
+    /// How many times this site fired.
+    fired: AtomicU64,
+    /// How many times this site was consulted.
+    polled: AtomicU64,
+}
+
+impl Site {
+    fn new(prob: f64, seed: u64) -> Self {
+        Site {
+            prob: prob.clamp(0.0, 1.0),
+            state: AtomicU64::new(seed | 1),
+            fired: AtomicU64::new(0),
+            polled: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the RNG one step and decide. The state update is a CAS
+    /// loop so concurrent connections draw distinct values; the sequence
+    /// of draws (hence the fault schedule) is deterministic for a given
+    /// plan even though which *caller* observes each draw may vary.
+    fn fire(&self) -> bool {
+        self.polled.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let mut x = cur;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match self
+                .state
+                .compare_exchange_weak(cur, x, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    let draw =
+                        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                    let hit = draw < self.prob;
+                    if hit {
+                        self.fired.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return hit;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A parsed fault plan: site name → injection config.
+pub struct FaultPlan {
+    sites: HashMap<String, Site>,
+}
+
+/// A malformed `MQ_FAULTS` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanError(String);
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "malformed fault spec `{}` (want site:prob:seed[,site:prob:seed...])",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+impl FaultPlan {
+    /// An empty plan (no site ever fires).
+    pub fn none() -> Self {
+        FaultPlan {
+            sites: HashMap::new(),
+        }
+    }
+
+    /// Parse `site:prob:seed[,site:prob:seed...]`. Empty input is the
+    /// empty plan.
+    pub fn parse(spec: &str) -> Result<Self, FaultPlanError> {
+        let mut sites = HashMap::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [site, prob, seed] = fields[..] else {
+                return Err(FaultPlanError(part.to_string()));
+            };
+            let prob: f64 = prob
+                .parse()
+                .ok()
+                .filter(|p: &f64| (0.0..=1.0).contains(p))
+                .ok_or_else(|| FaultPlanError(part.to_string()))?;
+            let seed: u64 = seed.parse().map_err(|_| FaultPlanError(part.to_string()))?;
+            sites.insert(site.to_string(), Site::new(prob, seed));
+        }
+        Ok(FaultPlan { sites })
+    }
+
+    /// Add (or replace) a site. Builder-style, for tests.
+    pub fn with_site(mut self, site: &str, prob: f64, seed: u64) -> Self {
+        self.sites.insert(site.to_string(), Site::new(prob, seed));
+        self
+    }
+
+    /// Whether any site is configured.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    fn fire(&self, site: &str) -> bool {
+        self.sites.get(site).is_some_and(Site::fire)
+    }
+
+    fn counts(&self) -> Vec<(String, u64, u64)> {
+        let mut out: Vec<(String, u64, u64)> = self
+            .sites
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    s.fired.load(Ordering::Relaxed),
+                    s.polled.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// The `MQ_FAULTS` plan, resolved once. `None` entries in the override
+/// slot fall through to this.
+fn env_plan() -> &'static FaultPlan {
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    PLAN.get_or_init(|| match std::env::var("MQ_FAULTS") {
+        Ok(spec) => match FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("MQ_FAULTS ignored: {e}");
+                FaultPlan::none()
+            }
+        },
+        Err(_) => FaultPlan::none(),
+    })
+}
+
+/// Programmatic plan override (tests, harnesses): set to bypass the
+/// `MQ_FAULTS` resolution without mutating the environment.
+static OVERRIDE: RwLock<Option<FaultPlan>> = RwLock::new(None);
+
+/// Install `plan` as the active fault plan (`None` restores `MQ_FAULTS`
+/// resolution). Process-global; intended for tests and the chaos
+/// harness. Counters start fresh with each installed plan.
+pub fn set_plan_override(plan: Option<FaultPlan>) {
+    *OVERRIDE.write().unwrap_or_else(|e| e.into_inner()) = plan;
+}
+
+/// Should the fault at `site` fire now? Consults the override plan, else
+/// the `MQ_FAULTS` plan. The hot no-faults path is one RwLock read and
+/// one map probe of an empty map.
+pub fn fire(site: &str) -> bool {
+    if let Some(plan) = OVERRIDE.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        return plan.fire(site);
+    }
+    env_plan().fire(site)
+}
+
+/// Whether any fault site is active (used to label chaos runs).
+pub fn active() -> bool {
+    if let Some(plan) = OVERRIDE.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        return !plan.is_empty();
+    }
+    !env_plan().is_empty()
+}
+
+/// Per-site `(site, fired, polled)` counters of the active plan, sorted
+/// by site name — the chaos harness's injected-fault ledger.
+pub fn fired_counts() -> Vec<(String, u64, u64)> {
+    if let Some(plan) = OVERRIDE.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        return plan.counts();
+    }
+    env_plan().counts()
+}
+
+/// Sleep [`FIRE_DELAY`] if the delay fault at `site` fires.
+pub fn maybe_delay(site: &str) {
+    if fire(site) {
+        std::thread::sleep(FIRE_DELAY);
+    }
+}
+
+/// An injected I/O error if the fault at `site` fires.
+pub fn maybe_io(site: &str) -> std::io::Result<()> {
+    if fire(site) {
+        return Err(std::io::Error::other(format!("injected fault at {site}")));
+    }
+    Ok(())
+}
+
+/// Panic if the fault at `site` fires (the caller's `catch_unwind`
+/// boundary is what's under test).
+pub fn maybe_panic(site: &str) {
+    if fire(site) {
+        panic!("injected fault at {site}");
+    }
+}
+
+/// `true` when the fault at `$site` should fire now — the instrumented
+/// boundary decides what "firing" means (I/O error, delay, panic).
+/// Resolution comes from the active [`FaultPlan`] (`MQ_FAULTS` or
+/// [`set_plan_override`]); with no plan the check is near-free.
+#[macro_export]
+macro_rules! faultpoint {
+    ($site:expr) => {
+        $crate::faults::fire($site)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_well_formed_specs_and_rejects_garbage() {
+        let plan = FaultPlan::parse("read.err:0.5:7, write.err:1:9").unwrap();
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("read.err:0.5").is_err());
+        assert!(FaultPlan::parse("read.err:1.5:7").is_err());
+        assert!(FaultPlan::parse("read.err:x:7").is_err());
+        assert!(FaultPlan::parse("read.err:0.5:x").is_err());
+    }
+
+    #[test]
+    fn prob_bounds_are_honored() {
+        let always = FaultPlan::none().with_site("s", 1.0, 42);
+        let never = FaultPlan::none().with_site("s", 0.0, 42);
+        for _ in 0..100 {
+            assert!(always.fire("s"));
+            assert!(!never.fire("s"));
+        }
+        // Unknown sites never fire.
+        assert!(!always.fire("other"));
+        let counts = always.counts();
+        assert_eq!(counts, vec![("s".to_string(), 100, 100)]);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::none().with_site("s", 0.3, 1234);
+        let b = FaultPlan::none().with_site("s", 0.3, 1234);
+        let draws_a: Vec<bool> = (0..200).map(|_| a.fire("s")).collect();
+        let draws_b: Vec<bool> = (0..200).map(|_| b.fire("s")).collect();
+        assert_eq!(draws_a, draws_b, "deterministic for a fixed seed");
+        let fired = draws_a.iter().filter(|&&f| f).count();
+        assert!(
+            (20..=100).contains(&fired),
+            "p=0.3 over 200 draws fired {fired} times"
+        );
+    }
+}

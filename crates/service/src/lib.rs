@@ -34,12 +34,16 @@
 
 pub mod catalog;
 pub mod dedup;
+pub mod faults;
+pub mod net;
 pub mod protocol;
 pub mod session;
 
 pub use catalog::{Catalog, CatalogError, DbHandle};
-pub use dedup::{Joined, RequestTable, Ticket};
-pub use protocol::{handle_line, register_db, Reply};
+pub use dedup::{Joined, RequestTable, RetryPolicy, Ticket};
+pub use faults::{set_plan_override, FaultPlan};
+pub use net::{DrainReport, NetConfig, NetMetricsSnapshot, NetServer};
+pub use protocol::{error_code, handle_line, handle_line_opts, register_db, ProtoOptions, Reply};
 pub use session::{
     MetaqueryRequest, MqService, QueryOutcome, ServiceConfig, ServiceError, ServiceMetrics,
     Session, SessionBudget,

@@ -1,0 +1,685 @@
+//! The TCP transport: `mq serve --tcp` (the `mq-net` layer).
+//!
+//! A [`NetServer`] binds a `std::net::TcpListener` and serves the line
+//! protocol ([`crate::protocol`]) thread-per-connection, wrapped in the
+//! robustness layer the stdin server never needed:
+//!
+//! * **Connection admission** — at most [`NetConfig::max_connections`]
+//!   live connections; excess connects are answered `err busy …` and
+//!   closed (structured degradation, not a silent hang). Search
+//!   concurrency stays bounded by the service's own admission
+//!   semaphore.
+//! * **Per-request deadlines** — [`NetConfig::default_wall_ms`] applies
+//!   the cooperative engine deadline to every `mine` without an
+//!   explicit `wall=` flag; an overrunning search answers
+//!   `err deadline …` instead of hanging the connection.
+//! * **Panic isolation** — each request runs under `catch_unwind`
+//!   (on top of the service's own search-boundary isolation), so a
+//!   panicking handler kills one reply, never the server.
+//! * **Slow-client handling** — replies go through a bounded
+//!   per-connection write queue drained by a writer thread with a
+//!   socket write timeout. A client that stops reading first gets
+//!   backpressure (the queue fills), then is disconnected once the
+//!   queue stays full past [`NetConfig::write_timeout`] — it can never
+//!   stall a protocol worker indefinitely.
+//! * **Bounded request lines** — a line longer than
+//!   [`NetConfig::max_line_len`] is answered `err oversized …` and the
+//!   remainder of the line is discarded in bounded chunks; connection
+//!   memory never grows with client input.
+//! * **Graceful shutdown** — the `shutdown` protocol command (or a
+//!   programmatic [`NetServer::shutdown`]) stops the accept loop,
+//!   drains live connections until [`NetConfig::drain_deadline`], then
+//!   force-closes stragglers and reports a [`DrainReport`]. (A SIGTERM
+//!   handler would need `unsafe` signal code, which this crate forbids;
+//!   process supervisors should send `shutdown` over a connection.)
+//!
+//! Fault-injection sites ([`crate::faults`], keyed by `MQ_FAULTS`):
+//! `read.err` / `read.delay` at the request-read boundary (an injected
+//! read fault answers that request `err io …`), `search.panic` inside
+//! the search (see `session.rs`), `write.err` / `write.delay` at the
+//! reply-write boundary (an injected write fault drops the connection —
+//! clients observe a disconnect and recover by reconnecting).
+
+use crate::faults;
+use crate::protocol::{handle_line_opts, ProtoOptions, Reply};
+use crate::session::MqService;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// TCP server configuration. The defaults suit tests and moderate
+/// serving; production deployments mostly tune `max_connections` and
+/// `default_wall_ms`.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Maximum live connections; excess connects get `err busy` and are
+    /// closed. `0` = unlimited.
+    pub max_connections: usize,
+    /// Socket read poll interval: how quickly an idle connection
+    /// notices shutdown. Not an idle-client disconnect — reads that
+    /// time out just loop.
+    pub read_timeout: Duration,
+    /// How long a reply may sit blocked on a full write queue or a
+    /// stalled socket before the client is declared slow and
+    /// disconnected.
+    pub write_timeout: Duration,
+    /// Maximum request-line length in bytes; longer lines are answered
+    /// `err oversized` and discarded without buffering.
+    pub max_line_len: usize,
+    /// Bounded per-connection reply queue depth (requests whose replies
+    /// the client has not drained yet).
+    pub write_queue_depth: usize,
+    /// How long [`NetServer::shutdown`] waits for live connections to
+    /// finish before force-closing them.
+    pub drain_deadline: Duration,
+    /// Wall-clock budget applied to `mine` requests without an explicit
+    /// `wall=` flag (`None` = unbounded).
+    pub default_wall_ms: Option<u64>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(2),
+            max_line_len: 64 * 1024,
+            write_queue_depth: 64,
+            drain_deadline: Duration::from_secs(2),
+            default_wall_ms: None,
+        }
+    }
+}
+
+/// What a graceful shutdown observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connections that finished on their own during the drain window.
+    pub drained: u64,
+    /// Connections force-closed at the drain deadline.
+    pub aborted: u64,
+}
+
+/// Server-lifetime counters (all monotonic).
+#[derive(Default)]
+struct NetMetrics {
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    requests: AtomicU64,
+    err_replies: AtomicU64,
+    panics_caught: AtomicU64,
+    oversized: AtomicU64,
+    injected_read_errors: AtomicU64,
+    disconnects_slow: AtomicU64,
+    disconnects_io: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters, for harnesses and the
+/// load generator's recovery accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetMetricsSnapshot {
+    /// Connections accepted (including later-disconnected ones).
+    pub accepted: u64,
+    /// Connections refused with `err busy`.
+    pub rejected_busy: u64,
+    /// Request lines processed.
+    pub requests: u64,
+    /// Requests answered with an `err …` reply.
+    pub err_replies: u64,
+    /// Request handlers that panicked and were caught at the net
+    /// boundary (over and above the service's search-boundary catches).
+    pub panics_caught: u64,
+    /// Request lines discarded as oversized.
+    pub oversized: u64,
+    /// Requests answered `err io` because the `read.err` fault fired.
+    pub injected_read_errors: u64,
+    /// Clients disconnected for not draining their replies in time.
+    pub disconnects_slow: u64,
+    /// Connections dropped on socket errors (including injected
+    /// `write.err` faults).
+    pub disconnects_io: u64,
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// [`NetServer`] handle.
+struct Shared {
+    service: Arc<MqService>,
+    cfg: NetConfig,
+    shutting: AtomicBool,
+    /// Live connections: id → a clone of the stream, kept so the drain
+    /// can force-close stragglers.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    metrics: NetMetrics,
+    /// Filled by the accept thread once the drain completes.
+    report: Mutex<Option<DrainReport>>,
+}
+
+impl Shared {
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running TCP server. Bind with [`NetServer::bind`]; stop with
+/// [`NetServer::shutdown`] (also run on drop). The accept loop and all
+/// connection handling run on background threads — the handle is just
+/// control.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `cfg.addr` and start serving `service`.
+    pub fn bind(service: Arc<MqService>, cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept + short sleeps so the loop notices the
+        // shutdown flag promptly (no self-connect tricks needed).
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            service,
+            cfg,
+            shutting: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            metrics: NetMetrics::default(),
+            report: Mutex::new(None),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with `addr: 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn metrics(&self) -> NetMetricsSnapshot {
+        let m = &self.shared.metrics;
+        NetMetricsSnapshot {
+            accepted: m.accepted.load(Ordering::Relaxed),
+            rejected_busy: m.rejected_busy.load(Ordering::Relaxed),
+            requests: m.requests.load(Ordering::Relaxed),
+            err_replies: m.err_replies.load(Ordering::Relaxed),
+            panics_caught: m.panics_caught.load(Ordering::Relaxed),
+            oversized: m.oversized.load(Ordering::Relaxed),
+            injected_read_errors: m.injected_read_errors.load(Ordering::Relaxed),
+            disconnects_slow: m.disconnects_slow.load(Ordering::Relaxed),
+            disconnects_io: m.disconnects_io.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a shutdown (command or programmatic) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain live connections until
+    /// the configured deadline, force-close the rest. Idempotent;
+    /// returns the drain report (zeroes if already shut down).
+    pub fn shutdown(&mut self) -> DrainReport {
+        self.shared.shutting.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared
+            .report
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.shutting.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let cap = shared.cfg.max_connections;
+                if cap != 0 && shared.lock_conns().len() >= cap {
+                    shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    reject_busy(stream);
+                    continue;
+                }
+                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.lock_conns().insert(id, clone);
+                }
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    handle_conn(&shared, id, stream);
+                    shared.lock_conns().remove(&id);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept errors (per-connection resets etc.):
+            // keep serving.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let report = drain(shared);
+    *shared.report.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+}
+
+/// Answer an over-capacity connect with a structured error, best-effort.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.write_all(b"err busy connection limit reached, retry later\n");
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Wait for live connections to finish, force-close stragglers.
+fn drain(shared: &Shared) -> DrainReport {
+    let at_start = shared.lock_conns().len() as u64;
+    let deadline = Instant::now() + shared.cfg.drain_deadline;
+    loop {
+        if shared.lock_conns().is_empty() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stragglers: Vec<TcpStream> = {
+        let mut conns = shared.lock_conns();
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        ids.into_iter().filter_map(|id| conns.remove(&id)).collect()
+    };
+    let aborted = stragglers.len() as u64;
+    for s in &stragglers {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    DrainReport {
+        drained: at_start.saturating_sub(aborted),
+        aborted,
+    }
+}
+
+/// What the reader asks the writer thread to do.
+enum WriteJob {
+    /// One reply block: already newline-terminated bytes.
+    Block(Vec<u8>),
+}
+
+/// Why a connection ended (metrics accounting).
+enum ConnEnd {
+    /// EOF, `quit`, or shutdown drain — the normal paths.
+    Clean,
+    /// The client stopped draining replies.
+    Slow,
+    /// A socket error (including injected write faults).
+    Io,
+}
+
+fn handle_conn(shared: &Arc<Shared>, _id: u64, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = sync_channel::<WriteJob>(shared.cfg.write_queue_depth.max(1));
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || writer_loop(&shared, write_half, rx))
+    };
+    let end = reader_loop(shared, stream, &tx);
+    // Closing the channel lets the writer flush queued replies and exit.
+    drop(tx);
+    let _ = writer.join();
+    match end {
+        ConnEnd::Clean => {}
+        ConnEnd::Slow => {
+            shared
+                .metrics
+                .disconnects_slow
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        ConnEnd::Io => {
+            shared
+                .metrics
+                .disconnects_io
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Drain the bounded reply queue onto the socket. Exits when the reader
+/// hangs up (channel closed) or the socket fails — including the
+/// injected `write.err` fault, which models a broken reply path.
+fn writer_loop(shared: &Shared, mut stream: TcpStream, rx: Receiver<WriteJob>) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    while let Ok(WriteJob::Block(bytes)) = rx.recv() {
+        faults::maybe_delay("write.delay");
+        let injected = faults::maybe_io("write.err");
+        if injected.is_err() || stream.write_all(&bytes).is_err() {
+            // Reply path is broken: drop the connection. The reader
+            // notices on its next enqueue (channel disconnected).
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Enqueue one reply block under backpressure: retry a full queue until
+/// `write_timeout`, then declare the client slow.
+fn enqueue(shared: &Shared, tx: &SyncSender<WriteJob>, bytes: Vec<u8>) -> Result<(), ConnEnd> {
+    let mut job = WriteJob::Block(bytes);
+    let deadline = Instant::now() + shared.cfg.write_timeout;
+    loop {
+        match tx.try_send(job) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Full(j)) => {
+                if Instant::now() >= deadline {
+                    return Err(ConnEnd::Slow);
+                }
+                job = j;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Writer died on a socket error.
+            Err(TrySendError::Disconnected(_)) => return Err(ConnEnd::Io),
+        }
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, tx: &SyncSender<WriteJob>) -> ConnEnd {
+    let opts = ProtoOptions {
+        default_wall_ms: shared.cfg.default_wall_ms,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // True while discarding the remainder of an oversized line.
+    let mut discarding = false;
+    loop {
+        // Process every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            if discarding {
+                // The tail of an already-answered oversized line.
+                discarding = false;
+                continue;
+            }
+            let line = String::from_utf8_lossy(&line_bytes[..line_bytes.len() - 1]).into_owned();
+            match serve_line(shared, &opts, &line) {
+                Served::Reply(bytes) => {
+                    if let Err(end) = enqueue(shared, tx, bytes) {
+                        return end;
+                    }
+                }
+                Served::Quit => return ConnEnd::Clean,
+                Served::Shutdown(bytes) => {
+                    let _ = enqueue(shared, tx, bytes);
+                    // Begin the server-wide drain; the accept loop does
+                    // the rest. This connection closes now.
+                    shared.shutting.store(true, Ordering::SeqCst);
+                    return ConnEnd::Clean;
+                }
+            }
+        }
+        // Oversized line: answer once, then discard until the newline.
+        if !discarding && buf.len() > shared.cfg.max_line_len {
+            shared.metrics.oversized.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+            let reply = format!(
+                "err oversized request line exceeds {} bytes\n",
+                shared.cfg.max_line_len
+            );
+            if let Err(end) = enqueue(shared, tx, reply.into_bytes()) {
+                return end;
+            }
+            buf.clear();
+            discarding = true;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ConnEnd::Clean, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle poll tick: close idle connections once draining.
+                if shared.shutting.load(Ordering::SeqCst) && buf.is_empty() {
+                    return ConnEnd::Clean;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ConnEnd::Io,
+        }
+    }
+}
+
+/// One request line's outcome at the transport layer.
+enum Served {
+    /// Send these bytes, keep the connection.
+    Reply(Vec<u8>),
+    /// Close the connection (client `quit` / EOF path).
+    Quit,
+    /// Send these bytes, then start a server-wide graceful shutdown.
+    Shutdown(Vec<u8>),
+}
+
+fn serve_line(shared: &Shared, opts: &ProtoOptions, line: &str) -> Served {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    // Injected read-boundary faults: a delay, or an I/O error that
+    // consumes this request (answered with a structured error so the
+    // client's framing survives).
+    faults::maybe_delay("read.delay");
+    if faults::maybe_io("read.err").is_err() {
+        shared
+            .metrics
+            .injected_read_errors
+            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+        return Served::Reply(b"err io injected fault at read.err\n".to_vec());
+    }
+    if shared.shutting.load(Ordering::SeqCst) {
+        shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+        return Served::Reply(b"err shutting-down server is draining\n".to_vec());
+    }
+    // Transport-level panic isolation: on top of the service's
+    // search-boundary catch, so even a bug in protocol parsing or
+    // rendering kills one reply, not the connection (let alone the
+    // server).
+    let reply = catch_unwind(AssertUnwindSafe(|| {
+        handle_line_opts(&shared.service, line, opts)
+    }))
+    .unwrap_or_else(|payload| {
+        shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+        Reply::err(
+            "panic",
+            format_args!(
+                "request handler panicked: {}",
+                crate::catalog::panic_message(&*payload)
+            ),
+        )
+    });
+    match reply {
+        Reply::Quit => Served::Quit,
+        Reply::Shutdown => Served::Shutdown(b"ok shutdown draining\n".to_vec()),
+        Reply::Lines(lines) => {
+            if lines.first().is_some_and(|l| l.starts_with("err ")) {
+                shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut bytes = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+            for l in &lines {
+                bytes.extend_from_slice(l.as_bytes());
+                bytes.push(b'\n');
+            }
+            if bytes.is_empty() {
+                // Blank/comment lines still get a framing line so simple
+                // request/reply clients never block.
+                bytes.extend_from_slice(b"ok\n");
+            }
+            Served::Reply(bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::register_db;
+    use mq_relation::{ints, Database};
+    use std::io::{BufRead, BufReader, Write};
+
+    fn server() -> (NetServer, SocketAddr) {
+        let svc = Arc::new(MqService::new());
+        let mut db = Database::new();
+        let p = db.add_relation("p", 2);
+        let q = db.add_relation("q", 2);
+        for i in 0..5i64 {
+            db.insert(p, ints(&[i, i + 1]));
+            db.insert(q, ints(&[i + 1, i + 2]));
+        }
+        assert!(matches!(register_db(&svc, "tele", db), Reply::Lines(_)));
+        let srv = NetServer::bind(
+            svc,
+            NetConfig {
+                max_line_len: 512,
+                drain_deadline: Duration::from_millis(500),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = srv.local_addr();
+        (srv, addr)
+    }
+
+    fn send(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(conn.try_clone().unwrap());
+        (conn, reader)
+    }
+
+    #[test]
+    fn serves_protocol_over_tcp() {
+        let (mut srv, addr) = server();
+        let (mut conn, mut reader) = connect(addr);
+        assert_eq!(send(&mut conn, &mut reader, "ping"), "ok pong");
+        let first = send(
+            &mut conn,
+            &mut reader,
+            "mine tele limit=1 :: R(X,Z) <- P(X,Y), Q(Y,Z)",
+        );
+        assert!(first.starts_with("ok mine "), "got: {first}");
+        let mut rule = String::new();
+        reader.read_line(&mut rule).unwrap();
+        assert!(rule.starts_with("rule "), "got: {rule}");
+        // Malformed lines answer structured errors, connection survives.
+        assert!(send(&mut conn, &mut reader, "bogus").starts_with("err usage "));
+        assert_eq!(send(&mut conn, &mut reader, "ping"), "ok pong");
+        let report = srv.shutdown();
+        assert_eq!(report.aborted + report.drained, 1);
+    }
+
+    #[test]
+    fn oversized_lines_are_bounded_and_answered() {
+        let (mut srv, addr) = server();
+        let (mut conn, mut reader) = connect(addr);
+        let huge = format!("mine tele :: {}", "X".repeat(4096));
+        let reply = send(&mut conn, &mut reader, &huge);
+        assert!(reply.starts_with("err oversized "), "got: {reply}");
+        // Framing survives: the next request is answered normally.
+        assert_eq!(send(&mut conn, &mut reader, "ping"), "ok pong");
+        assert_eq!(srv.metrics().oversized, 1);
+        drop(conn);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_drains_and_stops_accepting() {
+        let (mut srv, addr) = server();
+        let (mut conn, mut reader) = connect(addr);
+        assert_eq!(
+            send(&mut conn, &mut reader, "shutdown"),
+            "ok shutdown draining"
+        );
+        // The server refuses new connections once the drain completes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let refused = match TcpStream::connect(addr) {
+                Err(_) => true,
+                // A connect may still land in the OS backlog; it must
+                // at least never be served.
+                Ok(s) => {
+                    let mut r = BufReader::new(s.try_clone().unwrap());
+                    s.try_clone()
+                        .unwrap()
+                        .set_read_timeout(Some(Duration::from_millis(200)))
+                        .unwrap();
+                    let mut line = String::new();
+                    r.get_ref()
+                        .set_read_timeout(Some(Duration::from_millis(200)))
+                        .unwrap();
+                    !matches!(r.read_line(&mut line), Ok(n) if n > 0 && line.starts_with("ok"))
+                }
+            };
+            if refused || Instant::now() >= deadline {
+                assert!(refused, "server still serving after shutdown");
+                break;
+            }
+        }
+        let report = srv.shutdown();
+        assert!(report.drained + report.aborted <= 1);
+    }
+
+    #[test]
+    fn busy_rejection_is_structured() {
+        let svc = Arc::new(MqService::new());
+        let mut srv = NetServer::bind(
+            svc,
+            NetConfig {
+                max_connections: 1,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = srv.local_addr();
+        let (mut c1, mut r1) = connect(addr);
+        assert_eq!(send(&mut c1, &mut r1, "ping"), "ok pong");
+        // Second connection is over the cap: answered err busy + closed.
+        let (_c2, mut r2) = connect(addr);
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err busy "), "got: {line}");
+        assert_eq!(srv.metrics().rejected_busy, 1);
+        srv.shutdown();
+    }
+}

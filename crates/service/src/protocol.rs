@@ -21,9 +21,25 @@
 //! update). `mine` thresholds accept `1/2`, `0.5` or `0`, exactly like
 //! the `mq mine` CLI; answers render as instantiated rules with their
 //! indices, one per line, prefixed `rule `.
+//!
+//! ## Error replies
+//!
+//! Every failure is a **structured** one-line reply
+//! `err <code> <message>`: a stable machine-readable code first, a
+//! human-readable message after. Codes: `usage` (malformed command or
+//! flags), `parse` (metaquery text), `io` (file or socket I/O,
+//! including injected faults), `unknown-db`, `duplicate-db`,
+//! `unknown-relation`, `arity`, `update-panic` (a panicking update
+//! closure, isolated per entry), `deadline` (the search overran its
+//! wall budget), `panic` (the search panicked and was caught),
+//! `retries` (dedup followers exhausted their retry budget), `engine`
+//! (any other engine rejection), `oversized` (request line over the
+//! transport limit), `busy` (connection admission refused), and
+//! `shutting-down` (server draining). A malformed line never tears down
+//! the connection — the handler answers `err …` and keeps reading.
 
 use crate::session::{MetaqueryRequest, MqService, ServiceError};
-use mq_core::instantiate::{apply_instantiation, InstType};
+use mq_core::instantiate::{apply_instantiation, InstError, InstType};
 use mq_relation::{parse_database, Database, Frac, Tuple, Value};
 
 /// The reply to one protocol line.
@@ -33,6 +49,10 @@ pub enum Reply {
     Lines(Vec<String>),
     /// The client asked to close the connection.
     Quit,
+    /// The client asked the server to shut down gracefully (stop
+    /// accepting, drain in-flight connections). The stdin/stdout server
+    /// treats it like [`Reply::Quit`]; the TCP server starts a drain.
+    Shutdown,
 }
 
 impl Reply {
@@ -40,21 +60,59 @@ impl Reply {
         Reply::Lines(vec![format!("ok {}", line.into())])
     }
 
-    fn err(line: impl std::fmt::Display) -> Reply {
-        Reply::Lines(vec![format!("err {line}")])
+    /// A structured error reply: `err <code> <message>`.
+    pub(crate) fn err(code: &str, msg: impl std::fmt::Display) -> Reply {
+        Reply::Lines(vec![format!("err {code} {msg}")])
     }
 
-    /// The reply's text lines (empty for [`Reply::Quit`]).
+    /// An error reply for a service failure, coded by failure class.
+    fn service_err(e: ServiceError) -> Reply {
+        Reply::err(error_code(&e), e)
+    }
+
+    /// The reply's text lines (empty for [`Reply::Quit`] /
+    /// [`Reply::Shutdown`]).
     pub fn lines(&self) -> &[String] {
         match self {
             Reply::Lines(lines) => lines,
-            Reply::Quit => &[],
+            Reply::Quit | Reply::Shutdown => &[],
         }
     }
 }
 
-/// Handle one protocol line against `service`.
+/// The stable machine-readable code for a service failure (the first
+/// word after `err` in protocol replies).
+pub fn error_code(e: &ServiceError) -> &'static str {
+    use crate::catalog::CatalogError;
+    match e {
+        ServiceError::Catalog(CatalogError::UnknownDb(_)) => "unknown-db",
+        ServiceError::Catalog(CatalogError::DuplicateDb(_)) => "duplicate-db",
+        ServiceError::Catalog(CatalogError::UnknownRelation { .. }) => "unknown-relation",
+        ServiceError::Catalog(CatalogError::ArityMismatch { .. }) => "arity",
+        ServiceError::Catalog(CatalogError::UpdatePanicked { .. }) => "update-panic",
+        ServiceError::Parse(_) => "parse",
+        ServiceError::Engine(InstError::DeadlineExceeded { .. }) => "deadline",
+        ServiceError::Engine(_) => "engine",
+        ServiceError::SearchPanicked(_) => "panic",
+        ServiceError::RetriesExhausted { .. } => "retries",
+    }
+}
+
+/// Per-connection protocol options (the transport layer's knobs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProtoOptions {
+    /// Wall-clock budget applied to `mine` requests that carry no
+    /// explicit `wall=` flag (`None` = unbounded).
+    pub default_wall_ms: Option<u64>,
+}
+
+/// Handle one protocol line against `service` (default options).
 pub fn handle_line(service: &MqService, line: &str) -> Reply {
+    handle_line_opts(service, line, &ProtoOptions::default())
+}
+
+/// Handle one protocol line against `service` under explicit options.
+pub fn handle_line_opts(service: &MqService, line: &str, opts: &ProtoOptions) -> Reply {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Reply::Lines(Vec::new());
@@ -66,30 +124,35 @@ pub fn handle_line(service: &MqService, line: &str) -> Reply {
     match cmd {
         "ping" => Reply::ok("pong"),
         "quit" | "exit" => Reply::Quit,
+        "shutdown" => Reply::Shutdown,
         "open" => cmd_open(service, rest),
-        "mine" => cmd_mine(service, rest),
+        "mine" => cmd_mine(service, rest, opts),
         "append" => cmd_update(service, rest, UpdateKind::Append),
         "replace" => cmd_update(service, rest, UpdateKind::Replace),
         "dump" => cmd_dump(service, rest),
         "stats" => cmd_stats(service, rest),
         "metrics" => cmd_metrics(service),
-        other => Reply::err(format_args!(
-            "unknown command `{other}` (ping|open|mine|append|replace|dump|stats|metrics|quit)"
-        )),
+        other => Reply::err(
+            "usage",
+            format_args!(
+                "unknown command `{other}` \
+                 (ping|open|mine|append|replace|dump|stats|metrics|shutdown|quit)"
+            ),
+        ),
     }
 }
 
 fn cmd_open(service: &MqService, rest: &str) -> Reply {
     let Some((name, path)) = rest.split_once(char::is_whitespace) else {
-        return Reply::err("usage: open <name> <path>");
+        return Reply::err("usage", "usage: open <name> <path>");
     };
     let text = match std::fs::read_to_string(path.trim()) {
         Ok(t) => t,
-        Err(e) => return Reply::err(format_args!("cannot read `{}`: {e}", path.trim())),
+        Err(e) => return Reply::err("io", format_args!("cannot read `{}`: {e}", path.trim())),
     };
     let db = match parse_database(&text) {
         Ok(db) => db,
-        Err(e) => return Reply::err(format_args!("cannot parse `{}`: {e}", path.trim())),
+        Err(e) => return Reply::err("parse", format_args!("cannot parse `{}`: {e}", path.trim())),
     };
     register_db(service, name, db)
 }
@@ -104,26 +167,30 @@ pub fn register_db(service: &MqService, name: &str, db: Database) -> Reply {
             "open {name} version={} relations={relations} tuples={tuples}",
             h.version()
         )),
-        Err(e) => Reply::err(e),
+        Err(e) => Reply::service_err(e),
     }
 }
 
-fn cmd_mine(service: &MqService, rest: &str) -> Reply {
+fn cmd_mine(service: &MqService, rest: &str, opts: &ProtoOptions) -> Reply {
     let Some((head, mq_text)) = rest.split_once("::") else {
         return Reply::err(
-            "usage: mine <name> [type=T] [sup=K] [cvr=K] [cnf=K] [limit=N] :: <metaquery>",
+            "usage",
+            "usage: mine <name> [type=T] [sup=K] [cvr=K] [cnf=K] [limit=N] [wall=MS] \
+             :: <metaquery>",
         );
     };
     let mut words = head.split_whitespace();
     let Some(name) = words.next() else {
-        return Reply::err("mine: missing database name");
+        return Reply::err("usage", "mine: missing database name");
     };
     let mut req = MetaqueryRequest::new(name, mq_text.trim());
+    req.max_wall_ms = opts.default_wall_ms;
     for word in words {
         let Some((key, value)) = word.split_once('=') else {
-            return Reply::err(format_args!(
-                "mine: malformed flag `{word}` (want key=value)"
-            ));
+            return Reply::err(
+                "usage",
+                format_args!("mine: malformed flag `{word}` (want key=value)"),
+            );
         };
         match key {
             "type" => {
@@ -131,16 +198,19 @@ fn cmd_mine(service: &MqService, rest: &str) -> Reply {
                     "0" => InstType::Zero,
                     "1" => InstType::One,
                     "2" => InstType::Two,
-                    other => return Reply::err(format_args!("mine: invalid type `{other}`")),
+                    other => {
+                        return Reply::err("usage", format_args!("mine: invalid type `{other}`"))
+                    }
                 }
             }
             "sup" | "cvr" | "cnf" => {
                 let k = match value.parse::<Frac>() {
                     Ok(k) if k.is_probability() => k,
                     _ => {
-                        return Reply::err(format_args!(
-                            "mine: threshold `{value}` must be a fraction in [0, 1]"
-                        ))
+                        return Reply::err(
+                            "usage",
+                            format_args!("mine: threshold `{value}` must be a fraction in [0, 1]"),
+                        )
                     }
                 };
                 match key {
@@ -151,9 +221,20 @@ fn cmd_mine(service: &MqService, rest: &str) -> Reply {
             }
             "limit" => match value.parse::<usize>() {
                 Ok(n) => req.max_answers = Some(n),
-                Err(_) => return Reply::err(format_args!("mine: invalid limit `{value}`")),
+                Err(_) => {
+                    return Reply::err("usage", format_args!("mine: invalid limit `{value}`"))
+                }
             },
-            other => return Reply::err(format_args!("mine: unknown flag `{other}`")),
+            "wall" => match value.parse::<u64>() {
+                Ok(ms) => req.max_wall_ms = Some(ms),
+                Err(_) => {
+                    return Reply::err(
+                        "usage",
+                        format_args!("mine: invalid wall budget `{value}` (milliseconds)"),
+                    )
+                }
+            },
+            other => return Reply::err("usage", format_args!("mine: unknown flag `{other}`")),
         }
     }
     // Pin one snapshot for both the search and the rendering, so a
@@ -161,15 +242,15 @@ fn cmd_mine(service: &MqService, rest: &str) -> Reply {
     // answered version.
     let handle = match service.catalog().snapshot(name) {
         Ok(h) => h,
-        Err(e) => return Reply::err(ServiceError::from(e)),
+        Err(e) => return Reply::service_err(ServiceError::from(e)),
     };
     let out = match service.query_at(&handle, &req) {
         Ok(out) => out,
-        Err(e) => return Reply::err(e),
+        Err(e) => return Reply::service_err(e),
     };
     let mq = match mq_core::parse::parse_metaquery(&req.metaquery) {
         Ok(mq) => mq,
-        Err(e) => return Reply::err(format_args!("invalid metaquery: {e}")),
+        Err(e) => return Reply::err("parse", format_args!("invalid metaquery: {e}")),
     };
     let db = handle.database();
     let mut lines = vec![format!(
@@ -201,11 +282,14 @@ enum UpdateKind {
 fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
     let mut words = rest.split_whitespace();
     let (Some(name), Some(rel)) = (words.next(), words.next()) else {
-        return Reply::err("usage: append|replace <name> <relation> [<v,v,..> ...]");
+        return Reply::err(
+            "usage",
+            "usage: append|replace <name> <relation> [<v,v,..> ...]",
+        );
     };
     let raw_rows: Vec<&str> = words.collect();
     if matches!(kind, UpdateKind::Append) && raw_rows.is_empty() {
-        return Reply::err("append: no rows given");
+        return Reply::err("usage", "append: no rows given");
     }
     // Interning bare-word symbols needs the (cloned) database of the
     // update itself, so row parsing happens inside the copy-on-write
@@ -251,7 +335,16 @@ fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
     });
     match result {
         Ok(h) => {
-            let rel_id = h.database().rel_id(rel).expect("touched relation exists");
+            // The closure above resolved `rel` in the updated clone, so
+            // it must exist in the published snapshot — but answer a
+            // structured error rather than tearing down the connection
+            // if that invariant ever breaks.
+            let Some(rel_id) = h.database().rel_id(rel) else {
+                return Reply::err(
+                    "internal",
+                    format_args!("updated relation `{rel}` missing from published snapshot"),
+                );
+            };
             Reply::ok(format!(
                 "update {name} version={} {rel} rows={} generation={}",
                 h.version(),
@@ -259,7 +352,7 @@ fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
                 h.generation(rel_id)
             ))
         }
-        Err(e) => Reply::err(ServiceError::from(e)),
+        Err(e) => Reply::service_err(ServiceError::from(e)),
     }
 }
 
@@ -269,22 +362,25 @@ fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
 fn cmd_dump(service: &MqService, rest: &str) -> Reply {
     let mut words = rest.split_whitespace();
     let (Some(name), Some(rel)) = (words.next(), words.next()) else {
-        return Reply::err("usage: dump <name> <relation> [limit]");
+        return Reply::err("usage", "usage: dump <name> <relation> [limit]");
     };
     let limit = match words.next() {
         None => usize::MAX,
         Some(tok) => match tok.parse::<usize>() {
             Ok(n) => n,
-            Err(_) => return Reply::err(format_args!("dump: invalid limit `{tok}`")),
+            Err(_) => return Reply::err("usage", format_args!("dump: invalid limit `{tok}`")),
         },
     };
     let handle = match service.catalog().snapshot(name) {
         Ok(h) => h,
-        Err(e) => return Reply::err(ServiceError::from(e)),
+        Err(e) => return Reply::service_err(ServiceError::from(e)),
     };
     let db = handle.database();
     let Some(rel_id) = db.rel_id(rel) else {
-        return Reply::err(format_args!("database `{name}` has no relation `{rel}`"));
+        return Reply::err(
+            "unknown-relation",
+            format_args!("database `{name}` has no relation `{rel}`"),
+        );
     };
     let arena = handle.frozen_rows(rel_id);
     let mut lines = vec![format!(
@@ -304,11 +400,11 @@ fn cmd_dump(service: &MqService, rest: &str) -> Reply {
 fn cmd_stats(service: &MqService, rest: &str) -> Reply {
     let name = rest.trim();
     if name.is_empty() {
-        return Reply::err("usage: stats <name>");
+        return Reply::err("usage", "usage: stats <name>");
     }
     let handle = match service.catalog().snapshot(name) {
         Ok(h) => h,
-        Err(e) => return Reply::err(ServiceError::from(e)),
+        Err(e) => return Reply::service_err(ServiceError::from(e)),
     };
     let db = handle.database();
     let atom = handle.atom_cache().stats();
@@ -336,8 +432,15 @@ fn cmd_stats(service: &MqService, rest: &str) -> Reply {
 fn cmd_metrics(service: &MqService) -> Reply {
     let m = service.metrics();
     Reply::ok(format!(
-        "metrics requests={} executed={} deduped={} memo_hits={} memo_misses={}",
-        m.requests, m.executed, m.deduped, m.memo.hits, m.memo.misses
+        "metrics requests={} executed={} deduped={} panics_caught={} deadline_exceeded={} \
+         memo_hits={} memo_misses={}",
+        m.requests,
+        m.executed,
+        m.deduped,
+        m.panics_caught,
+        m.deadline_exceeded,
+        m.memo.hits,
+        m.memo.misses
     ))
 }
 
@@ -450,6 +553,55 @@ mod tests {
         assert!(first_line(&handle_line(&svc, "dump tele zz")).starts_with("err "));
         assert!(first_line(&handle_line(&svc, "dump nosuch p")).starts_with("err "));
         assert!(first_line(&handle_line(&svc, "dump tele p x")).starts_with("err "));
+    }
+
+    #[test]
+    fn errors_are_structured_code_plus_message() {
+        let svc = service_with_db();
+        assert!(first_line(&handle_line(&svc, "bogus x")).starts_with("err usage "));
+        assert!(
+            first_line(&handle_line(&svc, "mine nosuch :: R(X,Z) <- P(X,Y)"))
+                .starts_with("err unknown-db ")
+        );
+        assert!(
+            first_line(&handle_line(&svc, "mine tele :: not a metaquery"))
+                .starts_with("err parse ")
+        );
+        assert!(first_line(&handle_line(&svc, "append tele p 1,2,3")).starts_with("err arity "));
+        assert!(first_line(&handle_line(&svc, "append tele zz 1,2"))
+            .starts_with("err unknown-relation "));
+        assert!(first_line(&handle_line(&svc, "dump tele p x")).starts_with("err usage "));
+        assert_eq!(handle_line(&svc, "shutdown"), Reply::Shutdown);
+    }
+
+    #[test]
+    fn mine_wall_flag_and_default_wall_budget() {
+        let svc = service_with_db();
+        // wall=0: already expired, surfaced as a structured deadline
+        // error (the connection stays usable).
+        let r = handle_line(&svc, "mine tele wall=0 :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        assert!(
+            first_line(&r).starts_with("err deadline "),
+            "got: {}",
+            first_line(&r)
+        );
+        // The transport's default budget applies when no flag is given…
+        let opts = ProtoOptions {
+            default_wall_ms: Some(0),
+        };
+        let r = handle_line_opts(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)", &opts);
+        assert!(first_line(&r).starts_with("err deadline "));
+        // …and an explicit flag overrides it.
+        let r = handle_line_opts(
+            &svc,
+            "mine tele wall=60000 :: R(X,Z) <- P(X,Y), Q(Y,Z)",
+            &opts,
+        );
+        assert!(first_line(&r).starts_with("ok mine "));
+        assert!(
+            first_line(&handle_line(&svc, "mine tele wall=x :: R(X,Z) <- P(X,Y)"))
+                .starts_with("err usage ")
+        );
     }
 
     #[test]

@@ -24,15 +24,16 @@
 //! value is a deterministic function of its key and the snapshot
 //! generations (regression-tested in `tests/service.rs`).
 
-use crate::catalog::{Catalog, CatalogError, DbHandle};
-use crate::dedup::{Joined, RequestTable};
-use mq_core::engine::find_rules::{find_rules, find_rules_shared};
+use crate::catalog::{panic_message, Catalog, CatalogError, DbHandle};
+use crate::dedup::{Joined, RequestTable, RetryPolicy};
+use mq_core::engine::find_rules::find_rules_budgeted;
 use mq_core::engine::memo::MemoStats;
 use mq_core::engine::{MqAnswer, Thresholds};
 use mq_core::instantiate::{InstError, InstType};
 use mq_core::parse::parse_metaquery;
 use mq_relation::{Database, Tuple};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -46,6 +47,17 @@ pub enum ServiceError {
     Parse(String),
     /// The engine rejected the (metaquery, database, type) combination.
     Engine(InstError),
+    /// The search panicked. Caught at the request boundary and published
+    /// to every coalesced caller; the service stays up and later
+    /// requests (even identical ones) run fresh searches.
+    SearchPanicked(String),
+    /// Every dedup retry after abandoned-owner wakeups failed — the
+    /// request kept losing owners. Distinct from [`Self::SearchPanicked`]
+    /// (this caller never got to run or share a search at all).
+    RetriesExhausted {
+        /// How many times this caller re-joined before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -54,6 +66,13 @@ impl fmt::Display for ServiceError {
             ServiceError::Catalog(e) => write!(f, "{e}"),
             ServiceError::Parse(msg) => write!(f, "invalid metaquery: {msg}"),
             ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::SearchPanicked(msg) => write!(f, "search panicked: {msg}"),
+            ServiceError::RetriesExhausted { attempts } => {
+                write!(
+                    f,
+                    "request kept losing its owner; gave up after {attempts} retries"
+                )
+            }
         }
     }
 }
@@ -73,6 +92,8 @@ pub struct ServiceConfig {
     /// Excess requests queue; dedup followers wait on their owner
     /// without consuming a permit.
     pub max_concurrent: usize,
+    /// Follower behavior after abandoned-owner dedup wakeups.
+    pub retry: RetryPolicy,
 }
 
 /// Per-session limits applied to every query the session issues.
@@ -81,6 +102,11 @@ pub struct SessionBudget {
     /// Keep at most this many answers (sorted order, so the kept prefix
     /// is deterministic). `None` = unbounded.
     pub max_answers: Option<usize>,
+    /// Per-query wall-clock deadline in milliseconds. The engine checks
+    /// it cooperatively; an overrunning search returns
+    /// [`InstError::DeadlineExceeded`] instead of partial answers.
+    /// `None` = unbounded.
+    pub max_wall_ms: Option<u64>,
 }
 
 /// One metaquery request against a named catalog entry.
@@ -98,6 +124,9 @@ pub struct MetaqueryRequest {
     pub thresholds: Thresholds,
     /// Keep at most this many (sorted) answers.
     pub max_answers: Option<usize>,
+    /// Per-request wall-clock deadline in milliseconds (`None` =
+    /// unbounded).
+    pub max_wall_ms: Option<u64>,
 }
 
 impl MetaqueryRequest {
@@ -109,6 +138,7 @@ impl MetaqueryRequest {
             ty: InstType::Zero,
             thresholds: Thresholds::none(),
             max_answers: None,
+            max_wall_ms: None,
         }
     }
 }
@@ -124,6 +154,7 @@ struct RequestKey {
     ty: InstType,
     thresholds: Thresholds,
     max_answers: Option<usize>,
+    max_wall_ms: Option<u64>,
 }
 
 /// What a finished search shares with every coalesced caller.
@@ -160,6 +191,10 @@ pub struct ServiceMetrics {
     pub executed: u64,
     /// Requests served by coalescing onto an in-flight twin.
     pub deduped: u64,
+    /// Searches that panicked and were caught at the request boundary.
+    pub panics_caught: u64,
+    /// Searches that overran their wall-clock deadline.
+    pub deadline_exceeded: u64,
     /// Per-search memo-service traffic, summed over executed searches.
     pub memo: MemoStats,
 }
@@ -213,9 +248,12 @@ pub struct MqService {
     catalog: Catalog,
     inflight: RequestTable<RequestKey, SearchResult>,
     gate: Semaphore,
+    retry: RetryPolicy,
     requests: AtomicU64,
     executed: AtomicU64,
     deduped: AtomicU64,
+    panics_caught: AtomicU64,
+    deadline_exceeded: AtomicU64,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
 }
@@ -232,9 +270,12 @@ impl MqService {
             catalog: Catalog::new(),
             inflight: RequestTable::new(),
             gate: Semaphore::new(cfg.max_concurrent),
+            retry: cfg.retry,
             requests: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
         }
@@ -318,7 +359,9 @@ impl MqService {
             ty: req.ty,
             thresholds: req.thresholds,
             max_answers: req.max_answers,
+            max_wall_ms: req.max_wall_ms,
         };
+        let mut retries = 0u32;
         loop {
             match self.inflight.join(key.clone()) {
                 Joined::Owner(ticket) => {
@@ -340,7 +383,19 @@ impl MqService {
                         memo: c.memo,
                     });
                 }
-                Joined::Retry => continue,
+                // The owner dropped its slot without publishing (it was
+                // killed between joining and finishing — publish-side
+                // panics are caught and published as errors, so this is
+                // rare). Back off and re-join; give up after the
+                // configured number of wakeups rather than spinning on a
+                // crash-looping owner forever.
+                Joined::Retry => {
+                    retries += 1;
+                    if retries >= self.retry.max_attempts {
+                        return Err(ServiceError::RetriesExhausted { attempts: retries });
+                    }
+                    std::thread::sleep(self.retry.backoff(retries));
+                }
             }
         }
     }
@@ -356,13 +411,38 @@ impl MqService {
         let _permit = self.gate.acquire();
         self.executed.fetch_add(1, Ordering::Relaxed);
         let memos = handle.memo_service();
-        let searched = match &memos {
-            Some(m) => {
-                find_rules_shared(handle.database(), mq, req.ty, req.thresholds, Arc::clone(m))
+        // Panic isolation boundary: a panic anywhere inside the search
+        // (engine bug, injected `search.panic` fault — worker panics
+        // propagate here through the scope join) becomes an error the
+        // owner *publishes*, so every coalesced follower shares it
+        // instead of retrying a search that would panic again.
+        // `AssertUnwindSafe` is sound: the search mutates only state
+        // owned by this call (the memo service tolerates abandoned
+        // in-flight entries), and on `Err` nothing from the closure is
+        // reused.
+        let searched = catch_unwind(AssertUnwindSafe(|| {
+            crate::faults::maybe_panic("search.panic");
+            // `memos: None` (MQ_SHARED_MEMO=0) keeps the engine's own
+            // resolution: private per-worker memos, no persistence.
+            find_rules_budgeted(
+                handle.database(),
+                mq,
+                req.ty,
+                req.thresholds,
+                memos.clone(),
+                req.max_wall_ms,
+            )
+        }));
+        let searched = match searched {
+            Ok(r) => r,
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::SearchPanicked(panic_message(&*payload)));
             }
-            // MQ_SHARED_MEMO=0: private per-worker memos, no persistence.
-            None => find_rules(handle.database(), mq, req.ty, req.thresholds),
         };
+        if matches!(&searched, Err(InstError::DeadlineExceeded { .. })) {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
         match searched {
             Ok(mut answers) => {
                 if let Some(limit) = req.max_answers {
@@ -387,6 +467,8 @@ impl MqService {
             requests: self.requests.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             memo: MemoStats {
                 hits: self.memo_hits.load(Ordering::Relaxed),
                 misses: self.memo_misses.load(Ordering::Relaxed),
@@ -440,6 +522,7 @@ impl Session<'_> {
             ty,
             thresholds,
             max_answers: self.budget.max_answers,
+            max_wall_ms: self.budget.max_wall_ms,
         };
         self.service.query_at(&self.handle, &req)
     }
@@ -448,6 +531,7 @@ impl Session<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mq_core::engine::find_rules::find_rules;
     use mq_relation::ints;
 
     fn sample_db() -> Database {
@@ -511,6 +595,7 @@ mod tests {
                 "tele",
                 SessionBudget {
                     max_answers: Some(2),
+                    ..SessionBudget::default()
                 },
             )
             .unwrap();
@@ -521,7 +606,10 @@ mod tests {
 
     #[test]
     fn admission_control_still_answers_everything() {
-        let svc = Arc::new(MqService::with_config(ServiceConfig { max_concurrent: 1 }));
+        let svc = Arc::new(MqService::with_config(ServiceConfig {
+            max_concurrent: 1,
+            ..ServiceConfig::default()
+        }));
         let db = sample_db();
         svc.register("tele", db.clone()).unwrap();
         let expected = find_rules(
@@ -546,6 +634,39 @@ mod tests {
         assert_eq!(m.executed + m.deduped, 4);
         assert!(m.executed >= 1);
     }
+
+    #[test]
+    fn zero_wall_budget_surfaces_deadline_error() {
+        let svc = MqService::new();
+        svc.register("tele", sample_db()).unwrap();
+        let req = MetaqueryRequest {
+            max_wall_ms: Some(0),
+            ..MetaqueryRequest::new("tele", MQ)
+        };
+        let err = svc.query(&req).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::Engine(InstError::DeadlineExceeded { budget_ms: 0 })
+            ),
+            "want deadline error, got {err:?}"
+        );
+        assert_eq!(svc.metrics().deadline_exceeded, 1);
+        // A generous budget answers normally (and is a distinct dedup
+        // identity from the expired request).
+        let ok = svc
+            .query(&MetaqueryRequest {
+                max_wall_ms: Some(60_000),
+                ..MetaqueryRequest::new("tele", MQ)
+            })
+            .unwrap();
+        assert!(!ok.answers.is_empty());
+    }
+
+    // NOTE: fault-plan injection tests (search.panic isolation, chaos
+    // byte-identity) live in `tests/chaos.rs`: `set_plan_override` is
+    // process-global, so they serialize behind a lock in their own test
+    // binary instead of racing this crate's unit tests.
 
     #[test]
     fn session_pins_snapshot_across_updates() {

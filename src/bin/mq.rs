@@ -7,7 +7,7 @@
 //! mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type T]
 //! mq classify --metaquery MQ
 //! mq stats    --db FILE
-//! mq serve    [--db NAME=FILE]
+//! mq serve    [--db NAME=FILE] [--tcp ADDR] [--wall MS] [--max-conns N]
 //! ```
 //!
 //! Thresholds accept `1/2`, `0.5` or `0`; they are strict lower bounds,
@@ -20,6 +20,13 @@
 //! `metrics`/`quit`), with copy-on-write updates, generation-tagged
 //! snapshots, in-flight request dedup and a persistent cross-search atom
 //! cache. `--db NAME=FILE` preloads a database into the catalog.
+//!
+//! `serve --tcp ADDR` serves the same protocol over TCP instead
+//! (thread-per-connection, hardened: per-request deadlines via `--wall
+//! MS` or the `wall=` flag, panic isolation, bounded request lines and
+//! reply queues, `--max-conns N` admission, graceful drain on the
+//! `shutdown` command). The process exits once a client issues
+//! `shutdown` and the drain completes.
 
 use metaquery::core::acyclic::classify;
 use metaquery::core::engine::find_rules::body_decomposition;
@@ -30,7 +37,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mq mine     --db FILE --metaquery MQ [--type 0|1|2] [--sup K] [--cvr K] [--cnf K] [--engine findrules|naive] [--limit N]\n  mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type 0|1|2]\n  mq classify --metaquery MQ\n  mq stats    --db FILE\n  mq serve    [--db NAME=FILE]"
+        "usage:\n  mq mine     --db FILE --metaquery MQ [--type 0|1|2] [--sup K] [--cvr K] [--cnf K] [--engine findrules|naive] [--limit N]\n  mq decide   --db FILE --metaquery MQ --index sup|cvr|cnf --k K [--type 0|1|2]\n  mq classify --metaquery MQ\n  mq stats    --db FILE\n  mq serve    [--db NAME=FILE] [--tcp ADDR] [--wall MS] [--max-conns N]"
     );
     std::process::exit(2);
 }
@@ -245,6 +252,9 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
             eprintln!("{line}");
         }
     }
+    if let Some(addr) = flags.get("tcp") {
+        return serve_tcp(service, addr, &flags);
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
     for line in stdin.lock().lines() {
@@ -256,7 +266,7 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
             }
         };
         match metaquery::service::handle_line(&service, &line) {
-            metaquery::service::Reply::Quit => break,
+            metaquery::service::Reply::Quit | metaquery::service::Reply::Shutdown => break,
             reply => {
                 // A client hanging up mid-reply (broken pipe) is a
                 // normal way for a serve session to end, not a crash.
@@ -274,6 +284,57 @@ fn cmd_serve(flags: HashMap<String, String>) -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Serve the line protocol over TCP until a client issues `shutdown`.
+fn serve_tcp(
+    service: metaquery::service::MqService,
+    addr: &str,
+    flags: &HashMap<String, String>,
+) -> ExitCode {
+    use metaquery::service::{NetConfig, NetServer};
+
+    let mut cfg = NetConfig {
+        addr: addr.to_string(),
+        ..NetConfig::default()
+    };
+    if let Some(wall) = flags.get("wall") {
+        match wall.parse::<u64>() {
+            Ok(ms) => cfg.default_wall_ms = Some(ms),
+            Err(_) => {
+                eprintln!("--wall wants milliseconds, got `{wall}`");
+                usage();
+            }
+        }
+    }
+    if let Some(n) = flags.get("max-conns") {
+        match n.parse::<usize>() {
+            Ok(n) => cfg.max_connections = n,
+            Err(_) => {
+                eprintln!("--max-conns wants a count, got `{n}`");
+                usage();
+            }
+        }
+    }
+    let mut server = match NetServer::bind(std::sync::Arc::new(service), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind `{addr}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("serving on {}", server.local_addr());
+    // Block until a client issues `shutdown` (the supported stop path —
+    // installing a SIGTERM handler would need unsafe signal code).
+    while !server.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let report = server.shutdown();
+    eprintln!(
+        "shutdown: {} connection(s) drained, {} aborted",
+        report.drained, report.aborted
+    );
     ExitCode::SUCCESS
 }
 

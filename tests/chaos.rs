@@ -1,0 +1,339 @@
+//! Chaos harness: fault-injection integration tests for the hardened
+//! serving stack (`mq_service::faults` + `net` + the session layer).
+//!
+//! These tests flip the **process-global** fault-plan override
+//! (`mq_service::set_plan_override`), so they live in their own
+//! integration binary — never in crate unit tests, where a plan would
+//! leak into concurrently-running tests — and serialize on a shared
+//! lock. Each test installs its plan through a drop guard so a failing
+//! assertion cannot leave faults armed for the next test.
+//!
+//! What must hold under injected faults at all three boundaries
+//! (protocol read, search, reply write):
+//!
+//! * the server never crashes — it keeps serving after every fault and
+//!   still drains cleanly;
+//! * every failed request is answered with a structured
+//!   `err <code> <message>` reply, or surfaces as a disconnect the
+//!   client recovers from by reconnecting;
+//! * every answer that does come back `ok` is **byte-identical** to the
+//!   fault-free reply — and, at the service layer, to a cold
+//!   `find_rules_seq` run. Robustness may fail requests, never corrupt
+//!   them.
+
+use metaquery::core::engine::find_rules::find_rules_seq;
+use metaquery::prelude::*;
+use metaquery::service::{
+    handle_line, FaultPlan, MetaqueryRequest, MqService, NetConfig, NetServer, Reply, ServiceError,
+};
+use mq_bench::netload::{run_load, LoadConfig};
+use mq_relation::ints;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Serializes every test in this binary: the fault-plan override is
+/// process-global.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Installs a fault plan for the guard's lifetime; always disarms on
+/// drop, even when the test panics.
+struct ArmedFaults;
+
+impl ArmedFaults {
+    fn arm(spec: &str) -> ArmedFaults {
+        let plan = FaultPlan::parse(spec).expect("fault plan spec");
+        metaquery::service::set_plan_override(Some(plan));
+        ArmedFaults
+    }
+
+    /// An armed-but-empty plan: suppresses any ambient `MQ_FAULTS` env
+    /// plan, so clean sections really are clean.
+    fn clean() -> ArmedFaults {
+        metaquery::service::set_plan_override(Some(FaultPlan::none()));
+        ArmedFaults
+    }
+}
+
+impl Drop for ArmedFaults {
+    fn drop(&mut self) {
+        metaquery::service::set_plan_override(None);
+    }
+}
+
+fn fired(site: &str) -> u64 {
+    metaquery::service::faults::fired_counts()
+        .iter()
+        .find(|(name, _, _)| name == site)
+        .map(|&(_, fired, _)| fired)
+        .unwrap_or(0)
+}
+
+fn test_db() -> Database {
+    let mut db = Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    for i in 0..6i64 {
+        db.insert(p, ints(&[i, i + 1]));
+        db.insert(q, ints(&[i + 1, i + 2]));
+    }
+    db
+}
+
+const MQ: &str = "R(X,Z) <- P(X,Y), Q(Y,Z)";
+const MINE: &str = "mine tele sup=1/10 cvr=1/10 cnf=1/10 :: R(X,Z) <- P(X,Y), Q(Y,Z)";
+
+fn service() -> Arc<MqService> {
+    let svc = Arc::new(MqService::new());
+    svc.register("tele", test_db()).expect("register tele");
+    svc
+}
+
+/// Service-layer isolation: an injected panic at the search boundary
+/// surfaces as `ServiceError::SearchPanicked`, is counted, is shared by
+/// the dedup cohort instead of retry-looping, and the very next
+/// fault-free query over the same service succeeds with answers
+/// byte-identical to `find_rules_seq`.
+#[test]
+fn injected_search_panic_is_isolated_and_recoverable() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let svc = service();
+    let mut req = MetaqueryRequest::new("tele", MQ);
+    req.thresholds = Thresholds::all(
+        mq_relation::Frac::new(1, 10),
+        mq_relation::Frac::new(1, 10),
+        mq_relation::Frac::new(1, 10),
+    );
+    {
+        let _armed = ArmedFaults::arm("search.panic:1.0:42");
+        match svc.query(&req) {
+            Err(ServiceError::SearchPanicked(msg)) => {
+                assert!(
+                    msg.contains("injected fault"),
+                    "panic message should carry the payload, got {msg:?}"
+                );
+            }
+            other => panic!("want SearchPanicked, got {other:?}"),
+        }
+        assert!(svc.metrics().panics_caught >= 1);
+    }
+    // Disarmed: the same service keeps working, byte-identical to the
+    // sequential engine.
+    let _clean = ArmedFaults::clean();
+    let out = svc.query(&req).expect("recovered query");
+    let expected = find_rules_seq(
+        &test_db(),
+        &parse_metaquery(MQ).unwrap(),
+        InstType::Zero,
+        req.thresholds,
+    )
+    .unwrap();
+    assert_eq!(*out.answers, expected, "answers diverged after recovery");
+}
+
+/// Service-layer chaos: with the search boundary panicking at random,
+/// every query either fails structurally (`SearchPanicked`) or returns
+/// answers byte-identical to `find_rules_seq` — never a partial or
+/// corrupted result.
+#[test]
+fn faulted_searches_never_corrupt_answers() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let svc = service();
+    let th = Thresholds::all(
+        mq_relation::Frac::new(1, 10),
+        mq_relation::Frac::new(1, 10),
+        mq_relation::Frac::new(1, 10),
+    );
+    let expected = find_rules_seq(
+        &test_db(),
+        &parse_metaquery(MQ).unwrap(),
+        InstType::Zero,
+        th,
+    )
+    .unwrap();
+    let _armed = ArmedFaults::arm("search.panic:0.5:1234");
+    let (mut oks, mut panics) = (0u32, 0u32);
+    for _ in 0..32 {
+        let mut req = MetaqueryRequest::new("tele", MQ);
+        req.thresholds = th;
+        match svc.query(&req) {
+            Ok(out) => {
+                assert_eq!(*out.answers, expected, "corrupted answers under faults");
+                oks += 1;
+            }
+            Err(ServiceError::SearchPanicked(_)) => panics += 1,
+            Err(other) => panic!("unexpected failure class under faults: {other:?}"),
+        }
+    }
+    // At p=0.5 over 32 independent searches both outcomes occur
+    // (deterministic given the seeded per-site RNG).
+    assert!(oks > 0, "no query survived the fault plan");
+    assert!(panics > 0, "fault plan never fired");
+    assert!(svc.metrics().panics_caught >= u64::from(panics));
+}
+
+/// The acceptance run: ≥100 concurrent TCP connections against a server
+/// with faults armed at **all three** boundaries (protocol read, search,
+/// reply write) plus injected latency. Zero crashes, every failure
+/// structured or recovered-by-reconnect, every `ok` reply byte-identical
+/// to the fault-free reference, and the server still serves and drains
+/// cleanly afterwards.
+#[test]
+fn chaos_load_stays_structured_and_byte_identical() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let svc = service();
+    // Fault-free reference block, with any ambient MQ_FAULTS suppressed.
+    let expected = {
+        let _clean = ArmedFaults::clean();
+        let block = handle_line(&svc, MINE).lines().to_vec();
+        assert!(block[0].starts_with("ok mine "), "reference: {}", block[0]);
+        block
+    };
+    let mut server = NetServer::bind(
+        Arc::clone(&svc),
+        NetConfig {
+            max_connections: 0, // unlimited: the load is the cap
+            default_wall_ms: Some(30_000),
+            drain_deadline: Duration::from_secs(5),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind chaos server");
+    let addr = server.local_addr();
+    let report = {
+        let _armed = ArmedFaults::arm(
+            "read.err:0.06:7,read.delay:0.04:19,search.panic:0.20:11,\
+             write.err:0.04:13,write.delay:0.03:23",
+        );
+        let report = run_load(
+            addr,
+            &LoadConfig {
+                connections: 110,
+                requests_per_conn: 3,
+                request: MINE.to_string(),
+                expected: Some(expected.clone()),
+                ..LoadConfig::default()
+            },
+        );
+        // All three boundaries were exercised: the read and write sites
+        // fire statistically over ~400 polls; the search site fires per
+        // executed (non-deduped) search, so just require it was armed
+        // and polled — the service-layer tests above prove its firing
+        // behavior deterministically.
+        assert!(fired("read.err") > 0, "read boundary never fired");
+        assert!(fired("write.err") > 0, "write boundary never fired");
+        report
+    };
+    assert_eq!(report.sent, 330);
+    assert_eq!(report.mismatches, 0, "corrupted replies: {report:?}");
+    assert_eq!(report.unstructured, 0, "unstructured failures: {report:?}");
+    assert!(
+        report.all_failures_structured(),
+        "accounting hole: {report:?}"
+    );
+    assert!(report.ok > 0, "nothing succeeded under the mixed plan");
+    assert!(
+        report.err_total() + report.reconnects > 0,
+        "the fault plan had no observable effect"
+    );
+    // Recovery: injected write faults / slow kills became reconnects,
+    // and the server kept serving — a fresh fault-free client gets the
+    // exact reference block.
+    let _clean = ArmedFaults::clean();
+    let verify = run_load(
+        addr,
+        &LoadConfig {
+            connections: 1,
+            requests_per_conn: 1,
+            request: MINE.to_string(),
+            expected: Some(expected),
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(verify.ok, 1, "server unusable after chaos: {verify:?}");
+    assert_eq!(verify.mismatches, 0);
+    let drain = server.shutdown();
+    assert_eq!(drain.aborted, 0, "post-chaos drain had to abort: {drain:?}");
+}
+
+/// A `shutdown` issued over the wire mid-load: the server stops
+/// accepting, drains, and every client either finished cleanly, got a
+/// structured `err shutting-down` reply, or observed a disconnect —
+/// nothing unstructured, nothing corrupted.
+#[test]
+fn shutdown_under_load_is_graceful() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _clean = ArmedFaults::clean();
+    let svc = service();
+    let expected = handle_line(&svc, MINE).lines().to_vec();
+    let mut server = NetServer::bind(
+        Arc::clone(&svc),
+        NetConfig {
+            max_connections: 0,
+            drain_deadline: Duration::from_secs(5),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind drain server");
+    let addr = server.local_addr();
+    let load = std::thread::spawn(move || {
+        run_load(
+            addr,
+            &LoadConfig {
+                connections: 24,
+                requests_per_conn: 20,
+                request: MINE.to_string(),
+                expected: Some(expected),
+                reply_timeout: Duration::from_secs(5),
+            },
+        )
+    });
+    // Let the load ramp, then pull the plug over the wire.
+    std::thread::sleep(Duration::from_millis(50));
+    let shut = run_load(
+        addr,
+        &LoadConfig {
+            connections: 1,
+            requests_per_conn: 1,
+            request: "shutdown".to_string(),
+            expected: None,
+            ..LoadConfig::default()
+        },
+    );
+    // The shutdown request itself is answered ok — unless the server was
+    // already refusing connections, which the drain report will show.
+    assert!(shut.ok == 1 || shut.lost == 1, "shutdown send: {shut:?}");
+    let report = load.join().expect("load thread");
+    assert_eq!(report.mismatches, 0, "corrupted replies: {report:?}");
+    assert_eq!(report.unstructured, 0, "unstructured failures: {report:?}");
+    assert!(
+        report.all_failures_structured(),
+        "accounting hole: {report:?}"
+    );
+    let drain = server.shutdown();
+    // Clients disconnect promptly once draining, so nothing should need
+    // force-closing.
+    assert_eq!(drain.aborted, 0, "drain aborted connections: {drain:?}");
+    // And the server is really gone: a new client cannot complete a
+    // request.
+    let after = run_load(
+        addr,
+        &LoadConfig {
+            connections: 1,
+            requests_per_conn: 1,
+            request: "ping".to_string(),
+            expected: None,
+            reply_timeout: Duration::from_millis(500),
+        },
+    );
+    assert_eq!(after.ok, 0, "server still serving after shutdown");
+}
+
+/// The protocol `shutdown` command reaches the in-process handler too
+/// (the stdin server treats it as a session end).
+#[test]
+fn shutdown_reply_is_typed() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _clean = ArmedFaults::clean();
+    let svc = service();
+    assert_eq!(handle_line(&svc, "shutdown"), Reply::Shutdown);
+}

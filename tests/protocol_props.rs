@@ -1,0 +1,111 @@
+//! Property-based fuzzing of the line-protocol parser.
+//!
+//! The serving layer's first robustness boundary is `handle_line`: every
+//! byte sequence a client can put on the wire must come back as either a
+//! well-formed reply (`ok …` / `err <code> <message>`) or a connection
+//! verdict (`quit` / `shutdown`) — never a panic, never an unstructured
+//! line. These properties drive randomized garbage, near-miss command
+//! lines, and random `mine` flag soups through the handler and check
+//! that contract. (The TCP layer adds `catch_unwind` on top, but the
+//! parser itself should never need it.)
+
+use metaquery::service::{handle_line, MqService, Reply};
+use mq_relation::ints;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn service_with_db() -> Arc<MqService> {
+    let svc = Arc::new(MqService::new());
+    let mut db = mq_relation::Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    for i in 0..4i64 {
+        db.insert(p, ints(&[i, i + 1]));
+        db.insert(q, ints(&[i + 1, i + 2]));
+    }
+    svc.register("tele", db).expect("register tele");
+    svc
+}
+
+/// A reply is structured iff it is a connection verdict or its first
+/// line is `ok …` or `err <code> …` with a kebab-case code token.
+fn assert_structured(line: &str, reply: &Reply) {
+    match reply {
+        Reply::Quit | Reply::Shutdown => {}
+        Reply::Lines(lines) => {
+            // An empty block is the defined no-op reply (blank input);
+            // the TCP layer frames it as `ok` so clients never block.
+            let Some(first) = lines.first() else {
+                assert!(
+                    line.trim().is_empty(),
+                    "empty reply block for non-blank input {line:?}"
+                );
+                return;
+            };
+            if first.starts_with("ok") {
+                return;
+            }
+            let rest = first.strip_prefix("err ").unwrap_or_else(|| {
+                panic!("unstructured first reply line {first:?} for input {line:?}");
+            });
+            let code = rest.split_whitespace().next().unwrap_or("");
+            assert!(
+                !code.is_empty() && code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "malformed error code {code:?} in reply {first:?} for input {line:?}"
+            );
+            assert!(
+                rest.len() > code.len(),
+                "error reply {first:?} has no message for input {line:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary printable garbage never panics the handler and always
+    /// yields a structured reply.
+    #[test]
+    fn arbitrary_lines_get_structured_replies(line in ".{0,90}") {
+        let svc = service_with_db();
+        let reply = handle_line(&svc, &line);
+        assert_structured(&line, &reply);
+    }
+
+    /// Near-miss command lines — a real verb followed by garbage — hit
+    /// the per-command parsers and still come back structured.
+    #[test]
+    fn command_shaped_lines_get_structured_replies(
+        verb in "(mine|open|append|replace|stats|dump|metrics|ping|quit|shutdown)",
+        rest in "[ a-zA-Z0-9=/:(),.<_-]{0,70}",
+    ) {
+        let svc = service_with_db();
+        let line = format!("{verb} {rest}");
+        let reply = handle_line(&svc, &line);
+        assert_structured(&line, &reply);
+    }
+
+    /// `mine` flag soups over a real database: random flag words and a
+    /// random tail after `::` exercise threshold/limit/wall parsing and
+    /// the metaquery parser without ever escaping the err framing.
+    #[test]
+    fn mine_flag_soup_is_structured(
+        flags in "((type|sup|cvr|cnf|limit|wall|bogus)=[a-z0-9/.]{0,6} ?){0,4}",
+        mq in "([A-Z]\\(X,Y\\)( <- [A-Z]\\(X,[A-Z]\\))?|[ a-zA-Z(),<-]{0,40})",
+    ) {
+        let svc = service_with_db();
+        let line = format!("mine tele {flags} :: {mq}");
+        let reply = handle_line(&svc, &line);
+        assert_structured(&line, &reply);
+    }
+
+    /// Whitespace and empty-ish inputs are inert: never a panic, and
+    /// whatever comes back is structured.
+    #[test]
+    fn whitespace_lines_are_inert(line in "[ \t]{0,12}") {
+        let svc = service_with_db();
+        let reply = handle_line(&svc, &line);
+        assert_structured(&line, &reply);
+    }
+}

@@ -286,7 +286,10 @@ fn second_session_hits_cross_search_atom_cache() {
 #[test]
 fn budgets_and_admission_control() {
     let db = stress_db(&[("p", 2), ("q", 2)], 14, 5);
-    let svc = Arc::new(MqService::with_config(ServiceConfig { max_concurrent: 1 }));
+    let svc = Arc::new(MqService::with_config(ServiceConfig {
+        max_concurrent: 1,
+        ..ServiceConfig::default()
+    }));
     svc.register("tele", db.clone()).unwrap();
     let expected = seq_reference(&db, SHAPES[0], Thresholds::none());
     assert!(expected.len() > 3);
@@ -296,6 +299,7 @@ fn budgets_and_admission_control() {
             "tele",
             SessionBudget {
                 max_answers: Some(3),
+                ..SessionBudget::default()
             },
         )
         .unwrap();
