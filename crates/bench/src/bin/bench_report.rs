@@ -40,21 +40,13 @@ use mq_bench::netload::{run_load, LoadConfig, LoadReport};
 use mq_bench::{
     chain_workload, cycle_workload, hybrid_star_workload, mid_thresholds, time, Workload,
 };
-use mq_core::engine::find_rules::{find_rules, find_rules_seq};
-use mq_core::engine::memo::{shared_memo_enabled, MemoStats};
+use mq_core::engine::find_rules::{find_rules, find_rules_seq, find_rules_shared};
+use mq_core::engine::memo::{shared_memo_enabled, MemoStats, SharedMemos};
 use mq_core::prelude::*;
 use mq_relation::{set_baseline_mode, Frac};
 use mq_service::{handle_line, MetaqueryRequest, MqService, NetConfig, NetServer};
+use std::cell::Cell;
 use std::sync::Arc;
-
-/// The deprecated process-global drain, kept as the attribution path for
-/// the single-search workloads below (one search at a time, so the
-/// totals are unambiguous); the service workload reads per-instance
-/// stats instead.
-#[allow(deprecated)]
-fn drain_global_memo_counters() -> MemoStats {
-    mq_core::engine::memo::take_shared_memo_counters()
-}
 
 struct Row {
     name: String,
@@ -150,22 +142,35 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
     let run = || find_rules(&w.db, &w.mq, InstType::Zero, th).unwrap().len();
     let sweep = thread_sweep();
     // Primary measurement: the first sweep entry, or the ambient thread
-    // count when no sweep was requested. Shared-memo counters are
-    // drained before and after so the reported hit rate covers exactly
-    // the primary samples.
-    let _ = drain_global_memo_counters();
-    let (median_opt_s, answers) = match sweep.first() {
-        Some(&t) => {
-            // The thread override is the shim-rayon knob the scheduler
-            // tests use; it avoids unsound env mutation.
-            rayon::set_thread_override(Some(t));
-            let out = median_secs(n, run);
-            rayon::set_thread_override(None);
-            out
+    // count when no sweep was requested. Each primary sample runs its
+    // search against an explicitly-owned memo service whose instance
+    // stats are accumulated here, so the reported hit rate covers
+    // exactly the primary samples with no cross-search bleed.
+    let memo_total = Cell::new(MemoStats::default());
+    let (median_opt_s, answers) = {
+        let measured = || match shared_memo_enabled().then(|| Arc::new(SharedMemos::new())) {
+            Some(memos) => {
+                let out = find_rules_shared(&w.db, &w.mq, InstType::Zero, th, Arc::clone(&memos))
+                    .unwrap()
+                    .len();
+                memo_total.set(memo_total.get().merged(memos.stats()));
+                out
+            }
+            None => run(),
+        };
+        match sweep.first() {
+            Some(&t) => {
+                // The thread override is the shim-rayon knob the scheduler
+                // tests use; it avoids unsound env mutation.
+                rayon::set_thread_override(Some(t));
+                let out = median_secs(n, measured);
+                rayon::set_thread_override(None);
+                out
+            }
+            None => median_secs(n, measured),
         }
-        None => median_secs(n, run),
     };
-    let memo = drain_global_memo_counters();
+    let memo = memo_total.get();
     // Remaining sweep entries re-time the optimized core only.
     let mut by_threads: Vec<(usize, f64)> = Vec::new();
     if let Some((&first, rest)) = sweep.split_first() {

@@ -57,16 +57,16 @@
 //!
 //! Hit/miss counters live **on the instance**: [`SharedMemos::stats`]
 //! for one memo service, [`AtomCache::stats`] for a catalog's persistent
-//! cache. The process-global totals ([`take_shared_memo_counters`],
-//! still fed when a service is dropped) are a deprecated shim kept for
-//! bench compatibility — concurrent searches clobber each other's
-//! attribution there, which is exactly why the per-instance API exists.
+//! cache. There is deliberately no process-global counter: concurrent
+//! searches would clobber each other's attribution, so every consumer
+//! (the serving layer's `stats` session command, `bench_report`) reads
+//! the instance it owns.
 
 use crate::plan::{AtomKey, PlanArena, PlanNodeId, PlanOp};
 use mq_relation::{Bindings, VarId};
 pub use mq_store::MemoStats;
-use mq_store::ShardedMemo;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use mq_store::{lock::read_recover, lock::write_recover, ShardedMemo};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Key of the plan cache: the node join's χ plus its instantiated λ atom
@@ -107,26 +107,6 @@ pub fn shared_memo_enabled() -> bool {
     match std::env::var_os("MQ_SHARED_MEMO") {
         Some(v) => !matches!(v.to_str(), Some("0") | Some("false") | Some("off")),
         None => true,
-    }
-}
-
-/// Process-global hit/miss totals, fed by dropped [`SharedMemos`].
-static TOTAL_HITS: AtomicU64 = AtomicU64::new(0);
-static TOTAL_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// Drain (read and reset) the process-global shared-memo counters.
-/// Counters accumulate when a search's memo service is dropped, so call
-/// this after the `find_rules` calls you want to attribute.
-#[deprecated(
-    since = "0.1.0",
-    note = "process-global totals mix concurrent searches' traffic; read \
-            `SharedMemos::stats` / `AtomCache::stats` on the owning \
-            instance instead (kept as a shim for single-search bench runs)"
-)]
-pub fn take_shared_memo_counters() -> MemoStats {
-    MemoStats {
-        hits: TOTAL_HITS.swap(0, Ordering::Relaxed),
-        misses: TOTAL_MISSES.swap(0, Ordering::Relaxed),
     }
 }
 
@@ -286,11 +266,7 @@ impl SharedMemos {
 
     /// The operator of node `id` (cloned out of the shared arena).
     pub(crate) fn op(&self, id: PlanNodeId) -> PlanOp {
-        self.arena
-            .read()
-            .expect("plan arena poisoned")
-            .op(id)
-            .clone()
+        read_recover(&self.arena).op(id).clone()
     }
 
     /// Intern a plan under the write lock. Interning is pure and
@@ -300,7 +276,7 @@ impl SharedMemos {
         &self,
         build: impl FnOnce(&mut PlanArena) -> PlanNodeId,
     ) -> PlanNodeId {
-        build(&mut self.arena.write().expect("plan arena poisoned"))
+        build(&mut write_recover(&self.arena))
     }
 
     /// Aggregated hit/miss counters of the three memo layers of **this**
@@ -317,17 +293,6 @@ impl SharedMemos {
 impl Default for SharedMemos {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-impl Drop for SharedMemos {
-    fn drop(&mut self) {
-        // Fold this search's counters into the process totals so the
-        // deprecated global drain keeps working for single-search bench
-        // attribution.
-        let s = self.stats();
-        TOTAL_HITS.fetch_add(s.hits, Ordering::Relaxed);
-        TOTAL_MISSES.fetch_add(s.misses, Ordering::Relaxed);
     }
 }
 
@@ -358,21 +323,6 @@ mod tests {
         set_shared_memo_override(Some(true));
         assert!(shared_memo_enabled());
         set_shared_memo_override(None);
-    }
-
-    #[test]
-    fn dropped_service_feeds_global_counters() {
-        let memos = SharedMemos::new();
-        assert!(memos
-            .atoms
-            .get(&(mq_relation::RelId(0), Vec::new()))
-            .is_none());
-        drop(memos);
-        // At least the miss above landed in the totals (other tests may
-        // add more concurrently; drain and check the floor).
-        #[allow(deprecated)]
-        let drained = take_shared_memo_counters();
-        assert!(drained.misses >= 1);
     }
 
     #[test]

@@ -30,11 +30,10 @@
 
 use super::find_rules::{collect_sequential, Engine, Setup};
 use super::MqAnswer;
-use std::cell::RefCell;
+use mq_store::lock::{lock_recover, unpoison};
 use std::ops::ControlFlow;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default number of leading patterns the scheduler splits on.
 pub const DEFAULT_SPLIT_DEPTH: usize = 2;
@@ -103,11 +102,16 @@ pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
                 // with MQ_SHARED_MEMO=0, a private slice), so a prefix
                 // computed for one task is a memo hit for the next —
                 // and, when shared, for every other worker too.
-                let sink: Rc<RefCell<Vec<MqAnswer>>> = Rc::new(RefCell::new(Vec::new()));
+                // The sink is worker-local (the engine's callback and the
+                // drain below are the only handles), so every lock here
+                // is uncontended — Arc<Mutex> instead of Rc<RefCell>
+                // keeps this module inside the workspace's Send+Sync
+                // purity contract (`no-rc-refcell-in-sendsync`).
+                let sink: Arc<Mutex<Vec<MqAnswer>>> = Arc::new(Mutex::new(Vec::new()));
                 let mut engine = Engine::new(setup, {
-                    let sink = Rc::clone(&sink);
+                    let sink = Arc::clone(&sink);
                     move |ans: &MqAnswer| {
-                        sink.borrow_mut().push(ans.clone());
+                        lock_recover(&sink).push(ans.clone());
                         ControlFlow::Continue(())
                     }
                 });
@@ -124,14 +128,14 @@ pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
                         break;
                     }
                     engine.run_prefix_task(&tasks[i]);
-                    let got: Vec<MqAnswer> = sink.borrow_mut().drain(..).collect();
-                    *slots[i].lock().expect("result slot poisoned") = got;
+                    let got: Vec<MqAnswer> = lock_recover(&sink).drain(..).collect();
+                    *lock_recover(&slots[i]) = got;
                 }
             });
         }
     });
     slots
         .into_iter()
-        .flat_map(|m| m.into_inner().expect("result slot poisoned"))
+        .flat_map(|m| unpoison(m.into_inner()))
         .collect()
 }

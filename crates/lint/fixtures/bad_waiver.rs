@@ -1,0 +1,12 @@
+// Fixture: two seeded `bad-waiver` violations — a reason-less waiver
+// (which also does NOT suppress the violation under it) and a waiver
+// naming an unknown rule. Linted under the fake path
+// crates/service/src/bad.rs.
+
+pub fn reasonless(input: Option<&str>) -> usize {
+    // lint:allow(no-panic-in-serving):
+    input.unwrap().len() // still flagged: the waiver above has no reason
+}
+
+// lint:allow(not-a-real-rule): the rule id is wrong
+pub fn unknown_rule() {}

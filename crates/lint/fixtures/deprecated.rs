@@ -1,0 +1,22 @@
+// Fixture: one seeded `no-deprecated-calls` violation — a non-test
+// caller of a #[deprecated] item. Linted under the fake path
+// crates/core/src/counters.rs.
+
+#[deprecated(note = "use Stats::snapshot instead")]
+pub fn take_global_counters() -> (u64, u64) {
+    (0, 0)
+}
+
+pub fn report() -> u64 {
+    let (hits, misses) = take_global_counters(); // seeded violation (line 11)
+    hits + misses
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[allow(deprecated)]
+    fn test_calls_are_exempt() {
+        let _ = super::take_global_counters();
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: one seeded `err-code-stability` violation — an emitted code
+// missing from the documented contract. Linted under the fake path
+// crates/service/src/protocol.rs against a doc that documents only
+// `parse`.
+
+pub struct Reply;
+
+impl Reply {
+    pub fn err(_code: &str, _msg: &str) -> Reply {
+        Reply
+    }
+}
+
+pub fn reject() -> Reply {
+    Reply::err("novel-code", "not in the documented contract") // seeded violation (line 15)
+}
+
+pub fn reject_known() -> Reply {
+    Reply::err("parse", "documented, fine")
+}

@@ -1,0 +1,16 @@
+// Fixture: one seeded `faultpoint-coverage` violation — a serve_line
+// that lost its fault-injection sites. Linted under the fake path
+// crates/service/src/net.rs.
+
+pub fn serve_line(line: &str) -> String {
+    // seeded violation: no faultpoint("read.delay") / faultpoint("read.err")
+    line.to_uppercase()
+}
+
+pub fn writer_loop(replies: &[String]) -> usize {
+    faultpoint("write.delay");
+    faultpoint("write.err");
+    replies.len()
+}
+
+fn faultpoint(_site: &str) {}

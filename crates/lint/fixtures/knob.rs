@@ -1,0 +1,7 @@
+// Fixture: one seeded `knob-registry` violation — an MQ_* env read
+// that no registry entry declares. Linted under the fake path
+// crates/core/src/engine/bad.rs.
+
+pub fn secret_tuning() -> bool {
+    std::env::var("MQ_SECRET_UNDECLARED").is_ok() // seeded violation (line 6)
+}

@@ -1,0 +1,15 @@
+// Fixture: one seeded `no-panic-in-serving` violation.
+// Linted by the test suite under the fake path crates/service/src/bad.rs.
+
+pub fn handle(input: Option<&str>) -> String {
+    let line = input.unwrap(); // seeded violation (line 5)
+    line.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: one seeded `poison-safe-locks` violation.
+// Linted under the fake path crates/store/src/bad.rs.
+
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) {
+    let mut guard = counter.lock().unwrap(); // seeded violation (line 7)
+    *guard += 1;
+}

@@ -1,0 +1,10 @@
+// Fixture: one seeded `no-rc-refcell-in-sendsync` violation.
+// Linted under the fake path crates/core/src/engine/bad.rs.
+
+use std::rc::Rc; // seeded violation (line 4)
+
+pub fn share(v: Vec<u32>) -> (std::sync::Arc<Vec<u32>>, usize) {
+    let a = std::sync::Arc::new(v);
+    let n = a.len();
+    (a, n)
+}

@@ -1,0 +1,509 @@
+//! A hand-rolled Rust lexer, just deep enough for line-level linting.
+//!
+//! No `syn`, no proc-macro machinery — the build box is offline and the
+//! linter must stay dependency-free. The lexer produces a flat token
+//! stream with line numbers, which is all the rule engine needs:
+//!
+//! * comments are skipped, **except** that `// lint:allow(<rule>): <reason>`
+//!   comments are harvested as [`Waiver`]s;
+//! * string literals (plain, raw, byte, raw-byte) become single [`Tok::Str`]
+//!   tokens carrying their (unescaped-as-written) content, so rule
+//!   patterns never fire on text inside strings;
+//! * char literals and lifetimes are disambiguated, so `'a'` and `'a`
+//!   don't derail the stream;
+//! * a second pass marks every token inside a `#[cfg(test)]` item
+//!   (module, fn, use, …) as test code, nested regions included.
+
+/// What a token is. `Str` carries decoded-enough content (quotes and
+/// raw/byte prefixes stripped, escape sequences left as written).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A string literal's content (without quotes/prefix).
+    Str(String),
+    /// A numeric literal (content unused by rules).
+    Num,
+    /// A char literal (content unused by rules).
+    Char,
+    /// A lifetime (content unused by rules).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// A `// lint:allow(<rule>): <reason>` comment. A waiver suppresses
+/// matching diagnostics on its own line and on the line directly below
+/// it (so it can ride at end-of-line or stand on the line above).
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line the waiver comment is on.
+    pub line: usize,
+    /// The rule id being waived.
+    pub rule: String,
+    /// The written justification (empty = invalid waiver).
+    pub reason: String,
+}
+
+/// One lexed source file: tokens, waivers, and per-token test-region
+/// flags (same length as `tokens`).
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every `lint:allow` waiver comment found.
+    pub waivers: Vec<Waiver>,
+    /// `is_test[i]` — token `i` sits inside a `#[cfg(test)]` item.
+    pub is_test: Vec<bool>,
+}
+
+impl Lexed {
+    /// Whether the 1-based `line` is waived for `rule`.
+    pub fn waived(&self, line: usize, rule: &str) -> bool {
+        self.waivers.iter().any(|w| {
+            w.rule == rule && !w.reason.is_empty() && (w.line == line || w.line + 1 == line)
+        })
+    }
+}
+
+/// Lex `src` into tokens + waivers and mark `#[cfg(test)]` regions.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut waivers = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                let text: String = chars[start..end].iter().collect();
+                if let Some(w) = parse_waiver(text.trim(), line) {
+                    waivers.push(w);
+                }
+                i = end;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (content, next, newlines) = scan_plain_string(&chars, i + 1);
+                tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+                line += newlines;
+                i = next;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a backslash or a closing
+                // quote two chars on means char literal.
+                if chars.get(i + 1) == Some(&'\\') {
+                    // '\x41' / '\n' / '\'' — scan to the closing quote.
+                    let mut j = i + 2;
+                    if j < chars.len() {
+                        j += 1; // the escaped char
+                    }
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = j + 1;
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    // Lifetime: skip the identifier.
+                    let mut j = i + 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                // String prefixes: r"", r#""#, b"", br#""#, rb…
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb")
+                    && matches!(chars.get(j), Some('"') | Some('#'));
+                if is_str_prefix && ident.contains('r') {
+                    if let Some((content, next, newlines)) = scan_raw_string(&chars, j) {
+                        tokens.push(Token {
+                            tok: Tok::Str(content),
+                            line,
+                        });
+                        line += newlines;
+                        i = next;
+                        continue;
+                    }
+                }
+                if is_str_prefix && chars.get(j) == Some(&'"') {
+                    let (content, next, newlines) = scan_plain_string(&chars, j + 1);
+                    tokens.push(Token {
+                        tok: Tok::Str(content),
+                        line,
+                    });
+                    line += newlines;
+                    i = next;
+                    continue;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+                i = j;
+            }
+            other => {
+                tokens.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    let is_test = mark_test_regions(&tokens);
+    Lexed {
+        tokens,
+        waivers,
+        is_test,
+    }
+}
+
+/// Scan a non-raw string body starting just after the opening quote.
+/// Returns (content, index past closing quote, newlines crossed).
+fn scan_plain_string(chars: &[char], start: usize) -> (String, usize, usize) {
+    let mut content = String::new();
+    let mut i = start;
+    let mut newlines = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                content.push('\\');
+                if let Some(&e) = chars.get(i + 1) {
+                    content.push(e);
+                    if e == '\n' {
+                        newlines += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (content, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (content, i, newlines)
+}
+
+/// Scan a raw string starting at the first `#` or `"` after the `r`/`br`
+/// prefix. Returns `None` if this isn't actually a raw string.
+fn scan_raw_string(chars: &[char], start: usize) -> Option<(String, usize, usize)> {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    let mut content = String::new();
+    let mut newlines = 0usize;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some((content, i + 1 + hashes, newlines));
+            }
+        }
+        if chars[i] == '\n' {
+            newlines += 1;
+        }
+        content.push(chars[i]);
+        i += 1;
+    }
+    Some((content, i, newlines))
+}
+
+/// Parse one comment body as a waiver, if it is one.
+fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+    let rest = comment.strip_prefix("lint:allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    Some(Waiver {
+        line,
+        rule,
+        reason: reason.to_string(),
+    })
+}
+
+/// Mark every token inside a `#[cfg(test)]` item. The scan finds
+/// `#[…cfg…test…]` attribute groups, skips any further attributes, and
+/// marks tokens up to the end of the annotated item — the matching `}`
+/// of its first brace, or the terminating `;` for brace-less items.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut is_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok == Tok::Punct('#')
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+        {
+            let attr_end = match matching(tokens, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            let mentions_test = tokens[i + 2..attr_end]
+                .windows(1)
+                .any(|w| matches!(&w[0].tok, Tok::Ident(id) if id == "test"))
+                && tokens[i + 2..attr_end]
+                    .iter()
+                    .any(|t| matches!(&t.tok, Tok::Ident(id) if id == "cfg"));
+            if !mentions_test {
+                i = attr_end + 1;
+                continue;
+            }
+            // Skip trailing attributes, then find the item's extent.
+            let mut j = attr_end + 1;
+            while tokens.get(j).map(|t| &t.tok) == Some(&Tok::Punct('#'))
+                && tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+            {
+                match matching(tokens, j + 1, '[', ']') {
+                    Some(e) => j = e + 1,
+                    None => return is_test,
+                }
+            }
+            let mut end = j;
+            while end < tokens.len() {
+                match &tokens[end].tok {
+                    Tok::Punct(';') => break,
+                    Tok::Punct('{') => {
+                        end = matching(tokens, end, '{', '}').unwrap_or(tokens.len() - 1);
+                        break;
+                    }
+                    _ => end += 1,
+                }
+            }
+            for flag in is_test.iter_mut().take((end + 1).min(tokens.len())).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    is_test
+}
+
+/// Index of the token closing the group opened at `open_idx` (which must
+/// hold `open`). Handles nesting; `None` if unbalanced.
+pub fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        match &t.tok {
+            Tok::Punct(c) if *c == open => depth += 1,
+            Tok::Punct(c) if *c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strings(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_single_tokens_and_hide_their_content() {
+        let l = lex(r#"let x = "a.unwrap() \" with escape"; call(x);"#);
+        assert_eq!(strings(&l), vec![r#"a.unwrap() \" with escape"#]);
+        // Nothing inside the string leaked into the ident stream.
+        assert_eq!(idents(&l), vec!["let", "x", "call", "x"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_strings() {
+        let l = lex(r##"let a = r#"raw "inner" body"#; let b = b"bytes"; let c = br#"rb"#;"##);
+        assert_eq!(strings(&l), vec![r#"raw "inner" body"#, "bytes", "rb"]);
+        assert_eq!(idents(&l), vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested_blocks() {
+        let l = lex("a /* x /* nested */ y */ b // trailing .unwrap()\nc");
+        assert_eq!(idents(&l), vec!["a", "b", "c"]);
+        assert_eq!(l.tokens[2].line, 2, "line count survives comments");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let l = lex("fn f<'a>(x: &'a str) { m('x'); n('\\n'); }");
+        assert_eq!(idents(&l), vec!["fn", "f", "x", "str", "m", "n"]);
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars = l.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn waivers_parse_rule_and_reason() {
+        let l =
+            lex("x(); // lint:allow(some-rule): because reasons\ny();\n// lint:allow(bare)\nz();");
+        assert_eq!(l.waivers.len(), 2);
+        assert_eq!(l.waivers[0].rule, "some-rule");
+        assert_eq!(l.waivers[0].reason, "because reasons");
+        assert!(l.waived(1, "some-rule"), "same line");
+        assert!(l.waived(2, "some-rule"), "line below");
+        assert!(!l.waived(3, "some-rule"));
+        // A reason-less waiver never suppresses anything.
+        assert_eq!(l.waivers[1].reason, "");
+        assert!(!l.waived(3, "bare"));
+        assert!(!l.waived(4, "bare"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_nested_modules() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       mod inner { fn t() { b.unwrap(); } }\n\
+                       fn u() { c.unwrap(); }\n\
+                   }\n\
+                   fn live2() { d.unwrap(); }";
+        let l = lex(src);
+        let flags: Vec<(String, bool)> = l
+            .tokens
+            .iter()
+            .zip(&l.is_test)
+            .filter_map(|(t, &f)| match &t.tok {
+                Tok::Ident(s) if ["a", "b", "c", "d"].contains(&s.as_str()) => Some((s.clone(), f)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("a".to_string(), false),
+                ("b".to_string(), true),
+                ("c".to_string(), true),
+                ("d".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_stops_at_semicolon() {
+        let l = lex("#[cfg(test)]\nuse foo::bar;\nfn live() { x.unwrap(); }");
+        let x = l
+            .tokens
+            .iter()
+            .zip(&l.is_test)
+            .find(|(t, _)| matches!(&t.tok, Tok::Ident(s) if s == "x"))
+            .expect("x token");
+        assert!(!x.1, "item after the cfg(test) use must not be marked");
+    }
+
+    #[test]
+    fn cfg_attrs_without_test_do_not_mark() {
+        let l = lex("#[cfg(feature = \"x\")]\nfn f() { y.unwrap(); }");
+        assert!(l.is_test.iter().all(|&f| !f));
+    }
+}

@@ -1,0 +1,80 @@
+//! mq-lint: in-tree static analysis for the metaquery workspace.
+//!
+//! A dependency-free lexer + rule engine that enforces the contracts the
+//! test suite can't see: no panics on serving paths, poison-safe lock
+//! discipline, Send+Sync purity in the shared layers, a complete `MQ_*`
+//! knob registry, wire-stable error codes, preserved fault-injection
+//! sites, and no calls to deprecated shims.
+//!
+//! The crate is split three ways:
+//!
+//! - [`lexer`] — a hand-rolled token scanner (strings, raw strings,
+//!   nested comments, `cfg(test)` region marking, waiver harvesting).
+//!   No `syn`: the build box is offline and the linter must stay
+//!   buildable before anything else in the workspace.
+//! - [`rules`] — the rule engine: [`rules::lint`] takes a
+//!   [`rules::Workspace`] and returns unwaivered [`rules::Diagnostic`]s.
+//! - [`knobs`] — the central `MQ_*` registry the `knob-registry` rule
+//!   checks reads and docs against.
+//!
+//! Violations are waived in-place with
+//! `// lint:allow(<rule>): <reason>` on the violating line or the line
+//! above; the reason is mandatory and itself linted (`bad-waiver`).
+
+pub mod knobs;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint, Diagnostic, SourceFile, Workspace, ALL_RULES};
+
+use std::fs;
+use std::path::Path;
+
+/// Load a real checkout into a [`Workspace`]: every `.rs` file under
+/// `src/` and `crates/` (skipping `target/`, `.git/`, and `fixtures/`
+/// directories — seeded-violation fixtures are linted by the test suite
+/// with their own expectations, never as part of the tree), plus the
+/// two contract documents. Paths are workspace-relative with forward
+/// slashes.
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut files = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(Workspace {
+        files,
+        architecture_md: Some(fs::read_to_string(root.join("ARCHITECTURE.md")).unwrap_or_default()),
+        performance_md: Some(fs::read_to_string(root.join("PERFORMANCE.md")).unwrap_or_default()),
+        check_completeness: true,
+    })
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                path: rel,
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}

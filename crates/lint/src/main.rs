@@ -1,0 +1,143 @@
+//! The `mq-lint` binary: walk the workspace, run every rule, report.
+//!
+//! ```text
+//! cargo run -p mq-lint --              # advisory: print findings, exit 0
+//! cargo run -p mq-lint -- --deny       # CI mode: exit 1 on any finding
+//! cargo run -p mq-lint -- --fix-docs   # regenerate the PERFORMANCE.md knob table
+//! cargo run -p mq-lint -- --list-rules # print the stable rule ids
+//! cargo run -p mq-lint -- --root <dir> # lint a different checkout
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mq_lint::{knobs, lint, load_workspace, ALL_RULES};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut fix_docs = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--fix-docs" => fix_docs = true,
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mq-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("mq-lint: unknown flag `{other}` (try --deny, --fix-docs, --list-rules, --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    if fix_docs {
+        return match rewrite_knob_table(&root) {
+            Ok(changed) => {
+                println!(
+                    "PERFORMANCE.md knob table {}",
+                    if changed {
+                        "rewritten"
+                    } else {
+                        "already in sync"
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mq-lint: --fix-docs failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let ws = match load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("mq-lint: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let n_files = ws.files.len();
+    let diags = lint(&ws);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("mq-lint: {n_files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "mq-lint: {} violation{} in {n_files} files{}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            if deny {
+                ""
+            } else {
+                " (advisory; use --deny in CI)"
+            }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]` — works from any crate dir and from CI.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Regenerate the knob table between PERFORMANCE.md's
+/// `<!-- knob-table:begin -->` / `<!-- knob-table:end -->` markers.
+fn rewrite_knob_table(root: &Path) -> Result<bool, String> {
+    let path = root.join("PERFORMANCE.md");
+    let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let begin = "<!-- knob-table:begin -->";
+    let end = "<!-- knob-table:end -->";
+    let b = text
+        .find(begin)
+        .ok_or_else(|| format!("{} has no `{begin}` marker", path.display()))?;
+    let e = text
+        .find(end)
+        .ok_or_else(|| format!("{} has no `{end}` marker", path.display()))?;
+    if e < b {
+        return Err("knob-table markers are reversed".to_string());
+    }
+    let new = format!(
+        "{}{begin}\n{}{end}{}",
+        &text[..b],
+        knobs::render_table(),
+        &text[e + end.len()..]
+    );
+    if new == text {
+        return Ok(false);
+    }
+    fs::write(&path, new).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(true)
+}

@@ -29,11 +29,12 @@
 
 use mq_core::engine::memo::{shared_memo_enabled, AtomCache, RelGeneration, SharedMemos};
 use mq_relation::{Database, RelId, Tuple, Value};
+use mq_store::lock::{lock_recover, read_recover, write_recover};
 use mq_store::ArenaRows;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Errors raised by catalog operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -271,12 +272,7 @@ impl Catalog {
     /// before the map lock is taken; a duplicate name loses the race
     /// cleanly.
     pub fn register(&self, name: &str, db: Database) -> Result<DbHandle, CatalogError> {
-        if self
-            .entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .contains_key(name)
-        {
+        if read_recover(&self.entries).contains_key(name) {
             return Err(CatalogError::DuplicateDb(name.to_string()));
         }
         let n_relations = db.num_relations();
@@ -288,7 +284,7 @@ impl Catalog {
             Arc::new(AtomCache::new()),
             None,
         );
-        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
+        let mut entries = write_recover(&self.entries);
         if entries.contains_key(name) {
             return Err(CatalogError::DuplicateDb(name.to_string()));
         }
@@ -304,9 +300,7 @@ impl Catalog {
 
     /// The current snapshot of `name`.
     pub fn snapshot(&self, name: &str) -> Result<DbHandle, CatalogError> {
-        self.entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+        read_recover(&self.entries)
             .get(name)
             .map(|e| e.handle.clone())
             .ok_or_else(|| CatalogError::UnknownDb(name.to_string()))
@@ -314,13 +308,7 @@ impl Catalog {
 
     /// Registered database names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = read_recover(&self.entries).keys().cloned().collect();
         names.sort();
         names
     }
@@ -342,10 +330,7 @@ impl Catalog {
         name: &str,
         touch: impl FnOnce(&mut Database) -> Result<RelId, CatalogError>,
     ) -> Result<DbHandle, CatalogError> {
-        let update = self
-            .entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+        let update = read_recover(&self.entries)
             .get(name)
             .map(|e| Arc::clone(&e.update))
             .ok_or_else(|| CatalogError::UnknownDb(name.to_string()))?;
@@ -355,7 +340,7 @@ impl Catalog {
         // protects no data (`Mutex<()>`), it only sequences updates, and
         // a panicking `touch` below is caught before it can unwind
         // through the guard anyway.
-        let _guard = update.lock().unwrap_or_else(PoisonError::into_inner);
+        let _guard = lock_recover(&update);
         let current = self.snapshot(name)?;
         let mut db = (*current.db).clone();
         // `touch` is caller code: isolate its panics. It mutates only the
@@ -383,7 +368,7 @@ impl Catalog {
             Arc::clone(&current.atoms),
             Some((&current, touched)),
         );
-        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
+        let mut entries = write_recover(&self.entries);
         let entry = entries
             .get_mut(name)
             .ok_or_else(|| CatalogError::UnknownDb(name.to_string()))?;

@@ -20,6 +20,7 @@
 //! followers get [`Joined::Retry`] — they re-join, and one of them
 //! becomes the new owner. No lock is held while the owner computes.
 
+use mq_store::lock::{lock_recover, wait_recover};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -104,7 +105,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Ticket<'_, K, V> {
     /// computation). Returns `value` back for the owner's own use.
     pub fn publish(mut self, value: V) -> V {
         {
-            let mut state = self.slot.state.lock().expect("dedup slot poisoned");
+            let mut state = lock_recover(&self.slot.state);
             *state = SlotState::Done(value.clone());
         }
         self.slot.cv.notify_all();
@@ -121,7 +122,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Drop for Ticket<'_, K, V> {
         }
         // Owner failed to publish (unwinding): release the followers.
         {
-            let mut state = self.slot.state.lock().expect("dedup slot poisoned");
+            let mut state = lock_recover(&self.slot.state);
             *state = SlotState::Abandoned;
         }
         self.slot.cv.notify_all();
@@ -147,7 +148,7 @@ impl<K: Hash + Eq + Clone, V: Clone> RequestTable<K, V> {
     /// abandons) and share its result.
     pub fn join(&self, key: K) -> Joined<'_, K, V> {
         let slot = {
-            let mut map = self.inflight.lock().expect("dedup table poisoned");
+            let mut map = lock_recover(&self.inflight);
             match map.entry(key.clone()) {
                 Entry::Vacant(e) => {
                     let slot = Arc::new(Slot {
@@ -165,11 +166,11 @@ impl<K: Hash + Eq + Clone, V: Clone> RequestTable<K, V> {
                 Entry::Occupied(e) => Arc::clone(e.get()),
             }
         };
-        let mut state = slot.state.lock().expect("dedup slot poisoned");
+        let mut state = lock_recover(&slot.state);
         loop {
             match &*state {
                 SlotState::Pending => {
-                    state = slot.cv.wait(state).expect("dedup slot poisoned");
+                    state = wait_recover(&slot.cv, state);
                 }
                 SlotState::Done(v) => return Joined::Shared(v.clone()),
                 SlotState::Abandoned => return Joined::Retry,
@@ -179,7 +180,7 @@ impl<K: Hash + Eq + Clone, V: Clone> RequestTable<K, V> {
 
     /// Number of requests currently in flight.
     pub fn len(&self) -> usize {
-        self.inflight.lock().expect("dedup table poisoned").len()
+        lock_recover(&self.inflight).len()
     }
 
     /// Whether no request is in flight.
@@ -188,10 +189,7 @@ impl<K: Hash + Eq + Clone, V: Clone> RequestTable<K, V> {
     }
 
     fn remove(&self, key: &K) {
-        self.inflight
-            .lock()
-            .expect("dedup table poisoned")
-            .remove(key);
+        lock_recover(&self.inflight).remove(key);
     }
 }
 

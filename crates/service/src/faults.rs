@@ -28,6 +28,7 @@
 //! override. Per-site fire counters ([`fired_counts`]) feed the chaos
 //! harness's recovery accounting.
 
+use mq_store::lock::{read_recover, write_recover};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,14 +199,14 @@ static OVERRIDE: RwLock<Option<FaultPlan>> = RwLock::new(None);
 /// resolution). Process-global; intended for tests and the chaos
 /// harness. Counters start fresh with each installed plan.
 pub fn set_plan_override(plan: Option<FaultPlan>) {
-    *OVERRIDE.write().unwrap_or_else(|e| e.into_inner()) = plan;
+    *write_recover(&OVERRIDE) = plan;
 }
 
 /// Should the fault at `site` fire now? Consults the override plan, else
 /// the `MQ_FAULTS` plan. The hot no-faults path is one RwLock read and
 /// one map probe of an empty map.
 pub fn fire(site: &str) -> bool {
-    if let Some(plan) = OVERRIDE.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+    if let Some(plan) = read_recover(&OVERRIDE).as_ref() {
         return plan.fire(site);
     }
     env_plan().fire(site)
@@ -213,7 +214,7 @@ pub fn fire(site: &str) -> bool {
 
 /// Whether any fault site is active (used to label chaos runs).
 pub fn active() -> bool {
-    if let Some(plan) = OVERRIDE.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+    if let Some(plan) = read_recover(&OVERRIDE).as_ref() {
         return !plan.is_empty();
     }
     !env_plan().is_empty()
@@ -222,7 +223,7 @@ pub fn active() -> bool {
 /// Per-site `(site, fired, polled)` counters of the active plan, sorted
 /// by site name — the chaos harness's injected-fault ledger.
 pub fn fired_counts() -> Vec<(String, u64, u64)> {
-    if let Some(plan) = OVERRIDE.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+    if let Some(plan) = read_recover(&OVERRIDE).as_ref() {
         return plan.counts();
     }
     env_plan().counts()
@@ -247,6 +248,7 @@ pub fn maybe_io(site: &str) -> std::io::Result<()> {
 /// boundary is what's under test).
 pub fn maybe_panic(site: &str) {
     if fire(site) {
+        // lint:allow(no-panic-in-serving): deliberate injected panic — the serving boundary's catch_unwind is exactly what this fault exercises
         panic!("injected fault at {site}");
     }
 }

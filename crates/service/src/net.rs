@@ -43,13 +43,14 @@
 use crate::faults;
 use crate::protocol::{handle_line_opts, ProtoOptions, Reply};
 use crate::session::MqService;
+use mq_store::lock::lock_recover;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -166,7 +167,7 @@ struct Shared {
 
 impl Shared {
     fn lock_conns(&self) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
-        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_recover(&self.conns)
     }
 }
 
@@ -242,11 +243,7 @@ impl NetServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        self.shared
-            .report
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .unwrap_or_default()
+        lock_recover(&self.shared.report).unwrap_or_default()
     }
 }
 
@@ -286,7 +283,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         }
     }
     let report = drain(shared);
-    *shared.report.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+    *lock_recover(&shared.report) = Some(report);
 }
 
 /// Answer an over-capacity connect with a structured error, best-effort.

@@ -33,10 +33,14 @@
 //! closure, isolated per entry), `deadline` (the search overran its
 //! wall budget), `panic` (the search panicked and was caught),
 //! `retries` (dedup followers exhausted their retry budget), `engine`
-//! (any other engine rejection), `oversized` (request line over the
-//! transport limit), `busy` (connection admission refused), and
-//! `shutting-down` (server draining). A malformed line never tears down
-//! the connection — the handler answers `err …` and keeps reading.
+//! (any other engine rejection), `internal` (a broken internal
+//! invariant, e.g. an update snapshot disagreeing with itself),
+//! `oversized` (request line over the transport limit), `busy`
+//! (connection admission refused), and `shutting-down` (server
+//! draining). A malformed line never tears down the connection — the
+//! handler answers `err …` and keeps reading. The machine-readable
+//! contract (checked by `mq-lint`'s `err-code-stability` rule) lives in
+//! ARCHITECTURE.md's failure-handling section.
 
 use crate::session::{MetaqueryRequest, MqService, ServiceError};
 use mq_core::instantiate::{apply_instantiation, InstError, InstType};

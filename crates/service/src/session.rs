@@ -32,6 +32,7 @@ use mq_core::engine::{MqAnswer, Thresholds};
 use mq_core::instantiate::{InstError, InstType};
 use mq_core::parse::parse_metaquery;
 use mq_relation::{Database, Tuple};
+use mq_store::lock::{lock_recover, wait_recover};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -222,9 +223,9 @@ impl Semaphore {
         if self.max == 0 {
             return Permit(None);
         }
-        let mut busy = self.busy.lock().expect("semaphore poisoned");
+        let mut busy = lock_recover(&self.busy);
         while *busy >= self.max {
-            busy = self.idle.wait(busy).expect("semaphore poisoned");
+            busy = wait_recover(&self.idle, busy);
         }
         *busy += 1;
         Permit(Some(self))
@@ -234,7 +235,7 @@ impl Semaphore {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         if let Some(sem) = self.0 {
-            *sem.busy.lock().expect("semaphore poisoned") -= 1;
+            *lock_recover(&sem.busy) -= 1;
             sem.idle.notify_one();
         }
     }

@@ -117,18 +117,18 @@ impl<I> ColIndexCache<I> {
 
     /// Get the index over `cols`, building (and caching) it on first use.
     pub fn get_or_build(&self, cols: &[usize], build: impl FnOnce() -> I) -> Arc<I> {
-        if let Some(idx) = self.map.read().expect("index cache poisoned").get(cols) {
+        if let Some(idx) = crate::lock::read_recover(&self.map).get(cols) {
             return Arc::clone(idx);
         }
         let built = Arc::new(build());
-        let mut map = self.map.write().expect("index cache poisoned");
+        let mut map = crate::lock::write_recover(&self.map);
         // Another thread may have built it concurrently; keep the first.
         Arc::clone(map.entry(cols.to_vec().into_boxed_slice()).or_insert(built))
     }
 
     /// Number of cached column sets.
     pub fn len(&self) -> usize {
-        self.map.read().expect("index cache poisoned").len()
+        crate::lock::read_recover(&self.map).len()
     }
 
     /// Whether no index has been cached yet.

@@ -26,6 +26,11 @@
 //!   join kernels already used, now owned by the storage layer so row
 //!   stores, index caches and memos hash with one deterministic
 //!   function.
+//! * [`lock`] — the poison-recovering lock helpers ([`lock_recover`],
+//!   [`read_recover`], [`write_recover`], [`wait_recover`]) that every
+//!   `Mutex`/`RwLock` acquisition in the concurrency layers must route
+//!   through (enforced statically by `mq-lint`'s `poison-safe-locks`
+//!   rule).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +38,11 @@
 pub mod arena;
 pub mod frozen;
 pub mod fxhash;
+pub mod lock;
 pub mod memo;
 
 pub use arena::ArenaRows;
 pub use frozen::{ColIndexCache, FrozenRows};
 pub use fxhash::{FxBuildHasher, FxHasher};
+pub use lock::{lock_recover, read_recover, unpoison, wait_recover, write_recover};
 pub use memo::{MemoStats, ShardedMemo};

@@ -19,6 +19,7 @@
 //! the hot path.
 
 use crate::fxhash::FxBuildHasher;
+use crate::lock::{read_recover, write_recover};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,12 +96,7 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
 
     /// Look up `key`, counting a hit or a miss.
     pub fn get(&self, key: &K) -> Option<V> {
-        let hit = self
-            .shard(key)
-            .read()
-            .expect("memo shard poisoned")
-            .get(key)
-            .cloned();
+        let hit = read_recover(self.shard(key)).get(key).cloned();
         match hit {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -117,9 +113,7 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
     /// existing value is kept; either way the canonical cached value is
     /// returned, so racing computors converge on one shared result.
     pub fn publish(&self, key: K, value: V) -> V {
-        self.shard(&key)
-            .write()
-            .expect("memo shard poisoned")
+        write_recover(self.shard(&key))
             .entry(key)
             .or_insert(value)
             .clone()
@@ -141,19 +135,13 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
     /// cache entries whose generation tag went stale; counters are kept.
     pub fn retain(&self, mut keep: impl FnMut(&K, &V) -> bool) {
         for shard in &self.shards {
-            shard
-                .write()
-                .expect("memo shard poisoned")
-                .retain(|k, v| keep(k, v));
+            write_recover(shard).retain(|k, v| keep(k, v));
         }
     }
 
     /// Total number of cached entries (sums the shards; O(shards)).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("memo shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| read_recover(s).len()).sum()
     }
 
     /// Whether the memo holds no entries.

@@ -155,13 +155,15 @@ fn cmd_mine(flags: HashMap<String, String>) -> ExitCode {
             answers.sort_by(|a, b| b.indices.cnf.cmp(&a.indices.cnf).then(a.inst.cmp(&b.inst)));
             println!("{} rule(s):", answers.len().min(limit));
             for a in answers.iter().take(limit) {
-                let rule = apply_instantiation(&db, &mq, &a.inst).expect("valid instantiation");
+                // An answer that fails to re-instantiate is an engine bug;
+                // report it inline rather than aborting the whole listing.
+                let rendered = match apply_instantiation(&db, &mq, &a.inst) {
+                    Ok(rule) => rule.render(&db),
+                    Err(e) => format!("<unrenderable: {e}>"),
+                };
                 println!(
                     "  {:<60} sup={} cvr={} cnf={}",
-                    rule.render(&db),
-                    a.indices.sup,
-                    a.indices.cvr,
-                    a.indices.cnf
+                    rendered, a.indices.sup, a.indices.cvr, a.indices.cnf
                 );
             }
             ExitCode::SUCCESS

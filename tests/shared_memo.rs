@@ -15,18 +15,11 @@
 //! test in this binary that touches an override serializes on
 //! [`override_lock`].
 
-use metaquery::core::engine::find_rules::{find_rules, find_rules_seq};
-use metaquery::core::engine::memo::{set_shared_memo_override, shared_memo_enabled, MemoStats};
+use metaquery::core::engine::find_rules::{find_rules, find_rules_seq, find_rules_shared};
+use metaquery::core::engine::memo::{set_shared_memo_override, shared_memo_enabled, SharedMemos};
 use metaquery::core::engine::parallel::set_split_depth_override;
 use metaquery::prelude::*;
-use std::sync::{Mutex, MutexGuard};
-
-/// The deprecated global drain, still regression-tested here: it is the
-/// bench shim's contract (single search at a time ⇒ unambiguous totals).
-#[allow(deprecated)]
-fn take_shared_memo_counters() -> MemoStats {
-    metaquery::core::engine::memo::take_shared_memo_counters()
-}
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Serializes the process-global override knobs across the tests in
 /// this binary (libtest runs them on concurrent threads by default).
@@ -117,9 +110,10 @@ fn shared_memo_escape_hatch_is_byte_identical() {
     }
 }
 
-/// A shared-memo search actually exercises the service: the process-
-/// global counters record traffic, and repeated executions inside one
-/// search produce hits (the whole point of sharing).
+/// A shared-memo search actually exercises the service: the instance
+/// counters record traffic, and repeated executions inside one search
+/// produce hits (the whole point of sharing). Instance stats attribute
+/// exactly this search — no drain-the-globals dance.
 #[test]
 fn shared_memo_counters_record_hits() {
     let _guard = override_lock();
@@ -127,10 +121,19 @@ fn shared_memo_counters_record_hits() {
     let mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap();
     set_shared_memo_override(Some(true));
     assert!(shared_memo_enabled());
-    let _ = take_shared_memo_counters(); // drain earlier traffic
-    let _ = find_rules(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+    let memos = Arc::new(SharedMemos::new());
+    let got = find_rules_shared(
+        &db,
+        &mq,
+        InstType::Zero,
+        Thresholds::none(),
+        Arc::clone(&memos),
+    )
+    .unwrap();
     set_shared_memo_override(None);
-    let stats = take_shared_memo_counters();
+    let reference = find_rules(&db, &mq, InstType::Zero, Thresholds::none()).unwrap();
+    assert_eq!(got, reference, "externally-owned memo service diverged");
+    let stats = memos.stats();
     assert!(
         stats.hits > 0 && stats.misses > 0,
         "a multi-candidate search must both miss (first eval) and hit \
