@@ -1,18 +1,23 @@
 //! Machine-readable `findRules` performance report.
 //!
 //! Runs the Figure 4 workload family (data scaling, width contrast at
-//! widths 1/2/3, pruning ablation) and a Figure 5-style combined-
-//! complexity point through **both** join cores — the optimized
-//! plan-IR executor and the pre-optimization baseline kept in-tree
-//! behind [`mq_relation::set_baseline_mode`] — and writes medians,
-//! rows/sec and speedups to `BENCH_findrules.json` so successive PRs
-//! have a perf trajectory.
+//! widths 1/2/3, pruning ablation), a Figure 5-style combined-
+//! complexity point, and the paper's telecom running example under
+//! type-2 instantiations (answer count pinned to the Figure 1 worked
+//! example) through **both** join cores — the optimized plan-IR
+//! executor and the pre-optimization baseline kept in-tree behind
+//! [`mq_relation::set_baseline_mode`] — and writes medians, rows/sec
+//! and speedups to `BENCH_findrules.json` so successive PRs have a
+//! perf trajectory.
 //!
 //! Run: `cargo run --release -p mq-bench --bin bench_report`
 //!
 //! Also enforces the width-2 regression guard: `fig4_width2_cycle4` must
 //! stay within a sane factor of `fig4_width1_chain2` (the PR-2 λ-join
-//! planner fix), so the CI bench smoke run fails if the planner regresses.
+//! planner fix), and the width-3 throughput floor: `fig4_width3_star4`
+//! must sustain `MQ_BENCH_MIN_WIDTH3_RPS` rows/sec (default 4000 — the
+//! columnar-kernel floor), so the CI bench smoke run fails if the
+//! planner or the columnar kernels regress.
 //!
 //! Knobs: `MQ_BENCH_SAMPLES` (default 5) timed samples per
 //! (workload, core); `MQ_BENCH_ONLY=<substring>` restricts the run to
@@ -131,7 +136,14 @@ fn median_secs(n: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
 
 /// Measure `w` under both cores and append a row — unless the workload
 /// name misses the `MQ_BENCH_ONLY` filter.
-fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: Thresholds) {
+fn measure(
+    rows_out: &mut Vec<Row>,
+    name: &str,
+    w: &Workload,
+    rows: usize,
+    ty: InstType,
+    th: Thresholds,
+) {
     if let Some(only) = bench_only() {
         if !name.contains(&only) {
             eprintln!("{name}: skipped (MQ_BENCH_ONLY={only})");
@@ -139,7 +151,7 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
         }
     }
     let n = samples();
-    let run = || find_rules(&w.db, &w.mq, InstType::Zero, th).unwrap().len();
+    let run = || find_rules(&w.db, &w.mq, ty, th).unwrap().len();
     let sweep = thread_sweep();
     // Primary measurement: the first sweep entry, or the ambient thread
     // count when no sweep was requested. Each primary sample runs its
@@ -150,7 +162,7 @@ fn measure(rows_out: &mut Vec<Row>, name: &str, w: &Workload, rows: usize, th: T
     let (median_opt_s, answers) = {
         let measured = || match shared_memo_enabled().then(|| Arc::new(SharedMemos::new())) {
             Some(memos) => {
-                let out = find_rules_shared(&w.db, &w.mq, InstType::Zero, th, Arc::clone(&memos))
+                let out = find_rules_shared(&w.db, &w.mq, ty, th, Arc::clone(&memos))
                     .unwrap()
                     .len();
                 memo_total.set(memo_total.get().merged(memos.stats()));
@@ -442,6 +454,7 @@ fn main() {
             &format!("fig4_findrules_chain_d{d}"),
             &w,
             d,
+            InstType::Zero,
             mid_thresholds(),
         );
     }
@@ -449,9 +462,23 @@ fn main() {
     // Figure 4 width contrast at fixed d: widths 1, 2 and 3.
     let d = 120usize;
     let chain = chain_workload(2, d, 18, 2);
-    measure(&mut rows, "fig4_width1_chain2", &chain, d, mid_thresholds());
+    measure(
+        &mut rows,
+        "fig4_width1_chain2",
+        &chain,
+        d,
+        InstType::Zero,
+        mid_thresholds(),
+    );
     let cycle = cycle_workload(2, d, 18, 4);
-    measure(&mut rows, "fig4_width2_cycle4", &cycle, d, mid_thresholds());
+    measure(
+        &mut rows,
+        "fig4_width2_cycle4",
+        &cycle,
+        d,
+        InstType::Zero,
+        mid_thresholds(),
+    );
     // Width-3 star/clique hybrid (K5 body: 4 pattern spokes + fixed rim):
     // the deepest node joins the planner sees; smaller d, the K5 join is
     // the cost driver, not the data volume.
@@ -462,6 +489,7 @@ fn main() {
         "fig4_width3_star4",
         &hybrid,
         d3,
+        InstType::Zero,
         mid_thresholds(),
     );
 
@@ -472,6 +500,7 @@ fn main() {
         "fig4_pruning_on",
         &w,
         250,
+        InstType::Zero,
         Thresholds::all(Frac::new(1, 2), Frac::ZERO, Frac::ZERO),
     );
     measure(
@@ -479,12 +508,47 @@ fn main() {
         "fig4_pruning_off",
         &w,
         250,
+        InstType::Zero,
         Thresholds::all(Frac::ZERO, Frac::ZERO, Frac::ZERO),
     );
 
     // Figure 5-style combined complexity: longer chain at fixed d.
     let w = chain_workload(4, 80, 12, 3);
-    measure(&mut rows, "fig5_combined_chain3", &w, 80, mid_thresholds());
+    measure(
+        &mut rows,
+        "fig5_combined_chain3",
+        &w,
+        80,
+        InstType::Zero,
+        mid_thresholds(),
+    );
+
+    // The paper's telecom running example (Figures 1-2) under type-2
+    // instantiations: tiny, but shape-diverse in a way the random
+    // fig4/fig5 workloads are not — mixed arities and padded
+    // instantiations exercise the per-atom body assembly (padding
+    // variables live outside every χ) and the columnar kernels' small-
+    // relation paths. Guarded below by the worked example's known
+    // answer count.
+    let telecom = Workload {
+        db: mq_datagen::telecom::db1(),
+        mq: parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)").unwrap(),
+    };
+    let telecom_tuples = telecom.db.total_tuples();
+    measure(
+        &mut rows,
+        "telecom_fig1_type2",
+        &telecom,
+        telecom_tuples,
+        InstType::Two,
+        Thresholds::none(),
+    );
+    if let Some(r) = rows.iter().find(|r| r.name == "telecom_fig1_type2") {
+        assert_eq!(
+            r.answers, 216,
+            "telecom_fig1_type2: Figure 1 worked-example answer count drifted"
+        );
+    }
 
     // The serving-layer workload (dedup + cross-search atom cache).
     let service = bench_service();
@@ -536,6 +600,24 @@ fn main() {
         }
         _ => None,
     };
+
+    // Width-3 throughput floor: the deepest node joins the planner sees
+    // must sustain MQ_BENCH_MIN_WIDTH3_RPS optimized rows/sec. The
+    // pre-columnar core measured ~2.8k rows/sec on this workload and the
+    // columnar core ~10k, so the default floor of 4000 trips on a full
+    // columnar regression while leaving headroom for slow CI runners.
+    if let Some(r) = rows.iter().find(|r| r.name == "fig4_width3_star4") {
+        let floor: f64 = std::env::var("MQ_BENCH_MIN_WIDTH3_RPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4000.0);
+        assert!(
+            r.rows_per_sec() >= floor,
+            "width-3 regression: fig4_width3_star4 ran at {:.0} rows/sec, \
+             below the floor of {floor:.0} (MQ_BENCH_MIN_WIDTH3_RPS)",
+            r.rows_per_sec(),
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");

@@ -738,12 +738,21 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             // planned and executed by the executor, memoized so sibling
             // instantiations that only differ elsewhere share it.
             let projected = self.eval_node_join(node, lambda);
-            let mut r_i = (*projected).clone();
-            for &child in &self.setup.ht.children[node] {
-                let cpos = self.setup.pos_of[child];
-                let child_r = self.r[cpos].as_ref().expect("children visited first");
-                r_i = r_i.semijoin(child_r);
-            }
+            // One fused sweep over all children: same probe count as
+            // folded binary semijoins, but survivors materialize once.
+            let children = &self.setup.ht.children[node];
+            let r_i = if children.is_empty() {
+                (*projected).clone()
+            } else {
+                let child_rs: Vec<&Bindings> = children
+                    .iter()
+                    .map(|&child| {
+                        let cpos = self.setup.pos_of[child];
+                        self.r[cpos].as_ref().expect("children visited first")
+                    })
+                    .collect();
+                projected.semijoin_all(&child_rs)
+            };
             if r_i.is_empty() && !self.setup.zero_ok {
                 return ControlFlow::Continue(()); // prune this branch
             }
@@ -808,7 +817,11 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             let node = setup.post[j];
             let parent = setup.ht.parent[node].expect("non-root has parent");
             let ppos = setup.pos_of[parent];
-            s[j] = s[j].semijoin(&s[ppos]);
+            // `s[j]` is still the pristine `r[j]` here (each node is
+            // reduced exactly once, top-down), so its index cache is the
+            // long-lived one shared with the executor's memoized value —
+            // index that side, probe the small already-reduced parent.
+            s[j] = s[j].semijoin_indexed(&s[ppos]);
         }
 
         // enoughSupport (exact: sup > k iff some atom's fraction > k).
@@ -844,36 +857,72 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
             }
         }
 
-        // b := J(σb(body(MQ))), assembled from the reduced atoms (joining
-        // reduced relations is exact: reduction only removes dangling
-        // tuples). Join in postorder of homes for join-tree locality.
-        let mut order: Vec<usize> = (0..setup.mq.body.len()).collect();
-        order.sort_by_key(|&bi| setup.pos_of[setup.ht.atom_home[bi]]);
-        let mut b = Bindings::unit();
-        for &bi in &order {
-            let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
-            // Same identity as in enoughSupport: a vertex relation over
-            // exactly the atom's variables is the reduced atom already.
-            let reduced = if !mq_relation::baseline_mode() && s_home.vars() == body_atoms[bi].vars()
-            {
-                s_home.clone()
-            } else {
-                body_atoms[bi].semijoin(s_home)
-            };
-            // An atom contributing no new variable is a pure filter:
-            // `b ⋈ reduced = b ⋉ reduced` (set semantics), and the
-            // semijoin never re-materializes surviving rows. Cyclic
-            // bodies always close with such an atom.
-            let filter_only = !mq_relation::baseline_mode()
-                && !b.vars().is_empty()
-                && reduced.vars().iter().all(|v| b.position(*v).is_some());
-            b = if filter_only {
-                b.semijoin(&reduced)
-            } else {
-                b.join(&reduced)
-            };
-            if b.is_empty() && !setup.zero_ok {
-                return ControlFlow::Continue(());
+        // b := J(σb(body(MQ))). After both reducer halves every vertex
+        // relation is calibrated — `s[j] = π_χ(j)(b)` (Yannakakis, the
+        // same invariant the support counts below rely on) — so when
+        // every instantiated atom's variables sit inside its home's χ,
+        // joining the vertex relations along the decomposition
+        // reconstructs `b` exactly: every atom's constraint is already
+        // inside its home's s[j], the χ-connectedness condition keeps
+        // every join keyed when parents join before children (postorder
+        // positions descend root-first), and a vertex whose χ is
+        // already covered satisfies `b ⋉ s[j] = b` and is skipped
+        // outright. Type-2 instantiations can pad atoms with fresh
+        // variables that appear in no χ — those columns exist only in
+        // the atom relations, so such bodies (and baseline mode, for
+        // A/B parity with the pre-optimization engine) take the
+        // per-atom assembly: reduce each atom relation against its
+        // home, then fold joins (pure filters become semijoins).
+        let calibrated = !mq_relation::baseline_mode()
+            && body_atoms.iter().enumerate().all(|(bi, ra)| {
+                let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
+                ra.vars().iter().all(|v| s_home.position(*v).is_some())
+            });
+        let mut b;
+        if calibrated {
+            b = s[n - 1].clone();
+            for j in (0..n.saturating_sub(1)).rev() {
+                if s[j].vars().iter().all(|v| b.position(*v).is_some()) {
+                    continue; // χ(j) covered: s[j] = π_χ(j)(b) adds nothing
+                }
+                b = b.join(&s[j]);
+                if b.is_empty() && !setup.zero_ok {
+                    return ControlFlow::Continue(());
+                }
+            }
+        } else {
+            // Join reduced atoms in postorder of homes (join-tree locality).
+            let baseline = mq_relation::baseline_mode();
+            let mut order: Vec<usize> = (0..setup.mq.body.len()).collect();
+            order.sort_by_key(|&bi| setup.pos_of[setup.ht.atom_home[bi]]);
+            b = Bindings::unit();
+            for &bi in &order {
+                let s_home = &s[setup.pos_of[setup.ht.atom_home[bi]]];
+                // A vertex relation over exactly the atom's variables is
+                // the reduced atom already.
+                let reduced = if !baseline && s_home.vars() == body_atoms[bi].vars() {
+                    s_home.clone()
+                } else if baseline {
+                    body_atoms[bi].semijoin(s_home)
+                } else {
+                    // Index the stable atom side (cached across bodies
+                    // by the executor's atom memo), probe the small
+                    // reduced side.
+                    body_atoms[bi].semijoin_indexed(s_home)
+                };
+                // An atom contributing no new variable is a pure filter:
+                // `b ⋈ reduced = b ⋉ reduced` (set semantics).
+                let filter_only = !baseline
+                    && !b.vars().is_empty()
+                    && reduced.vars().iter().all(|v| b.position(*v).is_some());
+                b = if filter_only {
+                    b.semijoin(&reduced)
+                } else {
+                    b.join(&reduced)
+                };
+                if b.is_empty() && !setup.zero_ok {
+                    return ControlFlow::Continue(());
+                }
             }
         }
 

@@ -29,6 +29,11 @@ pub const KNOBS: &[Knob] = &[
         purpose: "Bench guard: max allowed `fig4_width2_cycle4` / `fig4_width1_chain2` ratio",
     },
     Knob {
+        name: "MQ_BENCH_MIN_WIDTH3_RPS",
+        default: "4000",
+        purpose: "Bench guard: min `fig4_width3_star4` optimized rows/sec (columnar floor)",
+    },
+    Knob {
         name: "MQ_BENCH_NET_CONNS",
         default: "120",
         purpose: "`net_load` workload: concurrent client connections",
@@ -62,6 +67,11 @@ pub const KNOBS: &[Knob] = &[
         name: "MQ_BENCH_THREADS",
         default: "(unset)",
         purpose: "Comma list of worker counts to sweep the optimized core over (first = primary)",
+    },
+    Knob {
+        name: "MQ_COLUMNAR",
+        default: "1 (on)",
+        purpose: "Column-major kernels over `ColumnarRows` (`0` falls back to the row-major loops)",
     },
     Knob {
         name: "MQ_FAULTS",

@@ -27,11 +27,11 @@
 use crate::hashjoin::{self, BitSet, GroupIndex, RawTable};
 use crate::relation::Relation;
 use crate::value::{Tuple, Value};
-use mq_store::{ColIndexCache, FrozenRows};
+use mq_store::{ColIndexCache, ColumnarRows, FrozenRows};
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// When set, the public algebra API routes through the [`baseline`]
 /// kernels (used by `bench_report` to measure the optimization in-tree).
@@ -47,6 +47,42 @@ pub fn set_baseline_mode(on: bool) {
 #[inline]
 pub fn baseline_mode() -> bool {
     BASELINE_MODE.load(Ordering::Relaxed)
+}
+
+/// Process-global override of the `MQ_COLUMNAR` knob:
+/// 0 = follow the environment, 1 = forced off, 2 = forced on.
+static COLUMNAR_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force the columnar kernels on/off for the whole process (`None`
+/// returns control to the `MQ_COLUMNAR` environment knob). Test-matrix
+/// hook, mirroring the shared-memo override.
+pub fn set_columnar_override(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    COLUMNAR_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Whether the optimized kernels run column-major (`MQ_COLUMNAR`, default
+/// on; `0`/`false`/`off` falls back to the row-major kernels). Both
+/// layouts produce identical bindings — this only selects the loops.
+#[inline]
+pub fn columnar_enabled() -> bool {
+    match COLUMNAR_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                !matches!(
+                    std::env::var("MQ_COLUMNAR").as_deref(),
+                    Ok("0") | Ok("false") | Ok("off")
+                )
+            })
+        }
+    }
 }
 
 /// An ordinary (first-order) variable, interned by the caller.
@@ -188,21 +224,36 @@ impl AtomShape {
 /// (and threads), so probing the same side repeatedly (every head check
 /// against the same body join, every reducer step against the same
 /// guard) builds its table once — process-wide.
+/// Tuples live in **either or both** of two layouts: row-major
+/// ([`FrozenRows`] of boxed tuples — the layout `rows()` exposes) and
+/// column-major ([`ColumnarRows`] — one contiguous buffer per variable,
+/// the layout the batched kernels scan). At least one is always present;
+/// the other is materialized lazily on first demand and cached, so a
+/// columnar-born bindings only pays for boxed tuples if someone actually
+/// asks for them (and vice versa).
 #[derive(Clone)]
 pub struct Bindings {
     vars: Vec<VarId>,
-    rows: FrozenRows<Tuple>,
+    len: usize,
+    rows: OnceLock<FrozenRows<Tuple>>,
+    cols: OnceLock<ColumnarRows<Value>>,
     /// Lazily built group indexes per key-column set
     /// ([`mq_store::ColIndexCache`]: hashed lookup, thread-safe). Shared
-    /// by clones (which share `rows`, keeping the indexes valid); rebuilt
-    /// from scratch by any operation producing new rows.
+    /// by clones (which share the storage, keeping the indexes valid);
+    /// rebuilt from scratch by any operation producing new rows.
     indexes: Arc<ColIndexCache<GroupIndex>>,
 }
 
 impl PartialEq for Bindings {
     /// Equality of contents; cached indexes are ignored.
     fn eq(&self, other: &Self) -> bool {
-        self.vars == other.vars && self.rows == other.rows
+        self.vars == other.vars
+            && self.len == other.len
+            && if let (Some(a), Some(b)) = (self.cols.get(), other.cols.get()) {
+                a == b
+            } else {
+                self.rows() == other.rows()
+            }
     }
 }
 
@@ -210,17 +261,64 @@ impl Eq for Bindings {}
 
 impl Bindings {
     fn new(vars: Vec<VarId>, rows: Vec<Tuple>) -> Self {
+        let len = rows.len();
         Bindings {
             vars,
-            rows: FrozenRows::new(rows),
+            len,
+            rows: OnceLock::from(FrozenRows::new(rows)),
+            cols: OnceLock::new(),
             indexes: Arc::new(ColIndexCache::new()),
         }
     }
 
+    fn new_columnar(vars: Vec<VarId>, cols: ColumnarRows<Value>) -> Self {
+        debug_assert_eq!(cols.arity(), vars.len());
+        let len = cols.len();
+        Bindings {
+            vars,
+            len,
+            rows: OnceLock::new(),
+            cols: OnceLock::from(cols),
+            indexes: Arc::new(ColIndexCache::new()),
+        }
+    }
+
+    /// The row-major storage, materializing it from the columns on first
+    /// demand.
+    fn rows_store(&self) -> &FrozenRows<Tuple> {
+        self.rows.get_or_init(|| {
+            let cols = self.cols.get().expect("Bindings holds rows or columns");
+            FrozenRows::new(cols.to_rows())
+        })
+    }
+
+    /// The column-major storage, materializing it from the rows on first
+    /// demand. O(1) when this bindings was born columnar.
+    pub fn columnar(&self) -> &ColumnarRows<Value> {
+        self.cols.get_or_init(|| {
+            let rows = self.rows.get().expect("Bindings holds rows or columns");
+            ColumnarRows::from_rows(self.vars.len(), rows.as_slice())
+        })
+    }
+
     /// Get (or build once and cache) the group index over `cols`.
+    ///
+    /// Built column-wise (batched key hashing) whenever the columnar
+    /// storage is already materialized — both builds produce identical
+    /// indexes, so callers never observe the difference.
     fn binding_index(&self, cols: &[usize]) -> Arc<GroupIndex> {
-        self.indexes
-            .get_or_build(cols, || GroupIndex::build(&self.rows, cols))
+        self.indexes.get_or_build(cols, || match self.cols.get() {
+            Some(store) => GroupIndex::build_columnar(store, cols),
+            None => GroupIndex::build(self.rows_store(), cols),
+        })
+    }
+
+    /// The cached group index over `cols`, if one exists. Never builds —
+    /// the cost-only probe-direction choices ([`Bindings::semijoin_count`])
+    /// peek here to avoid indexing an operand that will never be probed
+    /// again.
+    fn cached_index(&self, cols: &[usize]) -> Option<Arc<GroupIndex>> {
+        self.indexes.get(cols)
     }
 
     /// The unit bindings: no variables, one (empty) row.
@@ -251,19 +349,40 @@ impl Bindings {
         &self.vars
     }
 
-    /// Rows, each aligned with [`Bindings::vars`].
+    /// Rows, each aligned with [`Bindings::vars`] (materialized from the
+    /// columnar storage on first demand if this bindings was born
+    /// column-major).
     pub fn rows(&self) -> &[Tuple] {
-        self.rows.as_slice()
+        self.rows_store().as_slice()
     }
 
     /// Number of tuples (`|J(R)|` when this is the join of atom set `R`).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
+    }
+
+    /// An opaque identity of this bindings' shared tuple storage: while
+    /// both stay alive, two bindings with equal storage ids hold
+    /// identical tuples in identical order (frozen storage is immutable
+    /// and reference-counted, so equal addresses mean the *same*
+    /// buffer). Column variables are **not** covered — compare
+    /// [`Bindings::vars`] alongside. The search engines key their
+    /// operator memos on this (holding clones of the operands so the
+    /// addresses can't be recycled).
+    pub fn storage_id(&self) -> usize {
+        match self.cols.get() {
+            Some(c) => c.ptr_id(),
+            None => self
+                .rows
+                .get()
+                .expect("Bindings holds rows or columns")
+                .ptr_id(),
+        }
     }
 
     /// Whether there are no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// Position of `v` among the columns.
@@ -295,6 +414,55 @@ impl Bindings {
             return baseline::from_atom(rel, terms);
         }
         let shape = AtomShape::of(terms);
+        if columnar_enabled() {
+            // Column-wise evaluation: select matching row ids against the
+            // relation's columnar mirror, then gather the variable columns.
+            let store = rel.columnar();
+            let mut keep: Vec<usize> = Vec::new();
+            if !shape.const_cols.is_empty() && rel.len() >= 16 {
+                // Constant-selective atom: probe the cached index on the
+                // constant columns instead of scanning.
+                let idx = rel.group_index(&shape.const_cols);
+                let identity: Vec<usize> = (0..shape.const_vals.len()).collect();
+                for i in idx.probe_cols(&shape.const_vals, &identity) {
+                    if shape
+                        .eq_pairs
+                        .iter()
+                        .all(|&(a, b)| store.col(a)[i] == store.col(b)[i])
+                    {
+                        keep.push(i);
+                    }
+                }
+            } else {
+                for i in 0..store.len() {
+                    let consts_ok = shape
+                        .const_cols
+                        .iter()
+                        .zip(shape.const_vals.iter())
+                        .all(|(&c, v)| store.col(c)[i] == *v);
+                    if consts_ok
+                        && shape
+                            .eq_pairs
+                            .iter()
+                            .all(|&(a, b)| store.col(a)[i] == store.col(b)[i])
+                    {
+                        keep.push(i);
+                    }
+                }
+            }
+            let out_cols: Vec<Vec<Value>> = shape
+                .first_pos
+                .iter()
+                .map(|&p| {
+                    let col = store.col(p);
+                    keep.iter().map(|&i| col[i]).collect()
+                })
+                .collect();
+            return Bindings::new_columnar(
+                shape.vars,
+                ColumnarRows::from_columns(keep.len(), out_cols),
+            );
+        }
         let mut rows = Vec::new();
         if !shape.const_cols.is_empty() && rel.len() >= 16 {
             // Constant-selective atom: probe the cached index on the
@@ -302,7 +470,7 @@ impl Bindings {
             let idx = rel.group_index(&shape.const_cols);
             let identity: Vec<usize> = (0..shape.const_vals.len()).collect();
             let rel_rows = rel.rows_slice();
-            for i in idx.probe_cols(rel_rows, &shape.const_vals, &identity) {
+            for i in idx.probe_cols(&shape.const_vals, &identity) {
                 let row = &rel_rows[i];
                 if shape.eq_ok(row) {
                     rows.push(shape.project(row));
@@ -340,7 +508,7 @@ impl Bindings {
             }
         }
         // Join the smaller side as the build side.
-        if self.rows.len() > other.rows.len() {
+        if self.len() > other.len() {
             return other.join_ordered(self);
         }
         self.join_ordered(other)
@@ -362,15 +530,79 @@ impl Bindings {
         let extra: Vec<usize> = (0..probe.vars.len())
             .filter(|&i| !shared.contains(&probe.vars[i]))
             .collect();
+        self.join_gathered(probe, &build_pos, &probe_pos, &extra)
+    }
 
+    /// Shared keyed-join body (build side = `self`, its columns first,
+    /// probe-major row order): probe `self`'s cached index over
+    /// `build_pos` with every probe row's key at `probe_pos`, appending
+    /// the probe columns in `extra`.
+    ///
+    /// Columnar mode hashes all probe keys in one batched column pass,
+    /// matches against the index's stored group keys, and builds the
+    /// output **column by column** with gather loops — no per-row
+    /// `Box<[Value]>` is ever allocated. Row mode is the original
+    /// tuple-at-a-time loop.
+    fn join_gathered(
+        &self,
+        probe: &Bindings,
+        build_pos: &[usize],
+        probe_pos: &[usize],
+        extra: &[usize],
+    ) -> Bindings {
         let mut out_vars = self.vars.clone();
         out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
 
-        let idx = self.binding_index(&build_pos);
+        let idx = self.binding_index(build_pos);
+        if columnar_enabled() {
+            let bc = self.columnar();
+            let pc = probe.columnar();
+            // Matching (build row, probe row) id pairs, probe-major.
+            let mut bids: Vec<u32> = Vec::with_capacity(pc.len());
+            let mut pids: Vec<u32> = Vec::with_capacity(pc.len());
+            if let [c] = *probe_pos {
+                // Single-column key: hash and probe in one fused pass
+                // over the dense probe column.
+                for (i, v) in pc.col(c).iter().enumerate() {
+                    for bi in idx.probe(hashjoin::hash_value(v), |gkey| gkey[0] == *v) {
+                        bids.push(bi as u32);
+                        pids.push(i as u32);
+                    }
+                }
+            } else {
+                let mut hashes = Vec::new();
+                hashjoin::hash_columns_into(pc, probe_pos, &mut hashes);
+                let probe_keys: Vec<&[Value]> = probe_pos.iter().map(|&c| pc.col(c)).collect();
+                for (i, &h) in hashes.iter().enumerate() {
+                    for bi in idx.probe(h, |gkey| {
+                        gkey.iter()
+                            .zip(probe_keys.iter())
+                            .all(|(kv, col)| *kv == col[i])
+                    }) {
+                        bids.push(bi as u32);
+                        pids.push(i as u32);
+                    }
+                }
+            }
+            let mut out_cols: Vec<Vec<Value>> = Vec::with_capacity(out_vars.len());
+            for c in 0..bc.arity() {
+                let col = bc.col(c);
+                out_cols.push(bids.iter().map(|&i| col[i as usize]).collect());
+            }
+            for &p in extra {
+                let col = pc.col(p);
+                out_cols.push(pids.iter().map(|&i| col[i as usize]).collect());
+            }
+            return Bindings::new_columnar(
+                out_vars,
+                ColumnarRows::from_columns(bids.len(), out_cols),
+            );
+        }
+        let self_rows = self.rows();
         let mut out_rows = Vec::new();
-        for prow in probe.rows.iter() {
-            for bi in idx.probe_cols(&self.rows, prow, &probe_pos) {
-                let brow = &self.rows[bi];
+        for prow in probe.rows().iter() {
+            for bi in idx.probe_cols(prow, probe_pos) {
+                let brow = &self_rows[bi];
                 let mut row = Vec::with_capacity(out_vars.len());
                 row.extend_from_slice(brow);
                 row.extend(extra.iter().map(|&p| prow[p]));
@@ -400,7 +632,7 @@ impl Bindings {
             return self.join(other);
         }
         // Smaller side builds, as in `join`.
-        if self.rows.len() > other.rows.len() {
+        if self.len() > other.len() {
             other.join_on_ordered(self, keys)
         } else {
             self.join_on_ordered(other, keys)
@@ -421,22 +653,7 @@ impl Bindings {
         let extra: Vec<usize> = (0..probe.vars.len())
             .filter(|&i| self.position(probe.vars[i]).is_none())
             .collect();
-
-        let mut out_vars = self.vars.clone();
-        out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
-
-        let idx = self.binding_index(&build_pos);
-        let mut out_rows = Vec::new();
-        for prow in probe.rows.iter() {
-            for bi in idx.probe_cols(&self.rows, prow, &probe_pos) {
-                let brow = &self.rows[bi];
-                let mut row = Vec::with_capacity(out_vars.len());
-                row.extend_from_slice(brow);
-                row.extend(extra.iter().map(|&p| prow[p]));
-                out_rows.push(row.into_boxed_slice());
-            }
-        }
-        Bindings::new(out_vars, out_rows)
+        self.join_gathered(probe, &build_pos, &probe_pos, &extra)
     }
 
     /// Semijoin on a **pre-planned** key set — the plan executor's
@@ -470,20 +687,66 @@ impl Bindings {
     /// `self_pos`) hits a group of `other`'s cached index over
     /// `other_pos`. Two passes so a no-op semijoin shares storage.
     fn semijoin_filtered(&self, other: &Bindings, self_pos: &[usize], other_pos: &[usize]) -> Self {
-        let idx = other.binding_index(other_pos);
+        self.filter_by_index(&other.binding_index(other_pos), self_pos, true)
+    }
+
+    /// Keep the rows of `self` whose key at `self_pos` hits (`keep_hits`)
+    /// or misses (`!keep_hits`) a group of `idx` — the shared body of
+    /// semijoin and antijoin. Columnar mode batch-hashes all keys in one
+    /// column pass, probes against the index's stored group keys, and
+    /// gathers surviving rows column by column; either way a no-op
+    /// filter shares storage via `clone`.
+    fn filter_by_index(&self, idx: &GroupIndex, self_pos: &[usize], keep_hits: bool) -> Self {
+        if columnar_enabled() {
+            let sc = self.columnar();
+            let mut kept: Vec<usize> = Vec::with_capacity(sc.len());
+            if let [c] = *self_pos {
+                // Single-column key (the common case): hash and probe in
+                // one fused pass over the dense key column.
+                for (i, v) in sc.col(c).iter().enumerate() {
+                    let hit = idx
+                        .find_group(hashjoin::hash_value(v), |gkey| gkey[0] == *v)
+                        .is_some();
+                    if hit == keep_hits {
+                        kept.push(i);
+                    }
+                }
+            } else {
+                let mut hashes = Vec::new();
+                hashjoin::hash_columns_into(sc, self_pos, &mut hashes);
+                let key_cols: Vec<&[Value]> = self_pos.iter().map(|&c| sc.col(c)).collect();
+                for (i, &h) in hashes.iter().enumerate() {
+                    let hit = idx
+                        .find_group(h, |gkey| {
+                            gkey.iter()
+                                .zip(key_cols.iter())
+                                .all(|(kv, col)| *kv == col[i])
+                        })
+                        .is_some();
+                    if hit == keep_hits {
+                        kept.push(i);
+                    }
+                }
+            }
+            if kept.len() == self.len() {
+                return self.clone();
+            }
+            return Bindings::new_columnar(self.vars.clone(), sc.gather(&kept));
+        }
+        let self_rows = self.rows();
         let mut kept: Vec<u32> = Vec::new();
-        for (i, r) in self.rows.iter().enumerate() {
-            let hit = idx.probe_group(&other.rows, r, self_pos).is_some();
-            if hit {
+        for (i, r) in self_rows.iter().enumerate() {
+            let hit = idx.probe_group(r, self_pos).is_some();
+            if hit == keep_hits {
                 kept.push(i as u32);
             }
         }
-        if kept.len() == self.rows.len() {
+        if kept.len() == self_rows.len() {
             return self.clone();
         }
         let rows: Vec<Tuple> = kept
             .into_iter()
-            .map(|i| self.rows[i as usize].clone())
+            .map(|i| self_rows[i as usize].clone())
             .collect();
         Bindings::new(self.vars.clone(), rows)
     }
@@ -535,8 +798,8 @@ impl Bindings {
         let idx = rel.group_index(&rel_cols);
         let rel_rows = rel.rows_slice();
         let mut out_rows = Vec::new();
-        for srow in self.rows.iter() {
-            for ri in idx.probe_cols(rel_rows, srow, &self_pos) {
+        for srow in self.rows().iter() {
+            for ri in idx.probe_cols(srow, &self_pos) {
                 let rrow = &rel_rows[ri];
                 if shape.consts_ok(rrow) && shape.eq_ok(rrow) {
                     let mut row = Vec::with_capacity(out_vars.len());
@@ -564,10 +827,41 @@ impl Bindings {
             return self.clone();
         }
         let out_vars: Vec<VarId> = cols.iter().map(|&c| self.vars[c]).collect();
+        if columnar_enabled() {
+            // Hash-of-column-slice dedup: batch-hash every projected key,
+            // keep first-seen row ids, gather the kept key columns.
+            let sc = self.columnar();
+            let mut hashes = Vec::new();
+            hashjoin::hash_columns_into(sc, &cols, &mut hashes);
+            let key_cols: Vec<&[Value]> = cols.iter().map(|&c| sc.col(c)).collect();
+            let mut table = RawTable::with_capacity(self.len());
+            let mut kept: Vec<usize> = Vec::new();
+            for (i, &h) in hashes.iter().enumerate() {
+                let seen = table
+                    .find(h, |id| {
+                        let j = kept[id as usize];
+                        key_cols.iter().all(|col| col[i] == col[j])
+                    })
+                    .is_some();
+                if !seen {
+                    table.insert_new(h, kept.len() as u32);
+                    kept.push(i);
+                }
+            }
+            let out_cols: Vec<Vec<Value>> = key_cols
+                .iter()
+                .map(|col| kept.iter().map(|&i| col[i]).collect())
+                .collect();
+            return Bindings::new_columnar(
+                out_vars,
+                ColumnarRows::from_columns(kept.len(), out_cols),
+            );
+        }
+        let self_rows = self.rows();
         let identity: Vec<usize> = (0..cols.len()).collect();
-        let mut table = RawTable::with_capacity(self.rows.len());
+        let mut table = RawTable::with_capacity(self_rows.len());
         let mut rows: Vec<Tuple> = Vec::new();
-        for row in self.rows.iter() {
+        for row in self_rows.iter() {
             let h = hashjoin::hash_cols(row, &cols);
             let seen = table
                 .find(h, |id| {
@@ -591,12 +885,33 @@ impl Bindings {
             return baseline::count_distinct(self, vars);
         }
         let cols: Vec<usize> = vars.iter().filter_map(|&v| self.position(v)).collect();
-        let mut table = RawTable::with_capacity(self.rows.len());
-        for (i, row) in self.rows.iter().enumerate() {
+        if columnar_enabled() {
+            // Same hash-of-column-slice dedup as `project`, counting only.
+            let sc = self.columnar();
+            let mut hashes = Vec::new();
+            hashjoin::hash_columns_into(sc, &cols, &mut hashes);
+            let key_cols: Vec<&[Value]> = cols.iter().map(|&c| sc.col(c)).collect();
+            let mut table = RawTable::with_capacity(self.len());
+            for (i, &h) in hashes.iter().enumerate() {
+                let seen = table
+                    .find(h, |id| {
+                        let j = id as usize;
+                        key_cols.iter().all(|col| col[i] == col[j])
+                    })
+                    .is_some();
+                if !seen {
+                    table.insert_new(h, i as u32);
+                }
+            }
+            return table.len();
+        }
+        let self_rows = self.rows();
+        let mut table = RawTable::with_capacity(self_rows.len());
+        for (i, row) in self_rows.iter().enumerate() {
             let h = hashjoin::hash_cols(row, &cols);
             let seen = table
                 .find(h, |id| {
-                    hashjoin::eq_cols(&self.rows[id as usize], &cols, row, &cols)
+                    hashjoin::eq_cols(&self_rows[id as usize], &cols, row, &cols)
                 })
                 .is_some();
             if !seen {
@@ -625,14 +940,15 @@ impl Bindings {
 
     /// Shared-variable positions of `self` and `other`, for semijoins.
     fn semijoin_positions(&self, other: &Bindings) -> (Vec<usize>, Vec<usize>) {
-        let shared: Vec<VarId> = self
-            .vars
-            .iter()
-            .copied()
-            .filter(|v| other.position(*v).is_some())
-            .collect();
-        let self_pos = shared.iter().map(|&v| self.position(v).unwrap()).collect();
-        let other_pos = shared.iter().map(|&v| other.position(v).unwrap()).collect();
+        let cap = self.vars.len().min(other.vars.len());
+        let mut self_pos = Vec::with_capacity(cap);
+        let mut other_pos = Vec::with_capacity(cap);
+        for (i, v) in self.vars.iter().enumerate() {
+            if let Some(j) = other.position(*v) {
+                self_pos.push(i);
+                other_pos.push(j);
+            }
+        }
         (self_pos, other_pos)
     }
 
@@ -654,13 +970,247 @@ impl Bindings {
         self.semijoin_filtered(other, &self_pos, &other_pos)
     }
 
+    /// Semijoin `self` with every relation in `others` in one pass:
+    /// `self ⋉ o₁ ⋉ … ⋉ o_k`, probing all the others' cached indexes
+    /// row by row with short-circuit on the first miss. The probe count
+    /// matches folding binary semijoins left to right (a row dropped by
+    /// `o_j` is never probed on `o_{j+1}`), but the k−1 intermediate
+    /// gathers disappear — survivors are materialized exactly once. The
+    /// engine's bottom-up reducer sweep (`r[i]` against every child's
+    /// memoized relation) is the intended caller.
+    pub fn semijoin_all(&self, others: &[&Bindings]) -> Bindings {
+        if baseline_mode() {
+            let mut out = self.clone();
+            for o in others {
+                out = baseline::semijoin(&out, o);
+            }
+            return out;
+        }
+        // An empty operand empties the result whether or not variables
+        // are shared; a non-empty operand with no shared variables is no
+        // constraint at all.
+        if others.iter().any(|o| o.is_empty()) {
+            return Bindings::empty(self.vars.clone());
+        }
+        let mut probes: Vec<(Arc<GroupIndex>, Vec<usize>)> = Vec::with_capacity(others.len());
+        for o in others {
+            let (self_pos, other_pos) = self.semijoin_positions(o);
+            if !self_pos.is_empty() {
+                probes.push((o.binding_index(&other_pos), self_pos));
+            }
+        }
+        if probes.is_empty() {
+            return self.clone();
+        }
+        if columnar_enabled() {
+            let sc = self.columnar();
+            let hits_all = |i: usize| {
+                probes.iter().all(|(idx, self_pos)| {
+                    if let [c] = self_pos[..] {
+                        let v = &sc.col(c)[i];
+                        idx.find_group(hashjoin::hash_value(v), |gkey| gkey[0] == *v)
+                            .is_some()
+                    } else {
+                        let h = hashjoin::hash_cols_at(sc, self_pos, i);
+                        idx.find_group(h, |gkey| {
+                            gkey.iter()
+                                .zip(self_pos.iter())
+                                .all(|(kv, &c)| *kv == sc.col(c)[i])
+                        })
+                        .is_some()
+                    }
+                })
+            };
+            let mut kept: Vec<usize> = Vec::with_capacity(sc.len());
+            for i in 0..sc.len() {
+                if hits_all(i) {
+                    kept.push(i);
+                }
+            }
+            if kept.len() == self.len() {
+                return self.clone();
+            }
+            return Bindings::new_columnar(self.vars.clone(), sc.gather(&kept));
+        }
+        let self_rows = self.rows();
+        let mut kept: Vec<usize> = Vec::with_capacity(self_rows.len());
+        for (i, row) in self_rows.iter().enumerate() {
+            if probes
+                .iter()
+                .all(|(idx, self_pos)| idx.probe_group(row, self_pos).is_some())
+            {
+                kept.push(i);
+            }
+        }
+        if kept.len() == self_rows.len() {
+            return self.clone();
+        }
+        let rows: Vec<Tuple> = kept.into_iter().map(|i| self_rows[i].clone()).collect();
+        Bindings::new(self.vars.clone(), rows)
+    }
+
+    /// Semijoin `self ⋉ other` that builds (and caches) the hash index
+    /// on **`self`** and probes `other`'s rows — the mirror of
+    /// [`Bindings::semijoin`], which indexes `other`. Answers are
+    /// identical (rows stay in `self`'s order); the difference is pure
+    /// cost. Use when `self` is long-lived and `other` is a small
+    /// ephemeral relation: the engine's body assembly semijoins each
+    /// stable atom relation against a stream of per-instantiation
+    /// reduced vertex relations, so indexing the atom side turns every
+    /// sweep after the first into pure probing of the small side.
+    pub fn semijoin_indexed(&self, other: &Bindings) -> Bindings {
+        if baseline_mode() {
+            return baseline::semijoin(self, other);
+        }
+        let (self_pos, other_pos) = self.semijoin_positions(other);
+        if self_pos.is_empty() {
+            return if other.is_empty() {
+                Bindings::empty(self.vars.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let idx = self.binding_index(&self_pos);
+        let (hit, n_rows) = Self::hit_groups(&idx, other, &other_pos);
+        if n_rows == self.len() {
+            return self.clone();
+        }
+        // Surviving rows, restored to `self`'s original row order.
+        let mut kept: Vec<usize> = Vec::with_capacity(n_rows);
+        for (g, &h) in hit.iter().enumerate() {
+            if h {
+                kept.extend(idx.group_rows(g));
+            }
+        }
+        kept.sort_unstable();
+        if columnar_enabled() {
+            return Bindings::new_columnar(self.vars.clone(), self.columnar().gather(&kept));
+        }
+        let self_rows = self.rows();
+        let rows: Vec<Tuple> = kept.into_iter().map(|i| self_rows[i].clone()).collect();
+        Bindings::new(self.vars.clone(), rows)
+    }
+
+    /// Mark the groups of `idx` (an index over one side's key columns)
+    /// whose key occurs among `probe`'s rows at `probe_pos`. Returns the
+    /// per-group hit mask and the total row count of the hit groups —
+    /// exactly the semijoin survivor count of the indexed side.
+    fn hit_groups(idx: &GroupIndex, probe: &Bindings, probe_pos: &[usize]) -> (Vec<bool>, usize) {
+        let mut hit = vec![false; idx.num_groups()];
+        let mut n_rows = 0usize;
+        if columnar_enabled() {
+            let pc = probe.columnar();
+            if let [c] = *probe_pos {
+                for v in pc.col(c) {
+                    let found = idx.find_group(hashjoin::hash_value(v), |gkey| gkey[0] == *v);
+                    if let Some(g) = found {
+                        if !hit[g] {
+                            hit[g] = true;
+                            n_rows += idx.group_count(g);
+                        }
+                    }
+                }
+            } else {
+                let mut hashes = Vec::with_capacity(pc.len());
+                hashjoin::hash_columns_into(pc, probe_pos, &mut hashes);
+                let key_cols: Vec<&[Value]> = probe_pos.iter().map(|&c| pc.col(c)).collect();
+                for (i, &h) in hashes.iter().enumerate() {
+                    let found = idx.find_group(h, |gkey| {
+                        gkey.iter()
+                            .zip(key_cols.iter())
+                            .all(|(kv, col)| *kv == col[i])
+                    });
+                    if let Some(g) = found {
+                        if !hit[g] {
+                            hit[g] = true;
+                            n_rows += idx.group_count(g);
+                        }
+                    }
+                }
+            }
+        } else {
+            for row in probe.rows() {
+                if let Some((g, size)) = idx.probe_group(row, probe_pos) {
+                    if !hit[g] {
+                        hit[g] = true;
+                        n_rows += size;
+                    }
+                }
+            }
+        }
+        (hit, n_rows)
+    }
+
+    /// Number of `probe` rows whose key at `probe_pos` hits a group of
+    /// `idx` — the semijoin survivor count of the *probing* side.
+    fn count_hits(idx: &GroupIndex, probe: &Bindings, probe_pos: &[usize]) -> usize {
+        if columnar_enabled() {
+            let pc = probe.columnar();
+            if let [c] = *probe_pos {
+                return pc
+                    .col(c)
+                    .iter()
+                    .filter(|v| {
+                        idx.find_group(hashjoin::hash_value(v), |gkey| gkey[0] == **v)
+                            .is_some()
+                    })
+                    .count();
+            }
+            let mut hashes = Vec::with_capacity(pc.len());
+            hashjoin::hash_columns_into(pc, probe_pos, &mut hashes);
+            let key_cols: Vec<&[Value]> = probe_pos.iter().map(|&c| pc.col(c)).collect();
+            return hashes
+                .iter()
+                .enumerate()
+                .filter(|&(i, &h)| {
+                    idx.find_group(h, |gkey| {
+                        gkey.iter()
+                            .zip(key_cols.iter())
+                            .all(|(kv, col)| *kv == col[i])
+                    })
+                    .is_some()
+                })
+                .count();
+        }
+        probe
+            .rows()
+            .iter()
+            .filter(|row| idx.probe_group(row, probe_pos).is_some())
+            .count()
+    }
+
+    /// Group-vs-group semijoin count: both group keys are flattened in
+    /// the same shared-var order, so the count is pure index-vs-index
+    /// key probing driven by the side with fewer distinct keys
+    /// (`|self ⋉ other| = Σ |self-group k| over keys k of both`).
+    fn count_group_vs_group(self_idx: &GroupIndex, other_idx: &GroupIndex) -> usize {
+        if self_idx.num_groups() <= other_idx.num_groups() {
+            (0..self_idx.num_groups())
+                .filter(|&g| other_idx.probe_group_key(self_idx.group_key(g)).is_some())
+                .map(|g| self_idx.group_count(g))
+                .sum()
+        } else {
+            (0..other_idx.num_groups())
+                .filter_map(|g| {
+                    self_idx
+                        .probe_group_key(other_idx.group_key(g))
+                        .map(|(_, size)| size)
+                })
+                .sum()
+        }
+    }
+
     /// `|self ⋉ other|` without materializing the surviving rows — the
     /// cover/confidence checks of `findRules` only need cardinalities, so
     /// this is pure index probing.
     ///
-    /// Works group-at-a-time: both sides' cached indexes group rows by the
-    /// shared key, and the side with fewer *distinct* keys drives the
-    /// probing (`|self ⋉ other| = Σ |self-group k| over keys k of both`).
+    /// The probe direction follows the cached-index state so a count
+    /// never builds an index that won't pay for itself: with both sides
+    /// cached it is group-vs-group probing; with only `other`'s cached,
+    /// `self`'s rows probe it directly; with only `self`'s cached, a
+    /// *small* `other` marks hit groups row-by-row while a large one is
+    /// worth indexing (the build is cached, and the engine re-counts
+    /// the same large operand against many small ones).
     pub fn semijoin_count(&self, other: &Bindings) -> usize {
         if baseline_mode() {
             return baseline::semijoin(self, other).len();
@@ -669,27 +1219,17 @@ impl Bindings {
         if self_pos.is_empty() {
             return if other.is_empty() { 0 } else { self.len() };
         }
-        let self_idx = self.binding_index(&self_pos);
-        let other_idx = other.binding_index(&other_pos);
-        if self_idx.num_groups() <= other_idx.num_groups() {
-            self_idx
-                .groups()
-                .filter(|&(head, _)| {
-                    other_idx
-                        .probe_group(&other.rows, &self.rows[head], &self_pos)
-                        .is_some()
-                })
-                .map(|(_, size)| size)
-                .sum()
-        } else {
-            other_idx
-                .groups()
-                .filter_map(|(head, _)| {
-                    self_idx
-                        .probe_group(&self.rows, &other.rows[head], &other_pos)
-                        .map(|(_, size)| size)
-                })
-                .sum()
+        match (self.cached_index(&self_pos), other.cached_index(&other_pos)) {
+            (Some(self_idx), Some(other_idx)) => Self::count_group_vs_group(&self_idx, &other_idx),
+            (None, Some(other_idx)) => Self::count_hits(&other_idx, self, &self_pos),
+            (self_cached, None) => {
+                let self_idx = self_cached.unwrap_or_else(|| self.binding_index(&self_pos));
+                if other.len() <= self_idx.num_groups() {
+                    Self::hit_groups(&self_idx, other, &other_pos).1
+                } else {
+                    Self::count_group_vs_group(&self_idx, &other.binding_index(&other_pos))
+                }
+            }
         }
     }
 
@@ -710,22 +1250,7 @@ impl Bindings {
                 Bindings::empty(self.vars.clone())
             };
         }
-        let idx = other.binding_index(&other_pos);
-        let mut kept: Vec<u32> = Vec::new();
-        for (i, r) in self.rows.iter().enumerate() {
-            let miss = idx.probe_group(&other.rows, r, &self_pos).is_none();
-            if miss {
-                kept.push(i as u32);
-            }
-        }
-        if kept.len() == self.rows.len() {
-            return self.clone();
-        }
-        let rows: Vec<Tuple> = kept
-            .into_iter()
-            .map(|i| self.rows[i as usize].clone())
-            .collect();
-        Bindings::new(self.vars.clone(), rows)
+        self.filter_by_index(&other.binding_index(&other_pos), &self_pos, false)
     }
 
     /// In-place semijoin on liveness masks: kill the rows of `self` (in
@@ -733,8 +1258,8 @@ impl Bindings {
     /// `other`. Nothing is materialized — full reducers run entire
     /// semijoin programs on bitsets and materialize once at the end.
     pub fn semijoin_filter(&self, live: &mut BitSet, other: &Bindings, other_live: &BitSet) {
-        debug_assert_eq!(live.len(), self.rows.len());
-        debug_assert_eq!(other_live.len(), other.rows.len());
+        debug_assert_eq!(live.len(), self.len());
+        debug_assert_eq!(other_live.len(), other.len());
         let (self_pos, other_pos) = self.semijoin_positions(other);
         if self_pos.is_empty() {
             if other_live.count_ones() == 0 {
@@ -742,29 +1267,30 @@ impl Bindings {
             }
             return;
         }
+        let self_rows = self.rows();
+        let other_rows = other.rows();
         // Distinct-key membership table over *live* rows of `other`.
         let mut keys = RawTable::with_capacity(other_live.count_ones());
         for i in other_live.iter_ones() {
-            let row = &other.rows[i];
+            let row = &other_rows[i];
             let h = hashjoin::hash_cols(row, &other_pos);
             let seen = keys
                 .find(h, |id| {
-                    hashjoin::eq_cols(&other.rows[id as usize], &other_pos, row, &other_pos)
+                    hashjoin::eq_cols(&other_rows[id as usize], &other_pos, row, &other_pos)
                 })
                 .is_some();
             if !seen {
                 keys.insert_new(h, i as u32);
             }
         }
-        for i in 0..self.rows.len() {
+        for (i, r) in self_rows.iter().enumerate() {
             if !live.get(i) {
                 continue;
             }
-            let r = &self.rows[i];
             let h = hashjoin::hash_cols(r, &self_pos);
             let hit = keys
                 .find(h, |id| {
-                    hashjoin::eq_cols(&other.rows[id as usize], &other_pos, r, &self_pos)
+                    hashjoin::eq_cols(&other_rows[id as usize], &other_pos, r, &self_pos)
                 })
                 .is_some();
             if !hit {
@@ -773,16 +1299,22 @@ impl Bindings {
         }
     }
 
-    /// Materialize the rows selected by `live` (one allocation per kept
-    /// row, in row order).
+    /// Materialize the rows selected by `live`, in row order (a columnar
+    /// gather — no per-row allocation — when the columnar kernels are
+    /// on).
     pub fn retain_rows(&self, live: &BitSet) -> Bindings {
-        debug_assert_eq!(live.len(), self.rows.len());
+        debug_assert_eq!(live.len(), self.len());
         if live.is_full() {
             return self.clone();
         }
+        if columnar_enabled() {
+            let kept: Vec<usize> = live.iter_ones().collect();
+            return Bindings::new_columnar(self.vars.clone(), self.columnar().gather(&kept));
+        }
+        let self_rows = self.rows();
         Bindings::new(
             self.vars.clone(),
-            live.iter_ones().map(|i| self.rows[i].clone()).collect(),
+            live.iter_ones().map(|i| self_rows[i].clone()).collect(),
         )
     }
 
@@ -804,17 +1336,26 @@ impl Bindings {
 
     /// Sort rows lexicographically (for deterministic display/tests).
     pub fn sorted(mut self) -> Bindings {
-        self.rows.make_mut().sort();
-        // Row order changed: cached indexes hold stale row ids.
-        self.indexes = Arc::new(ColIndexCache::new());
-        self
+        let _ = self.rows_store();
+        let mut frozen = self.rows.take().expect("just materialized");
+        frozen.make_mut().sort();
+        let len = frozen.len();
+        // Row order changed: the columnar mirror and cached indexes are
+        // stale; drop both (the mirror rebuilds lazily on demand).
+        Bindings {
+            vars: self.vars,
+            len,
+            rows: OnceLock::from(frozen),
+            cols: OnceLock::new(),
+            indexes: Arc::new(ColIndexCache::new()),
+        }
     }
 }
 
 impl fmt::Debug for Bindings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Bindings over {:?}:", self.vars)?;
-        for row in self.rows.iter() {
+        for row in self.rows().iter() {
             writeln!(f, "  {row:?}")?;
         }
         Ok(())
@@ -882,18 +1423,19 @@ pub mod baseline {
         let mut out_vars = build.vars.clone();
         out_vars.extend(extra.iter().map(|&i| probe.vars[i]));
 
+        let build_rows = build.rows();
         let mut table: HashMap<Box<[Value]>, Vec<usize>> = HashMap::new();
-        for (i, row) in build.rows.iter().enumerate() {
+        for (i, row) in build_rows.iter().enumerate() {
             let key: Box<[Value]> = build_pos.iter().map(|&p| row[p]).collect();
             table.entry(key).or_default().push(i);
         }
 
         let mut out_rows = Vec::new();
-        for prow in probe.rows.iter() {
+        for prow in probe.rows().iter() {
             let key: Box<[Value]> = probe_pos.iter().map(|&p| prow[p]).collect();
             if let Some(matches) = table.get(&key) {
                 for &bi in matches {
-                    let brow = &build.rows[bi];
+                    let brow = &build_rows[bi];
                     let mut row = Vec::with_capacity(out_vars.len());
                     row.extend_from_slice(brow);
                     row.extend(extra.iter().map(|&p| prow[p]));
@@ -906,7 +1448,7 @@ pub mod baseline {
 
     /// Baseline natural join with smaller-side build.
     pub fn join(a: &Bindings, b: &Bindings) -> Bindings {
-        if a.rows.len() > b.rows.len() {
+        if a.len() > b.len() {
             join_ordered(b, a)
         } else {
             join_ordered(a, b)
@@ -917,9 +1459,9 @@ pub mod baseline {
     pub fn project(b: &Bindings, vars: &[VarId]) -> Bindings {
         let cols: Vec<usize> = vars.iter().filter_map(|&v| b.position(v)).collect();
         let out_vars: Vec<VarId> = cols.iter().map(|&c| b.vars[c]).collect();
-        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(b.rows.len());
+        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(b.len());
         let mut rows = Vec::new();
-        for row in b.rows.iter() {
+        for row in b.rows().iter() {
             let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
             if seen.insert(proj.clone()) {
                 rows.push(proj);
@@ -931,8 +1473,8 @@ pub mod baseline {
     /// Baseline distinct count.
     pub fn count_distinct(b: &Bindings, vars: &[VarId]) -> usize {
         let cols: Vec<usize> = vars.iter().filter_map(|&v| b.position(v)).collect();
-        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(b.rows.len());
-        for row in b.rows.iter() {
+        let mut seen: HashSet<Box<[Value]>> = HashSet::with_capacity(b.len());
+        for row in b.rows().iter() {
             let proj: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
             seen.insert(proj);
         }
@@ -957,12 +1499,12 @@ pub mod baseline {
         let self_pos: Vec<usize> = shared.iter().map(|&v| a.position(v).unwrap()).collect();
         let other_pos: Vec<usize> = shared.iter().map(|&v| other.position(v).unwrap()).collect();
         let keys: HashSet<Box<[Value]>> = other
-            .rows
+            .rows()
             .iter()
             .map(|r| other_pos.iter().map(|&p| r[p]).collect())
             .collect();
         let rows: Vec<Tuple> = a
-            .rows
+            .rows()
             .iter()
             .filter(|r| {
                 let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
@@ -1012,12 +1554,12 @@ pub mod baseline {
         let self_pos: Vec<usize> = shared.iter().map(|&v| a.position(v).unwrap()).collect();
         let other_pos: Vec<usize> = shared.iter().map(|&v| other.position(v).unwrap()).collect();
         let keys: HashSet<Box<[Value]>> = other
-            .rows
+            .rows()
             .iter()
             .map(|r| other_pos.iter().map(|&p| r[p]).collect())
             .collect();
         let rows: Vec<Tuple> = a
-            .rows
+            .rows()
             .iter()
             .filter(|r| {
                 let key: Box<[Value]> = self_pos.iter().map(|&p| r[p]).collect();
@@ -1068,10 +1610,7 @@ pub fn reduce_relation(rel: &Relation, terms: &[Term], guard: &Bindings) -> Rela
     }
     let idx = guard.binding_index(&guard_cols);
     for row in rel.rows() {
-        if shape.consts_ok(row)
-            && shape.eq_ok(row)
-            && idx.probe_group(guard.rows(), row, &rel_cols).is_some()
-        {
+        if shape.consts_ok(row) && shape.eq_ok(row) && idx.probe_group(row, &rel_cols).is_some() {
             out.insert(row.clone());
         }
     }

@@ -27,7 +27,7 @@ use std::hash::{Hash, Hasher};
 // The hasher now lives in the storage layer (`mq-store`) so row stores,
 // index caches and the shared memo service all hash with one function;
 // re-exported here so kernel code and downstream users are unaffected.
-pub use mq_store::{FxBuildHasher, FxHasher};
+pub use mq_store::{ColumnarRows, FxBuildHasher, FxHasher};
 
 /// Hash one value with the same function as [`hash_cols`] over `[v]`.
 #[inline]
@@ -59,6 +59,50 @@ pub fn hash_vals(vals: &[Value]) -> u64 {
     let mut h = FxHasher::default();
     for v in vals {
         v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Batch key hashing over column-major storage: fill `out` with the key
+/// hash of every row of `store` at `cols`, agreeing exactly with
+/// [`hash_cols`] on the equivalent row-major tuples.
+///
+/// Single-column keys hash one dense column slice end to end; wider keys
+/// keep one saved hasher state per row and fold each key column across
+/// the whole batch ([`FxHasher::from_state`]), so the inner loop always
+/// walks contiguous memory instead of hopping row to row.
+pub fn hash_columns_into(store: &ColumnarRows<Value>, cols: &[usize], out: &mut Vec<u64>) {
+    out.clear();
+    if let [c] = cols {
+        out.extend(store.col(*c).iter().map(hash_value));
+        return;
+    }
+    out.resize(store.len(), FxHasher::default().state());
+    for &c in cols {
+        let col = store.col(c);
+        for (s, v) in out.iter_mut().zip(col.iter()) {
+            let mut h = FxHasher::from_state(*s);
+            v.hash(&mut h);
+            *s = h.state();
+        }
+    }
+    for s in out.iter_mut() {
+        *s = FxHasher::from_state(*s).finish();
+    }
+}
+
+/// Key hash of row `i` of column-major `store` at `cols`, agreeing
+/// exactly with [`hash_cols`] on the equivalent row-major tuple — the
+/// per-row companion of [`hash_columns_into`] for probe loops that
+/// short-circuit before visiting every row.
+#[inline]
+pub fn hash_cols_at(store: &ColumnarRows<Value>, cols: &[usize], i: usize) -> u64 {
+    if let [c] = cols {
+        return hash_value(&store.col(*c)[i]);
+    }
+    let mut h = FxHasher::default();
+    for &c in cols {
+        store.col(c)[i].hash(&mut h);
     }
     h.finish()
 }
@@ -143,6 +187,11 @@ impl RawTable {
 
 /// Row ids of a tuple set grouped by their key at a fixed column subset —
 /// a reusable hash-join build side.
+///
+/// Each group's key values are stored flattened inside the index
+/// (`keys`), so probing is **self-contained**: no access to the original
+/// row storage (and no per-probe pointer chase through boxed tuples) is
+/// ever needed to compare keys.
 pub struct GroupIndex {
     cols: Box<[usize]>,
     table: RawTable,
@@ -152,21 +201,30 @@ pub struct GroupIndex {
     counts: Vec<u32>,
     /// row id -> next row id in its group (EMPTY-terminated), in row order.
     next: Vec<u32>,
+    /// Flattened group keys: group `g`'s key is
+    /// `keys[g * cols.len() .. (g + 1) * cols.len()]`.
+    keys: Vec<Value>,
 }
 
 impl GroupIndex {
     /// Group `rows` by their values at `cols`.
     pub fn build(rows: &[Tuple], cols: &[usize]) -> Self {
         let n = rows.len();
+        let k = cols.len();
         let mut table = RawTable::with_capacity(n);
-        let mut heads: Vec<u32> = Vec::new();
-        let mut counts: Vec<u32> = Vec::new();
-        let mut tails: Vec<u32> = Vec::new();
+        let mut heads: Vec<u32> = Vec::with_capacity(n);
+        let mut counts: Vec<u32> = Vec::with_capacity(n);
+        let mut tails: Vec<u32> = Vec::with_capacity(n);
         let mut next = vec![EMPTY; n];
+        let mut keys: Vec<Value> = Vec::with_capacity(n * k);
         for (i, row) in rows.iter().enumerate() {
             let h = hash_cols(row, cols);
             match table.find(h, |g| {
-                eq_cols(&rows[heads[g as usize] as usize], cols, row, cols)
+                let g = g as usize;
+                keys[g * k..(g + 1) * k]
+                    .iter()
+                    .zip(cols.iter())
+                    .all(|(kv, &c)| *kv == row[c])
             }) {
                 Some(g) => {
                     let g = g as usize;
@@ -179,6 +237,7 @@ impl GroupIndex {
                     heads.push(i as u32);
                     counts.push(1);
                     tails.push(i as u32);
+                    keys.extend(cols.iter().map(|&c| row[c]));
                     table.insert_new(h, g);
                 }
             }
@@ -189,12 +248,110 @@ impl GroupIndex {
             heads,
             counts,
             next,
+            keys,
+        }
+    }
+
+    /// Group the rows of column-major storage by their values at `cols`,
+    /// producing an index identical to [`GroupIndex::build`] over the
+    /// equivalent row-major tuples. Key hashes are computed for the whole
+    /// batch in one column-wise pass ([`hash_columns_into`]) and key
+    /// comparisons read dense column slices.
+    pub fn build_columnar(store: &ColumnarRows<Value>, cols: &[usize]) -> Self {
+        let n = store.len();
+        let k = cols.len();
+        let mut table = RawTable::with_capacity(n);
+        let mut heads: Vec<u32> = Vec::with_capacity(n);
+        let mut counts: Vec<u32> = Vec::with_capacity(n);
+        let mut tails: Vec<u32> = Vec::with_capacity(n);
+        let mut next = vec![EMPTY; n];
+        let mut keys: Vec<Value> = Vec::with_capacity(n * k);
+        if let [c] = cols {
+            // Single-column key: hash and insert in one fused pass over
+            // the dense key column (`keys[g]` is group `g`'s whole key).
+            for (i, v) in store.col(*c).iter().enumerate() {
+                let h = hash_value(v);
+                match table.find(h, |g| keys[g as usize] == *v) {
+                    Some(g) => {
+                        let g = g as usize;
+                        next[tails[g] as usize] = i as u32;
+                        tails[g] = i as u32;
+                        counts[g] += 1;
+                    }
+                    None => {
+                        let g = heads.len() as u32;
+                        heads.push(i as u32);
+                        counts.push(1);
+                        tails.push(i as u32);
+                        keys.push(*v);
+                        table.insert_new(h, g);
+                    }
+                }
+            }
+        } else {
+            let mut hashes = Vec::new();
+            hash_columns_into(store, cols, &mut hashes);
+            let key_slices: Vec<&[Value]> = cols.iter().map(|&c| store.col(c)).collect();
+            for (i, &h) in hashes.iter().enumerate() {
+                match table.find(h, |g| {
+                    let g = g as usize;
+                    keys[g * k..(g + 1) * k]
+                        .iter()
+                        .zip(key_slices.iter())
+                        .all(|(kv, col)| *kv == col[i])
+                }) {
+                    Some(g) => {
+                        let g = g as usize;
+                        next[tails[g] as usize] = i as u32;
+                        tails[g] = i as u32;
+                        counts[g] += 1;
+                    }
+                    None => {
+                        let g = heads.len() as u32;
+                        heads.push(i as u32);
+                        counts.push(1);
+                        tails.push(i as u32);
+                        keys.extend(key_slices.iter().map(|col| col[i]));
+                        table.insert_new(h, g);
+                    }
+                }
+            }
+        }
+        GroupIndex {
+            cols: cols.into(),
+            table,
+            heads,
+            counts,
+            next,
+            keys,
         }
     }
 
     /// The key columns this index groups by.
     pub fn cols(&self) -> &[usize] {
         &self.cols
+    }
+
+    /// Group `g`'s key values, in [`cols`](Self::cols) order.
+    #[inline]
+    pub fn group_key(&self, g: usize) -> &[Value] {
+        let k = self.cols.len();
+        &self.keys[g * k..(g + 1) * k]
+    }
+
+    /// Number of rows in group `g`.
+    #[inline]
+    pub fn group_count(&self, g: usize) -> usize {
+        self.counts[g] as usize
+    }
+
+    /// Iterate group `g`'s row ids, in row order.
+    #[inline]
+    pub fn group_rows(&self, g: usize) -> GroupRows<'_> {
+        GroupRows {
+            next: &self.next,
+            cur: self.heads[g],
+        }
     }
 
     /// Number of distinct keys. Doubles as the join planner's cardinality
@@ -214,18 +371,28 @@ impl GroupIndex {
             .map(|(&h, &c)| (h as usize, c as usize))
     }
 
-    /// Iterate the row ids whose key hashes to `hash` and satisfies `eq`
-    /// (called with the group's head row id). Empty iterator on miss.
+    /// Find the group whose key hashes to `hash` and satisfies `eq`
+    /// (called with the group's stored key values, in
+    /// [`cols`](Self::cols) order).
     #[inline]
-    pub fn probe(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> GroupRows<'_> {
-        let head = self
-            .table
-            .find(hash, {
-                let heads = &self.heads;
-                let mut eq = eq;
-                move |g| eq(heads[g as usize])
+    pub fn find_group(&self, hash: u64, mut eq: impl FnMut(&[Value]) -> bool) -> Option<usize> {
+        let k = self.cols.len();
+        self.table
+            .find(hash, |g| {
+                let g = g as usize;
+                eq(&self.keys[g * k..(g + 1) * k])
             })
-            .map(|g| self.heads[g as usize])
+            .map(|g| g as usize)
+    }
+
+    /// Iterate the row ids whose key hashes to `hash` and satisfies `eq`
+    /// (called with the group's stored key values). Empty iterator on
+    /// miss.
+    #[inline]
+    pub fn probe(&self, hash: u64, eq: impl FnMut(&[Value]) -> bool) -> GroupRows<'_> {
+        let head = self
+            .find_group(hash, eq)
+            .map(|g| self.heads[g])
             .unwrap_or(EMPTY);
         GroupRows {
             next: &self.next,
@@ -233,46 +400,38 @@ impl GroupIndex {
         }
     }
 
-    /// Probe with a key taken from `key_row` at `key_cols`, comparing
-    /// against `rows` (the slice this index was built over).
+    /// Probe with a key taken from `key_row` at `key_cols`.
     #[inline]
-    pub fn probe_cols<'a>(
-        &'a self,
-        rows: &[Tuple],
-        key_row: &[Value],
-        key_cols: &[usize],
-    ) -> GroupRows<'a> {
+    pub fn probe_cols<'a>(&'a self, key_row: &[Value], key_cols: &[usize]) -> GroupRows<'a> {
         let h = hash_cols(key_row, key_cols);
-        self.probe(h, |head| {
-            eq_cols(&rows[head as usize], &self.cols, key_row, key_cols)
+        self.probe(h, |gkey| {
+            gkey.iter()
+                .zip(key_cols.iter())
+                .all(|(kv, &c)| *kv == key_row[c])
         })
     }
 
     /// Probe like [`GroupIndex::probe_cols`] but return the matching
-    /// group's `(head_row_id, size)` instead of iterating its rows.
+    /// group's `(group_id, size)` instead of iterating its rows.
     #[inline]
-    pub fn probe_group(
-        &self,
-        rows: &[Tuple],
-        key_row: &[Value],
-        key_cols: &[usize],
-    ) -> Option<(usize, usize)> {
+    pub fn probe_group(&self, key_row: &[Value], key_cols: &[usize]) -> Option<(usize, usize)> {
         let h = hash_cols(key_row, key_cols);
-        self.table
-            .find(h, |g| {
-                eq_cols(
-                    &rows[self.heads[g as usize] as usize],
-                    &self.cols,
-                    key_row,
-                    key_cols,
-                )
-            })
-            .map(|g| {
-                (
-                    self.heads[g as usize] as usize,
-                    self.counts[g as usize] as usize,
-                )
-            })
+        self.find_group(h, |gkey| {
+            gkey.iter()
+                .zip(key_cols.iter())
+                .all(|(kv, &c)| *kv == key_row[c])
+        })
+        .map(|g| (g, self.counts[g] as usize))
+    }
+
+    /// Probe with an already-projected key (values in
+    /// [`cols`](Self::cols) order — e.g. another index's
+    /// [`group_key`](Self::group_key)); returns `(group_id, size)`.
+    #[inline]
+    pub fn probe_group_key(&self, key: &[Value]) -> Option<(usize, usize)> {
+        let h = hash_vals(key);
+        self.find_group(h, |gkey| gkey == key)
+            .map(|g| (g, self.counts[g] as usize))
     }
 }
 
@@ -428,10 +587,10 @@ mod tests {
         let idx = GroupIndex::build(&rows, &[0]);
         assert_eq!(idx.num_groups(), 2);
         let key = ints(&[1]);
-        let got: Vec<usize> = idx.probe_cols(&rows, &key, &[0]).collect();
+        let got: Vec<usize> = idx.probe_cols(&key, &[0]).collect();
         assert_eq!(got, vec![0, 2, 3]);
         let missing = ints(&[9]);
-        assert_eq!(idx.probe_cols(&rows, &missing, &[0]).count(), 0);
+        assert_eq!(idx.probe_cols(&missing, &[0]).count(), 0);
     }
 
     #[test]
@@ -440,8 +599,56 @@ mod tests {
         let rows = vec![ints(&[1, 2]), ints(&[3, 4])];
         let idx = GroupIndex::build(&rows, &[1]);
         let probe_row = ints(&[9, 9, 4]);
-        let got: Vec<usize> = idx.probe_cols(&rows, &probe_row, &[2]).collect();
+        let got: Vec<usize> = idx.probe_cols(&probe_row, &[2]).collect();
         assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn group_index_is_self_contained() {
+        let rows = vec![ints(&[1, 10]), ints(&[2, 20]), ints(&[1, 30])];
+        let idx = GroupIndex::build(&rows, &[0, 1]);
+        drop(rows); // probes never touch the original storage
+        assert_eq!(idx.probe_group_key(&ints(&[1, 30])), Some((2, 1)));
+        assert_eq!(idx.probe_group_key(&ints(&[1, 99])), None);
+        assert_eq!(idx.group_key(0), &*ints(&[1, 10]));
+        assert_eq!(idx.group_count(0), 1);
+        assert_eq!(idx.group_rows(0).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn hash_columns_matches_hash_cols() {
+        let rows = vec![ints(&[1, 2, 3]), ints(&[4, 5, 6]), ints(&[1, 5, 9])];
+        let store = ColumnarRows::from_rows(3, &rows);
+        for cols in [&[0usize][..], &[2, 0], &[0, 1, 2], &[]] {
+            let mut batch = Vec::new();
+            hash_columns_into(&store, cols, &mut batch);
+            let one_shot: Vec<u64> = rows.iter().map(|r| hash_cols(r, cols)).collect();
+            assert_eq!(batch, one_shot, "cols {cols:?}");
+        }
+    }
+
+    #[test]
+    fn build_columnar_matches_row_build() {
+        let rows = vec![
+            ints(&[1, 10]),
+            ints(&[2, 20]),
+            ints(&[1, 30]),
+            ints(&[1, 10]),
+        ];
+        let store = ColumnarRows::from_rows(2, &rows);
+        for cols in [&[0usize][..], &[1], &[0, 1]] {
+            let by_rows = GroupIndex::build(&rows, cols);
+            let by_cols = GroupIndex::build_columnar(&store, cols);
+            assert_eq!(by_rows.num_groups(), by_cols.num_groups(), "cols {cols:?}");
+            for g in 0..by_rows.num_groups() {
+                assert_eq!(by_rows.group_key(g), by_cols.group_key(g));
+                assert_eq!(by_rows.group_count(g), by_cols.group_count(g));
+                assert_eq!(
+                    by_rows.group_rows(g).collect::<Vec<_>>(),
+                    by_cols.group_rows(g).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

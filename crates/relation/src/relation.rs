@@ -8,6 +8,7 @@
 
 use crate::hashjoin::GroupIndex;
 use crate::value::{Tuple, Value};
+use mq_store::ColumnarRows;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
@@ -25,6 +26,10 @@ pub struct Relation {
     /// concurrently from the parallel `findRules` enumeration. Invalidated
     /// on insert.
     group_indexes: RwLock<HashMap<Box<[usize]>, Arc<GroupIndex>>>,
+    /// Lazily built column-major mirror of `rows` (handle clones are
+    /// O(1); see [`Relation::columnar`]). Invalidated on insert, like the
+    /// group indexes.
+    columnar: RwLock<Option<ColumnarRows<Value>>>,
 }
 
 impl Clone for Relation {
@@ -36,6 +41,7 @@ impl Clone for Relation {
             index: self.index.clone(),
             // Cached indexes are cheap to rebuild; clones start cold.
             group_indexes: RwLock::new(HashMap::new()),
+            columnar: RwLock::new(None),
         }
     }
 }
@@ -49,6 +55,7 @@ impl Relation {
             rows: Vec::new(),
             index: HashMap::new(),
             group_indexes: RwLock::new(HashMap::new()),
+            columnar: RwLock::new(None),
         }
     }
 
@@ -103,11 +110,12 @@ impl Relation {
                 let row = e.key().clone();
                 e.insert(self.rows.len());
                 self.rows.push(row);
-                // Any previously built key indexes are now stale.
+                // Any previously built key indexes / mirrors are now stale.
                 self.group_indexes
                     .write()
                     .expect("group index lock poisoned")
                     .clear();
+                *self.columnar.write().expect("columnar lock poisoned") = None;
                 true
             }
         }
@@ -126,6 +134,7 @@ impl Relation {
             .write()
             .expect("group index lock poisoned")
             .clear();
+        *self.columnar.write().expect("columnar lock poisoned") = None;
         for row in rows {
             self.insert(row);
         }
@@ -167,7 +176,17 @@ impl Relation {
         {
             return Arc::clone(idx);
         }
-        let built = Arc::new(GroupIndex::build(&self.rows, cols));
+        // Build via the column-major mirror when one is already cached
+        // (batched key hashing); otherwise straight off the rows.
+        let mirror = self
+            .columnar
+            .read()
+            .expect("columnar lock poisoned")
+            .clone();
+        let built = Arc::new(match mirror {
+            Some(store) => GroupIndex::build_columnar(&store, cols),
+            None => GroupIndex::build(&self.rows, cols),
+        });
         let mut cache = self
             .group_indexes
             .write()
@@ -178,6 +197,25 @@ impl Relation {
                 .entry(cols.to_vec().into_boxed_slice())
                 .or_insert(built),
         )
+    }
+
+    /// Get (or build once and cache) the column-major mirror of the
+    /// relation's rows — the storage the columnar kernels scan. The
+    /// returned handle is an O(1) clone sharing the cached buffers;
+    /// inserting into the relation invalidates the mirror.
+    pub fn columnar(&self) -> ColumnarRows<Value> {
+        if let Some(c) = self
+            .columnar
+            .read()
+            .expect("columnar lock poisoned")
+            .as_ref()
+        {
+            return c.clone();
+        }
+        let built = ColumnarRows::from_rows(self.arity, &self.rows);
+        let mut cache = self.columnar.write().expect("columnar lock poisoned");
+        // Another thread may have raced us; keep the first one inserted.
+        cache.get_or_insert(built).clone()
     }
 }
 
@@ -233,7 +271,7 @@ mod tests {
         let r = Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[1, 3]), ints(&[2, 3])]);
         let idx = r.group_index(&[0]);
         assert_eq!(idx.num_groups(), 2);
-        let rows: Vec<usize> = idx.probe_cols(r.rows_slice(), &ints(&[1]), &[0]).collect();
+        let rows: Vec<usize> = idx.probe_cols(&ints(&[1]), &[0]).collect();
         assert_eq!(rows, vec![0, 1]);
     }
 
@@ -243,10 +281,7 @@ mod tests {
         let _ = r.group_index(&[0]);
         r.insert(ints(&[5, 6]));
         let idx = r.group_index(&[0]);
-        assert!(idx
-            .probe_cols(r.rows_slice(), &ints(&[5]), &[0])
-            .next()
-            .is_some());
+        assert!(idx.probe_cols(&ints(&[5]), &[0]).next().is_some());
     }
 
     #[test]
@@ -258,14 +293,21 @@ mod tests {
         assert!(r.contains(&ints(&[9, 9])));
         assert!(!r.contains(&ints(&[1, 2])));
         let idx = r.group_index(&[0]);
-        assert!(idx
-            .probe_cols(r.rows_slice(), &ints(&[9]), &[0])
-            .next()
-            .is_some());
-        assert!(idx
-            .probe_cols(r.rows_slice(), &ints(&[1]), &[0])
-            .next()
-            .is_none());
+        assert!(idx.probe_cols(&ints(&[9]), &[0]).next().is_some());
+        assert!(idx.probe_cols(&ints(&[1]), &[0]).next().is_none());
+    }
+
+    #[test]
+    fn columnar_mirror_is_cached_and_invalidated() {
+        let mut r = Relation::from_rows("e", 2, vec![ints(&[1, 2]), ints(&[3, 4])]);
+        let a = r.columnar();
+        assert_eq!(a.col(0), &[Value::Int(1), Value::Int(3)]);
+        let b = r.columnar();
+        assert!(mq_store::ColumnarRows::ptr_eq(&a, &b), "mirror is cached");
+        r.insert(ints(&[5, 6]));
+        let c = r.columnar();
+        assert!(!mq_store::ColumnarRows::ptr_eq(&a, &c));
+        assert_eq!(c.col(1), &[Value::Int(2), Value::Int(4), Value::Int(6)]);
     }
 
     #[test]

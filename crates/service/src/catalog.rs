@@ -5,8 +5,9 @@
 //!
 //! * the [`Database`] itself behind an `Arc`, **frozen** at registration
 //!   — nothing mutates it, so any number of sessions can search it
-//!   concurrently, and every relation's `group_index` is pre-warmed so
-//!   the first search doesn't pay the index builds;
+//!   concurrently, and every relation's column-major mirror (when
+//!   `MQ_COLUMNAR` is on) and `group_index` are pre-warmed so the first
+//!   search pays neither the transposition nor the index builds;
 //! * each relation's rows additionally frozen into an
 //!   [`mq_store::ArenaRows`] — one contiguous allocation per relation
 //!   instead of one box per tuple, the storage protocol queries and
@@ -131,6 +132,12 @@ impl DbHandle {
         reuse: Option<(&DbHandle, RelId)>,
     ) -> Self {
         for rel in db.relations() {
+            // Warm the column-major mirror first so the single-column
+            // index builds below scan columns, not boxed rows — and so
+            // the first search's columnar kernels find it ready.
+            if mq_relation::columnar_enabled() {
+                let _ = rel.columnar();
+            }
             for col in 0..rel.arity() {
                 let _ = rel.group_index(&[col]);
             }

@@ -51,6 +51,15 @@ impl<T> FrozenRows<T> {
     pub fn ptr_eq(a: &Self, b: &Self) -> bool {
         Arc::ptr_eq(&a.rows, &b.rows)
     }
+
+    /// The address of the shared storage, as an opaque identity: two
+    /// *live* handles have equal ids iff they share storage (and hence
+    /// hold identical rows). Only meaningful while a handle keeps the
+    /// storage alive — a freed address may be reused.
+    #[inline]
+    pub fn ptr_id(&self) -> usize {
+        Arc::as_ptr(&self.rows) as usize
+    }
 }
 
 impl<T: Clone> FrozenRows<T> {
@@ -113,6 +122,15 @@ impl<I> ColIndexCache<I> {
         ColIndexCache {
             map: RwLock::new(HashMap::with_hasher(FxBuildHasher)),
         }
+    }
+
+    /// The cached index over `cols`, if one has already been built —
+    /// lets callers pick the operand that can be probed without paying
+    /// a build (see `Bindings::semijoin_count`).
+    pub fn get(&self, cols: &[usize]) -> Option<Arc<I>> {
+        crate::lock::read_recover(&self.map)
+            .get(cols)
+            .map(Arc::clone)
     }
 
     /// Get the index over `cols`, building (and caching) it on first use.

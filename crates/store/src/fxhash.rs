@@ -22,6 +22,24 @@ impl FxHasher {
     fn mix(&mut self, word: u64) {
         self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
     }
+
+    /// Resume hashing from a previously captured [`state`](Self::state).
+    ///
+    /// The pre-avalanche state is foldable: feeding values one column at
+    /// a time through save/resume produces exactly the hash of feeding
+    /// them row-at-a-time. The batch key-hashing kernels keep one saved
+    /// state per row and fold each key column across the whole batch.
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        FxHasher { state }
+    }
+
+    /// The raw pre-avalanche state, for [`from_state`](Self::from_state).
+    /// Not a final hash — call [`finish`](Hasher::finish) for that.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 impl Hasher for FxHasher {
@@ -109,6 +127,27 @@ mod tests {
             h.finish()
         };
         assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn state_save_resume_matches_one_shot() {
+        let one_shot = {
+            let mut h = FxHasher::default();
+            1u64.hash(&mut h);
+            2u64.hash(&mut h);
+            3u64.hash(&mut h);
+            h.finish()
+        };
+        let folded = {
+            let mut h = FxHasher::default();
+            1u64.hash(&mut h);
+            let s = h.state();
+            let mut h = FxHasher::from_state(s);
+            2u64.hash(&mut h);
+            3u64.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(one_shot, folded);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   in **one** contiguous allocation, rows handed back as slices.
 //!   Freezing `n` rows costs O(1) allocations instead of one box per
 //!   row; the service catalog freezes database snapshots into it.
+//! * [`ColumnarRows`] — the column-major frozen variant: one contiguous
+//!   buffer **per column**, so keyed kernels (probing, grouped index
+//!   builds, batch hashing) walk dense column slices instead of hopping
+//!   through per-row boxes.
 //! * [`ColIndexCache`] — a thread-safe, *hashed* per-column-set cache of
 //!   derived indexes over one frozen row store (the replacement for the
 //!   old linear-scan `Rc<RefCell<Vec<…>>>` cache in `mq_relation`).
@@ -36,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod columnar;
 pub mod frozen;
 pub mod fxhash;
 pub mod lock;
 pub mod memo;
 
 pub use arena::ArenaRows;
+pub use columnar::ColumnarRows;
 pub use frozen::{ColIndexCache, FrozenRows};
 pub use fxhash::{FxBuildHasher, FxHasher};
 pub use lock::{lock_recover, read_recover, unpoison, wait_recover, write_recover};

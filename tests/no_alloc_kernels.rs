@@ -6,7 +6,11 @@
 //! positionally, so — once the build-side index is cached — probing must
 //! allocate O(result), not O(rows). A counting global allocator pins that
 //! down: each probe phase below runs over thousands of rows and is
-//! asserted to allocate at most a small constant.
+//! asserted to allocate at most a small constant. The columnar phases
+//! additionally pin the column-major layout's costs: transposition is
+//! O(arity) allocations, batched multi-column hashing reuses one
+//! scratch buffer, and the fused/reverse semijoins return
+//! storage-sharing clones when nothing is filtered.
 //!
 //! All phases live in one `#[test]` because the allocation counter is
 //! global to the process and the test harness runs tests concurrently.
@@ -133,6 +137,66 @@ fn probe_phases_allocate_constant_not_per_row() {
         spent < BUDGET,
         "reduce_relation probe allocated {spent} times for {N} rows — \
          the double-pass/boxed-key path regressed"
+    );
+
+    // ── Columnar phases ─────────────────────────────────────────────
+    // Transposing N boxed rows into the column-major mirror is O(arity)
+    // allocations (one contiguous buffer per column plus the shared
+    // header), never one per row.
+    let fresh = Bindings::from_parts(vec![v(0), v(1)], (0..N).map(|i| ints(&[i, -i])).collect());
+    let before = allocations();
+    let cols = fresh.columnar();
+    let spent = allocations() - before;
+    assert_eq!(cols.len(), N as usize);
+    assert!(
+        spent < 16,
+        "columnar transposition allocated {spent} times for {N} rows"
+    );
+
+    // Multi-column keys take the batched columnar hashing path: whole
+    // column slices are hashed into one scratch buffer, so the count
+    // probe stays O(1) allocations over N rows.
+    let a2 = Bindings::from_parts(
+        vec![v(0), v(1)],
+        (0..N).map(|i| ints(&[i, i + 1])).collect(),
+    );
+    let b2 = Bindings::from_parts(
+        vec![v(1), v(0)],
+        (0..N).map(|i| ints(&[i + 1, i])).collect(),
+    );
+    assert_eq!(a2.semijoin_count(&b2), a2.len()); // prime both indexes
+    let before = allocations();
+    let count = a2.semijoin_count(&b2);
+    let spent = allocations() - before;
+    assert_eq!(count, a2.len());
+    assert!(
+        spent < BUDGET,
+        "two-column semijoin_count allocated {spent} times for {N} rows"
+    );
+
+    // Reverse semijoin: the receiver keeps its cached index and the
+    // ephemeral argument is scanned; an all-hit probe returns a
+    // storage-sharing clone — O(1) allocations.
+    assert_eq!(a.semijoin_indexed(&hits).len(), a.len()); // prime
+    let before = allocations();
+    let semi = a.semijoin_indexed(&hits);
+    let spent = allocations() - before;
+    assert_eq!(semi.len(), a.len());
+    assert!(
+        spent < BUDGET,
+        "semijoin_indexed allocated {spent} times for {N} rows"
+    );
+
+    // Fused multi-child semijoin: one sweep probing every child's cached
+    // index; when all children keep every row the result shares storage.
+    assert_eq!(a.semijoin_all(&[&hits, &b2]).len(), a.len()); // prime
+    let before = allocations();
+    let all = a.semijoin_all(&[&hits, &b2]);
+    let spent = allocations() - before;
+    assert_eq!(all.len(), a.len());
+    assert!(
+        spent < BUDGET,
+        "semijoin_all allocated {spent} times for {N} rows"
     );
 
     // ArenaRows: freezing N boxed tuples into the contiguous arena the

@@ -252,6 +252,50 @@ proptest! {
         }
     }
 
+    /// The columnar kernels must be a pure layout change: `find_rules`
+    /// answers are byte-identical under `MQ_COLUMNAR={1,0}` and under
+    /// the baseline (boxed-key) core, all matching the naive reference —
+    /// on chain, triangle and type-2 (padded-instantiation) shapes, the
+    /// last exercising the per-atom body assembly whose padding
+    /// variables live outside every decomposition vertex.
+    #[test]
+    fn columnar_row_major_and_baseline_agree(
+        p in relation_strategy(),
+        q in relation_strategy(),
+        h in relation_strategy(),
+        shape in 0usize..3,
+        padded in proptest::bool::ANY,
+        ksup in 0u64..3,
+    ) {
+        use mq_relation::{set_baseline_mode, set_columnar_override};
+        // Serialized with the other process-global mode toggles.
+        let _guard = shared_memo_lock();
+        let db = build_db(&p, &q, &h);
+        let text = match shape {
+            0 => "R(X,Z) <- P(X,Y), Q(Y,Z)",
+            1 => "R(X0,X1) <- P0(X0,X1), P1(X1,X2), P2(X2,X0)",
+            _ => "I(X) <- O(X), N(X)",
+        };
+        let ty = if padded { InstType::Two } else { InstType::Zero };
+        let mq = parse_metaquery(text).unwrap();
+        let th = Thresholds::all(Frac::new(ksup, 4), Frac::ZERO, Frac::ZERO);
+        let reference = naive_find_all(&db, &mq, ty, th).unwrap();
+        for (core, columnar) in [
+            ("columnar", Some(true)),
+            ("row-major", Some(false)),
+            ("baseline", None),
+        ] {
+            match columnar {
+                Some(c) => set_columnar_override(Some(c)),
+                None => set_baseline_mode(true),
+            }
+            let got = find_rules(&db, &mq, ty, th).unwrap();
+            set_columnar_override(None);
+            set_baseline_mode(false);
+            prop_assert_eq!(&got, &reference, "{} core diverged on {}", core, text);
+        }
+    }
+
     /// The Plan IR → Executor pipeline must not change answers: planned
     /// `find_rules` ≡ the naive guess-and-check engine on random chains,
     /// stars and width-2 cycles — the shapes exercising single-atom
