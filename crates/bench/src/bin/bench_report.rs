@@ -40,14 +40,25 @@
 //! 120), `MQ_BENCH_NET_REQS` (default 5 requests per connection),
 //! `MQ_BENCH_NET_FAULTS` (an `MQ_FAULTS`-syntax plan injected for the
 //! run) and `MQ_BENCH_MAX_NET_P99_MS` (latency guard, default 10000).
+//!
+//! Two observability workloads round out the report: `node_profile`
+//! runs one detailed-profile search and writes the top plan nodes by
+//! self wall time (id, rendered label, execs, memo hits, row traffic),
+//! and `trace_overhead` times the same fig4 search with tracing forced
+//! off and on, failing if the slowdown exceeds
+//! `MQ_BENCH_MAX_TRACE_OVERHEAD_PCT` (default 5%).
 
 use mq_bench::netload::{run_load, LoadConfig, LoadReport};
 use mq_bench::{
     chain_workload, cycle_workload, hybrid_star_workload, mid_thresholds, time, Workload,
 };
-use mq_core::engine::find_rules::{find_rules, find_rules_seq, find_rules_shared};
+use mq_core::engine::find_rules::{
+    find_rules, find_rules_instrumented, find_rules_seq, find_rules_shared,
+};
 use mq_core::engine::memo::{shared_memo_enabled, MemoStats, SharedMemos};
+use mq_core::plan::PlanNodeId;
 use mq_core::prelude::*;
+use mq_obs::NodeStat;
 use mq_relation::{set_baseline_mode, Frac};
 use mq_service::{handle_line, MetaqueryRequest, MqService, NetConfig, NetServer};
 use std::cell::Cell;
@@ -443,6 +454,159 @@ fn bench_net_load() -> Option<NetLoadReport> {
     Some(NetLoadReport { load, faults })
 }
 
+/// Results of the `node_profile` workload.
+struct NodeProfileReport {
+    workload: &'static str,
+    answers: usize,
+    wall_s: f64,
+    /// `(plan-node id, label, stats)` — top nodes by self wall time.
+    nodes: Vec<(usize, String, NodeStat)>,
+}
+
+/// One detailed-profile run of the width-2 cycle workload (the most
+/// plan-diverse fig4 shape: scans, projections, hash joins and
+/// semijoins all appear): attributes wall time, executions, memo hits
+/// and row traffic to hash-consed plan-node ids and reports the top
+/// nodes with their rendered labels. This is the per-plan-node view the
+/// slow-query log serves online; surfacing it in the bench report gives
+/// successive PRs an attribution trajectory, not just end-to-end
+/// medians.
+fn bench_node_profile() -> Option<NodeProfileReport> {
+    const NAME: &str = "node_profile";
+    const WORKLOAD: &str = "fig4_width2_cycle4";
+    const TOP_NODES: usize = 10;
+    if let Some(only) = bench_only() {
+        if !NAME.contains(&only) {
+            eprintln!("{NAME}: skipped (MQ_BENCH_ONLY={only})");
+            return None;
+        }
+    }
+    let w = cycle_workload(2, 120, 18, 4);
+    let th = mid_thresholds();
+    let memos = Arc::new(SharedMemos::new());
+    let profile = Arc::new(mq_obs::SearchProfile::detailed());
+    let (answers, wall_s) = time(|| {
+        find_rules_instrumented(
+            &w.db,
+            &w.mq,
+            InstType::Zero,
+            th,
+            Some(Arc::clone(&memos)),
+            None,
+            Some(Arc::clone(&profile)),
+            0,
+        )
+        .unwrap()
+        .len()
+    });
+    let nodes: Vec<(usize, String, NodeStat)> = profile
+        .top_nodes(TOP_NODES)
+        .into_iter()
+        .map(|(id, st)| {
+            let label = memos
+                .describe_plan_node(PlanNodeId(id as u32))
+                .unwrap_or_else(|| format!("node#{id}"));
+            (id, label, st)
+        })
+        .collect();
+    assert!(
+        !nodes.is_empty(),
+        "{NAME}: a detailed profile over {WORKLOAD} attributed no plan nodes"
+    );
+    eprintln!(
+        "{NAME}: {WORKLOAD} in {wall_s:.4}s — {} plan nodes profiled, hottest {} ({}ns self)",
+        nodes.len(),
+        nodes[0].1,
+        nodes[0].2.wall_ns,
+    );
+    Some(NodeProfileReport {
+        workload: WORKLOAD,
+        answers,
+        wall_s,
+        nodes,
+    })
+}
+
+/// Results of the `trace_overhead` workload.
+struct TraceOverheadReport {
+    workload: &'static str,
+    untraced_s: f64,
+    traced_s: f64,
+    overhead_pct: f64,
+}
+
+/// The instrumentation-cost contract: the same fig4 search timed with
+/// tracing forced off and forced on (spans recorded, per-node profiling
+/// live). The median overhead must stay under
+/// `MQ_BENCH_MAX_TRACE_OVERHEAD_PCT` (default 5%), so an accidentally
+/// hot `span!` site or profiling in the disabled path fails the bench
+/// smoke run.
+fn bench_trace_overhead() -> Option<TraceOverheadReport> {
+    const NAME: &str = "trace_overhead";
+    // The largest fig4 chain point: long enough (~tens of ms) that the
+    // median isn't timer noise, which a percentage guard needs.
+    const WORKLOAD: &str = "fig4_findrules_chain_d450";
+    if let Some(only) = bench_only() {
+        if !NAME.contains(&only) {
+            eprintln!("{NAME}: skipped (MQ_BENCH_ONLY={only})");
+            return None;
+        }
+    }
+    let w = chain_workload(3, 450, 150, 2);
+    let th = mid_thresholds();
+    let n = samples();
+    // A single search is ~1ms — far too close to scheduler jitter for a
+    // percentage guard. Each timed sample batches REPS searches, the
+    // off/on sides are *interleaved* (so slow drift — thermal, cache,
+    // competing load — hits both equally instead of whichever side ran
+    // second), and each side keeps its fastest sample: min-of-batches
+    // is the estimator least sensitive to one-sided noise spikes.
+    const REPS: usize = 50;
+    let run = || find_rules(&w.db, &w.mq, InstType::Zero, th).unwrap().len();
+    let batch = || {
+        let mut answers = 0;
+        for _ in 0..REPS {
+            answers = run();
+        }
+        answers
+    };
+    batch(); // warm caches off the clock so neither side pays them
+    let (mut untraced_s, mut traced_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut a_off, mut a_on) = (0, 0);
+    for _ in 0..n {
+        mq_obs::set_trace_override(Some(false));
+        let (a, s) = time(batch);
+        a_off = a;
+        untraced_s = untraced_s.min(s / REPS as f64);
+        mq_obs::set_trace_override(Some(true));
+        let (a, s) = time(batch);
+        a_on = a;
+        traced_s = traced_s.min(s / REPS as f64);
+    }
+    mq_obs::set_trace_override(None);
+    assert_eq!(a_off, a_on, "{NAME}: tracing changed the answers");
+    let overhead_pct = (traced_s - untraced_s) / untraced_s.max(1e-12) * 100.0;
+    let max_pct: f64 = std::env::var("MQ_BENCH_MAX_TRACE_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    assert!(
+        overhead_pct <= max_pct,
+        "{NAME}: tracing added {overhead_pct:.2}% ({untraced_s:.5}s -> {traced_s:.5}s), \
+         over the {max_pct}% limit (MQ_BENCH_MAX_TRACE_OVERHEAD_PCT)"
+    );
+    eprintln!(
+        "{NAME}: untraced {untraced_s:.5}s  traced {traced_s:.5}s  ({overhead_pct:+.2}%, \
+         limit {max_pct}%)"
+    );
+    Some(TraceOverheadReport {
+        workload: WORKLOAD,
+        untraced_s,
+        traced_s,
+        overhead_pct,
+    })
+}
+
 fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
@@ -556,8 +720,18 @@ fn main() {
     // The hardened-TCP workload (tail latency + error/recovery counts).
     let net_load = bench_net_load();
 
+    // Per-plan-node attribution of one detailed-profile search.
+    let node_profile = bench_node_profile();
+
+    // The instrumentation-cost guard (traced vs untraced medians).
+    let trace_overhead = bench_trace_overhead();
+
     assert!(
-        !rows.is_empty() || service.is_some() || net_load.is_some(),
+        !rows.is_empty()
+            || service.is_some()
+            || net_load.is_some()
+            || node_profile.is_some()
+            || trace_overhead.is_some(),
         "MQ_BENCH_ONLY matched no workload — nothing to report"
     );
 
@@ -702,6 +876,32 @@ fn main() {
             l.p99_ms,
             l.throughput_rps(),
             l.wall_s,
+        ));
+    }
+    if let Some(p) = &node_profile {
+        let nodes = p
+            .nodes
+            .iter()
+            .map(|(id, label, st)| {
+                format!(
+                    "{{\"id\": {id}, \"label\": \"{label}\", \"wall_ns\": {}, \
+                     \"execs\": {}, \"memo_hits\": {}, \"rows_in\": {}, \"rows_out\": {}}}",
+                    st.wall_ns, st.execs, st.memo_hits, st.rows_in, st.rows_out
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "  \"node_profile\": {{\"workload\": \"{}\", \"answers\": {}, \
+             \"wall_s\": {:.6}, \"nodes\": [{nodes}]}},\n",
+            p.workload, p.answers, p.wall_s
+        ));
+    }
+    if let Some(t) = &trace_overhead {
+        json.push_str(&format!(
+            "  \"trace_overhead\": {{\"workload\": \"{}\", \"untraced_s\": {:.6}, \
+             \"traced_s\": {:.6}, \"overhead_pct\": {:.3}}},\n",
+            t.workload, t.untraced_s, t.traced_s, t.overhead_pct
         ));
     }
     json.push_str("  \"workloads\": [\n");

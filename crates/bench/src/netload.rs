@@ -167,16 +167,26 @@ struct Tally {
     latencies_ms: Vec<f64>,
 }
 
-/// `ok mine …` headers may carry a ` deduped` marker when the request
-/// coalesced onto another in-flight search; answers are identical either
-/// way, so the byte-identity check compares headers modulo the marker.
-fn strip_dedup(line: &str) -> &str {
+/// `ok mine …` headers end with a per-request ` req=<id>` trace handle
+/// and may carry a ` deduped` marker when the request coalesced onto
+/// another in-flight search; answers are identical either way, so the
+/// byte-identity check compares headers modulo both.
+fn normalize_header(line: &str) -> &str {
+    let line = match line.rfind(" req=") {
+        Some(i)
+            if !line[i + 5..].is_empty()
+                && line[i + 5..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            &line[..i]
+        }
+        _ => line,
+    };
     line.strip_suffix(" deduped").unwrap_or(line)
 }
 
 fn blocks_match(got: &[String], expected: &[String]) -> bool {
     got.len() == expected.len()
-        && strip_dedup(&got[0]) == strip_dedup(&expected[0])
+        && normalize_header(&got[0]) == normalize_header(&expected[0])
         && got[1..] == expected[1..]
 }
 

@@ -34,8 +34,10 @@ use crate::plan::{
     build_node_plan_ordered, AtomKey, CountOp, CountPlan, JoinAtomStats, PlanArena, PlanNodeId,
     PlanOp,
 };
+use mq_obs::profile::{NodeStat, SearchProfile};
 use mq_relation::{Bindings, Database, VarId};
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// The executor's memo backing: private per-worker slices, or handles
@@ -61,13 +63,33 @@ enum Memos {
 pub(crate) struct Executor<'a> {
     db: &'a Database,
     memos: Memos,
+    /// The search's profile sink (`mq-obs`), when the caller asked for
+    /// one. Node evals and memo hits accumulate in the worker-local
+    /// fields below and flush into the shared profile exactly once — on
+    /// drop — so the execution loop never touches a shared cache line.
+    profile: Option<Arc<SearchProfile>>,
+    /// Cached `profile.is_detailed()`: whether to keep per-node wall
+    /// time / row counts (clock reads happen only when set).
+    detailed: bool,
+    /// Worker-local node evaluations (kernel actually ran).
+    execs: u64,
+    /// Worker-local result-memo hits.
+    memo_hits: u64,
+    /// Worker-local per-node detail, indexed by plan-node id.
+    nodes: Vec<NodeStat>,
 }
 
 impl<'a> Executor<'a> {
     /// An executor over `db`. With `shared = Some(service)` all memo
     /// traffic goes through the cross-worker service; with `None` the
-    /// executor owns private memo slices.
-    pub(crate) fn new(db: &'a Database, shared: Option<Arc<SharedMemos>>) -> Self {
+    /// executor owns private memo slices. `profile` (when given)
+    /// receives this worker's node-eval totals — and per-node detail if
+    /// it is a detailed profile — when the executor drops.
+    pub(crate) fn new(
+        db: &'a Database,
+        shared: Option<Arc<SharedMemos>>,
+        profile: Option<Arc<SearchProfile>>,
+    ) -> Self {
         let memos = match shared {
             Some(s) => Memos::Shared(s),
             None => Memos::Private {
@@ -77,7 +99,36 @@ impl<'a> Executor<'a> {
                 results: Vec::new(),
             },
         };
-        Executor { db, memos }
+        let detailed = profile.as_deref().is_some_and(SearchProfile::is_detailed);
+        Executor {
+            db,
+            memos,
+            profile,
+            detailed,
+            execs: 0,
+            memo_hits: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The detail slot of node `id`, grown on demand (plan-node ids are
+    /// dense per arena).
+    fn node_mut(&mut self, id: PlanNodeId) -> &mut NodeStat {
+        let i = id.0 as usize;
+        if self.nodes.len() <= i {
+            self.nodes.resize(i + 1, NodeStat::default());
+        }
+        &mut self.nodes[i]
+    }
+
+    /// The trace clock, read only when per-node detail is being kept —
+    /// the undetailed path stays free of clock syscalls.
+    fn clock(&self) -> u64 {
+        if self.detailed {
+            mq_obs::trace::now_ns()
+        } else {
+            0
+        }
     }
 
     /// Evaluate `rel(terms)` once, memoized. In baseline mode the memo is
@@ -217,15 +268,33 @@ impl<'a> Executor<'a> {
     /// empty intermediate itself is the node's (memoized) result — its
     /// columns are the prefix's kept variables, exactly like the engine
     /// before this refactor.
+    ///
+    /// Profiling: memo hits and kernel executions bump worker-local
+    /// counters unconditionally (two integer adds); wall time and row
+    /// counts per node are kept only under a detailed profile, as
+    /// **self** time — the clock around a node's own kernel, with the
+    /// child's recursion subtracted — so a plan's node times sum to the
+    /// executor total instead of multiply-counting shared prefixes.
     pub(crate) fn exec(&mut self, id: PlanNodeId) -> Arc<Bindings> {
         if let Some(hit) = self.result_hit(id) {
+            self.memo_hits += 1;
+            if self.detailed {
+                self.node_mut(id).memo_hits += 1;
+            }
             return hit;
         }
         let op = self.op(id);
+        self.execs += 1;
+        let t0 = self.clock();
+        let mut child_ns = 0u64;
+        let mut rows_in = 0u64;
         let out: Arc<Bindings> = match op {
             PlanOp::Scan { atom } => self.eval_atom(atom),
             PlanOp::Project { left, vars } => {
+                let tc = self.clock();
                 let l = self.exec(left);
+                child_ns = self.clock().saturating_sub(tc);
+                rows_in = l.len() as u64;
                 if l.is_empty() {
                     l
                 } else {
@@ -233,24 +302,41 @@ impl<'a> Executor<'a> {
                 }
             }
             PlanOp::HashJoin { left, atom, keys } => {
+                let tc = self.clock();
                 let l = self.exec(left);
+                child_ns = self.clock().saturating_sub(tc);
+                rows_in = l.len() as u64;
                 if l.is_empty() {
                     l
                 } else {
                     let a = self.eval_atom(atom);
+                    rows_in += a.len() as u64;
                     Arc::new(l.join_on(&a, &keys))
                 }
             }
             PlanOp::Semijoin { left, atom, keys } => {
+                let tc = self.clock();
                 let l = self.exec(left);
+                child_ns = self.clock().saturating_sub(tc);
+                rows_in = l.len() as u64;
                 if l.is_empty() {
                     l
                 } else {
                     let a = self.eval_atom(atom);
+                    rows_in += a.len() as u64;
                     Arc::new(l.semijoin_on(&a, &keys))
                 }
             }
         };
+        if self.detailed {
+            let self_ns = self.clock().saturating_sub(t0).saturating_sub(child_ns);
+            let rows_out = out.len() as u64;
+            let stat = self.node_mut(id);
+            stat.execs += 1;
+            stat.wall_ns += self_ns;
+            stat.rows_in += rows_in;
+            stat.rows_out += rows_out;
+        }
         self.result_publish(id, out)
     }
 
@@ -262,5 +348,21 @@ impl<'a> Executor<'a> {
             CountOp::SemijoinCount { left, right } => inputs[*left].semijoin_count(inputs[*right]),
             CountOp::CountDistinct { input, vars } => inputs[*input].count_distinct(vars),
         }
+    }
+}
+
+impl Drop for Executor<'_> {
+    /// Flush the worker-local profile accumulation exactly once —
+    /// engines (and their executors) drop when their worker finishes,
+    /// so the shared profile is touched O(workers), not O(nodes).
+    fn drop(&mut self) {
+        let Some(profile) = &self.profile else {
+            return;
+        };
+        profile.node_execs.fetch_add(self.execs, Ordering::Relaxed);
+        profile
+            .node_memo_hits
+            .fetch_add(self.memo_hits, Ordering::Relaxed);
+        profile.merge_nodes(&self.nodes);
     }
 }

@@ -117,9 +117,34 @@ pub fn find_rules_budgeted(
     memos: Option<Arc<super::memo::SharedMemos>>,
     max_wall_ms: Option<u64>,
 ) -> Result<Vec<MqAnswer>, InstError> {
+    find_rules_instrumented(db, mq, ty, thresholds, memos, max_wall_ms, None, 0)
+}
+
+/// [`find_rules_budgeted`] with observability attached — the fully
+/// instrumented serving/bench entry point. `profile` (when given)
+/// receives the search's scheduler-task and node-eval totals, plus
+/// per-plan-node wall time / rows / memo hits when it was built
+/// [`mq_obs::SearchProfile::detailed`]. `req_id` (0 = unattributed)
+/// scopes every worker's trace spans to the serving request, so
+/// `trace <req-id>` shows scheduler tasks next to the session spans.
+/// Neither affects answers: `Ok` results stay byte-identical to
+/// [`find_rules_seq`].
+#[allow(clippy::too_many_arguments)]
+pub fn find_rules_instrumented(
+    db: &Database,
+    mq: &Metaquery,
+    ty: InstType,
+    thresholds: Thresholds,
+    memos: Option<Arc<super::memo::SharedMemos>>,
+    max_wall_ms: Option<u64>,
+    profile: Option<Arc<mq_obs::SearchProfile>>,
+    req_id: u64,
+) -> Result<Vec<MqAnswer>, InstError> {
     validate(db, mq, ty)?;
     let mut setup = Setup::with_memo_service(db, mq, ty, thresholds, memos);
     setup.deadline = max_wall_ms.map(SearchDeadline::new);
+    setup.profile = profile;
+    setup.obs_req = req_id;
     // An already-expired budget (e.g. 0 ms) fails before any work: the
     // engines only read the clock every 64th poll, so a tiny search
     // could otherwise finish under an expired deadline.
@@ -348,6 +373,15 @@ pub(crate) struct Setup<'a> {
     /// and by the scheduler's task loop. `None` (every entry point but
     /// [`find_rules_budgeted`]) is a single branch on the hot path.
     pub(crate) deadline: Option<SearchDeadline>,
+    /// Optional per-search profile sink (`mq-obs`): scheduler tasks and
+    /// executor node evals always, per-plan-node detail when the profile
+    /// is detailed. `None` everywhere but the serving/bench entry point
+    /// ([`find_rules_instrumented`]).
+    pub(crate) profile: Option<Arc<mq_obs::SearchProfile>>,
+    /// Request id the search's trace spans are attributed to (0 = none):
+    /// scheduler workers enter this scope so spans they record land on
+    /// the same request as the serving thread's.
+    pub(crate) obs_req: u64,
 }
 
 impl<'a> Setup<'a> {
@@ -478,6 +512,8 @@ impl<'a> Setup<'a> {
                 })
             },
             deadline: None,
+            profile: None,
+            obs_req: 0,
         }
     }
 }
@@ -573,7 +609,7 @@ impl<'a, 'b, F: FnMut(&MqAnswer) -> ControlFlow<()>> Engine<'a, 'b, F> {
         let n_pos = setup.post.len();
         Engine {
             setup,
-            exec: Executor::new(setup.db, setup.shared_memos.clone()),
+            exec: Executor::new(setup.db, setup.shared_memos.clone(), setup.profile.clone()),
             f,
             assign: vec![None; n_patterns],
             pv_rel: HashMap::new(),

@@ -279,6 +279,28 @@ impl SharedMemos {
         build(&mut write_recover(&self.arena))
     }
 
+    /// Human label of plan node `id` — `scan(r3)`, `hashjoin(#2, r5)`,
+    /// … — where `#n` is the left child's node id and `rN` the atom's
+    /// relation. Used by the slow-query log and `bench_report`'s node
+    /// profile to make "hottest plan nodes" tables readable. `None`
+    /// when `id` was never interned in this service's arena.
+    pub fn describe_plan_node(&self, id: PlanNodeId) -> Option<String> {
+        let arena = read_recover(&self.arena);
+        if (id.0 as usize) >= arena.len() {
+            return None;
+        }
+        Some(match arena.op(id) {
+            PlanOp::Scan { atom } => format!("scan(r{})", atom.0.index()),
+            PlanOp::Project { left, .. } => format!("project(#{})", left.0),
+            PlanOp::HashJoin { left, atom, .. } => {
+                format!("hashjoin(#{}, r{})", left.0, atom.0.index())
+            }
+            PlanOp::Semijoin { left, atom, .. } => {
+                format!("semijoin(#{}, r{})", left.0, atom.0.index())
+            }
+        })
+    }
+
     /// Aggregated hit/miss counters of the three memo layers of **this**
     /// service (the persistent atom seed keeps its own counters — see
     /// [`AtomCache::stats`]).

@@ -83,10 +83,18 @@ fn parallel_enabled() -> bool {
 pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
     let threads = rayon::current_num_threads();
     if threads <= 1 || !parallel_enabled() {
+        // The sequential fallback runs on the calling thread, which is
+        // already inside the request's trace scope; count it as one task.
+        if let Some(p) = &setup.profile {
+            p.task_claimed();
+        }
         return collect_sequential(setup);
     }
     let tasks = setup.prefix_tasks(split_depth());
     if tasks.len() < 2 {
+        if let Some(p) = &setup.profile {
+            p.task_claimed();
+        }
         return collect_sequential(setup);
     }
     let n_workers = threads.min(tasks.len());
@@ -107,6 +115,11 @@ pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
                 // is uncontended — Arc<Mutex> instead of Rc<RefCell>
                 // keeps this module inside the workspace's Send+Sync
                 // purity contract (`no-rc-refcell-in-sendsync`).
+                // Workers are fresh pool threads: enter the request's
+                // trace scope so their spans (and the engine drop's
+                // profile flush) attribute to the serving request.
+                let _scope =
+                    (setup.obs_req != 0).then(|| mq_obs::trace::request_scope(setup.obs_req));
                 let sink: Arc<Mutex<Vec<MqAnswer>>> = Arc::new(Mutex::new(Vec::new()));
                 let mut engine = Engine::new(setup, {
                     let sink = Arc::clone(&sink);
@@ -127,6 +140,10 @@ pub(crate) fn run(setup: &Setup) -> Vec<MqAnswer> {
                     if i >= tasks.len() {
                         break;
                     }
+                    if let Some(p) = &setup.profile {
+                        p.task_claimed();
+                    }
+                    let _span = mq_obs::span!(mq_obs::trace::SCHED_TASK);
                     engine.run_prefix_task(&tasks[i]);
                     let got: Vec<MqAnswer> = lock_recover(&sink).drain(..).collect();
                     *lock_recover(&slots[i]) = got;

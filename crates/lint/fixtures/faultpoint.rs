@@ -1,16 +1,17 @@
-// Fixture: one seeded `faultpoint-coverage` violation — a serve_line
-// that lost its fault-injection sites. Linted under the fake path
-// crates/service/src/net.rs.
+// Fixture: seeded `faultpoint-coverage` violations — a counter-handle
+// constructor that lost its read-boundary fault sites (the write sites
+// survive). Linted under the fake path crates/service/src/net.rs, where
+// the rule anchors on `fn new`.
 
-pub fn serve_line(line: &str) -> String {
-    // seeded violation: no faultpoint("read.delay") / faultpoint("read.err")
-    line.to_uppercase()
+pub struct Counters;
+
+impl Counters {
+    pub fn new() -> Counters {
+        // seeded violation: no site("read.delay") / site("read.err")
+        site("write.delay");
+        site("write.err");
+        Counters
+    }
 }
 
-pub fn writer_loop(replies: &[String]) -> usize {
-    faultpoint("write.delay");
-    faultpoint("write.err");
-    replies.len()
-}
-
-fn faultpoint(_site: &str) {}
+fn site(_s: &str) {}

@@ -1,0 +1,9 @@
+// Fixture: one seeded `metric-registry` violation — registering a
+// metric name the central registry doesn't declare. The declared name
+// above it must pass. Linted under the fake path
+// crates/service/src/bad.rs.
+
+pub fn register(reg: &Registry) {
+    reg.counter("mq_net_requests_total", "declared, passes");
+    reg.counter("mq_bogus_widgets_total", "seeded violation");
+}

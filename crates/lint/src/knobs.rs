@@ -24,6 +24,11 @@ pub const KNOBS: &[Knob] = &[
         purpose: "`net_load` p99 latency guard threshold, in milliseconds",
     },
     Knob {
+        name: "MQ_BENCH_MAX_TRACE_OVERHEAD_PCT",
+        default: "5",
+        purpose: "Bench guard: max % slowdown of the traced vs untraced fig4 run",
+    },
+    Knob {
         name: "MQ_BENCH_MAX_WIDTH2_LAG",
         default: "30",
         purpose: "Bench guard: max allowed `fig4_width2_cycle4` / `fig4_width1_chain2` ratio",
@@ -89,6 +94,11 @@ pub const KNOBS: &[Knob] = &[
         purpose: "Cross-worker shared memo service (`0` falls back to private per-worker slices)",
     },
     Knob {
+        name: "MQ_SLOW_MS",
+        default: "(off)",
+        purpose: "Slow-query log threshold, ms — slower searches capture a per-node profile",
+    },
+    Knob {
         name: "MQ_SPLIT_DEPTH",
         default: "2",
         purpose: "How many leading patterns the parallel split enumerates into tasks",
@@ -97,6 +107,11 @@ pub const KNOBS: &[Knob] = &[
         name: "MQ_THREADS",
         default: "CPU count",
         purpose: "Worker-thread cap for the scheduler pool (rayon shim)",
+    },
+    Knob {
+        name: "MQ_TRACE",
+        default: "0 (off)",
+        purpose: "Hot-path span tracing (`1` records scheduler/executor spans and per-node profiles)",
     },
 ];
 

@@ -3,8 +3,9 @@
 //! A dependency-free lexer + rule engine that enforces the contracts the
 //! test suite can't see: no panics on serving paths, poison-safe lock
 //! discipline, Send+Sync purity in the shared layers, a complete `MQ_*`
-//! knob registry, wire-stable error codes, preserved fault-injection
-//! sites, and no calls to deprecated shims.
+//! knob registry, a complete `mq_*` metric registry, wire-stable error
+//! codes, preserved fault-injection sites, and no calls to deprecated
+//! shims.
 //!
 //! The crate is split three ways:
 //!
@@ -16,6 +17,8 @@
 //!   [`rules::Workspace`] and returns unwaivered [`rules::Diagnostic`]s.
 //! - [`knobs`] — the central `MQ_*` registry the `knob-registry` rule
 //!   checks reads and docs against.
+//! - [`metrics`] — the central `mq_*` metric-name registry the
+//!   `metric-registry` rule checks registrations and docs against.
 //!
 //! Violations are waived in-place with
 //! `// lint:allow(<rule>): <reason>` on the violating line or the line
@@ -23,6 +26,7 @@
 
 pub mod knobs;
 pub mod lexer;
+pub mod metrics;
 pub mod rules;
 
 pub use rules::{lint, Diagnostic, SourceFile, Workspace, ALL_RULES};

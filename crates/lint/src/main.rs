@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p mq-lint --              # advisory: print findings, exit 0
 //! cargo run -p mq-lint -- --deny       # CI mode: exit 1 on any finding
-//! cargo run -p mq-lint -- --fix-docs   # regenerate the PERFORMANCE.md knob table
+//! cargo run -p mq-lint -- --fix-docs   # regenerate the PERFORMANCE.md registry tables
 //! cargo run -p mq-lint -- --list-rules # print the stable rule ids
 //! cargo run -p mq-lint -- --root <dir> # lint a different checkout
 //! ```
@@ -12,7 +12,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use mq_lint::{knobs, lint, load_workspace, ALL_RULES};
+use mq_lint::{knobs, lint, load_workspace, metrics, ALL_RULES};
 
 fn main() -> ExitCode {
     let mut deny = false;
@@ -44,23 +44,26 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(find_workspace_root);
     if fix_docs {
-        return match rewrite_knob_table(&root) {
-            Ok(changed) => {
-                println!(
-                    "PERFORMANCE.md knob table {}",
+        for (marker, table) in [
+            ("knob-table", knobs::render_table()),
+            ("metric-table", metrics::render_table()),
+        ] {
+            match rewrite_table(&root, marker, &table) {
+                Ok(changed) => println!(
+                    "PERFORMANCE.md {marker} {}",
                     if changed {
                         "rewritten"
                     } else {
                         "already in sync"
                     }
-                );
-                ExitCode::SUCCESS
+                ),
+                Err(e) => {
+                    eprintln!("mq-lint: --fix-docs failed: {e}");
+                    return ExitCode::from(2);
+                }
             }
-            Err(e) => {
-                eprintln!("mq-lint: --fix-docs failed: {e}");
-                ExitCode::from(2)
-            }
-        };
+        }
+        return ExitCode::SUCCESS;
     }
     let ws = match load_workspace(&root) {
         Ok(ws) => ws,
@@ -113,26 +116,25 @@ fn find_workspace_root() -> PathBuf {
     }
 }
 
-/// Regenerate the knob table between PERFORMANCE.md's
-/// `<!-- knob-table:begin -->` / `<!-- knob-table:end -->` markers.
-fn rewrite_knob_table(root: &Path) -> Result<bool, String> {
+/// Regenerate a registry table between PERFORMANCE.md's
+/// `<!-- <marker>:begin -->` / `<!-- <marker>:end -->` markers.
+fn rewrite_table(root: &Path, marker: &str, table: &str) -> Result<bool, String> {
     let path = root.join("PERFORMANCE.md");
     let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let begin = "<!-- knob-table:begin -->";
-    let end = "<!-- knob-table:end -->";
+    let begin = format!("<!-- {marker}:begin -->");
+    let end = format!("<!-- {marker}:end -->");
     let b = text
-        .find(begin)
+        .find(&begin)
         .ok_or_else(|| format!("{} has no `{begin}` marker", path.display()))?;
     let e = text
-        .find(end)
+        .find(&end)
         .ok_or_else(|| format!("{} has no `{end}` marker", path.display()))?;
     if e < b {
-        return Err("knob-table markers are reversed".to_string());
+        return Err(format!("{marker} markers are reversed"));
     }
     let new = format!(
-        "{}{begin}\n{}{end}{}",
+        "{}{begin}\n{table}{end}{}",
         &text[..b],
-        knobs::render_table(),
         &text[e + end.len()..]
     );
     if new == text {

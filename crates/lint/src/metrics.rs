@@ -1,0 +1,233 @@
+//! The central `mq_*` metric registry.
+//!
+//! Every metric the workspace registers against an `mq_obs::Registry`
+//! must be declared here (name, kind, purpose) — the `metric-registry`
+//! rule fails on any `"mq_…"` metric literal in non-test code that has
+//! no entry, on any entry no code registers (dead registry rot), and on
+//! a PERFORMANCE.md metric table that drifted from [`render_table`]'s
+//! output. The registry is the stable-names contract: dashboards and
+//! the `metrics` protocol command key on these strings, so renames must
+//! be deliberate (edit here, then `--fix-docs`).
+
+/// One declared metric.
+pub struct Metric {
+    /// The exposition name (`mq_<family>_<metric>`; histograms get
+    /// `_bucket`/`_sum`/`_count` series derived from it).
+    pub name: &'static str,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: &'static str,
+    /// One-line purpose, rendered into the docs table.
+    pub purpose: &'static str,
+}
+
+/// Every metric the workspace registers, alphabetically.
+pub const METRICS: &[Metric] = &[
+    Metric {
+        name: "mq_catalog_update_ns",
+        kind: "histogram",
+        purpose: "Wall time of one copy-on-write catalog update (append/replace)",
+    },
+    Metric {
+        name: "mq_catalog_updates_total",
+        kind: "counter",
+        purpose: "Successful catalog updates (snapshot version bumps)",
+    },
+    Metric {
+        name: "mq_dedup_follower_wait_ns",
+        kind: "histogram",
+        purpose: "Time a deduped follower blocked on the owning search",
+    },
+    Metric {
+        name: "mq_dedup_retries_total",
+        kind: "counter",
+        purpose: "Dedup re-joins after an owning search abandoned its slot",
+    },
+    Metric {
+        name: "mq_dedup_shared_total",
+        kind: "counter",
+        purpose: "Requests answered from another caller's in-flight search",
+    },
+    Metric {
+        name: "mq_exec_memo_hits_total",
+        kind: "counter",
+        purpose: "Plan-node evaluations answered by the memo service",
+    },
+    Metric {
+        name: "mq_exec_nodes_total",
+        kind: "counter",
+        purpose: "Plan-node evaluations executed (memo misses included)",
+    },
+    Metric {
+        name: "mq_faults_fired_total",
+        kind: "counter",
+        purpose: "Fault injections that fired, labeled by `site`",
+    },
+    Metric {
+        name: "mq_faults_polled_total",
+        kind: "counter",
+        purpose: "Fault-injection site consultations, labeled by `site`",
+    },
+    Metric {
+        name: "mq_memo_hits_total",
+        kind: "counter",
+        purpose: "Per-search memo hits drained from finished searches",
+    },
+    Metric {
+        name: "mq_memo_misses_total",
+        kind: "counter",
+        purpose: "Per-search memo misses drained from finished searches",
+    },
+    Metric {
+        name: "mq_net_accepted_total",
+        kind: "counter",
+        purpose: "TCP connections accepted",
+    },
+    Metric {
+        name: "mq_net_active_connections",
+        kind: "gauge",
+        purpose: "Currently served connections",
+    },
+    Metric {
+        name: "mq_net_disconnects_io_total",
+        kind: "counter",
+        purpose: "Connections dropped on read/write I/O errors",
+    },
+    Metric {
+        name: "mq_net_disconnects_slow_total",
+        kind: "counter",
+        purpose: "Connections dropped by the slow-client writer deadline",
+    },
+    Metric {
+        name: "mq_net_err_replies_total",
+        kind: "counter",
+        purpose: "Structured `err <code>` replies written",
+    },
+    Metric {
+        name: "mq_net_injected_read_errors_total",
+        kind: "counter",
+        purpose: "Injected `read.err` faults surfaced to a connection",
+    },
+    Metric {
+        name: "mq_net_oversized_total",
+        kind: "counter",
+        purpose: "Request lines rejected for exceeding the line cap",
+    },
+    Metric {
+        name: "mq_net_panics_caught_total",
+        kind: "counter",
+        purpose: "Per-request panics isolated by the connection guard",
+    },
+    Metric {
+        name: "mq_net_rejected_busy_total",
+        kind: "counter",
+        purpose: "Connections refused at the accept gate (server full)",
+    },
+    Metric {
+        name: "mq_net_request_ns",
+        kind: "histogram",
+        purpose: "End-to-end serve time of one request line",
+    },
+    Metric {
+        name: "mq_net_requests_total",
+        kind: "counter",
+        purpose: "Request lines served over TCP",
+    },
+    Metric {
+        name: "mq_sched_tasks_total",
+        kind: "counter",
+        purpose: "Scheduler tasks claimed across finished searches",
+    },
+    Metric {
+        name: "mq_session_admission_wait_ns",
+        kind: "histogram",
+        purpose: "Time a search waited at the admission gate",
+    },
+    Metric {
+        name: "mq_session_deadline_exceeded_total",
+        kind: "counter",
+        purpose: "Searches cut off by their wall-clock budget",
+    },
+    Metric {
+        name: "mq_session_executed_total",
+        kind: "counter",
+        purpose: "Searches actually run (dedup followers excluded)",
+    },
+    Metric {
+        name: "mq_session_panics_caught_total",
+        kind: "counter",
+        purpose: "Search panics caught and converted to structured errors",
+    },
+    Metric {
+        name: "mq_session_requests_total",
+        kind: "counter",
+        purpose: "Metaquery requests received by the session layer",
+    },
+    Metric {
+        name: "mq_session_search_wall_ns",
+        kind: "histogram",
+        purpose: "Wall time of one executed search (admission excluded)",
+    },
+];
+
+/// Registry entry for `name`, if declared.
+pub fn lookup(name: &str) -> Option<&'static Metric> {
+    METRICS.iter().find(|m| m.name == name)
+}
+
+/// The generated markdown metric table — the exact content the
+/// `metric-registry` rule requires between PERFORMANCE.md's
+/// `<!-- metric-table:begin -->` / `<!-- metric-table:end -->` markers.
+pub fn render_table() -> String {
+    let mut out = String::from("| Metric | Kind | Purpose |\n|---|---|---|\n");
+    for m in METRICS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            m.name, m.kind, m.purpose
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for pair in METRICS.windows(2) {
+            assert!(
+                pair[0].name < pair[1].name,
+                "registry must stay alphabetical and duplicate-free: {} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_are_the_three_instruments() {
+        for m in METRICS {
+            assert!(
+                matches!(m.kind, "counter" | "gauge" | "histogram"),
+                "{}: unknown kind {}",
+                m.name,
+                m.kind
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_renders_one_table_row() {
+        let table = render_table();
+        for m in METRICS {
+            assert!(table.contains(&format!("| `{}` |", m.name)));
+        }
+        assert_eq!(table.lines().count(), METRICS.len() + 2);
+    }
+
+    #[test]
+    fn lookup_finds_declared_metrics_only() {
+        assert!(lookup("mq_net_requests_total").is_some());
+        assert!(lookup("mq_not_a_metric_total").is_none());
+    }
+}

@@ -5,8 +5,8 @@
 //! Diagnostics carry stable rule ids, so CI output and waivers stay
 //! meaningful across refactors.
 
-use crate::knobs;
 use crate::lexer::{lex, matching, Lexed, Tok, Token};
+use crate::{knobs, metrics};
 
 /// `no-panic-in-serving`: no `.unwrap()` / `.expect()` / `panic!` /
 /// `unreachable!` / `todo!` / `unimplemented!` in non-test serving code
@@ -22,6 +22,9 @@ pub const NO_RC_REFCELL: &str = "no-rc-refcell-in-sendsync";
 /// `knob-registry`: every `MQ_*` literal must be declared in the knob
 /// registry, no dead entries, docs table in sync.
 pub const KNOB_REGISTRY: &str = "knob-registry";
+/// `metric-registry`: every `mq_*` metric literal must be declared in
+/// the metric registry, no dead entries, docs table in sync.
+pub const METRIC_REGISTRY: &str = "metric-registry";
 /// `err-code-stability`: emitted `err <code>` strings must exactly match
 /// the documented contract in ARCHITECTURE.md.
 pub const ERR_CODE_STABILITY: &str = "err-code-stability";
@@ -39,6 +42,7 @@ pub const ALL_RULES: &[&str] = &[
     POISON_SAFE_LOCKS,
     NO_RC_REFCELL,
     KNOB_REGISTRY,
+    METRIC_REGISTRY,
     ERR_CODE_STABILITY,
     FAULTPOINT_COVERAGE,
     NO_DEPRECATED_CALLS,
@@ -93,20 +97,21 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Declared serving-boundary fault sites: (file, function, sites).
+/// The boundaries poll their sites through per-server `CountedSite`
+/// handles (so fired/polled counts land in the instance's metric
+/// registry); the site literals live where the handles are constructed,
+/// so the rule anchors there — deleting a handle (and with it the
+/// boundary poll) trips the check.
 const FAULTPOINTS: &[(&str, &str, &[&str])] = &[
     (
+        // NetCounters::new — the only `fn new` in net.rs.
         "crates/service/src/net.rs",
-        "serve_line",
-        &["read.delay", "read.err"],
-    ),
-    (
-        "crates/service/src/net.rs",
-        "writer_loop",
-        &["write.delay", "write.err"],
+        "new",
+        &["read.delay", "read.err", "write.delay", "write.err"],
     ),
     (
         "crates/service/src/session.rs",
-        "run_search",
+        "with_config",
         &["search.panic"],
     ),
 ];
@@ -159,6 +164,7 @@ pub fn lint(ws: &Workspace) -> Vec<Diagnostic> {
         }
     }
     check_knob_registry(ws, &lexed, &mut diags);
+    check_metric_registry(ws, &lexed, &mut diags);
     check_err_codes(ws, &lexed, &mut diags);
     check_faultpoints(ws, &lexed, &mut diags);
     check_no_deprecated_calls(ws, &lexed, &mut diags);
@@ -408,6 +414,87 @@ fn check_knob_registry(ws: &Workspace, lexed: &[(usize, Lexed)], out: &mut Vec<D
             }),
         }
     }
+}
+
+fn check_metric_registry(ws: &Workspace, lexed: &[(usize, Lexed)], out: &mut Vec<Diagnostic>) {
+    let mut used: Vec<&str> = Vec::new();
+    for (i, lx) in lexed {
+        let path = &ws.files[*i].path;
+        if path.ends_with("lint/src/metrics.rs") {
+            continue; // the registry itself doesn't count as a use
+        }
+        for (k, t) in lx.tokens.iter().enumerate() {
+            if lx.is_test[k] {
+                continue;
+            }
+            let Tok::Str(s) = &t.tok else { continue };
+            if !is_metric_name(s) {
+                continue;
+            }
+            match metrics::lookup(s) {
+                Some(m) => used.push(m.name),
+                None => out.push(Diagnostic {
+                    path: path.clone(),
+                    line: t.line,
+                    rule: METRIC_REGISTRY,
+                    message: format!(
+                        "`{s}` is not in the metric registry — declare it in \
+                         crates/lint/src/metrics.rs (name, kind, purpose)"
+                    ),
+                }),
+            }
+        }
+    }
+    if ws.check_completeness {
+        for m in metrics::METRICS {
+            if !used.contains(&m.name) {
+                out.push(Diagnostic {
+                    path: "crates/lint/src/metrics.rs".to_string(),
+                    line: 1,
+                    rule: METRIC_REGISTRY,
+                    message: format!(
+                        "dead registry entry `{}` — no non-test code registers it",
+                        m.name
+                    ),
+                });
+            }
+        }
+    }
+    // Docs sync: the PERFORMANCE.md table must equal the generated one.
+    if let Some(perf) = &ws.performance_md {
+        match marker_block(perf, "metric-table") {
+            Some((line, body)) => {
+                if body.trim() != metrics::render_table().trim() {
+                    out.push(Diagnostic {
+                        path: "PERFORMANCE.md".to_string(),
+                        line,
+                        rule: METRIC_REGISTRY,
+                        message: "metric table is out of sync with the registry — \
+                                  run `cargo run -p mq-lint -- --fix-docs`"
+                            .to_string(),
+                    });
+                }
+            }
+            None => out.push(Diagnostic {
+                path: "PERFORMANCE.md".to_string(),
+                line: 1,
+                rule: METRIC_REGISTRY,
+                message: "missing `<!-- metric-table:begin -->` / `<!-- metric-table:end -->` \
+                          markers"
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+/// A metric-name-shaped literal: `mq_<family>_<metric>` — lowercase
+/// snake case with at least two underscores, so crate-name literals
+/// (`mq_obs`) and unrelated strings don't trip the rule.
+fn is_metric_name(s: &str) -> bool {
+    s.starts_with("mq_")
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        && s.bytes().filter(|&b| b == b'_').count() >= 2
 }
 
 fn is_knob_name(s: &str) -> bool {

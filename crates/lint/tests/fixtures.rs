@@ -7,10 +7,19 @@
 //! `fixtures/` directories, so these files never taint a real run.
 
 use mq_lint::rules::{
-    BAD_WAIVER, ERR_CODE_STABILITY, FAULTPOINT_COVERAGE, KNOB_REGISTRY, NO_DEPRECATED_CALLS,
-    NO_PANIC_IN_SERVING, NO_RC_REFCELL, POISON_SAFE_LOCKS,
+    BAD_WAIVER, ERR_CODE_STABILITY, FAULTPOINT_COVERAGE, KNOB_REGISTRY, METRIC_REGISTRY,
+    NO_DEPRECATED_CALLS, NO_PANIC_IN_SERVING, NO_RC_REFCELL, POISON_SAFE_LOCKS,
 };
 use mq_lint::{lint, Diagnostic, SourceFile, Workspace};
+
+/// A PERFORMANCE.md with both generated tables present, one of which
+/// can be replaced by a stale body.
+fn perf_doc(knob_table: &str, metric_table: &str) -> String {
+    format!(
+        "# Perf\n<!-- knob-table:begin -->\n{knob_table}<!-- knob-table:end -->\n\
+         <!-- metric-table:begin -->\n{metric_table}<!-- metric-table:end -->\n"
+    )
+}
 
 /// A single-fixture workspace: no docs, no completeness checks.
 fn ws(path: &str, text: &str) -> Workspace {
@@ -85,10 +94,10 @@ fn knob_fixture_fires_on_the_undeclared_read() {
 #[test]
 fn knob_table_drift_is_a_violation() {
     let mut w = ws("crates/core/src/engine/ok.rs", "pub fn nothing() {}\n");
-    w.performance_md = Some(
-        "# Perf\n<!-- knob-table:begin -->\n| stale | table |\n<!-- knob-table:end -->\n"
-            .to_string(),
-    );
+    w.performance_md = Some(perf_doc(
+        "| stale | table |\n",
+        &mq_lint::metrics::render_table(),
+    ));
     let diags = lint(&w);
     assert_eq!(
         diags.iter().map(|d| d.rule).collect::<Vec<_>>(),
@@ -96,12 +105,37 @@ fn knob_table_drift_is_a_violation() {
     );
     assert_eq!(diags[0].path, "PERFORMANCE.md");
 
-    // …and the generated table is accepted verbatim.
-    w.performance_md = Some(format!(
-        "# Perf\n<!-- knob-table:begin -->\n{}<!-- knob-table:end -->\n",
-        mq_lint::knobs::render_table()
+    // …and the generated tables are accepted verbatim.
+    w.performance_md = Some(perf_doc(
+        &mq_lint::knobs::render_table(),
+        &mq_lint::metrics::render_table(),
     ));
     assert!(lint(&w).is_empty());
+}
+
+#[test]
+fn metric_fixture_fires_on_the_undeclared_registration() {
+    let diags = lint(&ws(
+        "crates/service/src/bad.rs",
+        include_str!("../fixtures/metric.rs"),
+    ));
+    assert_eq!(rule_lines(&diags, METRIC_REGISTRY), vec![8]);
+    assert_eq!(diags.len(), 1, "declared name must pass: {diags:?}");
+}
+
+#[test]
+fn metric_table_drift_is_a_violation() {
+    let mut w = ws("crates/core/src/engine/ok.rs", "pub fn nothing() {}\n");
+    w.performance_md = Some(perf_doc(
+        &mq_lint::knobs::render_table(),
+        "| stale | table |\n",
+    ));
+    let diags = lint(&w);
+    assert_eq!(
+        diags.iter().map(|d| d.rule).collect::<Vec<_>>(),
+        vec![METRIC_REGISTRY]
+    );
+    assert_eq!(diags[0].path, "PERFORMANCE.md");
 }
 
 #[test]
@@ -130,8 +164,9 @@ fn faultpoint_fixture_fires_per_missing_site() {
         "crates/service/src/net.rs",
         include_str!("../fixtures/faultpoint.rs"),
     ));
-    // serve_line lost both read-boundary sites; writer_loop kept its two.
-    assert_eq!(rule_lines(&diags, FAULTPOINT_COVERAGE), vec![5, 5]);
+    // The constructor lost both read-boundary sites; the write sites
+    // survive inside it.
+    assert_eq!(rule_lines(&diags, FAULTPOINT_COVERAGE), vec![9, 9]);
     assert_eq!(diags.len(), 2, "{diags:?}");
     assert!(diags[0].message.contains("read.delay"), "{diags:?}");
     assert!(diags[1].message.contains("read.err"), "{diags:?}");

@@ -1,0 +1,233 @@
+//! A small Prometheus-text-format checker.
+//!
+//! CI's `obs-invariants` job (and the observability integration tests)
+//! feed the live `metrics` reply through [`parse_prometheus`] to assert
+//! the dump stays machine-readable: every sample line names a declared
+//! metric, values parse, and histogram `_bucket` series are cumulative.
+//! This is a validator for our own exposition, not a general Prometheus
+//! parser.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample: metric name (with any `{label="value"}` suffix
+//  stripped into `labels`) and its numeric value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name without labels.
+    pub name: String,
+    /// Raw label block between `{` and `}`, empty when unlabeled.
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse a Prometheus text-format dump, validating as it goes.
+///
+/// Checks:
+/// * every non-comment line is `name[{labels}] value`;
+/// * every sample's base name was declared by a preceding `# TYPE`
+///   (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes);
+/// * `# TYPE` values are `counter`, `gauge`, or `histogram`;
+/// * histogram bucket counts are cumulative (non-decreasing as `le`
+///   grows) and end with an `le="+Inf"` bucket equal to `_count`.
+///
+/// Returns the samples in file order, or a message describing the first
+/// violation.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = Vec::new();
+    // (metric, labels-minus-le) → (buckets in order, count sample)
+    let mut hist_buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                    return Err(format!("line {}: malformed TYPE comment", ln + 1));
+                };
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(format!("line {}: unknown metric type `{kind}`", ln + 1));
+                }
+                types.insert(name.to_string(), kind.to_string());
+            }
+            continue; // HELP and other comments: free-form
+        }
+
+        let (name_part, value_part) = match line.rsplit_once(char::is_whitespace) {
+            Some(split) => split,
+            None => return Err(format!("line {}: no value on sample line", ln + 1)),
+        };
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {}: unparsable value `{value_part}`", ln + 1))?;
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let Some(labels) = rest.strip_suffix('}') else {
+                    return Err(format!("line {}: unterminated label block", ln + 1));
+                };
+                (n.trim(), labels)
+            }
+            None => (name_part.trim(), ""),
+        };
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {}: bad metric name `{name}`", ln + 1));
+        }
+
+        // Resolve the declared base name: exact, or histogram suffixes.
+        let declared = if types.contains_key(name) {
+            Some(name.to_string())
+        } else {
+            ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
+                let base = name.strip_suffix(suf)?;
+                (types.get(base).map(String::as_str) == Some("histogram"))
+                    .then(|| base.to_string())
+            })
+        };
+        let Some(base) = declared else {
+            return Err(format!("line {}: sample `{name}` has no TYPE declaration", ln + 1));
+        };
+
+        if types.get(&base).map(String::as_str) == Some("histogram") {
+            if let Some(rest) = name.strip_suffix("_bucket") {
+                // Split the `le` label out; remaining labels key the series.
+                let mut le = None;
+                let others: Vec<&str> = labels
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .filter(|p| {
+                        if let Some(v) = p.trim().strip_prefix("le=") {
+                            le = Some(v.trim_matches('"').to_string());
+                            false
+                        } else {
+                            true
+                        }
+                    })
+                    .collect();
+                let Some(le) = le else {
+                    return Err(format!("line {}: bucket sample without le label", ln + 1));
+                };
+                hist_buckets
+                    .entry((rest.to_string(), others.join(",")))
+                    .or_default()
+                    .push((le, value));
+            } else if let Some(rest) = name.strip_suffix("_count") {
+                hist_counts.insert((rest.to_string(), labels.to_string()), value);
+            }
+        }
+
+        samples.push(Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+
+    for ((metric, series), buckets) in &hist_buckets {
+        let mut prev = 0.0;
+        for (le, v) in buckets {
+            if *v < prev {
+                return Err(format!(
+                    "histogram `{metric}` bucket le=\"{le}\" decreases ({v} < {prev})"
+                ));
+            }
+            prev = *v;
+        }
+        match buckets.last() {
+            Some((le, last)) if le == "+Inf" => {
+                if let Some(count) = hist_counts.get(&(metric.clone(), series.clone())) {
+                    if (last - count).abs() > f64::EPSILON {
+                        return Err(format!(
+                            "histogram `{metric}` +Inf bucket {last} != _count {count}"
+                        ));
+                    }
+                }
+            }
+            _ => {
+                return Err(format!("histogram `{metric}` missing le=\"+Inf\" bucket"));
+            }
+        }
+    }
+
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_dump() {
+        let text = "\
+# HELP mq_net_requests_total Requests served.
+# TYPE mq_net_requests_total counter
+mq_net_requests_total 12
+# TYPE mq_net_active_connections gauge
+mq_net_active_connections 3
+# TYPE mq_net_request_ns histogram
+mq_net_request_ns_bucket{le=\"1000\"} 4
+mq_net_request_ns_bucket{le=\"+Inf\"} 12
+mq_net_request_ns_sum 52000
+mq_net_request_ns_count 12
+";
+        let samples = parse_prometheus(text).expect("dump should parse");
+        assert_eq!(samples.len(), 6);
+        assert_eq!(samples[0].name, "mq_net_requests_total");
+        assert_eq!(samples[2].labels, "le=\"1000\"");
+    }
+
+    #[test]
+    fn rejects_undeclared_sample() {
+        let err = parse_prometheus("mq_mystery_total 1\n").unwrap_err();
+        assert!(err.contains("no TYPE declaration"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let text = "\
+# TYPE mq_x_ns histogram
+mq_x_ns_bucket{le=\"1000\"} 5
+mq_x_ns_bucket{le=\"+Inf\"} 3
+mq_x_ns_sum 1
+mq_x_ns_count 3
+";
+        let err = parse_prometheus(text).unwrap_err();
+        assert!(err.contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "\
+# TYPE mq_x_ns histogram
+mq_x_ns_bucket{le=\"1000\"} 5
+mq_x_ns_sum 1
+mq_x_ns_count 5
+";
+        let err = parse_prometheus(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn labeled_counters_parse() {
+        let text = "\
+# TYPE mq_faults_fired_total counter
+mq_faults_fired_total{site=\"read.err\"} 2
+mq_faults_fired_total{site=\"write.delay\"} 7
+";
+        let samples = parse_prometheus(text).expect("parse");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].labels, "site=\"write.delay\"");
+    }
+
+    #[test]
+    fn rejects_garbage_value() {
+        let text = "# TYPE mq_a_total counter\nmq_a_total banana\n";
+        assert!(parse_prometheus(text).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # mq-obs — observability substrate for the metaquery workspace
+//!
+//! The crate every layer records into, sitting **below** `mq-store`
+//! (mirroring the `mq-lint` bring-up: dependency-free, buildable before
+//! anything else). Three pieces:
+//!
+//! * [`metrics`] — a central [`Registry`] of monotonic counters, gauges,
+//!   and fixed-bucket latency histograms (p50/p95/p99 derivable without
+//!   allocation), rendered in Prometheus text format by
+//!   [`Registry::render_prometheus`]. Registries are **per-instance**
+//!   (one per `MqService`/`NetServer`), never process-global, so
+//!   concurrent servers in one process keep attribution separate — the
+//!   same doctrine the engine's memo counters follow.
+//! * [`trace`] — lock-free per-thread span ring buffers with nanosecond
+//!   timestamps behind the [`span!`] macro. Disabled (`MQ_TRACE=0`, the
+//!   default) the macro compiles to a branch on a relaxed atomic and
+//!   allocates nothing; request-granularity spans
+//!   ([`trace::SpanGuard::start_always`]) are always recorded so
+//!   `trace <req-id>` works without turning the hot-kernel spans on.
+//! * [`profile`] — a per-search [`SearchProfile`] attributing wall time,
+//!   rows in/out, and memo hits to each hash-consed plan-node id, plus
+//!   always-on cheap totals (scheduler tasks, node evals) that feed the
+//!   scheduler/executor metric families.
+//!
+//! [`expo::parse_prometheus`] is the simple in-tree checker CI uses to
+//! assert the `metrics` dump stays well-formed.
+//!
+//! [`Registry`]: metrics::Registry
+//! [`Registry::render_prometheus`]: metrics::Registry::render_prometheus
+//! [`SearchProfile`]: profile::SearchProfile
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use expo::parse_prometheus;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use profile::{NodeStat, SearchProfile};
+pub use trace::{
+    next_request_id, set_slow_ms_override, set_trace_override, slow_ms, trace_enabled, SpanEvent,
+    SpanName,
+};

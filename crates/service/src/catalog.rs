@@ -131,6 +131,7 @@ impl DbHandle {
         atoms: Arc<AtomCache>,
         reuse: Option<(&DbHandle, RelId)>,
     ) -> Self {
+        let _span = mq_obs::trace::SpanGuard::start_always(mq_obs::trace::CATALOG_FREEZE);
         for rel in db.relations() {
             // Warm the column-major mirror first so the single-column
             // index builds below scan columns, not boxed rows — and so

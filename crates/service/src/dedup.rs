@@ -19,6 +19,11 @@
 //! ticket without publishing), the slot is marked abandoned and waiting
 //! followers get [`Joined::Retry`] — they re-join, and one of them
 //! becomes the new owner. No lock is held while the owner computes.
+//!
+//! Observability: the table itself carries no counters. The session
+//! layer wraps [`RequestTable::join`] with the `mq_dedup_*` metric
+//! family (shared/retry counters, follower-wait histogram) and the
+//! `req.dedup.wait` span — see `session.rs`.
 
 use mq_store::lock::{lock_recover, wait_recover};
 use std::collections::hash_map::Entry;

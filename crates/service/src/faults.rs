@@ -27,6 +27,23 @@
 //! unsound under concurrent reads, exactly like the scheduler's thread
 //! override. Per-site fire counters ([`fired_counts`]) feed the chaos
 //! harness's recovery accounting.
+//!
+//! ## Counters
+//!
+//! Fired/polled counts live in two places with different lifetimes:
+//!
+//! * **Per plan** ([`fired_counts`]) — counters travel with the
+//!   [`FaultPlan`] instance, so installing a fresh plan
+//!   ([`set_plan_override`]) starts them at zero. This is the chaos
+//!   harness's ledger: each armed test case reads exactly its own
+//!   plan's injections.
+//! * **Per server** ([`CountedSite`]) — the serving layers poll their
+//!   sites through `CountedSite` handles bound to a server's
+//!   `mq-obs` registry, surfacing `mq_faults_fired_total` /
+//!   `mq_faults_polled_total{site="…"}` in the `metrics` dump. These
+//!   are instance counters (one per `MqService`/`NetServer`), never
+//!   process-global, and they survive plan swaps — the ambient fault
+//!   history of one server, not of one test case.
 
 use mq_store::lock::{read_recover, write_recover};
 use std::collections::HashMap;
@@ -229,11 +246,14 @@ pub fn fired_counts() -> Vec<(String, u64, u64)> {
     env_plan().counts()
 }
 
-/// Sleep [`FIRE_DELAY`] if the delay fault at `site` fires.
-pub fn maybe_delay(site: &str) {
-    if fire(site) {
+/// Sleep [`FIRE_DELAY`] if the delay fault at `site` fires; reports
+/// whether it did (callers feed per-server fired counters).
+pub fn maybe_delay(site: &str) -> bool {
+    let hit = fire(site);
+    if hit {
         std::thread::sleep(FIRE_DELAY);
     }
+    hit
 }
 
 /// An injected I/O error if the fault at `site` fires.
@@ -250,6 +270,73 @@ pub fn maybe_panic(site: &str) {
     if fire(site) {
         // lint:allow(no-panic-in-serving): deliberate injected panic — the serving boundary's catch_unwind is exactly what this fault exercises
         panic!("injected fault at {site}");
+    }
+}
+
+/// One fault site's per-server registry counters: every poll and fire
+/// at the site increments `mq_faults_polled_total` /
+/// `mq_faults_fired_total` labeled `site="<name>"` in the owning
+/// server's registry. Handles are created once at server construction;
+/// polling is two relaxed increments plus the plan draw.
+pub struct CountedSite {
+    site: &'static str,
+    polled: mq_obs::Counter,
+    fired: mq_obs::Counter,
+}
+
+impl CountedSite {
+    /// Counters for `site` in `registry`.
+    pub fn new(registry: &mq_obs::Registry, site: &'static str) -> Self {
+        CountedSite {
+            site,
+            polled: registry.counter_labeled(
+                "mq_faults_polled_total",
+                "Times a fault-injection site was consulted.",
+                Some(("site", site)),
+            ),
+            fired: registry.counter_labeled(
+                "mq_faults_fired_total",
+                "Times an injected fault fired at a site.",
+                Some(("site", site)),
+            ),
+        }
+    }
+
+    /// Draw the site once, counting the poll (and the fire, if any).
+    fn draw(&self) -> bool {
+        self.polled.inc();
+        let hit = fire(self.site);
+        if hit {
+            self.fired.inc();
+        }
+        hit
+    }
+
+    /// [`maybe_delay`], counted.
+    pub fn maybe_delay(&self) {
+        if self.draw() {
+            std::thread::sleep(FIRE_DELAY);
+        }
+    }
+
+    /// [`maybe_io`], counted.
+    pub fn maybe_io(&self) -> std::io::Result<()> {
+        if self.draw() {
+            return Err(std::io::Error::other(format!(
+                "injected fault at {}",
+                self.site
+            )));
+        }
+        Ok(())
+    }
+
+    /// [`maybe_panic`], counted (the fire is recorded *before* the
+    /// unwind, so the counter survives the caller's `catch_unwind`).
+    pub fn maybe_panic(&self) {
+        if self.draw() {
+            // lint:allow(no-panic-in-serving): deliberate injected panic — the serving boundary's catch_unwind is exactly what this fault exercises
+            panic!("injected fault at {}", self.site);
+        }
     }
 }
 

@@ -41,10 +41,10 @@ pub mod session;
 
 pub use catalog::{Catalog, CatalogError, DbHandle};
 pub use dedup::{Joined, RequestTable, RetryPolicy, Ticket};
-pub use faults::{set_plan_override, FaultPlan};
+pub use faults::{set_plan_override, CountedSite, FaultPlan};
 pub use net::{DrainReport, NetConfig, NetMetricsSnapshot, NetServer};
 pub use protocol::{error_code, handle_line, handle_line_opts, register_db, ProtoOptions, Reply};
 pub use session::{
     MetaqueryRequest, MqService, QueryOutcome, ServiceConfig, ServiceError, ServiceMetrics,
-    Session, SessionBudget,
+    Session, SessionBudget, SlowQuery,
 };

@@ -40,9 +40,10 @@
 //! reply-write boundary (an injected write fault drops the connection —
 //! clients observe a disconnect and recover by reconnecting).
 
-use crate::faults;
+use crate::faults::CountedSite;
 use crate::protocol::{handle_line_opts, ProtoOptions, Reply};
 use crate::session::MqService;
+use mq_obs::{trace, Counter, Gauge, Histogram, Registry};
 use mq_store::lock::lock_recover;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -110,18 +111,75 @@ pub struct DrainReport {
     pub aborted: u64,
 }
 
-/// Server-lifetime counters (all monotonic).
-#[derive(Default)]
-struct NetMetrics {
-    accepted: AtomicU64,
-    rejected_busy: AtomicU64,
-    requests: AtomicU64,
-    err_replies: AtomicU64,
-    panics_caught: AtomicU64,
-    oversized: AtomicU64,
-    injected_read_errors: AtomicU64,
-    disconnects_slow: AtomicU64,
-    disconnects_io: AtomicU64,
+/// The transport's metric handles, registered in the served
+/// [`MqService`]'s registry (one registry per service instance — never
+/// process-global) and pre-created at bind so connection threads never
+/// take the registry lock.
+struct NetCounters {
+    accepted: Counter,
+    active: Gauge,
+    rejected_busy: Counter,
+    requests: Counter,
+    err_replies: Counter,
+    panics_caught: Counter,
+    oversized: Counter,
+    injected_read_errors: Counter,
+    disconnects_slow: Counter,
+    disconnects_io: Counter,
+    request_ns: Histogram,
+    read_delay: CountedSite,
+    read_err: CountedSite,
+    write_delay: CountedSite,
+    write_err: CountedSite,
+}
+
+impl NetCounters {
+    fn new(reg: &Registry) -> NetCounters {
+        NetCounters {
+            accepted: reg.counter(
+                "mq_net_accepted_total",
+                "Connections accepted (including later-disconnected ones).",
+            ),
+            active: reg.gauge("mq_net_active_connections", "Currently live connections."),
+            rejected_busy: reg.counter(
+                "mq_net_rejected_busy_total",
+                "Connections refused with err busy at the admission cap.",
+            ),
+            requests: reg.counter("mq_net_requests_total", "Request lines processed."),
+            err_replies: reg.counter(
+                "mq_net_err_replies_total",
+                "Requests answered with an err reply.",
+            ),
+            panics_caught: reg.counter(
+                "mq_net_panics_caught_total",
+                "Request handlers that panicked and were caught at the net boundary.",
+            ),
+            oversized: reg.counter(
+                "mq_net_oversized_total",
+                "Request lines discarded as oversized.",
+            ),
+            injected_read_errors: reg.counter(
+                "mq_net_injected_read_errors_total",
+                "Requests answered err io because the read.err fault fired.",
+            ),
+            disconnects_slow: reg.counter(
+                "mq_net_disconnects_slow_total",
+                "Clients disconnected for not draining replies in time.",
+            ),
+            disconnects_io: reg.counter(
+                "mq_net_disconnects_io_total",
+                "Connections dropped on socket errors (incl. injected write faults).",
+            ),
+            request_ns: reg.histogram(
+                "mq_net_request_ns",
+                "Request handling time at the transport (read fault to reply bytes).",
+            ),
+            read_delay: CountedSite::new(reg, "read.delay"),
+            read_err: CountedSite::new(reg, "read.err"),
+            write_delay: CountedSite::new(reg, "write.delay"),
+            write_err: CountedSite::new(reg, "write.err"),
+        }
+    }
 }
 
 /// A point-in-time copy of the server counters, for harnesses and the
@@ -160,7 +218,7 @@ struct Shared {
     /// can force-close stragglers.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
-    metrics: NetMetrics,
+    metrics: NetCounters,
     /// Filled by the accept thread once the drain completes.
     report: Mutex<Option<DrainReport>>,
 }
@@ -189,13 +247,16 @@ impl NetServer {
         // Nonblocking accept + short sleeps so the loop notices the
         // shutdown flag promptly (no self-connect tricks needed).
         listener.set_nonblocking(true)?;
+        // The net families live in the served service's registry, so one
+        // `metrics` dump covers the whole stack.
+        let metrics = NetCounters::new(service.registry());
         let shared = Arc::new(Shared {
             service,
             cfg,
             shutting: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(1),
-            metrics: NetMetrics::default(),
+            metrics,
             report: Mutex::new(None),
         });
         let accept = {
@@ -214,19 +275,19 @@ impl NetServer {
         self.addr
     }
 
-    /// Current server counters.
+    /// Current server counters (reads the registry handles).
     pub fn metrics(&self) -> NetMetricsSnapshot {
         let m = &self.shared.metrics;
         NetMetricsSnapshot {
-            accepted: m.accepted.load(Ordering::Relaxed),
-            rejected_busy: m.rejected_busy.load(Ordering::Relaxed),
-            requests: m.requests.load(Ordering::Relaxed),
-            err_replies: m.err_replies.load(Ordering::Relaxed),
-            panics_caught: m.panics_caught.load(Ordering::Relaxed),
-            oversized: m.oversized.load(Ordering::Relaxed),
-            injected_read_errors: m.injected_read_errors.load(Ordering::Relaxed),
-            disconnects_slow: m.disconnects_slow.load(Ordering::Relaxed),
-            disconnects_io: m.disconnects_io.load(Ordering::Relaxed),
+            accepted: m.accepted.get(),
+            rejected_busy: m.rejected_busy.get(),
+            requests: m.requests.get(),
+            err_replies: m.err_replies.get(),
+            panics_caught: m.panics_caught.get(),
+            oversized: m.oversized.get(),
+            injected_read_errors: m.injected_read_errors.get(),
+            disconnects_slow: m.disconnects_slow.get(),
+            disconnects_io: m.disconnects_io.get(),
         }
     }
 
@@ -259,11 +320,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             Ok((stream, _peer)) => {
                 let cap = shared.cfg.max_connections;
                 if cap != 0 && shared.lock_conns().len() >= cap {
-                    shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.rejected_busy.inc();
                     reject_busy(stream);
                     continue;
                 }
-                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accepted.inc();
+                shared.metrics.active.inc();
                 let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
                     shared.lock_conns().insert(id, clone);
@@ -272,6 +334,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 std::thread::spawn(move || {
                     handle_conn(&shared, id, stream);
                     shared.lock_conns().remove(&id);
+                    shared.metrics.active.dec();
                 });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -323,8 +386,10 @@ fn drain(shared: &Shared) -> DrainReport {
 
 /// What the reader asks the writer thread to do.
 enum WriteJob {
-    /// One reply block: already newline-terminated bytes.
-    Block(Vec<u8>),
+    /// One reply block: the trace request id it answers (0 =
+    /// unattributed, e.g. oversized-line errors) and already
+    /// newline-terminated bytes.
+    Block(u64, Vec<u8>),
 }
 
 /// Why a connection ended (metrics accounting).
@@ -354,18 +419,8 @@ fn handle_conn(shared: &Arc<Shared>, _id: u64, stream: TcpStream) {
     let _ = writer.join();
     match end {
         ConnEnd::Clean => {}
-        ConnEnd::Slow => {
-            shared
-                .metrics
-                .disconnects_slow
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        ConnEnd::Io => {
-            shared
-                .metrics
-                .disconnects_io
-                .fetch_add(1, Ordering::Relaxed);
-        }
+        ConnEnd::Slow => shared.metrics.disconnects_slow.inc(),
+        ConnEnd::Io => shared.metrics.disconnects_io.inc(),
     }
 }
 
@@ -374,9 +429,13 @@ fn handle_conn(shared: &Arc<Shared>, _id: u64, stream: TcpStream) {
 /// injected `write.err` fault, which models a broken reply path.
 fn writer_loop(shared: &Shared, mut stream: TcpStream, rx: Receiver<WriteJob>) {
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    while let Ok(WriteJob::Block(bytes)) = rx.recv() {
-        faults::maybe_delay("write.delay");
-        let injected = faults::maybe_io("write.err");
+    while let Ok(WriteJob::Block(req, bytes)) = rx.recv() {
+        // The writer runs on its own thread: re-enter the request's
+        // trace scope so the write span lands on the right request.
+        let _scope = (req != 0).then(|| trace::request_scope(req));
+        let _span = trace::SpanGuard::start_always(trace::REQ_WRITE);
+        shared.metrics.write_delay.maybe_delay();
+        let injected = shared.metrics.write_err.maybe_io();
         if injected.is_err() || stream.write_all(&bytes).is_err() {
             // Reply path is broken: drop the connection. The reader
             // notices on its next enqueue (channel disconnected).
@@ -389,8 +448,13 @@ fn writer_loop(shared: &Shared, mut stream: TcpStream, rx: Receiver<WriteJob>) {
 
 /// Enqueue one reply block under backpressure: retry a full queue until
 /// `write_timeout`, then declare the client slow.
-fn enqueue(shared: &Shared, tx: &SyncSender<WriteJob>, bytes: Vec<u8>) -> Result<(), ConnEnd> {
-    let mut job = WriteJob::Block(bytes);
+fn enqueue(
+    shared: &Shared,
+    tx: &SyncSender<WriteJob>,
+    req: u64,
+    bytes: Vec<u8>,
+) -> Result<(), ConnEnd> {
+    let mut job = WriteJob::Block(req, bytes);
     let deadline = Instant::now() + shared.cfg.write_timeout;
     loop {
         match tx.try_send(job) {
@@ -416,6 +480,9 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, tx: &SyncSender<Writ
     let mut chunk = [0u8; 4096];
     // True while discarding the remainder of an oversized line.
     let mut discarding = false;
+    // When the wait for the current request line began (the `req.read`
+    // span: socket wait plus client think time).
+    let mut read_start = trace::now_ns();
     loop {
         // Process every complete line already buffered.
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
@@ -423,18 +490,35 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, tx: &SyncSender<Writ
             if discarding {
                 // The tail of an already-answered oversized line.
                 discarding = false;
+                read_start = trace::now_ns();
                 continue;
             }
             let line = String::from_utf8_lossy(&line_bytes[..line_bytes.len() - 1]).into_owned();
-            match serve_line(shared, &opts, &line) {
+            // One trace request per line: the read span is backdated to
+            // when we started waiting for it, then the whole dispatch
+            // runs inside the request's scope so service/engine spans
+            // attribute to it.
+            let req = mq_obs::next_request_id();
+            trace::record_span(
+                trace::REQ_READ,
+                req,
+                read_start,
+                trace::now_ns().saturating_sub(read_start),
+            );
+            let served = {
+                let _scope = trace::request_scope(req);
+                serve_line(shared, &opts, &line)
+            };
+            read_start = trace::now_ns();
+            match served {
                 Served::Reply(bytes) => {
-                    if let Err(end) = enqueue(shared, tx, bytes) {
+                    if let Err(end) = enqueue(shared, tx, req, bytes) {
                         return end;
                     }
                 }
                 Served::Quit => return ConnEnd::Clean,
                 Served::Shutdown(bytes) => {
-                    let _ = enqueue(shared, tx, bytes);
+                    let _ = enqueue(shared, tx, req, bytes);
                     // Begin the server-wide drain; the accept loop does
                     // the rest. This connection closes now.
                     shared.shutting.store(true, Ordering::SeqCst);
@@ -444,13 +528,13 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, tx: &SyncSender<Writ
         }
         // Oversized line: answer once, then discard until the newline.
         if !discarding && buf.len() > shared.cfg.max_line_len {
-            shared.metrics.oversized.fetch_add(1, Ordering::Relaxed);
-            shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.oversized.inc();
+            shared.metrics.err_replies.inc();
             let reply = format!(
                 "err oversized request line exceeds {} bytes\n",
                 shared.cfg.max_line_len
             );
-            if let Err(end) = enqueue(shared, tx, reply.into_bytes()) {
+            if let Err(end) = enqueue(shared, tx, 0, reply.into_bytes()) {
                 return end;
             }
             buf.clear();
@@ -482,21 +566,29 @@ enum Served {
 }
 
 fn serve_line(shared: &Shared, opts: &ProtoOptions, line: &str) -> Served {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let _span = trace::SpanGuard::start_always(trace::REQ_SERVE);
+    let t0 = trace::now_ns();
+    let served = serve_line_inner(shared, opts, line);
+    shared
+        .metrics
+        .request_ns
+        .observe_ns(trace::now_ns().saturating_sub(t0));
+    served
+}
+
+fn serve_line_inner(shared: &Shared, opts: &ProtoOptions, line: &str) -> Served {
+    shared.metrics.requests.inc();
     // Injected read-boundary faults: a delay, or an I/O error that
     // consumes this request (answered with a structured error so the
     // client's framing survives).
-    faults::maybe_delay("read.delay");
-    if faults::maybe_io("read.err").is_err() {
-        shared
-            .metrics
-            .injected_read_errors
-            .fetch_add(1, Ordering::Relaxed);
-        shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.read_delay.maybe_delay();
+    if shared.metrics.read_err.maybe_io().is_err() {
+        shared.metrics.injected_read_errors.inc();
+        shared.metrics.err_replies.inc();
         return Served::Reply(b"err io injected fault at read.err\n".to_vec());
     }
     if shared.shutting.load(Ordering::SeqCst) {
-        shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.err_replies.inc();
         return Served::Reply(b"err shutting-down server is draining\n".to_vec());
     }
     // Transport-level panic isolation: on top of the service's
@@ -507,7 +599,7 @@ fn serve_line(shared: &Shared, opts: &ProtoOptions, line: &str) -> Served {
         handle_line_opts(&shared.service, line, opts)
     }))
     .unwrap_or_else(|payload| {
-        shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.panics_caught.inc();
         Reply::err(
             "panic",
             format_args!(
@@ -521,7 +613,7 @@ fn serve_line(shared: &Shared, opts: &ProtoOptions, line: &str) -> Served {
         Reply::Shutdown => Served::Shutdown(b"ok shutdown draining\n".to_vec()),
         Reply::Lines(lines) => {
             if lines.first().is_some_and(|l| l.starts_with("err ")) {
-                shared.metrics.err_replies.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.err_replies.inc();
             }
             let mut bytes = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
             for l in &lines {

@@ -12,7 +12,9 @@
 //! replace <name> <relation> [<v,v,..> ...]
 //! dump <name> <relation> [limit]           rows from the frozen arena
 //! stats <name>
-//! metrics
+//! metrics                                  Prometheus-text registry dump
+//! trace [<req-id>|last]                    span tree of one request
+//! slowlog                                  slow-query log (MQ_SLOW_MS)
 //! quit
 //! ```
 //!
@@ -136,11 +138,13 @@ pub fn handle_line_opts(service: &MqService, line: &str, opts: &ProtoOptions) ->
         "dump" => cmd_dump(service, rest),
         "stats" => cmd_stats(service, rest),
         "metrics" => cmd_metrics(service),
+        "trace" => cmd_trace(rest),
+        "slowlog" => cmd_slowlog(service),
         other => Reply::err(
             "usage",
             format_args!(
                 "unknown command `{other}` \
-                 (ping|open|mine|append|replace|dump|stats|metrics|shutdown|quit)"
+                 (ping|open|mine|append|replace|dump|stats|metrics|trace|slowlog|shutdown|quit)"
             ),
         ),
     }
@@ -257,11 +261,13 @@ fn cmd_mine(service: &MqService, rest: &str, opts: &ProtoOptions) -> Reply {
         Err(e) => return Reply::err("parse", format_args!("invalid metaquery: {e}")),
     };
     let db = handle.database();
+    // `req=` hands the client the trace id to feed `trace <req-id>`.
     let mut lines = vec![format!(
-        "ok mine {} answer(s) version={}{}",
+        "ok mine {} answer(s) version={}{} req={}",
         out.answers.len(),
         out.db_version,
-        if out.shared { " deduped" } else { "" }
+        if out.shared { " deduped" } else { "" },
+        out.req_id
     )];
     for a in out.answers.iter() {
         match apply_instantiation(db, &mq, &a.inst) {
@@ -297,8 +303,9 @@ fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
     }
     // Interning bare-word symbols needs the (cloned) database of the
     // update itself, so row parsing happens inside the copy-on-write
-    // closure.
-    let result = service.catalog().update_with(name, |db| {
+    // closure. Routed through the service (not the bare catalog) so the
+    // update lands in the catalog.update span and mq_catalog_* metrics.
+    let result = service.update_with(name, |db| {
         let rel_id =
             db.rel_id(rel)
                 .ok_or_else(|| crate::catalog::CatalogError::UnknownRelation {
@@ -356,7 +363,7 @@ fn cmd_update(service: &MqService, rest: &str, kind: UpdateKind) -> Reply {
                 h.generation(rel_id)
             ))
         }
-        Err(e) => Reply::service_err(ServiceError::from(e)),
+        Err(e) => Reply::service_err(e),
     }
 }
 
@@ -433,19 +440,70 @@ fn cmd_stats(service: &MqService, rest: &str) -> Reply {
     Reply::Lines(lines)
 }
 
+/// Dump the service's whole metric registry (session, dedup, memo,
+/// scheduler, executor, catalog, net, fault families) in Prometheus
+/// text exposition format, framed by a line count so line-oriented
+/// clients know how much to read.
 fn cmd_metrics(service: &MqService) -> Reply {
-    let m = service.metrics();
-    Reply::ok(format!(
-        "metrics requests={} executed={} deduped={} panics_caught={} deadline_exceeded={} \
-         memo_hits={} memo_misses={}",
-        m.requests,
-        m.executed,
-        m.deduped,
-        m.panics_caught,
-        m.deadline_exceeded,
-        m.memo.hits,
-        m.memo.misses
-    ))
+    let dump = service.registry().render_prometheus();
+    let body: Vec<String> = dump.lines().map(str::to_string).collect();
+    let mut lines = Vec::with_capacity(body.len() + 1);
+    lines.push(format!("ok metrics lines={}", body.len()));
+    lines.extend(body);
+    Reply::Lines(lines)
+}
+
+/// Render one request's buffered span tree. `trace last` (or bare
+/// `trace`) picks the most recent traced request other than the one
+/// serving this command.
+fn cmd_trace(rest: &str) -> Reply {
+    use mq_obs::trace;
+    let arg = rest.trim();
+    let req = if arg.is_empty() || arg == "last" {
+        match trace::latest_request(trace::current_request()) {
+            Some(r) => r,
+            None => return Reply::Lines(vec!["ok trace req=0 spans=0".to_string()]),
+        }
+    } else {
+        match arg.parse::<u64>() {
+            Ok(r) => r,
+            Err(_) => {
+                return Reply::err(
+                    "usage",
+                    format_args!("trace: invalid request id `{arg}` (want a number or `last`)"),
+                )
+            }
+        }
+    };
+    let spans = trace::collect_request(req);
+    let mut lines = vec![format!("ok trace req={req} spans={}", spans.len())];
+    for s in &spans {
+        lines.push(format!(
+            "span depth={} name={} start_ns={} dur_ns={}",
+            s.depth, s.name, s.start_ns, s.dur_ns
+        ));
+    }
+    Reply::Lines(lines)
+}
+
+/// Render the slow-query log: one `slow` line per entry, followed by
+/// its hottest plan nodes. Empty unless `MQ_SLOW_MS` armed the log.
+fn cmd_slowlog(service: &MqService) -> Reply {
+    let entries = service.slow_queries();
+    let mut lines = vec![format!("ok slowlog {} entries", entries.len())];
+    for e in &entries {
+        lines.push(format!(
+            "slow req={} db={} wall_ms={} mq={}",
+            e.req_id, e.db, e.wall_ms, e.metaquery
+        ));
+        for (id, label, n) in &e.nodes {
+            lines.push(format!(
+                "node #{id} {label} wall_ns={} execs={} memo_hits={} rows_in={} rows_out={}",
+                n.wall_ns, n.execs, n.memo_hits, n.rows_in, n.rows_out
+            ));
+        }
+    }
+    Reply::Lines(lines)
 }
 
 #[cfg(test)]
@@ -609,12 +667,58 @@ mod tests {
     }
 
     #[test]
-    fn metrics_counts_requests() {
+    fn metrics_is_a_parsable_prometheus_dump() {
         let svc = service_with_db();
         let _ = handle_line(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)");
         let _ = handle_line(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)");
-        let m = first_line(&handle_line(&svc, "metrics")).to_string();
-        assert!(m.contains("requests=2"), "got: {m}");
-        assert!(m.contains("executed=2"));
+        let reply = handle_line(&svc, "metrics");
+        let lines = reply.lines();
+        assert!(
+            lines[0].starts_with("ok metrics lines="),
+            "got: {}",
+            lines[0]
+        );
+        let body = lines[1..].join("\n");
+        let samples = mq_obs::parse_prometheus(&body).expect("valid Prometheus text");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+                .value
+        };
+        assert_eq!(get("mq_session_requests_total"), 2.0);
+        assert_eq!(get("mq_session_executed_total"), 2.0);
+        assert_eq!(get("mq_session_search_wall_ns_count"), 2.0);
+    }
+
+    #[test]
+    fn trace_command_returns_request_spans() {
+        let svc = service_with_db();
+        let reply = handle_line(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        let head = first_line(&reply);
+        let req = head
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("req="))
+            .expect("mine reply carries req=")
+            .to_string();
+        let traced = handle_line(&svc, &format!("trace {req}"));
+        let lines = traced.lines();
+        assert!(
+            lines[0].starts_with(&format!("ok trace req={req} spans=")),
+            "got: {}",
+            lines[0]
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("name=search.run")),
+            "want a search.run span, got: {lines:?}"
+        );
+        // Bad ids are structured usage errors; an armed-but-empty log
+        // still frames.
+        assert!(first_line(&handle_line(&svc, "trace zz")).starts_with("err usage "));
+        assert_eq!(
+            first_line(&handle_line(&svc, "slowlog")),
+            "ok slowlog 0 entries"
+        );
     }
 }

@@ -26,16 +26,21 @@
 
 use crate::catalog::{panic_message, Catalog, CatalogError, DbHandle};
 use crate::dedup::{Joined, RequestTable, RetryPolicy};
-use mq_core::engine::find_rules::find_rules_budgeted;
+use crate::faults::CountedSite;
+use mq_core::engine::find_rules::find_rules_instrumented;
 use mq_core::engine::memo::MemoStats;
 use mq_core::engine::{MqAnswer, Thresholds};
 use mq_core::instantiate::{InstError, InstType};
 use mq_core::parse::parse_metaquery;
-use mq_relation::{Database, Tuple};
+use mq_core::plan::PlanNodeId;
+use mq_obs::profile::{NodeStat, SearchProfile};
+use mq_obs::{trace, Counter, Histogram, Registry};
+use mq_relation::{Database, RelId, Tuple};
 use mq_store::lock::{lock_recover, wait_recover};
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Errors surfaced to service callers. `Clone` because a deduplicated
@@ -181,6 +186,126 @@ pub struct QueryOutcome {
     /// The executing search's memo-service hit/miss counters (the
     /// owner's counters, when `shared`).
     pub memo: MemoStats,
+    /// The trace request id this query ran (or coalesced) under — the
+    /// handle for `trace <req-id>` span lookup.
+    pub req_id: u64,
+}
+
+/// One slow-query log entry: the request, its wall time, and the
+/// hottest plan nodes of its (detailed) profile.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The trace request id (spans may still be in the rings).
+    pub req_id: u64,
+    /// Catalog entry searched.
+    pub db: String,
+    /// The metaquery text.
+    pub metaquery: String,
+    /// Wall milliseconds the search took.
+    pub wall_ms: u64,
+    /// Hottest plan nodes, `(node id, rendered op, stats)`, hottest
+    /// first.
+    pub nodes: Vec<(usize, String, NodeStat)>,
+}
+
+/// Entries the slow-query log retains (oldest evicted first).
+const SLOWLOG_CAP: usize = 32;
+
+/// Hottest plan nodes recorded per slow query.
+const SLOWLOG_TOP_NODES: usize = 8;
+
+/// The service's metric handles, pre-created at construction so hot
+/// paths never take the registry lock. Names follow the
+/// `mq_<family>_<metric>` contract enforced by mq-lint's
+/// `metric-registry` rule.
+struct Handles {
+    requests: Counter,
+    executed: Counter,
+    deduped: Counter,
+    dedup_retries: Counter,
+    panics_caught: Counter,
+    deadline_exceeded: Counter,
+    memo_hits: Counter,
+    memo_misses: Counter,
+    sched_tasks: Counter,
+    exec_nodes: Counter,
+    exec_memo_hits: Counter,
+    catalog_updates: Counter,
+    admission_wait_ns: Histogram,
+    search_wall_ns: Histogram,
+    follower_wait_ns: Histogram,
+    catalog_update_ns: Histogram,
+}
+
+impl Handles {
+    fn new(reg: &Registry) -> Handles {
+        Handles {
+            requests: reg.counter(
+                "mq_session_requests_total",
+                "Metaquery requests received (including deduplicated ones).",
+            ),
+            executed: reg.counter(
+                "mq_session_executed_total",
+                "Searches actually executed (not served by dedup).",
+            ),
+            deduped: reg.counter(
+                "mq_dedup_shared_total",
+                "Requests served by coalescing onto an in-flight twin.",
+            ),
+            dedup_retries: reg.counter(
+                "mq_dedup_retries_total",
+                "Dedup re-joins after an owner abandoned its slot.",
+            ),
+            panics_caught: reg.counter(
+                "mq_session_panics_caught_total",
+                "Search panics caught at the request boundary.",
+            ),
+            deadline_exceeded: reg.counter(
+                "mq_session_deadline_exceeded_total",
+                "Searches that overran their wall-clock deadline.",
+            ),
+            memo_hits: reg.counter(
+                "mq_memo_hits_total",
+                "Memo-service hits, summed over executed searches.",
+            ),
+            memo_misses: reg.counter(
+                "mq_memo_misses_total",
+                "Memo-service misses, summed over executed searches.",
+            ),
+            sched_tasks: reg.counter(
+                "mq_sched_tasks_total",
+                "Scheduler prefix tasks claimed by search workers.",
+            ),
+            exec_nodes: reg.counter(
+                "mq_exec_nodes_total",
+                "Plan-node evaluations that ran an executor kernel.",
+            ),
+            exec_memo_hits: reg.counter(
+                "mq_exec_memo_hits_total",
+                "Plan-node evaluations satisfied from a memo instead.",
+            ),
+            catalog_updates: reg.counter(
+                "mq_catalog_updates_total",
+                "Copy-on-write catalog updates published.",
+            ),
+            admission_wait_ns: reg.histogram(
+                "mq_session_admission_wait_ns",
+                "Time owners waited on the admission semaphore.",
+            ),
+            search_wall_ns: reg.histogram(
+                "mq_session_search_wall_ns",
+                "Wall time of executed searches.",
+            ),
+            follower_wait_ns: reg.histogram(
+                "mq_dedup_follower_wait_ns",
+                "Time dedup followers blocked on their owner's search.",
+            ),
+            catalog_update_ns: reg.histogram(
+                "mq_catalog_update_ns",
+                "Wall time of copy-on-write catalog updates (including freeze).",
+            ),
+        }
+    }
 }
 
 /// Counters the service accumulates across its lifetime.
@@ -242,21 +367,22 @@ impl Drop for Permit<'_> {
 }
 
 /// The concurrent metaquery service: a catalog of frozen databases, a
-/// dedup table, admission control and service metrics. All methods take
-/// `&self`; share it across session threads behind an `Arc` (or plain
-/// borrows with `std::thread::scope`).
+/// dedup table, admission control and an `mq-obs` metrics registry. All
+/// methods take `&self`; share it across session threads behind an
+/// `Arc` (or plain borrows with `std::thread::scope`).
+///
+/// All counters live in the per-instance [`Registry`] (never
+/// process-global — two services in one process keep separate books);
+/// [`MqService::registry`] exposes it for Prometheus-text exposition.
 pub struct MqService {
     catalog: Catalog,
     inflight: RequestTable<RequestKey, SearchResult>,
     gate: Semaphore,
     retry: RetryPolicy,
-    requests: AtomicU64,
-    executed: AtomicU64,
-    deduped: AtomicU64,
-    panics_caught: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    memo_hits: AtomicU64,
-    memo_misses: AtomicU64,
+    registry: Arc<Registry>,
+    m: Handles,
+    search_panic: CountedSite,
+    slowlog: Mutex<VecDeque<SlowQuery>>,
 }
 
 impl MqService {
@@ -267,24 +393,67 @@ impl MqService {
 
     /// A service with explicit configuration.
     pub fn with_config(cfg: ServiceConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let m = Handles::new(&registry);
+        let search_panic = CountedSite::new(&registry, "search.panic");
         MqService {
             catalog: Catalog::new(),
             inflight: RequestTable::new(),
             gate: Semaphore::new(cfg.max_concurrent),
             retry: cfg.retry,
-            requests: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-            deduped: AtomicU64::new(0),
-            panics_caught: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            memo_hits: AtomicU64::new(0),
-            memo_misses: AtomicU64::new(0),
+            registry,
+            m,
+            search_panic,
+            slowlog: Mutex::new(VecDeque::new()),
         }
     }
 
     /// The underlying catalog (register/update/snapshot/purge).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// This service instance's metric registry (the `metrics` command
+    /// renders it; the net layer registers its own families here too).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Snapshot of the slow-query log, oldest first. Armed by
+    /// `MQ_SLOW_MS` / [`mq_obs::set_slow_ms_override`]; empty while
+    /// disarmed.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        lock_recover(&self.slowlog).iter().cloned().collect()
+    }
+
+    /// Run one catalog mutation under the `catalog.update` span and the
+    /// `mq_catalog_*` metrics.
+    fn timed_update<T>(
+        &self,
+        op: impl FnOnce() -> Result<T, CatalogError>,
+    ) -> Result<T, ServiceError> {
+        let _span = trace::SpanGuard::start_always(trace::CATALOG_UPDATE);
+        let t0 = trace::now_ns();
+        let r = op();
+        self.m
+            .catalog_update_ns
+            .observe_ns(trace::now_ns().saturating_sub(t0));
+        if r.is_ok() {
+            self.m.catalog_updates.inc();
+        }
+        Ok(r?)
+    }
+
+    /// Mutate `name` copy-on-write through an arbitrary closure (the
+    /// instrumented face of [`Catalog::update_with`]): records the
+    /// `catalog.update` span and update metrics like
+    /// [`MqService::append_rows`] / [`MqService::replace_relation`].
+    pub fn update_with(
+        &self,
+        name: &str,
+        touch: impl FnOnce(&mut Database) -> Result<RelId, CatalogError>,
+    ) -> Result<DbHandle, ServiceError> {
+        self.timed_update(|| self.catalog.update_with(name, touch))
     }
 
     /// Register `db` under `name` (freezes and pre-warms it).
@@ -301,7 +470,7 @@ impl MqService {
         rel: &str,
         rows: Vec<Tuple>,
     ) -> Result<DbHandle, ServiceError> {
-        Ok(self.catalog.append_rows(name, rel, rows)?)
+        self.timed_update(|| self.catalog.append_rows(name, rel, rows))
     }
 
     /// Replace a relation's contents — copy-on-write, like
@@ -312,7 +481,7 @@ impl MqService {
         rel: &str,
         rows: Vec<Tuple>,
     ) -> Result<DbHandle, ServiceError> {
-        Ok(self.catalog.replace_relation(name, rel, rows)?)
+        self.timed_update(|| self.catalog.replace_relation(name, rel, rows))
     }
 
     /// Open a session pinned to the current snapshot of `name`, with no
@@ -349,7 +518,17 @@ impl MqService {
         handle: &DbHandle,
         req: &MetaqueryRequest,
     ) -> Result<QueryOutcome, ServiceError> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.m.requests.inc();
+        // Adopt the caller's trace request id (the net layer scopes the
+        // connection thread before dispatching); mint one for direct
+        // library callers so their spans assemble too.
+        let ambient = trace::current_request();
+        let req_id = if ambient != 0 {
+            ambient
+        } else {
+            mq_obs::next_request_id()
+        };
+        let _scope = (ambient == 0).then(|| trace::request_scope(req_id));
         // Parse before joining the dedup table so malformed requests
         // fail fast without occupying a slot.
         let mq = parse_metaquery(&req.metaquery).map_err(|e| ServiceError::Parse(e.to_string()))?;
@@ -364,24 +543,32 @@ impl MqService {
         };
         let mut retries = 0u32;
         loop {
+            let join_start = trace::now_ns();
             match self.inflight.join(key.clone()) {
                 Joined::Owner(ticket) => {
-                    let result = self.run_search(handle, &mq, req);
+                    let result = self.run_search(handle, &mq, req, req_id);
                     let result = ticket.publish(result);
                     return result.map(|c| QueryOutcome {
                         answers: c.answers,
                         db_version: c.db_version,
                         shared: false,
                         memo: c.memo,
+                        req_id,
                     });
                 }
                 Joined::Shared(result) => {
-                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                    // The join blocked until the owner published — that
+                    // wait is this follower's whole service time.
+                    let waited = trace::now_ns().saturating_sub(join_start);
+                    self.m.deduped.inc();
+                    self.m.follower_wait_ns.observe_ns(waited);
+                    trace::record_span(trace::REQ_DEDUP_WAIT, req_id, join_start, waited);
                     return result.map(|c| QueryOutcome {
                         answers: c.answers,
                         db_version: c.db_version,
                         shared: true,
                         memo: c.memo,
+                        req_id,
                     });
                 }
                 // The owner dropped its slot without publishing (it was
@@ -391,6 +578,7 @@ impl MqService {
                 // configured number of wakeups rather than spinning on a
                 // crash-looping owner forever.
                 Joined::Retry => {
+                    self.m.dedup_retries.inc();
                     retries += 1;
                     if retries >= self.retry.max_attempts {
                         return Err(ServiceError::RetriesExhausted { attempts: retries });
@@ -408,10 +596,28 @@ impl MqService {
         handle: &DbHandle,
         mq: &mq_core::ast::Metaquery,
         req: &MetaqueryRequest,
+        req_id: u64,
     ) -> SearchResult {
-        let _permit = self.gate.acquire();
-        self.executed.fetch_add(1, Ordering::Relaxed);
+        let wait_start = trace::now_ns();
+        let _permit = {
+            let _span = trace::SpanGuard::start_always(trace::REQ_ADMISSION);
+            self.gate.acquire()
+        };
+        self.m
+            .admission_wait_ns
+            .observe_ns(trace::now_ns().saturating_sub(wait_start));
+        self.m.executed.inc();
         let memos = handle.memo_service();
+        // Always-on totals are two relaxed increments per node; per-node
+        // detail only when someone will read it (tracing on, or the
+        // slow-query log armed).
+        let detailed = mq_obs::trace_enabled() || mq_obs::slow_ms().is_some();
+        let profile = Arc::new(if detailed {
+            SearchProfile::detailed()
+        } else {
+            SearchProfile::new()
+        });
+        let search_start = trace::now_ns();
         // Panic isolation boundary: a panic anywhere inside the search
         // (engine bug, injected `search.panic` fault — worker panics
         // propagate here through the scope join) becomes an error the
@@ -422,27 +628,42 @@ impl MqService {
         // in-flight entries), and on `Err` nothing from the closure is
         // reused.
         let searched = catch_unwind(AssertUnwindSafe(|| {
-            crate::faults::maybe_panic("search.panic");
+            let _span = trace::SpanGuard::start_always(trace::SEARCH_RUN);
+            self.search_panic.maybe_panic();
             // `memos: None` (MQ_SHARED_MEMO=0) keeps the engine's own
             // resolution: private per-worker memos, no persistence.
-            find_rules_budgeted(
+            find_rules_instrumented(
                 handle.database(),
                 mq,
                 req.ty,
                 req.thresholds,
                 memos.clone(),
                 req.max_wall_ms,
+                Some(Arc::clone(&profile)),
+                req_id,
             )
         }));
+        let wall_ns = trace::now_ns().saturating_sub(search_start);
+        self.m.search_wall_ns.observe_ns(wall_ns);
+        // Drain the profile's always-on totals into the service
+        // families (worker executors flushed on drop, panic or not).
+        self.m.sched_tasks.add(profile.tasks.load(Ordering::Relaxed));
+        self.m
+            .exec_nodes
+            .add(profile.node_execs.load(Ordering::Relaxed));
+        self.m
+            .exec_memo_hits
+            .add(profile.node_memo_hits.load(Ordering::Relaxed));
+        self.log_if_slow(handle, req, req_id, wall_ns, &profile, memos.as_deref());
         let searched = match searched {
             Ok(r) => r,
             Err(payload) => {
-                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.m.panics_caught.inc();
                 return Err(ServiceError::SearchPanicked(panic_message(&*payload)));
             }
         };
         if matches!(&searched, Err(InstError::DeadlineExceeded { .. })) {
-            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            self.m.deadline_exceeded.inc();
         }
         match searched {
             Ok(mut answers) => {
@@ -450,8 +671,8 @@ impl MqService {
                     answers.truncate(limit);
                 }
                 let memo = memos.as_ref().map(|m| m.stats()).unwrap_or_default();
-                self.memo_hits.fetch_add(memo.hits, Ordering::Relaxed);
-                self.memo_misses.fetch_add(memo.misses, Ordering::Relaxed);
+                self.m.memo_hits.add(memo.hits);
+                self.m.memo_misses.add(memo.misses);
                 Ok(CompletedSearch {
                     answers: Arc::new(answers),
                     db_version: handle.version(),
@@ -462,17 +683,59 @@ impl MqService {
         }
     }
 
-    /// Snapshot of the service counters.
+    /// Append a slow-query entry when the log is armed and `wall_ns`
+    /// crosses the threshold (panicked/errored searches included — a
+    /// slow failure is still a slow query).
+    fn log_if_slow(
+        &self,
+        handle: &DbHandle,
+        req: &MetaqueryRequest,
+        req_id: u64,
+        wall_ns: u64,
+        profile: &SearchProfile,
+        memos: Option<&mq_core::engine::memo::SharedMemos>,
+    ) {
+        let Some(thresh_ms) = mq_obs::slow_ms() else {
+            return;
+        };
+        let wall_ms = wall_ns / 1_000_000;
+        if wall_ms < thresh_ms {
+            return;
+        }
+        let nodes = profile
+            .top_nodes(SLOWLOG_TOP_NODES)
+            .into_iter()
+            .map(|(id, stat)| {
+                let label = memos
+                    .and_then(|m| m.describe_plan_node(PlanNodeId(id as u32)))
+                    .unwrap_or_else(|| format!("node#{id}"));
+                (id, label, stat)
+            })
+            .collect();
+        let mut log = lock_recover(&self.slowlog);
+        if log.len() >= SLOWLOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(SlowQuery {
+            req_id,
+            db: handle.name().to_string(),
+            metaquery: req.metaquery.clone(),
+            wall_ms,
+            nodes,
+        });
+    }
+
+    /// Snapshot of the service counters (reads the registry handles).
     pub fn metrics(&self) -> ServiceMetrics {
         ServiceMetrics {
-            requests: self.requests.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            deduped: self.deduped.load(Ordering::Relaxed),
-            panics_caught: self.panics_caught.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            requests: self.m.requests.get(),
+            executed: self.m.executed.get(),
+            deduped: self.m.deduped.get(),
+            panics_caught: self.m.panics_caught.get(),
+            deadline_exceeded: self.m.deadline_exceeded.get(),
             memo: MemoStats {
-                hits: self.memo_hits.load(Ordering::Relaxed),
-                misses: self.memo_misses.load(Ordering::Relaxed),
+                hits: self.m.memo_hits.get(),
+                misses: self.m.memo_misses.get(),
             },
         }
     }

@@ -10,7 +10,9 @@
 //! additionally pin the column-major layout's costs: transposition is
 //! O(arity) allocations, batched multi-column hashing reuses one
 //! scratch buffer, and the fused/reverse semijoins return
-//! storage-sharing clones when nothing is filtered.
+//! storage-sharing clones when nothing is filtered. A final phase pins
+//! the observability contract: with tracing forced off, `span!` sites
+//! and metric-handle updates allocate nothing at all.
 //!
 //! All phases live in one `#[test]` because the allocation counter is
 //! global to the process and the test harness runs tests concurrently.
@@ -234,5 +236,30 @@ fn probe_phases_allocate_constant_not_per_row() {
     assert!(
         spent < 8,
         "arena extend allocated {spent} times — per-row copies are back"
+    );
+
+    // ── Disabled-instrumentation phase ──────────────────────────────
+    // With tracing forced off, a `span!` site must cost one relaxed
+    // load and a branch — no guard, no ring write, no allocation — and
+    // updating pre-created registry handles is plain atomic arithmetic.
+    // This is the "observability is free when off" contract the serving
+    // hot path relies on (the bench-side twin is `trace_overhead`).
+    mq_obs::set_trace_override(Some(false));
+    let registry = mq_obs::Registry::new();
+    let probes = registry.counter("mq_test_probe_total", "no-alloc phase counter");
+    let lat = registry.histogram("mq_test_probe_ns", "no-alloc phase histogram");
+    let before = allocations();
+    for i in 0..N as u64 {
+        let _span = mq_obs::span!(mq_obs::trace::SCHED_TASK);
+        probes.inc();
+        lat.observe_ns(i);
+    }
+    let spent = allocations() - before;
+    mq_obs::set_trace_override(None);
+    assert_eq!(probes.get(), N as u64);
+    assert_eq!(
+        spent, 0,
+        "disabled tracing + registry updates allocated {spent} times over \
+         {N} iterations — instrumentation crept onto the hot path"
     );
 }
