@@ -54,7 +54,7 @@ impl Default for LoadConfig {
 }
 
 /// What a load run observed, aggregated over all connections.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct LoadReport {
     /// Connections driven.
     pub connections: usize,
@@ -84,6 +84,36 @@ pub struct LoadReport {
     pub p95_ms: f64,
     /// 99th percentile latency, ms.
     pub p99_ms: f64,
+    /// Every completed request's latency, sorted ascending — so
+    /// callers comparing runs (the `scrape_overhead` guard) can pool
+    /// samples across runs and take percentiles over the pool instead
+    /// of aggregating per-run tails.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl std::fmt::Debug for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl only to keep assertion dumps readable: the raw
+        // latency pool collapses to its sample count.
+        f.debug_struct("LoadReport")
+            .field("connections", &self.connections)
+            .field("sent", &self.sent)
+            .field("ok", &self.ok)
+            .field("errs", &self.errs)
+            .field("unstructured", &self.unstructured)
+            .field("mismatches", &self.mismatches)
+            .field("reconnects", &self.reconnects)
+            .field("lost", &self.lost)
+            .field("wall_s", &self.wall_s)
+            .field("p50_ms", &self.p50_ms)
+            .field("p95_ms", &self.p95_ms)
+            .field("p99_ms", &self.p99_ms)
+            .field(
+                "latencies_ms",
+                &format_args!("[{} samples]", self.latencies_ms.len()),
+            )
+            .finish()
+    }
 }
 
 impl LoadReport {
@@ -174,8 +204,7 @@ struct Tally {
 fn normalize_header(line: &str) -> &str {
     let line = match line.rfind(" req=") {
         Some(i)
-            if !line[i + 5..].is_empty()
-                && line[i + 5..].bytes().all(|b| b.is_ascii_digit()) =>
+            if !line[i + 5..].is_empty() && line[i + 5..].bytes().all(|b| b.is_ascii_digit()) =>
         {
             &line[..i]
         }
@@ -259,7 +288,7 @@ fn drive_connection(addr: SocketAddr, cfg: &LoadConfig) -> Tally {
 }
 
 /// Percentile of a **sorted** latency slice (nearest-rank).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -304,6 +333,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     report.p50_ms = percentile(&latencies, 0.50);
     report.p95_ms = percentile(&latencies, 0.95);
     report.p99_ms = percentile(&latencies, 0.99);
+    report.latencies_ms = latencies;
     report
 }
 

@@ -19,9 +19,19 @@ pub struct Knob {
 /// Every `MQ_*` knob the workspace reads, alphabetically.
 pub const KNOBS: &[Knob] = &[
     Knob {
+        name: "MQ_BENCH_HISTORY",
+        default: "BENCH_history.jsonl",
+        purpose: "Append path for `bench_report`'s per-run trajectory records",
+    },
+    Knob {
         name: "MQ_BENCH_MAX_NET_P99_MS",
         default: "10000",
         purpose: "`net_load` p99 latency guard threshold, in milliseconds",
+    },
+    Knob {
+        name: "MQ_BENCH_MAX_SCRAPE_OVERHEAD_PCT",
+        default: "5",
+        purpose: "Bench guard: max % regression of net p99 with the 1 s flight-recorder scraper on",
     },
     Knob {
         name: "MQ_BENCH_MAX_TRACE_OVERHEAD_PCT",
@@ -84,9 +94,29 @@ pub const KNOBS: &[Knob] = &[
         purpose: "Deterministic fault plan `site:prob:seed[,…]` for the serving stack",
     },
     Knob {
+        name: "MQ_HEALTH_ANOMALY_K",
+        default: "4",
+        purpose: "Watchdog sensitivity: anomaly when a counter rate exceeds baseline mean + k·MAD",
+    },
+    Knob {
+        name: "MQ_HEALTH_MAX_ERR_RATE",
+        default: "0.05",
+        purpose: "Health rule `error-rate`: structured-err fraction ceiling (4× is Unhealthy)",
+    },
+    Knob {
+        name: "MQ_HEALTH_P99_MS",
+        default: "1000",
+        purpose: "Health rule `p99-burn`: request-latency objective for the two-window burn math",
+    },
+    Knob {
         name: "MQ_PARALLEL",
         default: "1 (on)",
         purpose: "Work-stealing `findRules` scheduler (`0`/`false`/`off` disables)",
+    },
+    Knob {
+        name: "MQ_SCRAPE_MS",
+        default: "1000",
+        purpose: "Flight-recorder scrape cadence, ms (`0` keeps the recorder fully off)",
     },
     Knob {
         name: "MQ_SHARED_MEMO",
@@ -111,7 +141,8 @@ pub const KNOBS: &[Knob] = &[
     Knob {
         name: "MQ_TRACE",
         default: "0 (off)",
-        purpose: "Hot-path span tracing (`1` records scheduler/executor spans and per-node profiles)",
+        purpose:
+            "Hot-path span tracing (`1` records scheduler/executor spans and per-node profiles)",
     },
 ];
 

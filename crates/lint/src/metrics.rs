@@ -138,6 +138,11 @@ pub const METRICS: &[Metric] = &[
         purpose: "Scheduler tasks claimed across finished searches",
     },
     Metric {
+        name: "mq_scrape_runs_total",
+        kind: "counter",
+        purpose: "Flight-recorder scrape ticks (history samples recorded)",
+    },
+    Metric {
         name: "mq_session_admission_wait_ns",
         kind: "histogram",
         purpose: "Time a search waited at the admission gate",
@@ -180,10 +185,7 @@ pub fn lookup(name: &str) -> Option<&'static Metric> {
 pub fn render_table() -> String {
     let mut out = String::from("| Metric | Kind | Purpose |\n|---|---|---|\n");
     for m in METRICS {
-        out.push_str(&format!(
-            "| `{}` | {} | {} |\n",
-            m.name, m.kind, m.purpose
-        ));
+        out.push_str(&format!("| `{}` | {} | {} |\n", m.name, m.kind, m.purpose));
     }
     out
 }

@@ -86,12 +86,14 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
         } else {
             ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
                 let base = name.strip_suffix(suf)?;
-                (types.get(base).map(String::as_str) == Some("histogram"))
-                    .then(|| base.to_string())
+                (types.get(base).map(String::as_str) == Some("histogram")).then(|| base.to_string())
             })
         };
         let Some(base) = declared else {
-            return Err(format!("line {}: sample `{name}` has no TYPE declaration", ln + 1));
+            return Err(format!(
+                "line {}: sample `{name}` has no TYPE declaration",
+                ln + 1
+            ));
         };
 
         if types.get(&base).map(String::as_str) == Some("histogram") {

@@ -1,0 +1,737 @@
+//! Fixed-memory time-series history: the flight recorder's storage.
+//!
+//! A [`History`] keeps the last [`RING_SAMPLES`] scrapes of every
+//! registry series in per-series seqlock rings ([`SeriesRing`]): the
+//! background [`Scraper`] (single writer) stores each sample with the
+//! same odd/even sequence protocol the span rings use, so readers —
+//! the `history`/`top`/`health` protocol verbs — never lock against
+//! the writer and discard any sample they raced mid-write. Memory is
+//! fixed at allocation: a scalar series ring is `RING_SAMPLES × 2`
+//! words (~8 KiB), a histogram ring `RING_SAMPLES × 16` words
+//! (~64 KiB); with the workspace's ~45 series the whole recorder stays
+//! under ~1 MiB regardless of uptime.
+//!
+//! On top of the raw samples, `History` derives the windowed views the
+//! SLO engine consumes: per-window counter **rates** (Prometheus-style
+//! reset handling — a decreasing counter is treated as restarted from
+//! zero, so rates are never negative), gauge **min/max**, and
+//! histogram-**delta** percentiles (bucket-wise `last − first` over the
+//! window, fed to [`HistogramSnapshot::quantile_ns`]).
+//!
+//! The scrape cadence is `MQ_SCRAPE_MS` (default 1000; `0` disables the
+//! recorder entirely — no thread, no rings, no cost), read once and
+//! overridable via [`set_scrape_ms_override`] like every other gate.
+
+use crate::metrics::{HistogramSnapshot, Registry, SampleValue, BUCKET_BOUNDS_NS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Samples retained per series (power of two). At the default 1 s
+/// cadence this is ~8.5 minutes of history — comfortably covering the
+/// longest (5 m) SLO window.
+pub const RING_SAMPLES: usize = 512;
+
+/// Histogram bucket count (bounds + overflow), mirrored from
+/// [`BUCKET_BOUNDS_NS`].
+const HB: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// Words per scalar sample: `[t_ms, value]`.
+const SCALAR_WORDS: usize = 2;
+/// Words per histogram sample: `[t_ms, buckets…, sum_ns, count]`.
+const HIST_WORDS: usize = 1 + HB + 2;
+
+/// What instrument a recorded series is — drives which windowed views
+/// apply (rates for counters, min/max for gauges, percentile deltas
+/// for histograms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic counter (modulo resets).
+    Counter,
+    /// Free-moving gauge.
+    Gauge,
+    /// Fixed-bucket latency histogram.
+    Histogram,
+}
+
+/// One sample read back out of a ring.
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// Scrape instant, trace-clock milliseconds.
+    pub t_ms: u64,
+    /// Sampled value.
+    pub value: PointValue,
+}
+
+/// A [`SeriesPoint`]'s payload.
+#[derive(Clone, Debug)]
+pub enum PointValue {
+    /// Counter or gauge value.
+    Scalar(u64),
+    /// Full histogram state at scrape time.
+    Hist(HistogramSnapshot),
+}
+
+impl PointValue {
+    /// The scalar view every consumer can fall back to (histograms
+    /// contribute their cumulative count — same convention as
+    /// `Registry::snapshot`).
+    pub fn as_scalar(&self) -> u64 {
+        match self {
+            PointValue::Scalar(v) => *v,
+            PointValue::Hist(h) => h.count,
+        }
+    }
+}
+
+/// A fixed-capacity seqlock ring holding one series' trailing samples.
+///
+/// Single-writer (the scraper), many torn-free readers: each slot
+/// carries a sequence word set to `pos*2+1` before the payload stores
+/// and `pos*2+2` after, so a reader that observes an odd or changed
+/// sequence discards the slot instead of surfacing a torn sample —
+/// the same protocol as the span rings in [`crate::trace`].
+pub struct SeriesRing {
+    kind: SeriesKind,
+    width: usize,
+    /// Published samples (monotonic logical position).
+    head: AtomicU64,
+    /// Per-slot sequence words.
+    seq: Vec<AtomicU64>,
+    /// `RING_SAMPLES × width` payload words.
+    words: Vec<AtomicU64>,
+}
+
+impl SeriesRing {
+    fn new(kind: SeriesKind) -> SeriesRing {
+        let width = match kind {
+            SeriesKind::Histogram => HIST_WORDS,
+            _ => SCALAR_WORDS,
+        };
+        SeriesRing {
+            kind,
+            width,
+            head: AtomicU64::new(0),
+            seq: (0..RING_SAMPLES).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..RING_SAMPLES * width)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// The series' instrument kind.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Samples ever pushed (reads back at most [`RING_SAMPLES`]).
+    pub fn len(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push one sample (single writer — the scraper).
+    fn push(&self, t_ms: u64, value: &SampleValue) {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = (pos as usize) % RING_SAMPLES;
+        let base = slot * self.width;
+        self.seq[slot].store(pos * 2 + 1, Ordering::SeqCst);
+        self.words[base].store(t_ms, Ordering::Relaxed);
+        match value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                self.words[base + 1].store(*v, Ordering::Relaxed);
+            }
+            SampleValue::Histogram(h) => {
+                for (i, b) in h.buckets.iter().enumerate() {
+                    self.words[base + 1 + i].store(*b, Ordering::Relaxed);
+                }
+                self.words[base + 1 + HB].store(h.sum_ns, Ordering::Relaxed);
+                self.words[base + 2 + HB].store(h.count, Ordering::Relaxed);
+            }
+        }
+        self.seq[slot].store(pos * 2 + 2, Ordering::SeqCst);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// One slot's sample, `None` if the writer overwrote it mid-read
+    /// (odd or advanced sequence word — discard, never surface torn).
+    fn read_pos(&self, pos: u64) -> Option<SeriesPoint> {
+        let slot = (pos as usize) % RING_SAMPLES;
+        let base = slot * self.width;
+        let want = pos * 2 + 2;
+        if self.seq[slot].load(Ordering::SeqCst) != want {
+            return None;
+        }
+        let t_ms = self.words[base].load(Ordering::Relaxed);
+        let value = match self.kind {
+            SeriesKind::Histogram => {
+                let mut h = HistogramSnapshot::default();
+                for (i, b) in h.buckets.iter_mut().enumerate() {
+                    *b = self.words[base + 1 + i].load(Ordering::Relaxed);
+                }
+                h.sum_ns = self.words[base + 1 + HB].load(Ordering::Relaxed);
+                h.count = self.words[base + 2 + HB].load(Ordering::Relaxed);
+                PointValue::Hist(h)
+            }
+            _ => PointValue::Scalar(self.words[base + 1].load(Ordering::Relaxed)),
+        };
+        if self.seq[slot].load(Ordering::SeqCst) != want {
+            return None; // overwritten mid-read — discard
+        }
+        Some(SeriesPoint { t_ms, value })
+    }
+
+    /// Every still-valid buffered sample, oldest first. Samples the
+    /// writer overwrote mid-read are skipped, so timestamps are
+    /// monotone but gaps are possible under heavy lag.
+    pub fn read_all(&self) -> Vec<SeriesPoint> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(RING_SAMPLES as u64);
+        (start..head).filter_map(|pos| self.read_pos(pos)).collect()
+    }
+
+    /// Buffered samples with `min_t_ms <= t_ms <= max_t_ms`, oldest
+    /// first. Walks **backwards** from the head and stops at the first
+    /// valid sample older than the window (timestamps are monotone), so
+    /// the per-scrape SLO evaluation reads ~window-many slots rather
+    /// than the full ring — the difference between a tick costing
+    /// microseconds and one that bumps serving tail latency.
+    pub fn read_range(&self, min_t_ms: u64, max_t_ms: u64) -> Vec<SeriesPoint> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(RING_SAMPLES as u64);
+        let mut out = Vec::new();
+        for pos in (start..head).rev() {
+            // A torn slot can't tell us we're past the window, so keep
+            // scanning; only a *valid* too-old sample terminates.
+            let Some(p) = self.read_pos(pos) else {
+                continue;
+            };
+            if p.t_ms < min_t_ms {
+                break;
+            }
+            if p.t_ms <= max_t_ms {
+                out.push(p);
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// The named SLO windows (`token`, width in ms): 10 s, 1 m, 5 m.
+pub const WINDOWS_MS: [(&str, u64); 3] = [("10s", 10_000), ("1m", 60_000), ("5m", 300_000)];
+
+/// Parse a window token — one of [`WINDOWS_MS`]'s names or a generic
+/// `<n>ms` / `<n>s` / `<n>m` duration. Zero-width windows are rejected.
+pub fn parse_window(token: &str) -> Option<u64> {
+    let (digits, scale) = if let Some(d) = token.strip_suffix("ms") {
+        (d, 1)
+    } else if let Some(d) = token.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = token.strip_suffix('m') {
+        (d, 60_000)
+    } else {
+        return None;
+    };
+    let n: u64 = digits.parse().ok().filter(|&n| n > 0)?;
+    n.checked_mul(scale)
+}
+
+/// The time-series store: one [`SeriesRing`] per registry series,
+/// created lazily at first scrape (so its memory tracks the number of
+/// distinct series, never uptime).
+#[derive(Default)]
+pub struct History {
+    series: Mutex<Vec<(String, Arc<SeriesRing>)>>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(String, Arc<SeriesRing>)>> {
+        // Held only to resolve name → ring (scraper batch start,
+        // verb lookups) — the sample writes/reads themselves are
+        // lock-free. Pushes are single-step, so a poisoned map is
+        // still consistent.
+        self.series.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record one full registry sample at trace-clock ms `t_ms` — the
+    /// deterministic scrape entry point (tests inject timestamps; the
+    /// scraper thread passes the live clock).
+    pub fn record(&self, registry: &Registry, t_ms: u64) {
+        let samples = registry.sample();
+        let mut map = self.lock();
+        for s in &samples {
+            let ring = match map.iter().find(|(name, _)| *name == s.series) {
+                Some((_, ring)) => ring.clone(),
+                None => {
+                    let kind = match s.value {
+                        SampleValue::Counter(_) => SeriesKind::Counter,
+                        SampleValue::Gauge(_) => SeriesKind::Gauge,
+                        SampleValue::Histogram(_) => SeriesKind::Histogram,
+                    };
+                    let ring = Arc::new(SeriesRing::new(kind));
+                    map.push((s.series.clone(), ring.clone()));
+                    ring
+                }
+            };
+            ring.push(t_ms, &s.value);
+        }
+        registry.note_scrape(t_ms);
+    }
+
+    /// The ring for `series`, if it has ever been scraped.
+    pub fn ring(&self, series: &str) -> Option<Arc<SeriesRing>> {
+        self.lock()
+            .iter()
+            .find(|(name, _)| name == series)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Every recorded series name, in first-scrape order.
+    pub fn series_names(&self) -> Vec<String> {
+        self.lock().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Buffered samples of `series` within the trailing window
+    /// `[now_ms − window_ms, now_ms]`, oldest first.
+    pub fn points(&self, series: &str, window_ms: u64, now_ms: u64) -> Vec<SeriesPoint> {
+        let Some(ring) = self.ring(series) else {
+            return Vec::new();
+        };
+        ring.read_range(now_ms.saturating_sub(window_ms), now_ms)
+    }
+
+    /// Per-second rate of a counter series over the window, derived
+    /// from consecutive-sample deltas with Prometheus-style reset
+    /// handling: a decreasing step is treated as a restart from zero
+    /// (the new value is the delta), so the rate is never negative.
+    /// `None` without at least two samples spanning nonzero time.
+    pub fn counter_rate(&self, series: &str, window_ms: u64, now_ms: u64) -> Option<f64> {
+        let pts = self.points(series, window_ms, now_ms);
+        let (first, last) = (pts.first()?, pts.last()?);
+        let elapsed_ms = last.t_ms.saturating_sub(first.t_ms);
+        if elapsed_ms == 0 {
+            return None;
+        }
+        let mut total = 0u64;
+        for w in pts.windows(2) {
+            let (prev, next) = (w[0].value.as_scalar(), w[1].value.as_scalar());
+            total += if next >= prev { next - prev } else { next };
+        }
+        Some(total as f64 / (elapsed_ms as f64 / 1_000.0))
+    }
+
+    /// `(min, max)` of a gauge series over the window; `None` when the
+    /// window holds no samples.
+    pub fn gauge_minmax(&self, series: &str, window_ms: u64, now_ms: u64) -> Option<(u64, u64)> {
+        let pts = self.points(series, window_ms, now_ms);
+        let mut it = pts.iter().map(|p| p.value.as_scalar());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Bucket-wise histogram delta over the window (`last − first`
+    /// sample). A reset (any bucket shrinking) falls back to the last
+    /// sample alone — everything observed since the restart. The
+    /// returned snapshot's `count` is re-derived from the delta
+    /// buckets, so [`HistogramSnapshot::quantile_ns`] yields
+    /// per-window percentiles. `None` without at least two samples.
+    pub fn hist_delta(
+        &self,
+        series: &str,
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Option<HistogramSnapshot> {
+        let pts = self.points(series, window_ms, now_ms);
+        if pts.len() < 2 {
+            return None;
+        }
+        let (first, last) = match (&pts.first()?.value, &pts.last()?.value) {
+            (PointValue::Hist(f), PointValue::Hist(l)) => (f, l),
+            _ => return None,
+        };
+        let reset = last.buckets.iter().zip(&first.buckets).any(|(l, f)| l < f);
+        let mut delta = HistogramSnapshot::default();
+        for (i, d) in delta.buckets.iter_mut().enumerate() {
+            *d = if reset {
+                last.buckets[i]
+            } else {
+                last.buckets[i] - first.buckets[i]
+            };
+        }
+        delta.sum_ns = if reset {
+            last.sum_ns
+        } else {
+            last.sum_ns.saturating_sub(first.sum_ns)
+        };
+        delta.count = delta.buckets.iter().sum();
+        Some(delta)
+    }
+
+    /// The `k` highest-rate counter series over the window, hottest
+    /// first. Series with no measurable rate are skipped.
+    pub fn top_rates(&self, window_ms: u64, now_ms: u64, k: usize) -> Vec<(String, f64)> {
+        let names: Vec<(String, SeriesKind)> = self
+            .lock()
+            .iter()
+            .map(|(n, r)| (n.clone(), r.kind()))
+            .collect();
+        let mut out: Vec<(String, f64)> = names
+            .into_iter()
+            .filter(|(_, kind)| *kind == SeriesKind::Counter)
+            .filter_map(|(name, _)| {
+                let rate = self.counter_rate(&name, window_ms, now_ms)?;
+                (rate > 0.0).then_some((name, rate))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.truncate(k);
+        out
+    }
+}
+
+// ── The MQ_SCRAPE_MS gate ───────────────────────────────────────────
+
+/// Lazily cached `MQ_SCRAPE_MS` (+1 so 0 can mean "not yet read";
+/// u64::MAX = read, disabled).
+static SCRAPE_ENV: AtomicU64 = AtomicU64::new(0);
+/// Override: 0 = none, u64::MAX = force off, v+1 = force cadence v.
+static SCRAPE_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// The scrape cadence in milliseconds, or `None` when the flight
+/// recorder is off (`MQ_SCRAPE_MS=0`). Unset defaults to 1000.
+pub fn scrape_ms() -> Option<u64> {
+    match SCRAPE_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {}
+        u64::MAX => return None,
+        v => return Some(v - 1),
+    }
+    match SCRAPE_ENV.load(Ordering::Relaxed) {
+        0 => {
+            let ms = match std::env::var("MQ_SCRAPE_MS") {
+                Ok(v) => v.parse::<u64>().ok().filter(|&v| v > 0),
+                Err(_) => Some(1_000),
+            };
+            SCRAPE_ENV.store(ms.map_or(u64::MAX, |v| v + 1), Ordering::Relaxed);
+            ms
+        }
+        u64::MAX => None,
+        v => Some(v - 1),
+    }
+}
+
+/// Force the scrape cadence (`Some(ms)`), force the recorder off
+/// (`Some(0)`), or return to the `MQ_SCRAPE_MS` default (`None`). An
+/// atomic override — mutating the environment is unsound under
+/// concurrent readers.
+pub fn set_scrape_ms_override(ms: Option<u64>) {
+    let v = match ms {
+        None => 0,
+        Some(0) => u64::MAX,
+        Some(v) => v + 1,
+    };
+    SCRAPE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+// ── The background scraper ──────────────────────────────────────────
+
+/// A background thread invoking a tick callback on a fixed cadence,
+/// with prompt shutdown (condvar wakeup, not sleep polling). The
+/// callback runs once immediately on spawn so the history has a
+/// baseline sample before the first full period elapses.
+pub struct Scraper {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Scraper {
+    /// Spawn the scraper thread at `period_ms` cadence.
+    pub fn spawn(period_ms: u64, mut tick: impl FnMut() + Send + 'static) -> Scraper {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("mq-scraper".into())
+            .spawn(move || {
+                tick();
+                let (lock, cvar) = &*thread_stop;
+                loop {
+                    let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    let (guard, _) = cvar
+                        .wait_timeout(guard, std::time::Duration::from_millis(period_ms))
+                        .unwrap_or_else(|e| e.into_inner());
+                    if *guard {
+                        return;
+                    }
+                    drop(guard);
+                    tick();
+                }
+            })
+            .ok();
+        Scraper { stop, handle }
+    }
+
+    /// Stop the thread and join it (idempotent; also runs on drop).
+    pub fn stop(&mut self) {
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scraper {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn scraped_registry() -> (Registry, History) {
+        (Registry::new(), History::new())
+    }
+
+    #[test]
+    fn rings_record_and_read_back_monotone() {
+        let (reg, hist) = scraped_registry();
+        let c = reg.counter("mq_test_total", "test");
+        for t in 0..5u64 {
+            c.add(10);
+            hist.record(&reg, t * 1_000);
+        }
+        let pts = hist.points("mq_test_total", 60_000, 4_000);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].t_ms < w[1].t_ms, "timestamps must be monotone");
+        }
+        assert_eq!(pts.last().map(|p| p.value.as_scalar()), Some(50));
+        assert_eq!(reg.last_scrape_ms(), Some(4_000));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_within_capacity() {
+        let (reg, hist) = scraped_registry();
+        let c = reg.counter("mq_test_total", "test");
+        let n = RING_SAMPLES as u64 + 100;
+        for t in 0..n {
+            c.inc();
+            hist.record(&reg, t);
+        }
+        let ring = hist.ring("mq_test_total").expect("ring exists");
+        let pts = ring.read_all();
+        assert_eq!(pts.len(), RING_SAMPLES);
+        assert_eq!(pts.first().map(|p| p.t_ms), Some(n - RING_SAMPLES as u64));
+        assert_eq!(pts.last().map(|p| p.t_ms), Some(n - 1));
+    }
+
+    #[test]
+    fn read_range_matches_filtered_read_all() {
+        let (reg, hist) = scraped_registry();
+        let c = reg.counter("mq_test_total", "test");
+        let n = RING_SAMPLES as u64 + 50;
+        for t in 0..n {
+            c.inc();
+            hist.record(&reg, t * 100);
+        }
+        let ring = hist.ring("mq_test_total").expect("ring exists");
+        let (lo, hi) = ((n - 20) * 100, (n - 5) * 100);
+        let want: Vec<u64> = ring
+            .read_all()
+            .into_iter()
+            .filter(|p| p.t_ms >= lo && p.t_ms <= hi)
+            .map(|p| p.t_ms)
+            .collect();
+        let got: Vec<u64> = ring
+            .read_range(lo, hi)
+            .into_iter()
+            .map(|p| p.t_ms)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 16);
+        // A window wider than the ring degrades to read_all.
+        assert_eq!(ring.read_range(0, u64::MAX).len(), RING_SAMPLES);
+    }
+
+    #[test]
+    fn counter_rate_is_windowed() {
+        let (reg, hist) = scraped_registry();
+        let c = reg.counter("mq_test_total", "test");
+        // 10 samples 1 s apart, +5 per step → 5/s.
+        for t in 0..10u64 {
+            hist.record(&reg, t * 1_000);
+            c.add(5);
+        }
+        let rate = hist
+            .counter_rate("mq_test_total", 60_000, 9_000)
+            .expect("rate");
+        assert!((rate - 5.0).abs() < 1e-9, "{rate}");
+        // A 2 s window sees only the last 3 samples — same slope.
+        let short = hist
+            .counter_rate("mq_test_total", 2_000, 9_000)
+            .expect("short rate");
+        assert!((short - 5.0).abs() < 1e-9, "{short}");
+        // One sample in window ⇒ no rate.
+        assert!(hist.counter_rate("mq_test_total", 500, 9_000).is_none());
+    }
+
+    #[test]
+    fn counter_reset_never_yields_negative_rate() {
+        let (reg, hist) = scraped_registry();
+        let c = reg.counter("mq_test_total", "test");
+        c.add(100);
+        hist.record(&reg, 0);
+        c.add(10);
+        hist.record(&reg, 1_000);
+        // Simulate a scraper/process restart: a fresh registry whose
+        // counter restarts from zero, recorded into the same history.
+        let reg2 = Registry::new();
+        let c2 = reg2.counter("mq_test_total", "test");
+        c2.add(4);
+        hist.record(&reg2, 2_000);
+        c2.add(6);
+        hist.record(&reg2, 3_000);
+        let rate = hist
+            .counter_rate("mq_test_total", 60_000, 3_000)
+            .expect("rate");
+        // Deltas: +10, reset→+4, +6 over 3 s.
+        assert!((rate - 20.0 / 3.0).abs() < 1e-9, "{rate}");
+        assert!(rate >= 0.0);
+    }
+
+    #[test]
+    fn gauge_minmax_covers_window_only() {
+        let (reg, hist) = scraped_registry();
+        let g = reg.gauge("mq_test_gauge", "test");
+        for (t, v) in [(0u64, 3u64), (1_000, 9), (2_000, 1), (3_000, 5)] {
+            g.set(v);
+            hist.record(&reg, t);
+        }
+        assert_eq!(
+            hist.gauge_minmax("mq_test_gauge", 60_000, 3_000),
+            Some((1, 9))
+        );
+        assert_eq!(
+            hist.gauge_minmax("mq_test_gauge", 1_500, 3_000),
+            Some((1, 5))
+        );
+    }
+
+    #[test]
+    fn hist_delta_yields_window_percentiles() {
+        let (reg, hist) = scraped_registry();
+        let h = reg.histogram("mq_test_ns", "test");
+        // Before the window: 100 fast observations.
+        for _ in 0..100 {
+            h.observe_ns(500);
+        }
+        hist.record(&reg, 0);
+        // Inside the window: 10 slow ones.
+        for _ in 0..10 {
+            h.observe_ns(2_000_000_000);
+        }
+        hist.record(&reg, 1_000);
+        let delta = hist.hist_delta("mq_test_ns", 60_000, 1_000).expect("delta");
+        assert_eq!(delta.count, 10);
+        // The since-boot p50 is 500 ns; the windowed p50 is the slow tail.
+        assert_eq!(delta.quantile_ns(0.5), 4_000_000_000);
+        assert_eq!(h.quantile_ns(0.5), 1_000);
+    }
+
+    #[test]
+    fn hist_delta_survives_reset() {
+        let (reg, hist) = scraped_registry();
+        let h = reg.histogram("mq_test_ns", "test");
+        for _ in 0..50 {
+            h.observe_ns(500);
+        }
+        hist.record(&reg, 0);
+        let reg2 = Registry::new();
+        let h2 = reg2.histogram("mq_test_ns", "test");
+        for _ in 0..3 {
+            h2.observe_ns(2_000);
+        }
+        hist.record(&reg2, 1_000);
+        let delta = hist.hist_delta("mq_test_ns", 60_000, 1_000).expect("delta");
+        assert_eq!(delta.count, 3, "reset falls back to the fresh snapshot");
+        assert_eq!(delta.quantile_ns(1.0), 4_000);
+    }
+
+    #[test]
+    fn top_rates_ranks_counters_only() {
+        let (reg, hist) = scraped_registry();
+        let fast = reg.counter("mq_fast_total", "test");
+        let slow = reg.counter("mq_slow_total", "test");
+        let g = reg.gauge("mq_test_gauge", "test");
+        for t in 0..5u64 {
+            fast.add(100);
+            slow.add(1);
+            g.set(1_000_000);
+            hist.record(&reg, t * 1_000);
+        }
+        let top = hist.top_rates(60_000, 4_000, 10);
+        assert_eq!(top.len(), 2, "gauges are excluded: {top:?}");
+        assert_eq!(top[0].0, "mq_fast_total");
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn parse_window_tokens() {
+        assert_eq!(parse_window("10s"), Some(10_000));
+        assert_eq!(parse_window("30s"), Some(30_000));
+        assert_eq!(parse_window("1m"), Some(60_000));
+        assert_eq!(parse_window("5m"), Some(300_000));
+        assert_eq!(parse_window("250ms"), Some(250));
+        assert_eq!(parse_window("0s"), None);
+        assert_eq!(parse_window("10"), None);
+        assert_eq!(parse_window("banana"), None);
+    }
+
+    #[test]
+    fn scrape_gate_overrides() {
+        set_scrape_ms_override(Some(25));
+        assert_eq!(scrape_ms(), Some(25));
+        set_scrape_ms_override(Some(0));
+        assert_eq!(scrape_ms(), None);
+        set_scrape_ms_override(None);
+    }
+
+    #[test]
+    fn scraper_ticks_and_stops_promptly() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let mut s = Scraper::spawn(5, move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while hits.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(hits.load(Ordering::Relaxed) >= 3, "scraper never ticked");
+        let start = std::time::Instant::now();
+        s.stop();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "stop must not wait out a full period"
+        );
+    }
+}

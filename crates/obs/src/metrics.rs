@@ -113,6 +113,29 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Nearest-rank quantile (`0.0 < q <= 1.0`) over the snapshot,
+    /// reported as the upper bound of the bucket the rank falls in
+    /// (`u64::MAX` for the overflow bucket). Allocation-free by
+    /// construction; also used on windowed bucket *deltas* by the
+    /// flight recorder (`history`), where it yields per-window rather
+    /// than since-boot percentiles.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
 impl Histogram {
     /// Record one latency observation.
     pub fn observe_ns(&self, ns: u64) {
@@ -135,23 +158,10 @@ impl Histogram {
         self.0.sum_ns.load(Ordering::Relaxed)
     }
 
-    /// Nearest-rank quantile (`0.0 < q <= 1.0`), reported as the upper
-    /// bound of the bucket the rank falls in (`u64::MAX` for the
-    /// overflow bucket). Allocation-free by construction.
+    /// Nearest-rank quantile of the live histogram (see
+    /// [`HistogramSnapshot::quantile_ns`]).
     pub fn quantile_ns(&self, q: f64) -> u64 {
-        let snap = self.snapshot();
-        if snap.count == 0 {
-            return 0;
-        }
-        let rank = ((q * snap.count as f64).ceil() as u64).clamp(1, snap.count);
-        let mut seen = 0u64;
-        for (i, &c) in snap.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
-            }
-        }
-        u64::MAX
+        self.snapshot().quantile_ns(q)
     }
 
     /// Atomic-per-field snapshot of the bucket counts.
@@ -182,6 +192,31 @@ enum Slot {
     Histogram(Histogram),
 }
 
+/// The typed value of one series in a [`Registry::sample`] — unlike
+/// [`Registry::snapshot`] (which flattens histograms to their `_count`),
+/// this carries the full bucket state so the flight recorder can derive
+/// per-window percentiles from bucket deltas.
+#[derive(Clone, Debug)]
+pub enum SampleValue {
+    /// A monotonic counter's current total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(u64),
+    /// A histogram's full torn-free snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One sampled series: the exposition series key (`name` or
+/// `name{key="value"}` — the same string [`Registry::snapshot`] uses)
+/// plus its typed value.
+#[derive(Clone, Debug)]
+pub struct SeriesSample {
+    /// Series key, stable across samples.
+    pub series: String,
+    /// Typed value at sample time.
+    pub value: SampleValue,
+}
+
 struct Entry {
     name: &'static str,
     help: &'static str,
@@ -197,6 +232,10 @@ struct Entry {
 #[derive(Default)]
 pub struct Registry {
     entries: Mutex<Vec<Entry>>,
+    /// Trace-clock ms of the latest flight-recorder scrape, +1 so zero
+    /// can mean "never scraped". Written by the background scraper,
+    /// read by `render_prometheus` for the scrape-age comment.
+    last_scrape_ms: AtomicU64,
 }
 
 impl Registry {
@@ -285,11 +324,7 @@ impl Registry {
 
     /// Read one counter/gauge value by `(name, label)` — test/diagnostic
     /// accessor; returns `None` for unknown names and histograms.
-    pub fn value(
-        &self,
-        name: &str,
-        label: Option<(&str, &str)>,
-    ) -> Option<u64> {
+    pub fn value(&self, name: &str, label: Option<(&str, &str)>) -> Option<u64> {
         let entries = self.entries();
         let e = entries
             .iter()
@@ -323,13 +358,62 @@ impl Registry {
         out
     }
 
+    /// Record that the flight-recorder scraper sampled this registry at
+    /// trace-clock millisecond `t_ms` (see [`crate::trace::now_ns`]).
+    pub fn note_scrape(&self, t_ms: u64) {
+        self.last_scrape_ms
+            .store(t_ms.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Trace-clock ms of the latest scrape, `None` when no background
+    /// scraper has ever sampled this registry.
+    pub fn last_scrape_ms(&self) -> Option<u64> {
+        match self.last_scrape_ms.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
+
+    /// A typed snapshot of every series — the flight recorder's scrape
+    /// entry point. Same series keys and ordering as [`snapshot`], but
+    /// histograms carry their full bucket state instead of collapsing
+    /// to `_count`.
+    ///
+    /// [`snapshot`]: Registry::snapshot
+    pub fn sample(&self) -> Vec<SeriesSample> {
+        let entries = self.entries();
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries.iter() {
+            let series = match e.label {
+                Some((k, v)) => format!("{}{{{k}=\"{v}\"}}", e.name),
+                None => e.name.to_string(),
+            };
+            let value = match &e.slot {
+                Slot::Counter(c) => SampleValue::Counter(c.get()),
+                Slot::Gauge(g) => SampleValue::Gauge(g.get()),
+                Slot::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+            };
+            out.push(SeriesSample { series, value });
+        }
+        out
+    }
+
     /// Render every metric in Prometheus text exposition format:
     /// `# HELP` / `# TYPE` headers per metric name, then one sample per
     /// series (histograms expand to cumulative `_bucket{le=…}` samples
-    /// plus `_sum`/`_count`).
+    /// plus `_sum`/`_count`). When a flight-recorder scraper has sampled
+    /// this registry, the dump leads with a free-form scrape-age comment
+    /// (`parse_prometheus` skips non-TYPE comments by design).
     pub fn render_prometheus(&self) -> String {
         let entries = self.entries();
         let mut out = String::new();
+        if let Some(t) = self.last_scrape_ms() {
+            let now_ms = crate::trace::now_ns() / 1_000_000;
+            out.push_str(&format!(
+                "# mq-scrape t_ms={t} age_ms={}\n",
+                now_ms.saturating_sub(t)
+            ));
+        }
         let mut rendered: Vec<&str> = Vec::new();
         for e in entries.iter() {
             if rendered.contains(&e.name) {
@@ -358,14 +442,10 @@ impl Registry {
                         for (i, c) in snap.buckets.iter().enumerate() {
                             cum += c;
                             match BUCKET_BOUNDS_NS.get(i) {
-                                Some(b) => out.push_str(&format!(
-                                    "{}_bucket{{le=\"{b}\"}} {cum}\n",
-                                    s.name
-                                )),
-                                None => out.push_str(&format!(
-                                    "{}_bucket{{le=\"+Inf\"}} {cum}\n",
-                                    s.name
-                                )),
+                                Some(b) => out
+                                    .push_str(&format!("{}_bucket{{le=\"{b}\"}} {cum}\n", s.name)),
+                                None => out
+                                    .push_str(&format!("{}_bucket{{le=\"+Inf\"}} {cum}\n", s.name)),
                             }
                         }
                         out.push_str(&format!("{}_sum {}\n", s.name, snap.sum_ns));
@@ -432,6 +512,53 @@ mod tests {
         assert_eq!(h.quantile_ns(0.98), 1_000);
         assert_eq!(h.quantile_ns(0.99), 4_000_000);
         assert_eq!(h.quantile_ns(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn typed_sample_carries_full_histogram_state() {
+        let reg = Registry::new();
+        let c = reg.counter_labeled("mq_test_total", "test", Some(("site", "a")));
+        let h = reg.histogram("mq_test_ns", "test");
+        c.add(7);
+        h.observe_ns(500);
+        h.observe_ns(2_000_000);
+        let samples = reg.sample();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].series, "mq_test_total{site=\"a\"}");
+        assert!(matches!(samples[0].value, SampleValue::Counter(7)));
+        match &samples[1].value {
+            SampleValue::Histogram(snap) => {
+                assert_eq!(snap.count, 2);
+                assert_eq!(snap.sum_ns, 2_000_500);
+                assert_eq!(snap.buckets[0], 1);
+            }
+            other => panic!("expected histogram sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scrape_age_comment_appears_once_noted() {
+        let reg = Registry::new();
+        reg.counter("mq_test_total", "test");
+        assert_eq!(reg.last_scrape_ms(), None);
+        assert!(!reg.render_prometheus().contains("# mq-scrape"));
+        reg.note_scrape(0); // t_ms 0 is a valid scrape instant
+        assert_eq!(reg.last_scrape_ms(), Some(0));
+        let text = reg.render_prometheus();
+        assert!(text.starts_with("# mq-scrape t_ms=0 age_ms="), "{text}");
+        // The scrape comment must not break the strict parser.
+        crate::expo::parse_prometheus(&text).expect("scrape comment is free-form");
+    }
+
+    #[test]
+    fn snapshot_quantiles_work_on_deltas() {
+        let mut snap = HistogramSnapshot::default();
+        snap.buckets[0] = 9; // ≤ 1µs
+        snap.buckets[5] = 1; // ≤ 1ms
+        snap.count = 10;
+        assert_eq!(snap.quantile_ns(0.5), 1_000);
+        assert_eq!(snap.quantile_ns(0.99), 1_000_000);
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.99), 0);
     }
 
     #[test]

@@ -120,9 +120,7 @@ impl SearchProfile {
             .enumerate()
             .filter(|(_, s)| s.execs > 0 || s.memo_hits > 0)
             .collect();
-        all.sort_by(|a, b| {
-            (b.1.wall_ns, b.1.execs, a.0).cmp(&(a.1.wall_ns, a.1.execs, b.0))
-        });
+        all.sort_by(|a, b| (b.1.wall_ns, b.1.execs, a.0).cmp(&(a.1.wall_ns, a.1.execs, b.0)));
         all.truncate(k);
         all
     }

@@ -43,7 +43,7 @@
 use crate::faults::CountedSite;
 use crate::protocol::{handle_line_opts, ProtoOptions, Reply};
 use crate::session::MqService;
-use mq_obs::{trace, Counter, Gauge, Histogram, Registry};
+use mq_obs::{trace, Counter, Gauge, Histogram, Registry, Scraper};
 use mq_store::lock::lock_recover;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -237,6 +237,9 @@ pub struct NetServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    /// The flight-recorder scrape thread — alive for exactly the
+    /// server's serving window (`None` when `MQ_SCRAPE_MS=0`).
+    scraper: Option<Scraper>,
 }
 
 impl NetServer {
@@ -250,6 +253,12 @@ impl NetServer {
         // The net families live in the served service's registry, so one
         // `metrics` dump covers the whole stack.
         let metrics = NetCounters::new(service.registry());
+        // Serving is what gives the flight recorder a time axis: start
+        // the background scraper with the server, stop it on drain.
+        // Gated on MQ_SCRAPE_MS — off means no thread and no cost.
+        let scraper = service
+            .recorder()
+            .start_scraper(Arc::clone(service.registry()));
         let shared = Arc::new(Shared {
             service,
             cfg,
@@ -267,6 +276,7 @@ impl NetServer {
             shared,
             addr,
             accept: Some(accept),
+            scraper,
         })
     }
 
@@ -303,6 +313,11 @@ impl NetServer {
         self.shared.shutting.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        // Stop the scrape cadence with the serving window (joins the
+        // thread, so no tick outlives the server).
+        if let Some(mut scraper) = self.scraper.take() {
+            scraper.stop();
         }
         lock_recover(&self.shared.report).unwrap_or_default()
     }

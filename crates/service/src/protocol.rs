@@ -13,6 +13,9 @@
 //! dump <name> <relation> [limit]           rows from the frozen arena
 //! stats <name>
 //! metrics                                  Prometheus-text registry dump
+//! health                                   SLO verdict, rules, incidents
+//! top [window]                             hottest counter series (default 10s)
+//! history <series> [window]                raw scrape samples (default 1m)
 //! trace [<req-id>|last]                    span tree of one request
 //! slowlog                                  slow-query log (MQ_SLOW_MS)
 //! quit
@@ -138,13 +141,17 @@ pub fn handle_line_opts(service: &MqService, line: &str, opts: &ProtoOptions) ->
         "dump" => cmd_dump(service, rest),
         "stats" => cmd_stats(service, rest),
         "metrics" => cmd_metrics(service),
+        "health" => cmd_health(service),
+        "top" => cmd_top(service, rest),
+        "history" => cmd_history(service, rest),
         "trace" => cmd_trace(rest),
         "slowlog" => cmd_slowlog(service),
         other => Reply::err(
             "usage",
             format_args!(
                 "unknown command `{other}` \
-                 (ping|open|mine|append|replace|dump|stats|metrics|trace|slowlog|shutdown|quit)"
+                 (ping|open|mine|append|replace|dump|stats|metrics|health|top|history|trace\
+                 |slowlog|shutdown|quit)"
             ),
         ),
     }
@@ -453,6 +460,120 @@ fn cmd_metrics(service: &MqService) -> Reply {
     Reply::Lines(lines)
 }
 
+/// Serve the flight recorder's latest verdict: one `rule` line per SLO
+/// rule (name, verdict, numeric evidence), then the buffered incident
+/// log — each `incident` line followed by the hottest plan nodes and
+/// slowest live spans captured at detection time. Default-Healthy with
+/// `scrapes=0` when the recorder is off (`MQ_SCRAPE_MS=0`).
+fn cmd_health(service: &MqService) -> Reply {
+    let rec = service.recorder();
+    let report = rec.health();
+    let mut body = Vec::new();
+    for r in &report.rules {
+        body.push(format!(
+            "rule {} {} {}",
+            r.rule,
+            r.verdict.as_str(),
+            r.evidence
+        ));
+    }
+    for i in &rec.incidents() {
+        body.push(format!(
+            "incident t_ms={} series={} rate_per_s={:.3} baseline_mean={:.3} baseline_mad={:.3}",
+            i.t_ms, i.series, i.rate, i.baseline_mean, i.baseline_mad
+        ));
+        // Node lines arrive pre-formatted (`node #<id> …`) from the
+        // service's slow-query log.
+        body.extend(i.nodes.iter().cloned());
+        body.extend(i.slow_spans.iter().map(|s| format!("span {s}")));
+    }
+    let mut lines = Vec::with_capacity(body.len() + 1);
+    lines.push(format!(
+        "ok health {} t_ms={} scrapes={} lines={}",
+        report.verdict.as_str(),
+        report.t_ms,
+        rec.scrapes(),
+        body.len()
+    ));
+    lines.extend(body);
+    Reply::Lines(lines)
+}
+
+/// Rank the hottest counter series by windowed per-second rate
+/// (default window 10 s), then attach the hottest plan nodes of the
+/// latest slow query for drill-down context.
+fn cmd_top(service: &MqService, rest: &str) -> Reply {
+    let token = match rest.trim() {
+        "" => "10s",
+        t => t,
+    };
+    let Some(window_ms) = mq_obs::parse_window(token) else {
+        return Reply::err(
+            "usage",
+            format_args!("top: invalid window `{token}` (want e.g. 10s|1m|5m)"),
+        );
+    };
+    let now_ms = mq_obs::trace::now_ns() / 1_000_000;
+    let top = service
+        .recorder()
+        .history()
+        .top_rates(window_ms, now_ms, 10);
+    let mut body: Vec<String> = top
+        .iter()
+        .map(|(name, rate)| format!("series {name} rate_per_s={rate:.3}"))
+        .collect();
+    if let Some(e) = service.slow_queries().last() {
+        for (id, label, n) in &e.nodes {
+            body.push(format!(
+                "node #{id} {label} wall_ns={} execs={} memo_hits={} rows_in={} rows_out={}",
+                n.wall_ns, n.execs, n.memo_hits, n.rows_in, n.rows_out
+            ));
+        }
+    }
+    let mut lines = Vec::with_capacity(body.len() + 1);
+    lines.push(format!("ok top window={token} lines={}", body.len()));
+    lines.extend(body);
+    Reply::Lines(lines)
+}
+
+/// Serve one series' raw buffered scrape samples within the trailing
+/// window (default 1 m), oldest first — timestamps are monotone, at
+/// most [`mq_obs::history::RING_SAMPLES`] points.
+fn cmd_history(service: &MqService, rest: &str) -> Reply {
+    let mut words = rest.split_whitespace();
+    let Some(series) = words.next() else {
+        return Reply::err("usage", "usage: history <series> [window]");
+    };
+    let token = words.next().unwrap_or("1m");
+    if words.next().is_some() {
+        return Reply::err("usage", "usage: history <series> [window]");
+    }
+    let Some(window_ms) = mq_obs::parse_window(token) else {
+        return Reply::err(
+            "usage",
+            format_args!("history: invalid window `{token}` (want e.g. 10s|1m|5m)"),
+        );
+    };
+    let history = service.recorder().history();
+    if history.ring(series).is_none() {
+        return Reply::err(
+            "usage",
+            format_args!("history: unknown series `{series}` (nothing scraped under that name)"),
+        );
+    }
+    let now_ms = mq_obs::trace::now_ns() / 1_000_000;
+    let pts = history.points(series, window_ms, now_ms);
+    let mut lines = Vec::with_capacity(pts.len() + 1);
+    lines.push(format!(
+        "ok history {series} window={token} lines={}",
+        pts.len()
+    ));
+    for p in &pts {
+        lines.push(format!("point t_ms={} v={}", p.t_ms, p.value.as_scalar()));
+    }
+    Reply::Lines(lines)
+}
+
 /// Render one request's buffered span tree. `trace last` (or bare
 /// `trace`) picks the most recent traced request other than the one
 /// serving this command.
@@ -690,6 +811,96 @@ mod tests {
         assert_eq!(get("mq_session_requests_total"), 2.0);
         assert_eq!(get("mq_session_executed_total"), 2.0);
         assert_eq!(get("mq_session_search_wall_ns_count"), 2.0);
+    }
+
+    #[test]
+    fn health_top_history_verbs() {
+        let svc = service_with_db();
+        // Before any scrape: default-Healthy, zero body lines.
+        let idle = handle_line(&svc, "health");
+        assert!(
+            first_line(&idle).starts_with("ok health healthy"),
+            "got: {}",
+            first_line(&idle)
+        );
+        assert!(first_line(&idle).contains("scrapes=0"));
+        // Two deterministic scrapes at the live trace clock with
+        // traffic in between, so windowed rates are measurable.
+        let rec = svc.recorder();
+        rec.tick(svc.registry());
+        let _ = handle_line(&svc, "mine tele :: R(X,Z) <- P(X,Y), Q(Y,Z)");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        rec.tick(svc.registry());
+
+        let health = handle_line(&svc, "health");
+        let lines = health.lines();
+        assert!(
+            lines[0].starts_with("ok health healthy"),
+            "got: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("scrapes=2"), "got: {}", lines[0]);
+        let framed: usize = lines[0]
+            .rsplit("lines=")
+            .next()
+            .unwrap()
+            .parse()
+            .expect("lines= count");
+        assert_eq!(lines.len() - 1, framed);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("rule error-rate healthy ")),
+            "want a named rule line: {lines:?}"
+        );
+
+        let top = handle_line(&svc, "top 1m");
+        let tl = top.lines();
+        assert!(
+            tl[0].starts_with("ok top window=1m lines="),
+            "got: {}",
+            tl[0]
+        );
+        assert!(
+            tl.iter()
+                .any(|l| l.starts_with("series mq_session_requests_total rate_per_s=")),
+            "want the session counter ranked: {tl:?}"
+        );
+
+        let hist = handle_line(&svc, "history mq_session_requests_total 5m");
+        let hl = hist.lines();
+        assert!(
+            hl[0].starts_with("ok history mq_session_requests_total window=5m lines=2"),
+            "got: {}",
+            hl[0]
+        );
+        assert!(hl[1].starts_with("point t_ms="));
+        let t = |line: &str| -> u64 {
+            line.split_whitespace()
+                .find_map(|w| w.strip_prefix("t_ms="))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            t(&hl[1]) <= t(&hl[2]),
+            "timestamps must be monotone: {hl:?}"
+        );
+
+        // Structured usage errors: bad window, unknown series, extra args.
+        assert!(first_line(&handle_line(&svc, "top banana")).starts_with("err usage "));
+        assert!(first_line(&handle_line(&svc, "history")).starts_with("err usage "));
+        assert!(first_line(&handle_line(&svc, "history nosuch_series")).starts_with("err usage "));
+        assert!(first_line(&handle_line(
+            &svc,
+            "history mq_session_requests_total 1m extra"
+        ))
+        .starts_with("err usage "));
+        assert!(first_line(&handle_line(
+            &svc,
+            "history mq_session_requests_total banana"
+        ))
+        .starts_with("err usage "));
     }
 
     #[test]

@@ -34,7 +34,7 @@ use mq_core::instantiate::{InstError, InstType};
 use mq_core::parse::parse_metaquery;
 use mq_core::plan::PlanNodeId;
 use mq_obs::profile::{NodeStat, SearchProfile};
-use mq_obs::{trace, Counter, Histogram, Registry};
+use mq_obs::{trace, Counter, FlightRecorder, Histogram, Registry};
 use mq_relation::{Database, RelId, Tuple};
 use mq_store::lock::{lock_recover, wait_recover};
 use std::collections::VecDeque;
@@ -382,7 +382,8 @@ pub struct MqService {
     registry: Arc<Registry>,
     m: Handles,
     search_panic: CountedSite,
-    slowlog: Mutex<VecDeque<SlowQuery>>,
+    slowlog: Arc<Mutex<VecDeque<SlowQuery>>>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl MqService {
@@ -396,6 +397,30 @@ impl MqService {
         let registry = Arc::new(Registry::new());
         let m = Handles::new(&registry);
         let search_panic = CountedSite::new(&registry, "search.panic");
+        let slowlog: Arc<Mutex<VecDeque<SlowQuery>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let recorder = Arc::new(FlightRecorder::new(&registry));
+        // Incident context: the watchdog snapshots the latest slow
+        // query's hottest plan nodes at detection time (empty while the
+        // slow-query log is disarmed or has seen nothing slow).
+        let incident_nodes = Arc::clone(&slowlog);
+        recorder.set_node_source(Box::new(move || {
+            lock_recover(&incident_nodes)
+                .back()
+                .map(|sq| {
+                    sq.nodes
+                        .iter()
+                        .map(|(id, label, stat)| {
+                            format!(
+                                "node #{id} {label} wall_us={} execs={} rows_out={}",
+                                stat.wall_ns / 1_000,
+                                stat.execs,
+                                stat.rows_out
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        }));
         MqService {
             catalog: Catalog::new(),
             inflight: RequestTable::new(),
@@ -404,7 +429,8 @@ impl MqService {
             registry,
             m,
             search_panic,
-            slowlog: Mutex::new(VecDeque::new()),
+            slowlog,
+            recorder,
         }
     }
 
@@ -417,6 +443,14 @@ impl MqService {
     /// renders it; the net layer registers its own families here too).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// This instance's flight recorder: metric history, SLO health
+    /// verdicts, and the anomaly-incident log. Filled by the background
+    /// scraper the net layer starts (`MQ_SCRAPE_MS`); library embedders
+    /// can drive it directly via [`FlightRecorder::tick`].
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Snapshot of the slow-query log, oldest first. Armed by
@@ -647,7 +681,9 @@ impl MqService {
         self.m.search_wall_ns.observe_ns(wall_ns);
         // Drain the profile's always-on totals into the service
         // families (worker executors flushed on drop, panic or not).
-        self.m.sched_tasks.add(profile.tasks.load(Ordering::Relaxed));
+        self.m
+            .sched_tasks
+            .add(profile.tasks.load(Ordering::Relaxed));
         self.m
             .exec_nodes
             .add(profile.node_execs.load(Ordering::Relaxed));

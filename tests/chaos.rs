@@ -19,7 +19,10 @@
 //! * every answer that does come back `ok` is **byte-identical** to the
 //!   fault-free reply — and, at the service layer, to a cold
 //!   `find_rules_seq` run. Robustness may fail requests, never corrupt
-//!   them.
+//!   them;
+//! * the flight recorder's watchdog sees an injected panic burst as
+//!   exactly one debounced incident, and a fault-free baseline stays
+//!   Healthy.
 
 use metaquery::core::engine::find_rules::find_rules_seq;
 use metaquery::prelude::*;
@@ -326,6 +329,94 @@ fn shutdown_under_load_is_graceful() {
         },
     );
     assert_eq!(after.ok, 0, "server still serving after shutdown");
+}
+
+/// The flight recorder's watchdog under injected faults: a fault-free
+/// baseline judges Healthy with no panic incidents, and a burst of
+/// injected search panics is captured as **exactly one** debounced
+/// incident on the caught-panics series. Scrape instants are injected
+/// through `tick_at`, so the detection math is fully deterministic.
+#[test]
+fn injected_panic_burst_is_one_watchdog_incident() {
+    let _g = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let svc = service();
+    let rec = svc.recorder();
+    let reg = svc.registry();
+    let mut req = MetaqueryRequest::new("tele", MQ);
+    req.thresholds = Thresholds::all(
+        mq_relation::Frac::new(1, 10),
+        mq_relation::Frac::new(1, 10),
+        mq_relation::Frac::new(1, 10),
+    );
+
+    // Fault-free baseline: light traffic, one scrape per second — the
+    // system judges Healthy and warms every watchdog baseline.
+    let t0 = mq_obs::trace::now_ns() / 1_000_000;
+    {
+        let _clean = ArmedFaults::clean();
+        for i in 0..8u64 {
+            svc.query(&req).expect("clean query");
+            rec.tick_at(reg, t0 + i * 1_000);
+        }
+    }
+    let report = rec.health();
+    assert_eq!(
+        report.verdict,
+        mq_obs::Verdict::Healthy,
+        "fault-free baseline must be healthy: {report:?}"
+    );
+    let panic_incidents = |rec: &mq_obs::FlightRecorder| {
+        rec.incidents()
+            .iter()
+            .filter(|i| i.series == "mq_session_panics_caught_total")
+            .count()
+    };
+    assert_eq!(panic_incidents(rec), 0, "clean run flagged panics");
+
+    // Panic burst: every search dies at the boundary, the caught-panics
+    // counter spikes well past baseline-mean + k·MAD, and the next
+    // scrape must append exactly one incident for that series.
+    {
+        let _armed = ArmedFaults::arm("search.panic:1.0:42");
+        for _ in 0..30 {
+            match svc.query(&req) {
+                Err(ServiceError::SearchPanicked(_)) => {}
+                other => panic!("want SearchPanicked, got {other:?}"),
+            }
+        }
+    }
+    rec.tick_at(reg, t0 + 8_000);
+    assert_eq!(
+        panic_incidents(rec),
+        1,
+        "panic burst not captured: {:?}",
+        rec.incidents()
+    );
+
+    // A second burst inside the per-series cooldown stays debounced.
+    {
+        let _armed = ArmedFaults::arm("search.panic:1.0:43");
+        for _ in 0..30 {
+            let _ = svc.query(&req);
+        }
+    }
+    rec.tick_at(reg, t0 + 9_000);
+    assert_eq!(
+        panic_incidents(rec),
+        1,
+        "debounce failed — second burst re-captured: {:?}",
+        rec.incidents()
+    );
+    let incident = rec
+        .incidents()
+        .into_iter()
+        .find(|i| i.series == "mq_session_panics_caught_total")
+        .expect("panic incident");
+    assert!(
+        incident.rate >= 1.0,
+        "incident rate below the anomaly floor: {incident:?}"
+    );
+    assert!(incident.rate > incident.baseline_mean);
 }
 
 /// The protocol `shutdown` command reaches the in-process handler too

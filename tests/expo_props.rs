@@ -1,0 +1,119 @@
+//! Property-based fuzzing of the strict Prometheus-text checker.
+//!
+//! `parse_prometheus` is the validator CI and the flight-recorder tests
+//! trust to catch a corrupted exposition, so it must itself be robust:
+//! arbitrary text never panics it — it either parses into samples or
+//! returns a structured error message — and everything the in-tree
+//! `Registry::render_prometheus` can emit round-trips losslessly. The
+//! properties drive random garbage, near-miss sample lines, shuffled
+//! histogram blocks, and real renderings of randomized registries
+//! through the parser and check both halves of that contract.
+
+use mq_obs::{parse_prometheus, Registry};
+use proptest::prelude::*;
+
+/// Whatever the parser says, it must be a decision: samples out, or a
+/// non-empty diagnostic naming the violation — never a panic.
+fn assert_decided(text: &str) {
+    match parse_prometheus(text) {
+        Ok(samples) => {
+            for s in &samples {
+                assert!(!s.name.is_empty(), "accepted a nameless sample: {text:?}");
+                assert!(s.value.is_finite() || s.value.is_nan() || s.value.is_infinite());
+            }
+        }
+        Err(msg) => assert!(!msg.is_empty(), "empty diagnostic for {text:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary printable garbage: the checker always decides, never
+    /// panics.
+    #[test]
+    fn arbitrary_text_is_decided(text in "[ -~\n]{0,160}") {
+        assert_decided(&text);
+    }
+
+    /// Near-miss dumps — TYPE comments and sample-shaped lines with
+    /// randomized names, kinds, labels, and values — are decided, and
+    /// samples with an undeclared name are always rejected.
+    #[test]
+    fn sample_shaped_lines_are_decided(
+        name in "[a-z_]{1,12}",
+        kind in "(counter|gauge|histogram|summary|untyped)",
+        labels in "(\\{[a-z]{1,6}=\"[a-z0-9.+]{0,8}\"\\})?",
+        value in "(-?[0-9]{1,6}(\\.[0-9]{1,3})?|NaN|banana|)",
+    ) {
+        let declared = format!("# TYPE {name} {kind}\n{name}{labels} {value}\n");
+        assert_decided(&declared);
+        let undeclared = format!("{name}{labels} {value}\n");
+        prop_assert!(
+            parse_prometheus(&undeclared).is_err(),
+            "undeclared sample `{name}` must be rejected"
+        );
+    }
+
+    /// Histogram blocks with shuffled bucket order / counts: decided,
+    /// and whenever some bucket count decreases as `le` grows the dump
+    /// is rejected.
+    #[test]
+    fn histogram_bucket_soup_is_decided(
+        counts in proptest::collection::vec(0u32..50, 2..6),
+        inf_matches in proptest::bool::ANY,
+    ) {
+        let mut text = String::from("# TYPE mq_fz_ns histogram\n");
+        for (i, c) in counts.iter().enumerate() {
+            text.push_str(&format!("mq_fz_ns_bucket{{le=\"{}\"}} {c}\n", (i + 1) * 100));
+        }
+        let last = *counts.last().unwrap();
+        let inf = if inf_matches { last } else { last + 1 };
+        text.push_str(&format!("mq_fz_ns_bucket{{le=\"+Inf\"}} {inf}\n"));
+        text.push_str(&format!("mq_fz_ns_sum 1\nmq_fz_ns_count {inf}\n"));
+        let monotone = counts.windows(2).all(|w| w[1] >= w[0]) && inf >= last;
+        match parse_prometheus(&text) {
+            Ok(_) => prop_assert!(monotone, "accepted non-cumulative buckets:\n{text}"),
+            Err(msg) => prop_assert!(!msg.is_empty()),
+        }
+    }
+
+    /// Round-trip: anything our own renderer emits — over a randomized
+    /// registry with traffic on every kind of series, scrape-age comment
+    /// included — parses clean, and counter samples survive exactly.
+    #[test]
+    fn rendered_registries_round_trip(
+        incs in 0u64..200,
+        gauge_moves in proptest::collection::vec(proptest::bool::ANY, 0..12),
+        observations in proptest::collection::vec(0u64..2_000_000, 0..12),
+        noted in proptest::bool::ANY,
+    ) {
+        let reg = Registry::new();
+        let c = reg.counter("mq_fz_hits_total", "fuzz counter");
+        let g = reg.gauge("mq_fz_depth", "fuzz gauge");
+        let h = reg.histogram("mq_fz_lat_ns", "fuzz histogram");
+        c.add(incs);
+        for up in &gauge_moves {
+            if *up { g.inc() } else { g.dec() }
+        }
+        for ns in &observations {
+            h.observe_ns(*ns);
+        }
+        if noted {
+            reg.note_scrape(12_345);
+        }
+        let text = reg.render_prometheus();
+        let samples = parse_prometheus(&text)
+            .unwrap_or_else(|e| panic!("own rendering rejected: {e}\n{text}"));
+        let counter = samples
+            .iter()
+            .find(|s| s.name == "mq_fz_hits_total")
+            .expect("counter sample");
+        prop_assert_eq!(counter.value, incs as f64);
+        let count = samples
+            .iter()
+            .find(|s| s.name == "mq_fz_lat_ns_count")
+            .expect("histogram count");
+        prop_assert_eq!(count.value, observations.len() as f64);
+    }
+}

@@ -1,0 +1,289 @@
+//! End-to-end flight recorder over real TCP: a server bound with a fast
+//! scrape cadence must answer the `health`, `top`, and `history` verbs
+//! from its background scraper's recordings, judge an error burst, and
+//! capture the burst as exactly one debounced watchdog incident.
+//!
+//! The scenario, on one live server:
+//!
+//! 1. clean traffic + a few scrapes ⇒ `health` reports **healthy** with
+//!    the full rule table;
+//! 2. a burst of structurally failing requests ⇒ the `error-rate` rule
+//!    (and thus the aggregate verdict) leaves healthy, with the failing
+//!    rule named in the reply;
+//! 3. `top` serves the hottest counter series sorted by rate; `history`
+//!    serves monotone ring samples;
+//! 4. the watchdog appends an incident for the error-reply series
+//!    **exactly once** — a second burst inside the cooldown must not
+//!    append another.
+//!
+//! The test flips the **process-global** scrape-cadence override, so it
+//! is the only test in this binary and restores the gate with a drop
+//! guard.
+
+use metaquery::service::{MqService, NetConfig, NetServer};
+use mq_relation::ints;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Restores the process-global scrape cadence even if the test panics.
+struct ArmedScraper;
+
+impl ArmedScraper {
+    fn arm(ms: u64) -> ArmedScraper {
+        mq_obs::set_scrape_ms_override(Some(ms));
+        ArmedScraper
+    }
+}
+
+impl Drop for ArmedScraper {
+    fn drop(&mut self) {
+        mq_obs::set_scrape_ms_override(None);
+    }
+}
+
+fn test_db() -> mq_relation::Database {
+    let mut db = mq_relation::Database::new();
+    let p = db.add_relation("p", 2);
+    let q = db.add_relation("q", 2);
+    for i in 0..8i64 {
+        db.insert(p, ints(&[i, i + 1]));
+        db.insert(q, ints(&[i + 1, i + 2]));
+    }
+    db
+}
+
+const MINE: &str = "mine tele sup=1/10 cvr=1/10 cnf=1/10 :: R(X,Z) <- P(X,Y), Q(Y,Z)";
+/// A structurally failing request: parses as a command, answers `err`.
+const BAD: &str = "mine nosuchdb sup=1/10 :: R(X,Z) <- P(X,Y), Q(Y,Z)";
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read reply");
+        assert!(n > 0, "server closed the connection");
+        line.trim_end().to_string()
+    }
+
+    /// Send a framed command and read its whole reply block.
+    fn send_framed(&mut self, line: &str) -> (String, Vec<String>) {
+        let head = self.send(line);
+        let n = header_num(&head, "lines=") as usize;
+        let body = (0..n).map(|_| self.read_line()).collect();
+        (head, body)
+    }
+}
+
+/// The trailing `key=<number>` of a header field.
+fn header_num(header: &str, key: &str) -> u64 {
+    let at = header
+        .rfind(key)
+        .unwrap_or_else(|| panic!("no `{key}` in header {header:?}"));
+    header[at + key.len()..]
+        .split_whitespace()
+        .next()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable `{key}` in header {header:?}"))
+}
+
+/// The verdict token of an `ok health <verdict> …` head line.
+fn health_verdict(head: &str) -> String {
+    head.split_whitespace()
+        .nth(2)
+        .unwrap_or_else(|| panic!("malformed health head {head:?}"))
+        .to_string()
+}
+
+/// Incident body lines for one series.
+fn incident_count(body: &[String], series: &str) -> usize {
+    body.iter()
+        .filter(|l| l.starts_with("incident ") && l.contains(&format!(" series={series} ")))
+        .count()
+}
+
+#[test]
+fn flight_recorder_end_to_end_over_tcp() {
+    let _armed = ArmedScraper::arm(25);
+    let svc = Arc::new(MqService::new());
+    svc.register("tele", test_db()).expect("register tele");
+    let mut server = NetServer::bind(Arc::clone(&svc), NetConfig::default()).expect("bind server");
+    let mut client = Client::connect(server.local_addr());
+
+    // ── Phase 1: clean traffic scraped into a healthy report ────────
+    for _ in 0..4 {
+        let head = client.send(MINE);
+        assert!(head.starts_with("ok mine "), "clean mine failed: {head}");
+        let answers = header_num(&head, "ok mine ") as usize;
+        for _ in 0..answers {
+            client.read_line();
+        }
+    }
+    // Wait for enough background scrapes that the rule table is live
+    // and every watchdog baseline is warmed (warmup is 5 samples).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let healthy_head = loop {
+        let (head, body) = client.send_framed("health");
+        if header_num(&head, "scrapes=") >= 8 && !body.is_empty() {
+            break head;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scraper never produced a rule table: {head}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(
+        health_verdict(&healthy_head),
+        "healthy",
+        "clean traffic must be healthy: {healthy_head}"
+    );
+
+    // ── Phase 2: an error burst leaves healthy, error-rate named ────
+    for _ in 0..150 {
+        let head = client.send(BAD);
+        assert!(head.starts_with("err "), "bad mine not an err: {head}");
+    }
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let (head, body) = loop {
+        let (head, body) = client.send_framed("health");
+        if health_verdict(&head) != "healthy" {
+            break (head, body);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "error burst never degraded the verdict: {head}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let err_rule = body
+        .iter()
+        .find(|l| l.starts_with("rule error-rate "))
+        .unwrap_or_else(|| panic!("no error-rate rule line in {body:?}"));
+    assert!(
+        err_rule.contains(" degraded ") || err_rule.contains(" unhealthy "),
+        "the failing rule must be named and non-healthy: {err_rule}"
+    );
+    assert!(
+        err_rule.contains("err_rate="),
+        "rule line carries no evidence: {err_rule}"
+    );
+    // Every rule in the table is reported, worst-wins is consistent.
+    assert_eq!(
+        body.iter().filter(|l| l.starts_with("rule ")).count(),
+        mq_obs::RULE_NAMES.len(),
+        "rule table incomplete in {head}: {body:?}"
+    );
+
+    // ── Phase 3: top serves hottest-first, history is monotone ──────
+    let (top_head, top_body) = client.send_framed("top 10s");
+    assert!(top_head.starts_with("ok top window=10s "), "{top_head}");
+    let rates: Vec<f64> = top_body
+        .iter()
+        .filter(|l| l.starts_with("series "))
+        .map(|l| {
+            l.rsplit_once("rate_per_s=")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or_else(|| panic!("malformed series line {l:?}"))
+        })
+        .collect();
+    assert!(!rates.is_empty(), "top served no series: {top_body:?}");
+    assert!(
+        rates.windows(2).all(|w| w[0] >= w[1]),
+        "top is not sorted hottest-first: {rates:?}"
+    );
+    assert!(
+        top_body
+            .iter()
+            .any(|l| l.starts_with("series mq_net_requests_total ")),
+        "request traffic missing from top: {top_body:?}"
+    );
+
+    let (hist_head, hist_body) = client.send_framed("history mq_net_requests_total 10s");
+    assert!(
+        hist_head.starts_with("ok history mq_net_requests_total window=10s "),
+        "{hist_head}"
+    );
+    let stamps: Vec<u64> = hist_body.iter().map(|l| header_num(l, "t_ms=")).collect();
+    assert!(stamps.len() >= 2, "history too short: {hist_body:?}");
+    assert!(
+        stamps.windows(2).all(|w| w[0] < w[1]),
+        "history timestamps not strictly monotone: {stamps:?}"
+    );
+
+    // ── Phase 4: the burst is one debounced incident, not many ─────
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let body = loop {
+        let (head, body) = client.send_framed("health");
+        if incident_count(&body, "mq_net_err_replies_total") > 0 {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never flagged the error burst: {head}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(
+        incident_count(&body, "mq_net_err_replies_total"),
+        1,
+        "burst captured more than once: {body:?}"
+    );
+    let incident = body
+        .iter()
+        .find(|l| l.starts_with("incident ") && l.contains(" series=mq_net_err_replies_total "))
+        .expect("incident line");
+    for field in ["rate_per_s=", "baseline_mean=", "baseline_mad="] {
+        assert!(
+            incident.contains(field),
+            "incident lacks {field}: {incident}"
+        );
+    }
+
+    // A second burst inside the cooldown: scrapes keep running, but the
+    // incident log still holds exactly one entry for the series.
+    for _ in 0..60 {
+        let head = client.send(BAD);
+        assert!(head.starts_with("err "), "{head}");
+    }
+    let (head, _) = client.send_framed("health");
+    let settled = header_num(&head, "scrapes=") + 4;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (head, body) = client.send_framed("health");
+        if header_num(&head, "scrapes=") >= settled {
+            assert_eq!(
+                incident_count(&body, "mq_net_err_replies_total"),
+                1,
+                "debounce failed — second burst re-captured: {body:?}"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "scraper stalled: {head}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let _ = client.stream.write_all(b"quit\n");
+    server.shutdown();
+}

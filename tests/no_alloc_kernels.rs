@@ -12,7 +12,8 @@
 //! scratch buffer, and the fused/reverse semijoins return
 //! storage-sharing clones when nothing is filtered. A final phase pins
 //! the observability contract: with tracing forced off, `span!` sites
-//! and metric-handle updates allocate nothing at all.
+//! and metric-handle updates allocate nothing at all, and a zero scrape
+//! cadence keeps the flight recorder's scraper thread unspawned.
 //!
 //! All phases live in one `#[test]` because the allocation counter is
 //! global to the process and the test harness runs tests concurrently.
@@ -262,4 +263,19 @@ fn probe_phases_allocate_constant_not_per_row() {
         "disabled tracing + registry updates allocated {spent} times over \
          {N} iterations — instrumentation crept onto the hot path"
     );
+
+    // With the scrape cadence forced to 0, the flight recorder refuses
+    // to spawn its scraper thread — so the handle updates above are the
+    // *whole* cost of observability: nothing samples the registry or
+    // fills ring buffers behind the hot path's back.
+    mq_obs::set_scrape_ms_override(Some(0));
+    let registry = std::sync::Arc::new(registry);
+    let recorder = std::sync::Arc::new(mq_obs::FlightRecorder::new(&registry));
+    assert!(
+        recorder
+            .start_scraper(std::sync::Arc::clone(&registry))
+            .is_none(),
+        "MQ_SCRAPE_MS=0 must keep the flight recorder fully off"
+    );
+    mq_obs::set_scrape_ms_override(None);
 }

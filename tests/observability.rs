@@ -75,10 +75,19 @@ fn registry_snapshots_are_torn_free_under_concurrent_writers() {
                     let snap = registry.snapshot();
                     let t = snap_value(&snap, "mq_test_hammer_total").expect("counter in snap");
                     let c = snap_value(&snap, "mq_test_hammer_ns").expect("hist in snap");
-                    assert!(t >= last_total, "counter went backwards: {last_total} -> {t}");
-                    assert!(c >= last_count, "hist count went backwards: {last_count} -> {c}");
+                    assert!(
+                        t >= last_total,
+                        "counter went backwards: {last_total} -> {t}"
+                    );
+                    assert!(
+                        c >= last_count,
+                        "hist count went backwards: {last_count} -> {c}"
+                    );
                     assert!(t <= cap, "counter overshot the writers' total: {t} > {cap}");
-                    assert!(c <= cap, "hist count overshot the writers' total: {c} > {cap}");
+                    assert!(
+                        c <= cap,
+                        "hist count overshot the writers' total: {c} > {cap}"
+                    );
                     (last_total, last_count) = (t, c);
                     if rounds % 64 == 0 {
                         parse_prometheus(&registry.render_prometheus())
@@ -177,8 +186,7 @@ fn header_num(header: &str, key: &str) -> u64 {
 fn tcp_metrics_and_trace_cover_the_serving_stack() {
     let svc = Arc::new(MqService::new());
     svc.register("tele", test_db()).expect("register tele");
-    let mut server =
-        NetServer::bind(Arc::clone(&svc), NetConfig::default()).expect("bind server");
+    let mut server = NetServer::bind(Arc::clone(&svc), NetConfig::default()).expect("bind server");
     let mut client = Client::connect(server.local_addr());
 
     // Mine once so every family has traffic; the header hands back the
@@ -204,8 +212,14 @@ fn tcp_metrics_and_trace_cover_the_serving_stack() {
             .value
     };
     for family in [
-        "mq_net_", "mq_session_", "mq_dedup_", "mq_memo_", "mq_sched_", "mq_exec_",
-        "mq_catalog_", "mq_faults_",
+        "mq_net_",
+        "mq_session_",
+        "mq_dedup_",
+        "mq_memo_",
+        "mq_sched_",
+        "mq_exec_",
+        "mq_catalog_",
+        "mq_faults_",
     ] {
         assert!(
             samples.iter().any(|s| s.name.starts_with(family)),
